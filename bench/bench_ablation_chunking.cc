@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Ablation (Section 5 related work): chunked-prefill token budget.
+ *
+ * The paper's experiments all run with chunked prefill enabled (the
+ * Sarathi-Serve / DeepSpeed-FastGen technique, default in vLLM). The
+ * per-iteration token budget trades the two latencies: big budgets finish
+ * prefills in fewer steps (better TTFT) but make every co-scheduled decode
+ * token wait for the whole chunk (worse TPOT). Shift Parallelism operates
+ * on top of whatever budget is chosen; this ablation maps the tradeoff.
+ */
+
+#include <cstdio>
+
+#include "common/bench_common.h"
+#include "model/presets.h"
+#include "util/csv.h"
+#include "util/units.h"
+#include "workload/arrival.h"
+#include "workload/synthetic.h"
+
+using namespace shiftpar;
+
+int
+main()
+{
+    bench::print_banner("Ablation (chunked prefill)",
+                        "Token-budget sweep (Llama-70B, Shift, mixed "
+                        "traffic)");
+    Rng rng(2026);
+    const auto reqs = workload::make_requests(
+        workload::poisson_arrivals(rng, 3.0, 90.0), rng,
+        workload::lognormal_size(6000.0, 0.8, 300.0, 0.5));
+
+    Table table({"Budget (tok/step)", "p50 TTFT (ms)", "p99 TTFT (ms)",
+                 "p50 TPOT (ms)", "p99 TPOT (ms)", "Throughput (tok/s)"});
+    CsvWriter csv(bench::results_path("ablation_chunking.csv"),
+                  {"budget", "ttft_p50_ms", "ttft_p99_ms", "tpot_p50_ms",
+                   "tpot_p99_ms", "throughput_tok_s"});
+
+    for (std::int64_t budget :
+         {1024LL, 2048LL, 4096LL, 8192LL, 16384LL, 65536LL}) {
+        core::Deployment d;
+        d.model = model::llama_70b();
+        d.strategy = parallel::Strategy::kShift;
+        d.sched.max_batched_tokens = budget;
+        const auto met = core::run_deployment(d, reqs);
+        table.add_row({Table::fmt_count(budget),
+                       Table::fmt(to_ms(met.ttft().percentile(50))),
+                       Table::fmt(to_ms(met.ttft().percentile(99))),
+                       Table::fmt(to_ms(met.tpot().percentile(50)), 2),
+                       Table::fmt(to_ms(met.tpot().percentile(99)), 2),
+                       Table::fmt_count(static_cast<long long>(
+                           met.mean_throughput()))});
+        csv.add_row({std::to_string(budget),
+                     Table::fmt(to_ms(met.ttft().percentile(50)), 2),
+                     Table::fmt(to_ms(met.ttft().percentile(99)), 2),
+                     Table::fmt(to_ms(met.tpot().percentile(50)), 3),
+                     Table::fmt(to_ms(met.tpot().percentile(99)), 3),
+                     Table::fmt(met.mean_throughput(), 0)});
+    }
+    table.print();
+    std::printf(
+        "\nExpected: TTFT falls as the budget grows (fewer chunks per\n"
+        "prefill); TPOT tails rise (decode tokens ride in heavier steps).\n"
+        "The paper's configuration (8k budget) sits at the knee.\n");
+    return 0;
+}

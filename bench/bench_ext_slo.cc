@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Extension: SLO attainment and goodput vs. arrival rate.
+ *
+ * Figure 11's takeaway is that Shift Parallelism "helps to achieve
+ * tighter service-level objectives (e.g., p50, p99)". This bench makes
+ * that operational (DistServe-style): with an SLO of TTFT <= 0.5 s and
+ * TPOT <= 15 ms, what fraction of requests meet it — and how much
+ * SLO-satisfying goodput does the node deliver — as traffic grows?
+ */
+
+#include <cstdio>
+
+#include "common/bench_common.h"
+#include "model/presets.h"
+#include "util/csv.h"
+#include "util/units.h"
+#include "workload/arrival.h"
+#include "workload/synthetic.h"
+
+using namespace shiftpar;
+
+int
+main()
+{
+    bench::print_banner("Extension (SLO goodput)",
+                        "SLO attainment vs. arrival rate (Llama-70B, "
+                        "TTFT<=0.5s, TPOT<=15ms)");
+    const engine::SloSpec slo{0.5, 0.015};
+    const auto m = model::llama_70b();
+
+    Table table({"Rate (req/s)", "DP", "TP", "SP", "Shift",
+                 "Shift goodput (tok/s)"});
+    CsvWriter csv(bench::results_path("ext_slo.csv"),
+                  {"rate_req_s", "strategy", "attainment", "goodput_tok_s"});
+
+    for (double rate : {0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0}) {
+        Rng rng(77);
+        const auto reqs = workload::make_requests(
+            workload::poisson_arrivals(rng, rate, 90.0), rng,
+            workload::lognormal_size(4000.0, 0.6, 250.0, 0.4));
+        std::vector<std::string> row = {Table::fmt(rate, 1)};
+        double shift_goodput = 0.0;
+        for (parallel::Strategy s : bench::comparison_strategies()) {
+            const auto run = bench::run_strategy(m, s, reqs);
+            const double att = run.metrics.slo_attainment(slo);
+            row.push_back(Table::fmt(100.0 * att, 0) + "%");
+            if (s == parallel::Strategy::kShift)
+                shift_goodput = run.metrics.goodput(slo);
+            csv.add_row({Table::fmt(rate, 2), parallel::strategy_name(s),
+                         Table::fmt(att, 4),
+                         Table::fmt(run.metrics.goodput(slo), 0)});
+        }
+        row.push_back(Table::fmt_count(
+            static_cast<long long>(shift_goodput)));
+        table.add_row(row);
+    }
+    table.print();
+    std::printf(
+        "\nExpected: Shift sustains near-100%% attainment to higher rates\n"
+        "than any static strategy (SP violates TPOT, DP violates TTFT, TP\n"
+        "saturates earliest), so its goodput keeps scaling after the\n"
+        "others' attainment collapses — the operational form of Fig. 11.\n");
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 1 — the paper's headline comparison: response speed
+ * (input tokens / TTFT), generation rate (1 / TPOT), and combined
+ * throughput, in low and high traffic, rendered as bar charts.
+ *
+ * Paper shape: "Shift Parallelism obtains a higher throughput than TP in
+ * high traffic, and lower latency than TP and DP in low traffic" —
+ * 1.5x TP's throughput, 1.5x faster response than TP, 2x faster
+ * generation than DP, within ~17% of DP's throughput.
+ */
+
+#include <cstdio>
+
+#include "common/bench_common.h"
+#include "model/presets.h"
+#include "util/ascii_plot.h"
+#include "util/csv.h"
+#include "util/units.h"
+
+using namespace shiftpar;
+
+int
+main()
+{
+    bench::print_banner("Figure 1",
+                        "Headline: response speed, generation rate, "
+                        "throughput (Llama-70B)");
+    constexpr std::int64_t kPrompt = 4096;
+    constexpr std::int64_t kOutput = 250;
+
+    std::vector<std::string> labels;
+    std::vector<double> response;    // input tokens / TTFT
+    std::vector<double> generation;  // 1 / TPOT
+    std::vector<double> throughput;  // tokens/s at saturation
+    CsvWriter csv(bench::results_path("fig01_headline.csv"),
+                  {"strategy", "response_tok_per_s", "generation_tok_per_s",
+                   "throughput_tok_per_s"});
+
+    const auto m = model::llama_70b();
+    for (parallel::Strategy s : bench::comparison_strategies()) {
+        const auto lat = bench::min_latency(m, s, kPrompt, kOutput);
+        const double thr = bench::peak_throughput(m, s, kPrompt, kOutput);
+        labels.push_back(parallel::strategy_name(s));
+        response.push_back(static_cast<double>(kPrompt) / lat.ttft);
+        generation.push_back(1.0 / lat.tpot);
+        throughput.push_back(thr);
+        csv.add_row({parallel::strategy_name(s),
+                     Table::fmt(response.back(), 0),
+                     Table::fmt(generation.back(), 1),
+                     Table::fmt(thr, 0)});
+    }
+
+    std::printf("\n%s\n",
+                render_bar_chart(labels, response,
+                                 "response speed, low traffic "
+                                 "(#input tok. / TTFT)")
+                    .c_str());
+    std::printf("%s\n",
+                render_bar_chart(labels, generation,
+                                 "generation rate, low traffic (1 / TPOT, "
+                                 "tok/s)")
+                    .c_str());
+    std::printf("%s",
+                render_bar_chart(labels, throughput,
+                                 "combined throughput, high traffic "
+                                 "(tok/s)")
+                    .c_str());
+
+    const std::size_t tp = 1;
+    const std::size_t dp = 0;
+    const std::size_t shift = 3;
+    std::printf(
+        "\nheadline factors (paper): response %.2fx faster than TP "
+        "(1.5x),\ngeneration %.2fx faster than DP (2x), throughput %.2fx "
+        "TP's (1.5x)\nand %.0f%% of DP's (83%%).\n",
+        response[shift] / response[tp], generation[shift] / generation[dp],
+        throughput[shift] / throughput[tp],
+        100.0 * throughput[shift] / throughput[dp]);
+    return 0;
+}

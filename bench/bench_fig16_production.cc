@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Figure 16: the production stack vs. open-source frameworks, and the
+ * compounding effect of Shift Parallelism + SwiftKV + speculative
+ * decoding (Llama-70B, real-world-style mixed dataset).
+ *
+ * Paper shape: each framework's latency-optimized (TP) and
+ * throughput-optimized (DP) deployments trade off against each other; the
+ * combined production stack achieves simultaneously the highest
+ * throughput and lowest completion time, with SwiftKV and speculative
+ * decoding compounding on top of Shift Parallelism.
+ */
+
+#include <cstdio>
+
+#include "common/bench_common.h"
+#include "model/presets.h"
+#include "util/csv.h"
+#include "util/units.h"
+#include "workload/mix.h"
+
+using namespace shiftpar;
+
+int
+main()
+{
+    bench::print_banner("Figure 16",
+                        "Production stack vs. frameworks (Llama-70B, mixed "
+                        "real-world dataset)");
+    Rng rng(2026);
+    workload::MixOptions mopts;
+    mopts.num_requests = 700;
+    mopts.rate = 6.0;
+    const auto reqs = workload::production_mix(rng, mopts);
+    const auto m = model::llama_70b();
+    const auto node = hw::h200_node();
+
+    Table table({"System", "Mean completion (s)", "p99 completion (s)",
+                 "Throughput (tok/s)"});
+    CsvWriter csv(bench::results_path("fig16_production.csv"),
+                  {"system", "mean_completion_s", "p99_completion_s",
+                   "throughput_tok_s"});
+
+    const auto report = [&](const std::string& name,
+                            const core::Deployment& d) {
+        const auto run = bench::run_deployment_named(name, d, reqs);
+        const auto& met = run.metrics;
+        table.add_row({name, Table::fmt(met.completion().mean(), 2),
+                       Table::fmt(met.completion().percentile(99), 2),
+                       Table::fmt_count(static_cast<long long>(
+                           met.mean_throughput()))});
+        csv.add_row({name, Table::fmt(met.completion().mean(), 3),
+                     Table::fmt(met.completion().percentile(99), 3),
+                     Table::fmt(met.mean_throughput(), 0)});
+    };
+
+    // Out-of-the-box frameworks: latency (TP) and throughput (DP) configs.
+    for (const auto& p : {core::vllm_baseline(), core::sglang(),
+                          core::trt_llm()}) {
+        report(p.name + " (latency opt. TP)",
+               core::make_deployment(p, m, node, parallel::Strategy::kTp));
+        report(p.name + " (throughput opt. DP)",
+               core::make_deployment(p, m, node, parallel::Strategy::kDp));
+    }
+
+    // The compounding ladder of our stack.
+    {
+        core::Deployment d;
+        d.model = m;
+        d.node = node;
+        d.strategy = parallel::Strategy::kShift;
+        report("Ours: Shift only", d);
+        d.swiftkv = core::SwiftKv{};
+        report("Ours: Shift + SwiftKV", d);
+        d.spec_decode = core::ours().spec_decode;
+        report("Ours: Shift + SwiftKV + Spec", d);
+    }
+
+    table.print();
+    std::printf(
+        "\nPaper's Fig. 16: the combined stack is simultaneously the\n"
+        "fastest (3.4x lower completion than the best latency-optimized\n"
+        "framework config) and the cheapest (1.06x higher throughput than\n"
+        "the best throughput-optimized config), with SwiftKV and\n"
+        "speculative decoding compounding.\n");
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Sensitivity study (artifact appendix A.3.2): "Optimal configurations,
+ * and hence the results may look different [on] another type of
+ * multi-GPU node, yet the conclusion should be the same."
+ *
+ * Repeats the Fig.-12 comparison (Qwen-32B, 4k in / 250 out) on three
+ * alternative nodes — 8x H100/NVSwitch, 8x A100/NVSwitch, and 8x H200
+ * over PCIe (ring collectives) — and checks the paper's qualitative
+ * conclusions hold: Shift matches the lowest TTFT and TPOT simultaneously
+ * and retains most of DP's throughput, on every node.
+ */
+
+#include <cstdio>
+
+#include "common/bench_common.h"
+#include "model/presets.h"
+#include "util/csv.h"
+#include "util/units.h"
+
+using namespace shiftpar;
+
+namespace {
+
+void
+run_node(const char* label, const hw::Node& node, CsvWriter* csv)
+{
+    std::printf("\n%s\n", label);
+    const auto m = model::qwen_32b();
+    Table table({"Strategy", "min TTFT (ms)", "min TPOT (ms)",
+                 "peak throughput (tok/s)"});
+    for (parallel::Strategy s : bench::comparison_strategies()) {
+        core::Deployment d;
+        d.model = m;
+        d.node = node;
+        d.strategy = s;
+
+        const std::vector<engine::RequestSpec> one = {{0.0, 4096, 250}};
+        const auto lone = core::run_deployment(d, one);
+        const auto sat = core::run_deployment(
+            d, workload::uniform_batch(512, 4096, 250));
+
+        table.add_row({parallel::strategy_name(s),
+                       Table::fmt(to_ms(lone.ttft().mean())),
+                       Table::fmt(to_ms(lone.tpot().mean()), 2),
+                       Table::fmt_count(static_cast<long long>(
+                           sat.mean_throughput()))});
+        if (csv) {
+            csv->add_row({label, parallel::strategy_name(s),
+                          Table::fmt(to_ms(lone.ttft().mean()), 2),
+                          Table::fmt(to_ms(lone.tpot().mean()), 3),
+                          Table::fmt(sat.mean_throughput(), 0)});
+        }
+    }
+    table.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::print_banner("Sensitivity (A.3.2)",
+                        "Do the conclusions hold on other nodes? "
+                        "(Qwen-32B, 4k/250)");
+    CsvWriter csv(bench::results_path("sensitivity_hw.csv"),
+                  {"node", "strategy", "ttft_ms", "tpot_ms",
+                   "throughput_tok_s"});
+
+    run_node("8x H200 + NVSwitch (paper testbed)", hw::h200_node(), &csv);
+
+    hw::Node b200;
+    b200.gpu = hw::b200();
+    b200.link = hw::nvswitch();
+    b200.num_gpus = 8;
+    run_node("8x B200 + NVSwitch", b200, &csv);
+
+    hw::Node h100;
+    h100.gpu = hw::h100();
+    h100.link = hw::nvswitch();
+    h100.num_gpus = 8;
+    run_node("8x H100 + NVSwitch", h100, &csv);
+
+    hw::Node a100;
+    a100.gpu = hw::a100();
+    a100.link = hw::nvswitch();
+    a100.num_gpus = 8;
+    run_node("8x A100 + NVSwitch (no FP8 cores)", a100, &csv);
+
+    hw::Node pcie;
+    pcie.gpu = hw::h200();
+    pcie.link = hw::pcie_gen5();
+    pcie.num_gpus = 8;
+    run_node("8x H200 + PCIe Gen5 (ring collectives)", pcie, &csv);
+
+    std::printf(
+        "\nExpected: absolute numbers shift with the node, but on every\n"
+        "NVSwitch fabric Shift matches SP's TTFT and TP's TPOT while\n"
+        "retaining most of DP's throughput. On the slow PCIe ring, full-TP\n"
+        "steps never beat the SP base, so the auto-tuned threshold makes\n"
+        "Shift degenerate to pure SP — the controller adapts to the\n"
+        "fabric, which is itself the paper's conclusion.\n");
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Table 1: qualitative performance tradeoffs of inference parallelisms.
+ *
+ * For each strategy we measure TTFT, TPOT (low-traffic single request) and
+ * combined throughput (high-traffic saturation), then grade each metric
+ * relative to the best/worst strategy — regenerating the paper's
+ * Best / Nearly Best / Very Good / Near Worst / Worst matrix.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "common/bench_common.h"
+#include "model/presets.h"
+#include "util/csv.h"
+#include "util/units.h"
+
+using namespace shiftpar;
+
+namespace {
+
+/** Grade `value` (lower better when `lower_better`) against the field. */
+std::string
+grade(double value, double best, double worst, bool lower_better)
+{
+    const double rel = lower_better
+                           ? (value - best) / std::max(worst - best, 1e-12)
+                           : (best - value) / std::max(best - worst, 1e-12);
+    if (rel <= 0.02)
+        return "Best";
+    if (rel <= 0.15)
+        return "Nearly Best";
+    if (rel <= 0.55)
+        return "Very Good";
+    if (rel <= 0.9)
+        return "Near Worst";
+    return "Worst";
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::print_banner("Table 1",
+                        "Performance tradeoffs of inference parallelisms "
+                        "(Llama-70B, 8xH200)");
+    const auto m = model::llama_70b();
+
+    std::map<std::string, double> ttft;
+    std::map<std::string, double> tpot;
+    std::map<std::string, double> thr;
+    for (parallel::Strategy s : bench::comparison_strategies()) {
+        const auto name = parallel::strategy_name(s);
+        const auto lat = bench::min_latency(m, s, 4096, 250);
+        ttft[name] = lat.ttft;
+        tpot[name] = lat.tpot;
+        thr[name] = bench::peak_throughput(m, s, 4096, 250, 512);
+    }
+
+    const auto minmax = [](const std::map<std::string, double>& v) {
+        double lo = 1e300;
+        double hi = -1e300;
+        for (const auto& [k, x] : v) {
+            lo = std::min(lo, x);
+            hi = std::max(hi, x);
+        }
+        return std::pair{lo, hi};
+    };
+    const auto [ttft_lo, ttft_hi] = minmax(ttft);
+    const auto [tpot_lo, tpot_hi] = minmax(tpot);
+    const auto [thr_lo, thr_hi] = minmax(thr);
+
+    Table table({"Parallelism Strategy", "TTFT (Latency)",
+                 "Combined Throughput", "TPOT (Token Latency)"});
+    CsvWriter csv(bench::results_path("table1_tradeoffs.csv"),
+                  {"strategy", "ttft_ms", "tpot_ms", "throughput_tok_s"});
+    for (parallel::Strategy s : bench::comparison_strategies()) {
+        const auto name = parallel::strategy_name(s);
+        table.add_row(
+            {name, grade(ttft[name], ttft_lo, ttft_hi, true),
+             grade(thr[name], thr_hi, thr_lo, false),
+             grade(tpot[name], tpot_lo, tpot_hi, true)});
+        csv.add_row({name, Table::fmt(to_ms(ttft[name]), 2),
+                     Table::fmt(to_ms(tpot[name]), 2),
+                     Table::fmt(thr[name], 0)});
+    }
+    table.print();
+    std::printf(
+        "\nPaper's Table 1: TP = {Nearly Best, Worst, Best}; DP = {Worst,\n"
+        "Best, Near Worst}; SP = {Best, Very Good, Worst}; Shift = {Best,\n"
+        "Very Good, Best}.\n");
+    return 0;
+}

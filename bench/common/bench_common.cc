@@ -1,0 +1,88 @@
+#include "common/bench_common.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace shiftpar::bench {
+
+const std::vector<parallel::Strategy>&
+comparison_strategies()
+{
+    static const std::vector<parallel::Strategy> strategies = {
+        parallel::Strategy::kDp,
+        parallel::Strategy::kTp,
+        parallel::Strategy::kSp,
+        parallel::Strategy::kShift,
+    };
+    return strategies;
+}
+
+core::Deployment
+standard_deployment(const model::ModelConfig& model,
+                    parallel::Strategy strategy)
+{
+    core::Deployment d;
+    d.model = model;
+    d.node = hw::h200_node();
+    d.strategy = strategy;
+    return d;
+}
+
+RunResult
+run_strategy(const model::ModelConfig& model, parallel::Strategy strategy,
+             const std::vector<engine::RequestSpec>& workload)
+{
+    return run_deployment_named(parallel::strategy_name(strategy),
+                                standard_deployment(model, strategy),
+                                workload);
+}
+
+RunResult
+run_deployment_named(const std::string& name, const core::Deployment& d,
+                     const std::vector<engine::RequestSpec>& workload)
+{
+    RunResult result;
+    result.name = name;
+    result.resolved = core::resolve(d);
+    result.metrics = core::run_deployment(d, workload);
+    return result;
+}
+
+LatencyProbe
+min_latency(const model::ModelConfig& model, parallel::Strategy strategy,
+            std::int64_t prompt, std::int64_t output)
+{
+    // One isolated request: no queueing, pure engine latency.
+    const std::vector<engine::RequestSpec> one = {{0.0, prompt, output}};
+    const RunResult run = run_strategy(model, strategy, one);
+    SP_ASSERT(run.metrics.requests().size() == 1);
+    const auto& rec = run.metrics.requests().front();
+    return {rec.ttft, rec.tpot, rec.completion};
+}
+
+double
+peak_throughput(const model::ModelConfig& model, parallel::Strategy strategy,
+                std::int64_t prompt, std::int64_t output, int num_requests)
+{
+    const auto workload =
+        workload::uniform_batch(num_requests, prompt, output);
+    const RunResult run = run_strategy(model, strategy, workload);
+    return run.metrics.mean_throughput();
+}
+
+void
+print_banner(const std::string& figure, const std::string& title)
+{
+    std::printf("\n================================================================\n");
+    std::printf("%s — %s\n", figure.c_str(), title.c_str());
+    std::printf("================================================================\n");
+}
+
+std::string
+results_path(const std::string& filename)
+{
+    return "bench_results/" + filename;
+}
+
+} // namespace shiftpar::bench

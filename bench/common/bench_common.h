@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared driver utilities for the per-figure benchmark binaries.
+ *
+ * Every bench binary reproduces one table/figure of the paper: it builds
+ * deployments via these helpers, replays the figure's workload, prints an
+ * aligned table of the same rows/series the paper reports, and writes a CSV
+ * into bench_results/ for external plotting.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/deployment.h"
+#include "core/framework.h"
+#include "engine/metrics.h"
+#include "util/table.h"
+#include "workload/synthetic.h"
+
+namespace shiftpar::bench {
+
+/** The four strategies every comparison figure sweeps. */
+const std::vector<parallel::Strategy>& comparison_strategies();
+
+/** A standard 8xH200 deployment of `model` under `strategy`. */
+core::Deployment standard_deployment(const model::ModelConfig& model,
+                                     parallel::Strategy strategy);
+
+/** Result of one strategy run. */
+struct RunResult
+{
+    std::string name;
+    core::ResolvedDeployment resolved;
+    engine::Metrics metrics;
+};
+
+/** Build + replay `workload` under `strategy`; returns merged metrics. */
+RunResult run_strategy(const model::ModelConfig& model,
+                       parallel::Strategy strategy,
+                       const std::vector<engine::RequestSpec>& workload);
+
+/** As `run_strategy` but with a fully specified deployment. */
+RunResult run_deployment_named(const std::string& name,
+                               const core::Deployment& d,
+                               const std::vector<engine::RequestSpec>& workload);
+
+/** Single-request latency probe (the paper's "minimum latency" points). */
+struct LatencyProbe
+{
+    double ttft = 0.0;       ///< seconds
+    double tpot = 0.0;       ///< seconds
+    double completion = 0.0; ///< seconds
+};
+
+/**
+ * Measure minimum latency: one request processed alone (requests
+ * sequentially, no queueing).
+ */
+LatencyProbe min_latency(const model::ModelConfig& model,
+                         parallel::Strategy strategy, std::int64_t prompt,
+                         std::int64_t output);
+
+/**
+ * Measure peak combined throughput: saturate with `num_requests` uniform
+ * requests arriving at t=0 and divide total tokens by makespan.
+ */
+double peak_throughput(const model::ModelConfig& model,
+                       parallel::Strategy strategy, std::int64_t prompt,
+                       std::int64_t output, int num_requests = 512);
+
+/** Print the standard figure banner. */
+void print_banner(const std::string& figure, const std::string& title);
+
+/** Path under bench_results/ for persisting a figure's CSV. */
+std::string results_path(const std::string& filename);
+
+} // namespace shiftpar::bench

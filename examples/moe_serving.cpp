@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Example: serving a mixture-of-experts model with Shift Parallelism and
+ * the SP x EP extension (Section 4.6).
+ *
+ * Qwen-30B-A3B has 128 experts, only 4 KV heads, and 3B active
+ * parameters. Serving it well needs every generalization from the paper:
+ * KV-cache replication to reach SP=8, the shift threshold tuned for its
+ * MoE cost profile, and — beyond the paper — expert parallelism to stop
+ * replicating 27 GB of expert weights on every GPU.
+ */
+
+#include <cstdio>
+
+#include "core/deployment.h"
+#include "model/presets.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/units.h"
+#include "workload/arrival.h"
+#include "workload/synthetic.h"
+
+using namespace shiftpar;
+
+int
+main()
+{
+    const auto m = model::qwen_30b_a3b();
+    std::printf("%s: %d experts (%d active/token), %d KV heads, "
+                "%.1fB total / %.1fB active params\n\n",
+                m.name.c_str(), m.num_experts, m.active_experts, m.kv_heads,
+                m.total_params() / 1e9, m.active_params() / 1e9);
+
+    Rng rng(21);
+    const auto workload = workload::make_requests(
+        workload::poisson_arrivals(rng, 8.0, 60.0), rng,
+        workload::lognormal_size(3000.0, 0.7, 400.0, 0.5));
+
+    Table table({"Deployment", "Weights/GPU (GB)", "KV pool (GB)",
+                 "p50 TTFT (ms)", "p50 TPOT (ms)", "Throughput (tok/s)"});
+    const auto row = [&](const std::string& name, core::Deployment d) {
+        const auto r = core::resolve(d);
+        const auto met = core::run_deployment(d, workload);
+        table.add_row({name, Table::fmt(to_gb(r.memory.weight_bytes())),
+                       Table::fmt(to_gb(r.memory.kv_pool_bytes)),
+                       Table::fmt(to_ms(met.ttft().percentile(50))),
+                       Table::fmt(to_ms(met.tpot().percentile(50)), 2),
+                       Table::fmt_count(static_cast<long long>(
+                           met.mean_throughput()))});
+    };
+
+    core::Deployment base;
+    base.model = m;
+    base.strategy = parallel::Strategy::kTp;
+    row("TP=8", base);
+
+    base.strategy = parallel::Strategy::kShift;
+    row("Shift (KV replication 2x)", base);
+
+    base.ep = 8;
+    row("Shift + EP=8 (Sec. 4.6 extension)", base);
+
+    table.print();
+    std::printf(
+        "\nThe 4-KV-head model reaches SP=8 only through KV replication\n"
+        "(Sec. 3.2.1); EP then shards the 128 experts across the node,\n"
+        "freeing most weight memory for KV cache at similar latency.\n");
+    return 0;
+}

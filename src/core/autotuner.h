@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Deployment auto-tuner: pick the best serving configuration for a target
+ * workload by simulation.
+ *
+ * The paper's operating point (which strategy, which (SP, TP) split, which
+ * shift threshold) depends on the traffic; this tuner enumerates valid
+ * candidates — every strategy, every (SP, TP) decomposition of the node
+ * that fits the model, and a small threshold sweep around the analytic
+ * crossover for Shift — replays a sample workload under each, and ranks
+ * them by a weighted objective over completion time, tail TTFT, and
+ * throughput.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/deployment.h"
+
+namespace shiftpar::core {
+
+/** Objective weights; all terms are normalized to the candidate field. */
+struct TuneObjective
+{
+    /** Weight on mean completion time (minimize). */
+    double completion = 1.0;
+
+    /** Weight on p99 TTFT (minimize). */
+    double ttft_p99 = 0.0;
+
+    /** Weight on combined throughput (maximize). */
+    double throughput = 0.0;
+};
+
+/** Search-space controls. */
+struct TuneOptions
+{
+    /** Strategies to consider. */
+    std::vector<parallel::Strategy> strategies = {
+        parallel::Strategy::kDp, parallel::Strategy::kTp,
+        parallel::Strategy::kSp, parallel::Strategy::kShift};
+
+    /** Also sweep shift thresholds at {1/4x, 1x, 4x} of the crossover. */
+    bool sweep_threshold = false;
+
+    /** Also sweep EP degrees for MoE models. */
+    bool sweep_ep = false;
+};
+
+/** One evaluated candidate. */
+struct TuneResult
+{
+    Deployment deployment;
+    ResolvedDeployment resolved;
+
+    /** Raw measurements on the sample workload. */
+    double mean_completion = 0.0;
+    double ttft_p99 = 0.0;
+    double throughput = 0.0;
+
+    /** Normalized objective (lower is better). */
+    double score = 0.0;
+
+    /** Candidate label ("Shift (SP=4,TP=2) thr=3749"). */
+    std::string name;
+};
+
+/** Simulation-driven deployment search. */
+class AutoTuner
+{
+  public:
+    AutoTuner(model::ModelConfig model, hw::Node node);
+
+    /**
+     * Enumerate, simulate, score, and rank candidates on `sample`.
+     *
+     * @return candidates sorted best-first; never empty (fatal if nothing
+     * fits the node).
+     */
+    std::vector<TuneResult>
+    tune(const std::vector<engine::RequestSpec>& sample,
+         const TuneObjective& objective = {},
+         const TuneOptions& options = {}) const;
+
+    /** The candidate deployments that would be evaluated (for tests). */
+    std::vector<Deployment> candidates(const TuneOptions& options) const;
+
+  private:
+    model::ModelConfig model_;
+    hw::Node node_;
+};
+
+} // namespace shiftpar::core

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Disaggregated prefill/decode serving baseline (Section 5 related work:
+ * Splitwise / DistServe / Mooncake).
+ *
+ * The node's GPUs are split into a prefill pool and a decode pool, each a
+ * TP group. Requests prefill on the prefill pool (producing the first
+ * token), their KV cache is transferred over the node fabric, and
+ * decoding continues on the decode pool. Compared with colocated
+ * chunked-prefill serving (and Shift Parallelism), disaggregation removes
+ * prefill/decode interference but dedicates resources to each phase and
+ * pays a per-request KV-transfer delay — the tradeoff the paper's related
+ * work section describes.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "core/deployment.h"
+
+namespace shiftpar::core {
+
+/** Pool split and transfer model for a disaggregated deployment. */
+struct DisaggregatedOptions
+{
+    /** GPUs dedicated to prefill (TP group). */
+    int prefill_gpus = 4;
+
+    /** GPUs dedicated to decode (TP group). */
+    int decode_gpus = 4;
+
+    /** Scheduler/perf knobs applied to both pools. */
+    engine::SchedulerOptions sched;
+    parallel::PerfOptions perf;
+    parallel::MemoryOptions mem;
+};
+
+/** A prefill-pool + decode-pool deployment of one model on one node. */
+class DisaggregatedSystem
+{
+  public:
+    /** Fatal when the pools exceed the node or the model does not fit. */
+    DisaggregatedSystem(model::ModelConfig model, hw::Node node,
+                        DisaggregatedOptions opts = {});
+
+    /**
+     * Replay a workload end to end: prefill pool -> KV transfer -> decode
+     * pool. Combined per-request records carry true TTFT (prefill pool),
+     * TPOT (decode pool), and completion; throughput counts both pools'
+     * tokens over the combined makespan.
+     */
+    engine::Metrics run_workload(
+        const std::vector<engine::RequestSpec>& workload);
+
+    /** KV-transfer delay for a context of `tokens` tokens, seconds. */
+    double transfer_delay(std::int64_t tokens) const;
+
+    /** @return resolved prefill-pool configuration. */
+    const parallel::ParallelConfig& prefill_config() const
+    {
+        return prefill_cfg_;
+    }
+
+    /** @return resolved decode-pool configuration. */
+    const parallel::ParallelConfig& decode_config() const
+    {
+        return decode_cfg_;
+    }
+
+  private:
+    model::ModelConfig model_;
+    hw::Node node_;
+    DisaggregatedOptions opts_;
+    parallel::ParallelConfig prefill_cfg_;
+    parallel::ParallelConfig decode_cfg_;
+};
+
+} // namespace shiftpar::core

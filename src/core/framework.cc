@@ -1,0 +1,94 @@
+#include "core/framework.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace shiftpar::core {
+
+FrameworkProfile
+ours()
+{
+    FrameworkProfile p;
+    p.name = "Ours (Shift+SwiftKV+Spec)";
+    p.step_overhead_base = msec(2.0);
+    p.step_overhead_per_rank = msec(0.25);
+    p.strategies = {parallel::Strategy::kShift, parallel::Strategy::kSp,
+                    parallel::Strategy::kTp, parallel::Strategy::kDp};
+    // Arctic/suffix speculator: long drafts with high acceptance on
+    // repetitive agentic traffic.
+    p.spec_decode = SpeculativeDecoder{.draft_len = 5,
+                                       .acceptance = 0.8,
+                                       .draft_cost_frac = 0.02};
+    p.swiftkv = SwiftKv{.skip_fraction = 0.5, .residual_fraction = 0.1};
+    return p;
+}
+
+FrameworkProfile
+vllm_baseline()
+{
+    FrameworkProfile p;
+    p.name = "vLLM";
+    p.step_overhead_base = msec(2.0);
+    p.step_overhead_per_rank = msec(0.25);
+    p.strategies = {parallel::Strategy::kTp, parallel::Strategy::kDp};
+    // ngram speculator: short drafts, moderate acceptance.
+    p.spec_decode = SpeculativeDecoder{.draft_len = 3,
+                                       .acceptance = 0.55,
+                                       .draft_cost_frac = 0.03};
+    return p;
+}
+
+FrameworkProfile
+sglang()
+{
+    FrameworkProfile p;
+    p.name = "SGLang";
+    p.step_overhead_base = msec(1.6);
+    p.step_overhead_per_rank = msec(0.22);
+    p.strategies = {parallel::Strategy::kTp, parallel::Strategy::kDp};
+    p.spec_decode = SpeculativeDecoder{.draft_len = 4,
+                                       .acceptance = 0.6,
+                                       .draft_cost_frac = 0.05};
+    return p;
+}
+
+FrameworkProfile
+trt_llm()
+{
+    FrameworkProfile p;
+    p.name = "TRT-LLM";
+    p.step_overhead_base = msec(1.3);
+    p.step_overhead_per_rank = msec(0.20);
+    p.strategies = {parallel::Strategy::kTp, parallel::Strategy::kDp};
+    p.spec_decode = SpeculativeDecoder{.draft_len = 4,
+                                       .acceptance = 0.6,
+                                       .draft_cost_frac = 0.05};
+    return p;
+}
+
+Deployment
+make_deployment(const FrameworkProfile& profile,
+                const model::ModelConfig& model, const hw::Node& node,
+                parallel::Strategy strategy)
+{
+    const bool offered =
+        std::find(profile.strategies.begin(), profile.strategies.end(),
+                  strategy) != profile.strategies.end();
+    if (!offered) {
+        fatal("framework '" + profile.name + "' does not offer strategy " +
+              parallel::strategy_name(strategy));
+    }
+    Deployment d;
+    d.model = model;
+    d.node = node;
+    d.strategy = strategy;
+    d.perf.step_overhead_base = profile.step_overhead_base;
+    d.perf.step_overhead_per_rank = profile.step_overhead_per_rank;
+    d.swiftkv = profile.swiftkv;
+    d.spec_decode = profile.spec_decode;
+    return d;
+}
+
+} // namespace shiftpar::core

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Out-of-the-box framework profiles for the production comparison
+ * (Fig. 16).
+ *
+ * The paper compares its production stack (vLLM + ArcticInference plug-in:
+ * Shift Parallelism + SwiftKV + suffix-style speculative decoding) against
+ * vLLM, SGLang, and TRT-LLM "out of the box", each with its best available
+ * speculative decoding, in both latency-optimized (TP) and
+ * throughput-optimized (DP) configurations. At system-model granularity a
+ * framework is a bundle of: engine overhead constants, the parallelism
+ * strategies it offers, and the speculative-decoding quality it ships.
+ */
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/deployment.h"
+
+namespace shiftpar::core {
+
+/** One serving framework's system-level profile. */
+struct FrameworkProfile
+{
+    std::string name;
+
+    /** Per-step engine overhead, seconds. */
+    double step_overhead_base = 2.0e-3;
+
+    /** Per-extra-rank coordination overhead, seconds. */
+    double step_overhead_per_rank = 0.25e-3;
+
+    /** Parallelism strategies the framework can deploy. */
+    std::vector<parallel::Strategy> strategies;
+
+    /** Best available speculative decoding (nullopt = none). */
+    std::optional<SpeculativeDecoder> spec_decode;
+
+    /** SwiftKV-style prefill reduction (nullopt = none). */
+    std::optional<SwiftKv> swiftkv;
+};
+
+/** Our production stack: Shift Parallelism + SwiftKV + Arctic speculator. */
+FrameworkProfile ours();
+
+/** vLLM out of the box (TP / DP, ngram speculator). */
+FrameworkProfile vllm_baseline();
+
+/** SGLang out of the box. */
+FrameworkProfile sglang();
+
+/** TensorRT-LLM out of the box. */
+FrameworkProfile trt_llm();
+
+/**
+ * Build a deployment of `model` under `profile` using `strategy` (must be
+ * one the framework offers), enabling the profile's features.
+ */
+Deployment make_deployment(const FrameworkProfile& profile,
+                           const model::ModelConfig& model,
+                           const hw::Node& node,
+                           parallel::Strategy strategy);
+
+} // namespace shiftpar::core

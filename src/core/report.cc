@@ -1,0 +1,70 @@
+#include "core/report.h"
+
+#include <sstream>
+
+#include "util/ascii_plot.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace shiftpar::core {
+
+std::string
+format_report(const ResolvedDeployment& deployment,
+              const engine::Metrics& metrics, const ReportOptions& opts)
+{
+    std::ostringstream os;
+    os << "deployment: " << deployment.describe() << "\n";
+
+    Table table({"metric", "p50", "p90", "p99", "mean"});
+    const auto row = [&](const char* name, const Summary& s, double scale,
+                         int prec) {
+        table.add_row({name, Table::fmt(s.percentile(50) * scale, prec),
+                       Table::fmt(s.percentile(90) * scale, prec),
+                       Table::fmt(s.percentile(99) * scale, prec),
+                       Table::fmt(s.mean() * scale, prec)});
+    };
+    row("TTFT (ms)", metrics.ttft(), 1e3, 1);
+    row("TPOT (ms)", metrics.tpot(), 1e3, 2);
+    row("completion (s)", metrics.completion(), 1.0, 2);
+    row("queue wait (s)", metrics.wait(), 1.0, 2);
+    os << table.render();
+
+    os << "throughput: "
+       << Table::fmt_count(
+              static_cast<long long>(metrics.mean_throughput()))
+       << " tok/s mean, "
+       << Table::fmt_count(
+              static_cast<long long>(metrics.throughput().peak_rate()))
+       << " tok/s peak over "
+       << Table::fmt(metrics.end_time(), 1) << " s\n";
+    os << "steps: "
+       << Table::fmt_count(metrics.sp_steps() + metrics.tp_steps())
+       << " total (" << Table::fmt_count(metrics.sp_steps())
+       << " base/SP mode, " << Table::fmt_count(metrics.tp_steps())
+       << " shift/TP mode)\n";
+
+    if (opts.slo) {
+        os << "SLO (TTFT<=" << Table::fmt(opts.slo->ttft, 2) << "s, TPOT<="
+           << Table::fmt(to_ms(opts.slo->tpot), 0) << "ms): "
+           << Table::fmt(100.0 * metrics.slo_attainment(*opts.slo), 1)
+           << "% attainment, "
+           << Table::fmt_count(
+                  static_cast<long long>(metrics.goodput(*opts.slo)))
+           << " tok/s goodput\n";
+    }
+
+    if (opts.timeline && metrics.throughput().num_bins() > 1) {
+        PlotSeries series{"combined tok/s", {}};
+        for (std::size_t b = 0; b < metrics.throughput().num_bins(); ++b)
+            series.values.push_back(metrics.throughput().rate(b));
+        LinePlotOptions plot;
+        plot.width = opts.plot_width;
+        plot.height = 10;
+        plot.y_label = "throughput (tok/s)";
+        plot.x_label = "time ->";
+        os << "\n" << render_line_plot({series}, plot);
+    }
+    return os.str();
+}
+
+} // namespace shiftpar::core

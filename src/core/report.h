@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Run-report formatting: one call turning (deployment, metrics) into the
+ * latency/throughput summary every example and experiment prints.
+ */
+
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/deployment.h"
+#include "engine/metrics.h"
+
+namespace shiftpar::core {
+
+/** Report content controls. */
+struct ReportOptions
+{
+    /** Evaluate SLO attainment/goodput against this objective. */
+    std::optional<engine::SloSpec> slo;
+
+    /** Include an ASCII throughput timeline. */
+    bool timeline = false;
+
+    /** Timeline plot width, characters. */
+    int plot_width = 72;
+};
+
+/**
+ * Format the standard run report: deployment line, latency percentile
+ * table (TTFT / TPOT / completion / wait), throughput and step-mode
+ * counts, optional SLO section and timeline.
+ */
+std::string format_report(const ResolvedDeployment& deployment,
+                          const engine::Metrics& metrics,
+                          const ReportOptions& opts = {});
+
+} // namespace shiftpar::core

@@ -1,0 +1,54 @@
+#include "core/shift_controller.h"
+
+#include "util/logging.h"
+
+namespace shiftpar::core {
+
+ShiftController::ShiftController(parallel::ParallelConfig base,
+                                 std::int64_t threshold,
+                                 parallel::WeightStrategy weights)
+    : base_(base), threshold_(threshold), weights_(weights)
+{
+    SP_ASSERT(base_.sp > 1,
+              "Shift Parallelism needs a base configuration with SP > 1");
+    SP_ASSERT(threshold_ >= 0);
+}
+
+engine::ExecutionPolicy::Choice
+ShiftController::choose(std::int64_t batched_tokens) const
+{
+    // Algorithm 2: n > threshold -> base (SP or SP x TP); else full TP.
+    if (batched_tokens > threshold_)
+        return {base_, false};
+    return {base_.shift_config(),
+            weights_ == parallel::WeightStrategy::kOnTheFlySlicing};
+}
+
+std::int64_t
+ShiftController::auto_threshold(const parallel::PerfModel& perf,
+                                const parallel::ParallelConfig& base,
+                                std::int64_t context, std::int64_t max_batch)
+{
+    const parallel::ParallelConfig shift = base.shift_config();
+    const auto base_wins = [&](std::int64_t n) {
+        return perf.decode_step_time(n, context, base) <=
+               perf.decode_step_time(n, context, shift);
+    };
+    if (base_wins(1))
+        return 0;  // base never loses: always run the base config
+    if (!base_wins(max_batch))
+        return max_batch;  // shift always wins up to the search bound
+    // Bisect for the crossover: smallest n where the base config wins.
+    std::int64_t lo = 1;          // base loses here
+    std::int64_t hi = max_batch;  // base wins here
+    while (hi - lo > 1) {
+        const std::int64_t mid = lo + (hi - lo) / 2;
+        if (base_wins(mid))
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return lo;  // batches > lo run base, <= lo run shift
+}
+
+} // namespace shiftpar::core

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The Shift Parallelism controller — the paper's primary contribution
+ * (Section 3.3, Algorithm 2).
+ *
+ * Per engine step, the controller inspects the batched-token count and
+ * selects:
+ *   - the *base* configuration (SP, or a combined SP x TP) when the batch
+ *     is large — maximizing throughput and prefill speed;
+ *   - the *shift* configuration (SP=1, TP=P over the SP_TP rank order)
+ *     when the batch is small — minimizing decode latency (TPOT).
+ *
+ * Because the two configurations are KV-cache invariant (Section 3.3.1),
+ * the switch requires no data movement; the engine asserts this on every
+ * shifted step.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "engine/engine.h"
+#include "parallel/memory.h"
+#include "parallel/perf_model.h"
+
+namespace shiftpar::core {
+
+/** Algorithm 2: threshold policy over the batched-token count. */
+class ShiftController : public engine::ExecutionPolicy
+{
+  public:
+    /**
+     * @param base The base (SP, TP) configuration (SP > 1).
+     * @param threshold Batch sizes strictly greater run the base config;
+     *        smaller-or-equal run the shift config.
+     * @param weights Weight-handling strategy; slicing marks shifted steps
+     *        so the perf model charges the transpose penalty.
+     */
+    ShiftController(parallel::ParallelConfig base, std::int64_t threshold,
+                    parallel::WeightStrategy weights =
+                        parallel::WeightStrategy::kSeparateModels);
+
+    Choice choose(std::int64_t batched_tokens) const override;
+
+    /** @return the decision threshold in batched tokens. */
+    std::int64_t threshold() const { return threshold_; }
+
+    /** @return the base configuration. */
+    const parallel::ParallelConfig& base() const { return base_; }
+
+    /**
+     * Auto-tune the threshold: the smallest batched-token count at which a
+     * base-config decode step is no slower than a shift-config step (the
+     * crossover of the two step-time curves), found by bisection.
+     *
+     * @param perf The engine's performance model.
+     * @param base The base configuration.
+     * @param context Representative per-sequence context length.
+     * @param max_batch Search upper bound.
+     */
+    static std::int64_t auto_threshold(const parallel::PerfModel& perf,
+                                       const parallel::ParallelConfig& base,
+                                       std::int64_t context = 2048,
+                                       std::int64_t max_batch = 65536);
+
+  private:
+    parallel::ParallelConfig base_;
+    std::int64_t threshold_;
+    parallel::WeightStrategy weights_;
+};
+
+} // namespace shiftpar::core

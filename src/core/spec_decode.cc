@@ -1,0 +1,44 @@
+#include "core/spec_decode.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace shiftpar::core {
+
+double
+SpeculativeDecoder::expected_tokens_per_step() const
+{
+    SP_ASSERT(draft_len >= 1);
+    SP_ASSERT(acceptance > 0.0 && acceptance < 1.0);
+    return (1.0 - std::pow(acceptance, draft_len + 1)) / (1.0 - acceptance);
+}
+
+std::int64_t
+SpeculativeDecoder::tokens_per_step() const
+{
+    return std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::floor(expected_tokens_per_step())));
+}
+
+double
+SpeculativeDecoder::decode_inflation() const
+{
+    const double emitted =
+        static_cast<double>(tokens_per_step());
+    // Verify pass runs draft_len+1 tokens through the target model and the
+    // draft adds its own (small) cost per proposed token.
+    return (static_cast<double>(draft_len) + 1.0) *
+           (1.0 + draft_cost_frac) / emitted;
+}
+
+void
+SpeculativeDecoder::apply(engine::SchedulerOptions* sched,
+                          parallel::PerfOptions* perf) const
+{
+    SP_ASSERT(sched != nullptr && perf != nullptr);
+    sched->decode_tokens_per_step = tokens_per_step();
+    perf->decode_compute_inflation = decode_inflation();
+}
+
+} // namespace shiftpar::core

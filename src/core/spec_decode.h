@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Speculative decoding model (Section 4.5; SuffixDecoding / Arctic
+ * speculator style).
+ *
+ * A draft process proposes `draft_len` tokens; the target model verifies
+ * them in one forward pass. With per-token acceptance probability `alpha`,
+ * the expected number of tokens emitted per verify step is the standard
+ *
+ *     E = (1 - alpha^(draft_len+1)) / (1 - alpha)
+ *
+ * The engine consumes this as (a) `tokens_per_step` — how many output
+ * tokens each decode step advances — and (b) a decode compute inflation of
+ * (draft_len + 1) / E (verified-but-rejected tokens plus the draft's own
+ * cost), installed into `PerfOptions`.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "engine/scheduler.h"
+#include "parallel/perf_model.h"
+
+namespace shiftpar::core {
+
+/** Speculative decoding configuration. */
+struct SpeculativeDecoder
+{
+    /** Draft proposal length per verify step. */
+    int draft_len = 4;
+
+    /** Per-token acceptance probability, in (0, 1). */
+    double acceptance = 0.7;
+
+    /** Draft-model cost as a fraction of target-model decode compute. */
+    double draft_cost_frac = 0.05;
+
+    /** @return expected emitted tokens per verify step, E >= 1. */
+    double expected_tokens_per_step() const;
+
+    /** @return E rounded down to an integer step advance (>= 1). */
+    std::int64_t tokens_per_step() const;
+
+    /** @return the decode compute inflation factor (>= 1). */
+    double decode_inflation() const;
+
+    /** Install into scheduler + perf-model options. */
+    void apply(engine::SchedulerOptions* sched,
+               parallel::PerfOptions* perf) const;
+};
+
+} // namespace shiftpar::core

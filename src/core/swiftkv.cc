@@ -1,0 +1,22 @@
+#include "core/swiftkv.h"
+
+#include "util/logging.h"
+
+namespace shiftpar::core {
+
+double
+SwiftKv::prefill_compute_factor() const
+{
+    SP_ASSERT(skip_fraction >= 0.0 && skip_fraction <= 1.0);
+    SP_ASSERT(residual_fraction >= 0.0 && residual_fraction <= 1.0);
+    return (1.0 - skip_fraction) + skip_fraction * residual_fraction;
+}
+
+void
+SwiftKv::apply(parallel::PerfOptions* opts) const
+{
+    SP_ASSERT(opts != nullptr);
+    opts->swiftkv_prefill_factor = prefill_compute_factor();
+}
+
+} // namespace shiftpar::core

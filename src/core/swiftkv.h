@@ -1,0 +1,42 @@
+/**
+ * @file
+ * SwiftKV model transformation (Qiao et al. 2025; Section 4.5).
+ *
+ * SwiftKV ("SingleInputKV") projects the KV cache of the upper ~half of the
+ * transformer layers from a single earlier hidden state, so prefill skips
+ * most of the compute in those layers while decode runs the full model.
+ * For a system-level model the relevant effect is a *prefill compute
+ * reduction factor*: with 50% layer skip the paper reports roughly 2x less
+ * prefill compute at negligible quality loss. Decode cost and KV cache
+ * capacity are unchanged.
+ */
+
+#pragma once
+
+#include "parallel/perf_model.h"
+
+namespace shiftpar::core {
+
+/** SwiftKV configuration. */
+struct SwiftKv
+{
+    /**
+     * Fraction of layers whose prefill compute is skipped (0 = vanilla
+     * model, 0.5 = the published 50% SingleInputKV configuration).
+     */
+    double skip_fraction = 0.5;
+
+    /**
+     * Residual compute in skipped layers (the lightweight KV projection
+     * that replaces them), as a fraction of a full layer.
+     */
+    double residual_fraction = 0.1;
+
+    /** @return the prefill compute factor to install in `PerfOptions`. */
+    double prefill_compute_factor() const;
+
+    /** Install this transformation into a perf-model option set. */
+    void apply(parallel::PerfOptions* opts) const;
+};
+
+} // namespace shiftpar::core

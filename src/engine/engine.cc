@@ -1,0 +1,159 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace shiftpar::engine {
+
+Engine::Engine(const hw::Node& node, const model::ModelConfig& m,
+               EngineConfig cfg, std::unique_ptr<ExecutionPolicy> policy)
+    : model_(m), cfg_(cfg), perf_(node, m, cfg.perf),
+      mem_plan_(parallel::plan_memory(m, node.gpu, cfg.base,
+                                      cfg.with_shift_model, cfg.weights,
+                                      cfg.mem)),
+      cache_(mem_plan_.kv_token_capacity,
+             kvcache::KvLayout::base(m, cfg.base), cfg.block_size),
+      shift_layout_(kvcache::KvLayout::shift(m, cfg.base)),
+      scheduler_(cfg.sched, &cache_), policy_(std::move(policy)),
+      metrics_(cfg.throughput_bin)
+{
+    SP_ASSERT(policy_ != nullptr);
+    if (!mem_plan_.fits()) {
+        fatal("model '" + m.name + "' does not fit under " +
+              cfg.base.to_string() + ": " + parallel::describe(mem_plan_));
+    }
+    // Section 3.3.1: the SP_TP-ordered shift configuration must be KV-cache
+    // invariant with the base configuration by construction.
+    cache_.assert_invariant_with(shift_layout_);
+}
+
+void
+Engine::submit(const RequestSpec& spec, RequestId id)
+{
+    SP_ASSERT(spec.prompt_tokens >= 1 && spec.output_tokens >= 1,
+              "requests need at least one prompt and one output token");
+    SP_ASSERT(spec.prefix_tokens >= 0 &&
+                  spec.prefix_tokens <= spec.prompt_tokens,
+              "prefix must be a leading slice of the prompt");
+    if (spec.prompt_tokens + spec.output_tokens > model_.max_context) {
+        fatal("request exceeds " + model_.name + "'s context window: " +
+              std::to_string(spec.prompt_tokens + spec.output_tokens) +
+              " > " + std::to_string(model_.max_context) + " tokens");
+    }
+    auto req = std::make_unique<Request>();
+    req->id = id;
+    req->spec = spec;
+    req->prefill_target = spec.prompt_tokens;
+    scheduler_.enqueue(req.get());
+    requests_.push_back(std::move(req));
+}
+
+void
+Engine::submit_prefilled(const RequestSpec& spec, RequestId id,
+                         std::int64_t already_decoded)
+{
+    SP_ASSERT(spec.prompt_tokens >= 1 && spec.output_tokens >= 1);
+    SP_ASSERT(already_decoded >= 1 && already_decoded < spec.output_tokens,
+              "a prefilled request needs at least one token left to decode");
+    auto req = std::make_unique<Request>();
+    req->id = id;
+    req->spec = spec;
+    req->prefill_target = spec.prompt_tokens;
+    req->prefilled = spec.prompt_tokens;  // KV materialized on admission
+    req->decoded = already_decoded;
+    req->first_token = spec.arrival;  // produced by the prefill worker
+    scheduler_.enqueue(req.get());
+    requests_.push_back(std::move(req));
+}
+
+bool
+Engine::cancel(RequestId id)
+{
+    for (auto& req : requests_) {
+        if (req->id != id)
+            continue;
+        if (!scheduler_.cancel(req.get()))
+            return false;
+        ++cancelled_;
+        return true;
+    }
+    return false;
+}
+
+bool
+Engine::step()
+{
+    BatchPlan plan = scheduler_.schedule(now_);
+    if (plan.empty())
+        return false;
+
+    const std::int64_t batched = plan.batched_tokens();
+    const ExecutionPolicy::Choice choice = policy_->choose(batched);
+
+    // Every mode switch must be KV-layout safe. The base configuration owns
+    // the cache layout; the only other legal configuration is the
+    // SP_TP-ordered shift config.
+    if (!(choice.cfg == cfg_.base)) {
+        SP_ASSERT(choice.cfg == cfg_.base.shift_config(),
+                  "policy chose a configuration outside {base, shift}");
+        cache_.assert_invariant_with(shift_layout_);
+    }
+
+    const parallel::StepTiming timing =
+        perf_.step_time(plan.work(), choice.cfg, choice.sliced);
+
+    StepRecord rec;
+    rec.start = now_;
+    now_ += timing.total();
+    rec.end = now_;
+    rec.batched_tokens = batched;
+    rec.num_seqs = static_cast<std::int64_t>(plan.chunks.size());
+    rec.cfg = choice.cfg;
+    rec.timing = timing;
+    metrics_.on_step(rec);
+
+    std::vector<Request*> finished;
+    scheduler_.on_step_complete(now_, plan, &finished);
+    for (const Request* r : finished)
+        metrics_.on_request_finished(*r);
+    return true;
+}
+
+void
+Engine::run_until(double t)
+{
+    while (now_ < t && has_work()) {
+        if (step())
+            continue;
+        // Nothing schedulable right now: either every waiting request is
+        // in the future (skip idle time) or the cache is stuck (yield).
+        const double next = scheduler_.earliest_waiting_arrival();
+        if (next > now_ && next <= t) {
+            now_ = next;
+            continue;
+        }
+        break;
+    }
+    now_ = std::max(now_, t);
+}
+
+void
+Engine::drain()
+{
+    while (has_work()) {
+        if (step())
+            continue;
+        const double next = scheduler_.earliest_waiting_arrival();
+        if (next > now_ && std::isfinite(next)) {
+            now_ = next;  // idle until the next arrival
+            continue;
+        }
+        fatal("engine deadlocked with " +
+              std::to_string(scheduler_.num_waiting()) +
+              " waiting requests: KV cache cannot admit the head request");
+    }
+}
+
+} // namespace shiftpar::engine

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The inference engine: one rank group running continuous batching under a
+ * per-step execution policy.
+ *
+ * Each `step()` (i) assembles a batch via the scheduler, (ii) asks the
+ * `ExecutionPolicy` which configuration to run it under — this is where
+ * Shift Parallelism's Algorithm 2 plugs in — (iii) verifies the chosen
+ * configuration's KV layout is invariant with the cache (Section 3.3.1),
+ * (iv) advances the clock by the perf-model step time, and (v) applies the
+ * step's effects. DP deployments instantiate several engines behind a
+ * `Router`.
+ */
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "engine/metrics.h"
+#include "engine/request.h"
+#include "engine/scheduler.h"
+#include "kvcache/cache_manager.h"
+#include "parallel/memory.h"
+#include "parallel/perf_model.h"
+
+namespace shiftpar::engine {
+
+/** Chooses the execution configuration for one step (Algorithm 2 hook). */
+class ExecutionPolicy
+{
+  public:
+    /** A per-step decision. */
+    struct Choice
+    {
+        parallel::ParallelConfig cfg;
+
+        /** True when shift-mode weights come from on-the-fly slicing. */
+        bool sliced = false;
+    };
+
+    virtual ~ExecutionPolicy() = default;
+
+    /**
+     * @param batched_tokens The step's batch size (Alg. 2 input).
+     * @return the configuration to execute this step under.
+     */
+    virtual Choice choose(std::int64_t batched_tokens) const = 0;
+};
+
+/** Always run the same configuration (plain DP/TP/SP/SP+TP engines). */
+class FixedPolicy : public ExecutionPolicy
+{
+  public:
+    explicit FixedPolicy(parallel::ParallelConfig cfg) : cfg_(cfg) {}
+
+    Choice choose(std::int64_t) const override { return {cfg_, false}; }
+
+  private:
+    parallel::ParallelConfig cfg_;
+};
+
+/** Engine construction parameters. */
+struct EngineConfig
+{
+    /** The base (SP, TP) decomposition of this engine's rank group. */
+    parallel::ParallelConfig base;
+
+    SchedulerOptions sched;
+    parallel::PerfOptions perf;
+    parallel::MemoryOptions mem;
+
+    /** Weight-handling strategy for shift mode (Section 3.3.2). */
+    parallel::WeightStrategy weights =
+        parallel::WeightStrategy::kSeparateModels;
+
+    /** Reserve the shift model's weights per Eq. (1). */
+    bool with_shift_model = false;
+
+    /** KV block size, tokens. */
+    int block_size = 16;
+
+    /** Throughput timeline bin width, seconds. */
+    double throughput_bin = 1.0;
+};
+
+/** One serving engine over one rank group. */
+class Engine
+{
+  public:
+    /**
+     * Build an engine; fatal() when the model does not fit the group's
+     * memory under `cfg`.
+     */
+    Engine(const hw::Node& node, const model::ModelConfig& m,
+           EngineConfig cfg, std::unique_ptr<ExecutionPolicy> policy);
+
+    /** Submit a request (arrival time may be in this engine's past). */
+    void submit(const RequestSpec& spec, RequestId id);
+
+    /**
+     * Submit a request whose prompt was already prefilled elsewhere (a
+     * decode worker receiving a migrated request in a disaggregated
+     * deployment, Section 5). The prompt's KV is materialized on
+     * admission without compute — the KV-transfer time is the caller's to
+     * model via `spec.arrival` — and `already_decoded` output tokens are
+     * credited (the prefill worker produced the first token).
+     */
+    void submit_prefilled(const RequestSpec& spec, RequestId id,
+                          std::int64_t already_decoded = 1);
+
+    /**
+     * Advance simulated time to `t`, executing steps while work exists.
+     * The final step may overshoot `t` (steps are atomic); idle time is
+     * skipped.
+     */
+    void run_until(double t);
+
+    /** Run until every submitted request has finished. */
+    void drain();
+
+    /** @return current simulated time, seconds. */
+    double now() const { return now_; }
+
+    /** @return true while any request is unfinished. */
+    bool has_work() const { return scheduler_.has_work(); }
+
+    /** @return unprocessed tokens across queued + running requests. */
+    std::int64_t outstanding_tokens() const
+    {
+        return scheduler_.outstanding_tokens();
+    }
+
+    /** @return collected telemetry. */
+    const Metrics& metrics() const { return metrics_; }
+
+    /** @return per-GPU memory plan in force. */
+    const parallel::MemoryPlan& memory_plan() const { return mem_plan_; }
+
+    /** @return the KV cache (for inspection in tests). */
+    const kvcache::CacheManager& cache() const { return cache_; }
+
+    /** @return total preemptions performed. */
+    std::int64_t preemption_count() const
+    {
+        return scheduler_.preemption_count();
+    }
+
+    /**
+     * Cancel a live request (client abort between steps): its queue slot
+     * and KV cache are released immediately and it produces no record.
+     *
+     * @return true when the request existed and was still live.
+     */
+    bool cancel(RequestId id);
+
+    /** @return requests cancelled so far. */
+    std::int64_t cancelled_count() const { return cancelled_; }
+
+  private:
+    /** Execute one iteration; @return false when nothing was schedulable. */
+    bool step();
+
+    model::ModelConfig model_;
+    EngineConfig cfg_;
+    parallel::PerfModel perf_;
+    parallel::MemoryPlan mem_plan_;
+    kvcache::CacheManager cache_;
+    kvcache::KvLayout shift_layout_;
+    Scheduler scheduler_;
+    std::unique_ptr<ExecutionPolicy> policy_;
+    Metrics metrics_;
+    std::vector<std::unique_ptr<Request>> requests_;
+    double now_ = 0.0;
+    std::int64_t cancelled_ = 0;
+};
+
+} // namespace shiftpar::engine

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Experiment telemetry: per-request records, per-step traces, aggregates.
+ *
+ * Collected once per engine; `Metrics::merge` combines replicas for DP
+ * deployments. Everything the paper reports is derived here: TTFT / TPOT /
+ * completion distributions (Figs. 9-11), time-binned combined throughput
+ * and its peak (Table 5, Fig. 7), and cost-component totals (Fig. 15).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/request.h"
+#include "parallel/config.h"
+#include "parallel/perf_model.h"
+#include "util/stats.h"
+
+namespace shiftpar::engine {
+
+/** Final record of one completed request. */
+struct RequestRecord
+{
+    RequestId id = 0;
+    double arrival = 0.0;
+    std::int64_t prompt_tokens = 0;
+    std::int64_t output_tokens = 0;
+    double ttft = 0.0;
+    double tpot = 0.0;
+    double completion = 0.0;
+    /** Queueing delay: first scheduling minus arrival. */
+    double wait = 0.0;
+    int preemptions = 0;
+};
+
+/** Record of one engine iteration. */
+struct StepRecord
+{
+    double start = 0.0;
+    double end = 0.0;
+    std::int64_t batched_tokens = 0;  ///< Alg. 2 decision input
+    std::int64_t num_seqs = 0;
+    parallel::ParallelConfig cfg;     ///< configuration executed
+    parallel::StepTiming timing;
+};
+
+/** Service-level objective on per-request latencies. */
+struct SloSpec
+{
+    /** Maximum acceptable TTFT, seconds. */
+    double ttft = 2.0;
+
+    /** Maximum acceptable TPOT, seconds. */
+    double tpot = 0.05;
+};
+
+/** Aggregated results of one run. */
+class Metrics
+{
+  public:
+    /** @param throughput_bin Width of throughput time bins, seconds. */
+    explicit Metrics(double throughput_bin = 1.0);
+
+    /** Record a finished request. */
+    void on_request_finished(const Request& r);
+
+    /** Record an externally assembled request result (e.g. a request that
+     *  spanned multiple engines in a disaggregated deployment). */
+    void add_record(const RequestRecord& rec);
+
+    /** Record one engine step (also feeds the throughput timeline). */
+    void on_step(const StepRecord& step);
+
+    /** Fold another engine's metrics into this one (DP merge). */
+    void merge(const Metrics& other);
+
+    /** @return per-request records, in completion order. */
+    const std::vector<RequestRecord>& requests() const { return requests_; }
+
+    /** @return per-step records, in time order (per engine). */
+    const std::vector<StepRecord>& steps() const { return steps_; }
+
+    /** TTFT distribution, seconds. */
+    const Summary& ttft() const { return ttft_; }
+
+    /** TPOT distribution, seconds. */
+    const Summary& tpot() const { return tpot_; }
+
+    /** Completion-time distribution, seconds. */
+    const Summary& completion() const { return completion_; }
+
+    /** Queueing-delay distribution, seconds. */
+    const Summary& wait() const { return wait_; }
+
+    /** Combined (prompt+output) token throughput timeline, tokens/s. */
+    const TimeSeries& throughput() const { return throughput_; }
+
+    /** @return total tokens processed (prompt + output). */
+    std::int64_t total_tokens() const { return total_tokens_; }
+
+    /** @return latest step end time across merged engines, seconds. */
+    double end_time() const { return end_time_; }
+
+    /** @return mean combined throughput over [0, end_time], tokens/s. */
+    double mean_throughput() const;
+
+    /**
+     * Fraction of requests meeting both SLO bounds (DistServe-style
+     * goodput numerator); 0 when no requests finished.
+     */
+    double slo_attainment(const SloSpec& slo) const;
+
+    /**
+     * Goodput: combined token throughput counting only SLO-satisfying
+     * requests' tokens, tokens/s.
+     */
+    double goodput(const SloSpec& slo) const;
+
+    /** @return sum of per-step cost components across all steps. */
+    const parallel::StepTiming& component_totals() const
+    {
+        return component_totals_;
+    }
+
+    /** @return number of steps executed with SP > 1 (base config). */
+    std::int64_t sp_steps() const { return sp_steps_; }
+
+    /** @return number of steps executed with SP == 1 (full TP / shift). */
+    std::int64_t tp_steps() const { return tp_steps_; }
+
+  private:
+    std::vector<RequestRecord> requests_;
+    std::vector<StepRecord> steps_;
+    Summary ttft_;
+    Summary tpot_;
+    Summary completion_;
+    Summary wait_;
+    TimeSeries throughput_;
+    parallel::StepTiming component_totals_;
+    std::int64_t total_tokens_ = 0;
+    std::int64_t sp_steps_ = 0;
+    std::int64_t tp_steps_ = 0;
+    double end_time_ = 0.0;
+};
+
+} // namespace shiftpar::engine

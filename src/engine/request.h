@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Inference request lifecycle.
+ *
+ * A request arrives with a prompt and a target output length, is prefilled
+ * (possibly in chunks), then decodes one token per engine step until done.
+ * Timestamps recorded along the way produce the paper's three metrics:
+ * TTFT (arrival -> first output token), TPOT (inter-token time thereafter),
+ * and completion time (arrival -> last token).
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace shiftpar::engine {
+
+/** Unique request identifier (assigned by the submitter). */
+using RequestId = std::int64_t;
+
+/** What a client submits: arrival time and token counts. */
+struct RequestSpec
+{
+    /** Arrival (submission) time, seconds from experiment start. */
+    double arrival = 0.0;
+
+    /** Prompt length, tokens. */
+    std::int64_t prompt_tokens = 0;
+
+    /** Output length to generate, tokens (>= 1). */
+    std::int64_t output_tokens = 1;
+
+    /**
+     * Shared-prefix identity for automatic prefix caching (-1 = none).
+     * Requests with equal `prefix_id` share their first `prefix_tokens`
+     * prompt tokens (an agent's system prompt + accumulated context); the
+     * engine serves those from cache when resident.
+     */
+    std::int64_t prefix_id = -1;
+
+    /** Length of the shared prefix, tokens (<= prompt_tokens). */
+    std::int64_t prefix_tokens = 0;
+
+    /**
+     * Scheduling priority (Section 2.1's QoS classes): higher values are
+     * admitted first; ties keep FCFS order. Latency-sensitive interactive
+     * requests can outrank throughput-oriented batch requests sharing the
+     * deployment.
+     */
+    int priority = 0;
+};
+
+/** Lifecycle state of a request inside an engine. */
+enum class RequestState
+{
+    kWaiting,    ///< queued, no KV allocated (or preempted & reset)
+    kPrefill,    ///< admitted; prompt partially processed
+    kDecode,     ///< prefill complete; generating output tokens
+    kFinished,   ///< all output tokens produced
+    kCancelled,  ///< aborted by the client before completion
+};
+
+/** A live request tracked by an engine. */
+struct Request
+{
+    RequestId id = 0;
+    RequestSpec spec;
+
+    RequestState state = RequestState::kWaiting;
+
+    /** Prompt tokens prefilled so far. */
+    std::int64_t prefilled = 0;
+
+    /**
+     * Tokens that must be prefilled before decoding (the prompt, plus any
+     * already-produced output that recompute preemption re-processes).
+     * Initialized by the engine at submission.
+     */
+    std::int64_t prefill_target = 0;
+
+    /** Output tokens produced so far. */
+    std::int64_t decoded = 0;
+
+    /** Times the request was preempted (recompute preemption). */
+    int preemptions = 0;
+
+    /** True while this request pins its shared prefix-cache entry. */
+    bool prefix_attached = false;
+
+    /** Prompt tokens served from the prefix cache on (re-)admission. */
+    std::int64_t prefix_hit = 0;
+
+    /** True while this request is filling its prefix-cache entry. */
+    bool filling_prefix = false;
+
+    /** Tokens this request has appended into the prefix entry so far. */
+    std::int64_t prefix_filled = 0;
+
+    /** Time the first chunk was scheduled (-1 until then). */
+    double first_scheduled = -1.0;
+
+    /** Time the first output token was produced (-1 until then). */
+    double first_token = -1.0;
+
+    /** Time the last output token was produced (-1 until then). */
+    double finished = -1.0;
+
+    /** @return true once all required context has been prefilled. */
+    bool prefill_done() const { return prefilled >= prefill_target; }
+
+    /** @return prefill tokens still to process. */
+    std::int64_t prefill_remaining() const
+    {
+        return prefill_target - prefilled;
+    }
+
+    /** @return true once all output tokens have been produced. */
+    bool done() const { return decoded >= spec.output_tokens; }
+
+    /** @return time to first token (valid once first_token is set). */
+    double ttft() const { return first_token - spec.arrival; }
+
+    /**
+     * @return mean time per output token after the first (valid once
+     * finished); 0 for single-token outputs.
+     */
+    double tpot() const
+    {
+        return spec.output_tokens > 1
+                   ? (finished - first_token) /
+                         static_cast<double>(spec.output_tokens - 1)
+                   : 0.0;
+    }
+
+    /** @return end-to-end completion time (valid once finished). */
+    double completion() const { return finished - spec.arrival; }
+
+    /** Reset progress for recompute preemption (KV was released). */
+    void reset_for_recompute();
+};
+
+} // namespace shiftpar::engine

@@ -1,0 +1,84 @@
+#include "engine/router.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace shiftpar::engine {
+
+Router::Router(std::vector<std::unique_ptr<Engine>> engines,
+               RoutingPolicy policy)
+    : engines_(std::move(engines)), policy_(policy)
+{
+    SP_ASSERT(!engines_.empty());
+}
+
+void
+Router::run_until(double t)
+{
+    for (auto& e : engines_)
+        e->run_until(t);
+}
+
+std::size_t
+Router::select_replica()
+{
+    if (engines_.size() == 1)
+        return 0;
+    if (policy_ == RoutingPolicy::kRoundRobin) {
+        const std::size_t pick = next_rr_;
+        next_rr_ = (next_rr_ + 1) % engines_.size();
+        return pick;
+    }
+    std::size_t best = 0;
+    std::int64_t best_load = engines_[0]->outstanding_tokens();
+    for (std::size_t i = 1; i < engines_.size(); ++i) {
+        const std::int64_t load = engines_[i]->outstanding_tokens();
+        if (load < best_load) {
+            best = i;
+            best_load = load;
+        }
+    }
+    return best;
+}
+
+void
+Router::submit(const RequestSpec& spec, RequestId id)
+{
+    engines_[select_replica()]->submit(spec, id);
+}
+
+void
+Router::drain()
+{
+    for (auto& e : engines_)
+        e->drain();
+}
+
+Metrics
+Router::run_workload(const std::vector<RequestSpec>& workload)
+{
+    std::vector<RequestSpec> sorted = workload;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const RequestSpec& a, const RequestSpec& b) {
+                         return a.arrival < b.arrival;
+                     });
+    RequestId id = 0;
+    for (const auto& spec : sorted) {
+        run_until(spec.arrival);
+        submit(spec, id++);
+    }
+    drain();
+    return merged_metrics();
+}
+
+Metrics
+Router::merged_metrics() const
+{
+    Metrics merged(engines_[0]->metrics().throughput().bin_seconds());
+    for (const auto& e : engines_)
+        merged.merge(e->metrics());
+    return merged;
+}
+
+} // namespace shiftpar::engine

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Multi-engine front-end: request routing and workload replay.
+ *
+ * A `Router` owns one engine per replica. Single-engine deployments (TP,
+ * SP, Shift) use a one-element router; DP deployments use one engine per
+ * GPU. `run_workload` replays a trace — advancing every engine's clock to
+ * each arrival, routing the request, then draining — which is exactly how
+ * the paper's client-side benchmark drives the server.
+ */
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace shiftpar::engine {
+
+/** Replica-selection policy for DP deployments. */
+enum class RoutingPolicy
+{
+    kRoundRobin,
+
+    /** Route to the replica with the fewest outstanding tokens. */
+    kLeastTokens,
+};
+
+/** Routes requests across replicas and replays workloads. */
+class Router
+{
+  public:
+    /**
+     * @param engines One or more replicas (takes ownership).
+     * @param policy Replica-selection policy.
+     */
+    Router(std::vector<std::unique_ptr<Engine>> engines,
+           RoutingPolicy policy = RoutingPolicy::kLeastTokens);
+
+    /** Advance all replicas to time `t`. */
+    void run_until(double t);
+
+    /** Route and submit one request at its arrival time. */
+    void submit(const RequestSpec& spec, RequestId id);
+
+    /** Drain all replicas. */
+    void drain();
+
+    /**
+     * Replay a full workload: submit every request at its arrival time and
+     * drain. Request ids are assigned by position.
+     *
+     * @return merged metrics across replicas.
+     */
+    Metrics run_workload(const std::vector<RequestSpec>& workload);
+
+    /** @return merged metrics across replicas (after running). */
+    Metrics merged_metrics() const;
+
+    /** @return replica count. */
+    std::size_t size() const { return engines_.size(); }
+
+    /** @return replica `i`. */
+    Engine& engine(std::size_t i) { return *engines_.at(i); }
+    const Engine& engine(std::size_t i) const { return *engines_.at(i); }
+
+  private:
+    /** Pick the replica for the next request. */
+    std::size_t select_replica();
+
+    std::vector<std::unique_ptr<Engine>> engines_;
+    RoutingPolicy policy_;
+    std::size_t next_rr_ = 0;
+};
+
+} // namespace shiftpar::engine

@@ -1,0 +1,361 @@
+#include "engine/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace shiftpar::engine {
+
+std::int64_t
+BatchPlan::batched_tokens() const
+{
+    std::int64_t total = 0;
+    for (const auto& c : chunks)
+        total += c.new_tokens;
+    return total;
+}
+
+parallel::BatchWork
+BatchPlan::work() const
+{
+    parallel::BatchWork w;
+    w.chunks.reserve(chunks.size());
+    for (const auto& c : chunks)
+        w.chunks.push_back({c.new_tokens, c.past, c.is_prefill});
+    return w;
+}
+
+Scheduler::Scheduler(SchedulerOptions opts, kvcache::CacheManager* cache)
+    : opts_(opts), cache_(cache)
+{
+    SP_ASSERT(cache != nullptr);
+    SP_ASSERT(opts_.max_batched_tokens >= 1 && opts_.max_running_seqs >= 1);
+}
+
+void
+Scheduler::enqueue(Request* r)
+{
+    SP_ASSERT(r != nullptr && r->state == RequestState::kWaiting);
+    insert_waiting(r, /*front_of_class=*/false);
+}
+
+void
+Scheduler::insert_waiting(Request* r, bool front_of_class)
+{
+    // Priority classes, FCFS within a class. New arrivals go behind their
+    // class; preempted requests return to the front of theirs (they have
+    // the oldest in-flight work).
+    const auto pos = std::find_if(
+        waiting_.begin(), waiting_.end(), [&](const Request* w) {
+            return front_of_class
+                       ? w->spec.priority <= r->spec.priority
+                       : w->spec.priority < r->spec.priority;
+        });
+    waiting_.insert(pos, r);
+}
+
+bool
+Scheduler::preempt_one(const Request* keep, BatchPlan* plan)
+{
+    // vLLM preempts the most recently admitted sequence first so the oldest
+    // requests keep their progress (FCFS fairness under memory pressure).
+    // Prefer victims that are not already part of this step's plan; when
+    // none exists, evict a planned one and retract its chunk.
+    auto in_plan = [&](const Request* r) {
+        return std::any_of(plan->chunks.begin(), plan->chunks.end(),
+                           [&](const ScheduledChunk& c) {
+                               return c.request == r;
+                           });
+    };
+    for (int pass = 0; pass < 2; ++pass) {
+        for (auto it = running_.rbegin(); it != running_.rend(); ++it) {
+            Request* victim = *it;
+            if (victim == keep)
+                continue;
+            if (pass == 0 && in_plan(victim))
+                continue;
+            if (in_plan(victim)) {
+                std::erase_if(plan->chunks, [&](const ScheduledChunk& c) {
+                    return c.request == victim;
+                });
+            }
+            cache_->release(victim->id);
+            detach_prefix_if_attached(victim);
+            victim->reset_for_recompute();
+            running_.erase(std::next(it).base());
+            insert_waiting(victim, /*front_of_class=*/true);
+            ++preemptions_;
+            return true;
+        }
+    }
+    return false;
+}
+
+BatchPlan
+Scheduler::schedule(double now)
+{
+    BatchPlan plan;
+    std::int64_t budget = opts_.max_batched_tokens;
+
+    // ---- Migrated-request admission ---------------------------------------
+    // Requests arriving already prefilled (disaggregated decode workers)
+    // materialize their transferred KV without compute; doing this before
+    // the decode pass lets them decode in this very step.
+    for (auto it = waiting_.begin();
+         it != waiting_.end() && static_cast<std::int64_t>(
+                                     running_.size()) <
+                                     opts_.max_running_seqs;) {
+        Request* r = *it;
+        if (r->spec.arrival > now || !r->prefill_done()) {
+            ++it;
+            continue;
+        }
+        if (!cache_->try_append(r->id, r->prefilled))
+            break;
+        it = waiting_.erase(it);
+        r->state = RequestState::kDecode;
+        if (r->first_scheduled < 0.0)
+            r->first_scheduled = now;
+        running_.push_back(r);
+    }
+
+    // ---- Decode pass: one token per running sequence ---------------------
+    // Iterate over a snapshot index range because preemption mutates
+    // running_ behind the cursor.
+    for (std::size_t i = 0; i < running_.size() && budget > 0;) {
+        Request* r = running_[i];
+        if (r->state != RequestState::kDecode) {
+            ++i;
+            continue;
+        }
+        const std::int64_t past =
+            r->prefix_filled + cache_->cached_tokens(r->id);
+        const std::int64_t tokens =
+            std::min(opts_.decode_tokens_per_step,
+                     r->spec.output_tokens - r->decoded);
+        SP_ASSERT(tokens >= 1);
+        while (!cache_->try_append(r->id, tokens)) {
+            if (!preempt_one(r, &plan)) {
+                fatal("KV cache cannot hold a single decoding request; "
+                      "increase memory or reduce context");
+            }
+            // Preemption may have removed requests before the cursor.
+            const auto pos =
+                std::find(running_.begin(), running_.end(), r);
+            i = static_cast<std::size_t>(pos - running_.begin());
+        }
+        plan.chunks.push_back({r, tokens, past, false});
+        budget -= tokens;
+        ++i;
+    }
+
+    // ---- Prefill pass ------------------------------------------------------
+    // Continuing prefills and arrived waiting requests compete for the
+    // chunked-prefill budget in one priority-ordered pass: a freshly
+    // arrived latency-class request takes budget ahead of an in-flight
+    // batch-class prefill. Within a class, continuing work precedes new
+    // admissions and ties keep FCFS order (stable sort).
+    struct PrefillCandidate
+    {
+        Request* request;
+        bool is_waiting;
+    };
+    std::vector<PrefillCandidate> candidates;
+    for (Request* r : running_) {
+        if (r->state == RequestState::kPrefill && !r->prefill_done())
+            candidates.push_back({r, false});
+    }
+    for (Request* r : waiting_) {
+        if (r->spec.arrival <= now && !r->prefill_done())
+            candidates.push_back({r, true});
+    }
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const PrefillCandidate& a,
+                        const PrefillCandidate& b) {
+                         return a.request->spec.priority >
+                                b.request->spec.priority;
+                     });
+
+    bool admission_blocked = false;
+    for (const auto& cand : candidates) {
+        if (budget <= 0)
+            break;
+        Request* r = cand.request;
+        if (!cand.is_waiting) {
+            budget -= schedule_prefill(r, budget, &plan);
+            continue;
+        }
+        if (admission_blocked ||
+            static_cast<std::int64_t>(running_.size()) >=
+                opts_.max_running_seqs) {
+            continue;
+        }
+        attach_prefix_if_needed(r);
+        const std::int64_t scheduled = schedule_prefill(r, budget, &plan);
+        if (scheduled == 0) {
+            // Keep intra-class FCFS: later (same or lower class) waiting
+            // requests must not jump a blocked one.
+            admission_blocked = true;
+            continue;
+        }
+        waiting_.erase(std::find(waiting_.begin(), waiting_.end(), r));
+        r->state = RequestState::kPrefill;
+        if (r->first_scheduled < 0.0)
+            r->first_scheduled = now;
+        running_.push_back(r);
+        budget -= scheduled;
+    }
+
+    // Livelock escape: if the cache is packed with half-prefilled requests
+    // so that nothing could be scheduled, preempt the newest and retry so
+    // the oldest prefill can finish (recompute preemption, vLLM-style).
+    if (plan.empty() && running_.size() > 1 && preempt_one(nullptr, &plan))
+        return schedule(now);
+
+    return plan;
+}
+
+bool
+Scheduler::cancel(Request* r)
+{
+    SP_ASSERT(r != nullptr);
+    if (r->state == RequestState::kFinished ||
+        r->state == RequestState::kCancelled)
+        return false;
+    if (r->state == RequestState::kWaiting) {
+        const auto it = std::find(waiting_.begin(), waiting_.end(), r);
+        SP_ASSERT(it != waiting_.end(), "waiting request not in queue");
+        waiting_.erase(it);
+    } else {
+        const auto it = std::find(running_.begin(), running_.end(), r);
+        SP_ASSERT(it != running_.end(), "running request not in queue");
+        running_.erase(it);
+    }
+    cache_->release(r->id);
+    detach_prefix_if_attached(r);
+    r->state = RequestState::kCancelled;
+    return true;
+}
+
+void
+Scheduler::attach_prefix_if_needed(Request* r)
+{
+    if (!opts_.enable_prefix_caching || r->spec.prefix_id < 0 ||
+        r->prefix_attached)
+        return;
+    // A fully-cached prompt still needs its final token computed for the
+    // first logits, so the reusable prefix is capped one short.
+    const std::int64_t target =
+        std::min(r->spec.prefix_tokens, r->prefill_target - 1);
+    if (target <= 0)
+        return;
+    const auto attach = cache_->attach_prefix(r->spec.prefix_id, target);
+    r->prefix_attached = true;
+    r->prefix_hit = attach.hit_tokens;
+    r->prefix_filled = attach.hit_tokens;
+    r->filling_prefix = attach.is_filler;
+    r->prefilled = attach.hit_tokens;
+}
+
+void
+Scheduler::detach_prefix_if_attached(Request* r)
+{
+    if (!r->prefix_attached)
+        return;
+    cache_->detach_prefix(r->spec.prefix_id);
+    r->prefix_attached = false;
+    r->filling_prefix = false;
+}
+
+std::int64_t
+Scheduler::schedule_prefill(Request* r, std::int64_t budget, BatchPlan* plan)
+{
+    std::int64_t chunk = std::min(r->prefill_remaining(), budget);
+    chunk = std::min(chunk, cache_->free_tokens());
+    if (chunk <= 0)
+        return 0;
+    const std::int64_t past =
+        r->prefix_filled + cache_->cached_tokens(r->id);
+
+    // Split the chunk between the shared prefix entry (filler only) and
+    // this request's private blocks.
+    std::int64_t to_prefix = 0;
+    if (r->filling_prefix) {
+        const std::int64_t target =
+            std::min(r->spec.prefix_tokens, r->prefill_target - 1);
+        to_prefix = std::clamp<std::int64_t>(target - r->prefix_filled, 0,
+                                             chunk);
+    }
+    if (to_prefix > 0 &&
+        !cache_->try_append_prefix(r->spec.prefix_id, to_prefix)) {
+        return 0;
+    }
+    const std::int64_t to_private = chunk - to_prefix;
+    if (to_private > 0 && !cache_->try_append(r->id, to_private)) {
+        if (to_prefix == 0)
+            return 0;
+        chunk = to_prefix;  // schedule just the shared part this step
+    }
+    r->prefix_filled += to_prefix;
+    plan->chunks.push_back({r, chunk, past, true});
+    return chunk;
+}
+
+void
+Scheduler::on_step_complete(double now, const BatchPlan& plan,
+                            std::vector<Request*>* finished)
+{
+    SP_ASSERT(finished != nullptr);
+    for (const auto& c : plan.chunks) {
+        Request* r = c.request;
+        if (c.is_prefill) {
+            r->prefilled += c.new_tokens;
+            SP_ASSERT(r->prefilled <= r->prefill_target,
+                      "prefill overshoot");
+            if (!r->prefill_done())
+                continue;
+            // The step that completes prefill also samples the next output
+            // token (vLLM semantics): the first token for fresh requests,
+            // the resumption token after a recompute preemption.
+            r->state = RequestState::kDecode;
+            r->decoded += 1;
+            if (r->first_token < 0.0)
+                r->first_token = now;
+        } else {
+            r->decoded += c.new_tokens;
+        }
+        if (r->done()) {
+            r->state = RequestState::kFinished;
+            r->finished = now;
+            cache_->release(r->id);
+            detach_prefix_if_attached(r);
+            running_.erase(std::find(running_.begin(), running_.end(), r));
+            finished->push_back(r);
+        }
+    }
+}
+
+double
+Scheduler::earliest_waiting_arrival() const
+{
+    double earliest = std::numeric_limits<double>::infinity();
+    for (const Request* r : waiting_)
+        earliest = std::min(earliest, r->spec.arrival);
+    return earliest;
+}
+
+std::int64_t
+Scheduler::outstanding_tokens() const
+{
+    std::int64_t total = 0;
+    for (const Request* r : waiting_)
+        total += r->prefill_remaining() +
+                 (r->spec.output_tokens - r->decoded);
+    for (const Request* r : running_)
+        total += r->prefill_remaining() +
+                 (r->spec.output_tokens - r->decoded);
+    return total;
+}
+
+} // namespace shiftpar::engine

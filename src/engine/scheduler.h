@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Continuous-batching scheduler with chunked prefill.
+ *
+ * Mirrors the vLLM v1 scheduling policy the paper's system plugs into:
+ * every iteration assembles a batch of (a) one decode token per running
+ * sequence and (b) prefill chunks from admitted/waiting requests, subject to
+ * a batched-token budget (`max_batched_tokens`). KV blocks are acquired at
+ * scheduling time; decode steps that cannot get a block trigger recompute
+ * preemption of the most recently admitted sequence (vLLM's policy). The
+ * per-iteration batched-token count produced here is exactly the input of
+ * the Shift Parallelism decision (Algorithm 2).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "engine/metrics.h"
+#include "engine/request.h"
+#include "kvcache/cache_manager.h"
+#include "parallel/perf_model.h"
+
+namespace shiftpar::engine {
+
+/** Scheduler tuning (vLLM-equivalent knobs). */
+struct SchedulerOptions
+{
+    /** Token budget per iteration (vLLM max_num_batched_tokens). */
+    std::int64_t max_batched_tokens = 8192;
+
+    /** Maximum concurrently admitted sequences (vLLM max_num_seqs). */
+    std::int64_t max_running_seqs = 1024;
+
+    /**
+     * Output tokens emitted per decode step (speculative decoding's
+     * expected accepted length; 1 = standard autoregressive decoding).
+     */
+    std::int64_t decode_tokens_per_step = 1;
+
+    /**
+     * Automatic prefix caching (vLLM APC equivalent): serve shared prompt
+     * prefixes (RequestSpec::prefix_id) from the KV cache.
+     */
+    bool enable_prefix_caching = true;
+};
+
+/** One request's share of an iteration. */
+struct ScheduledChunk
+{
+    Request* request = nullptr;
+
+    /** New tokens processed this step (>= 1). */
+    std::int64_t new_tokens = 0;
+
+    /** Cached context before this chunk. */
+    std::int64_t past = 0;
+
+    /** True when this chunk is prefill work (false: one decode token). */
+    bool is_prefill = false;
+};
+
+/** The batch an iteration will execute. */
+struct BatchPlan
+{
+    std::vector<ScheduledChunk> chunks;
+
+    /** @return sum of new tokens — the Alg. 2 "batch size". */
+    std::int64_t batched_tokens() const;
+
+    /** @return true when nothing was schedulable. */
+    bool empty() const { return chunks.empty(); }
+
+    /** @return the perf-model view of this batch. */
+    parallel::BatchWork work() const;
+};
+
+/** FCFS continuous-batching scheduler bound to one engine's KV cache. */
+class Scheduler
+{
+  public:
+    Scheduler(SchedulerOptions opts, kvcache::CacheManager* cache);
+
+    /** Add a request to the waiting queue (FCFS by submission order). */
+    void enqueue(Request* r);
+
+    /**
+     * Assemble the next iteration's batch, acquiring KV blocks as needed.
+     *
+     * @param now Current engine time (stamps first_scheduled).
+     * @return the plan; empty when no request can make progress (all
+     * waiting requests blocked on KV with nothing running to preempt).
+     */
+    BatchPlan schedule(double now);
+
+    /**
+     * Cancel a request (client abort): removes it from whichever queue it
+     * occupies and releases its cache state.
+     *
+     * @return true when the request was live and is now cancelled.
+     */
+    bool cancel(Request* r);
+
+    /**
+     * Apply the effects of a completed step: advance prefill progress,
+     * emit tokens, finish requests (releasing their KV).
+     *
+     * @param now Step end time.
+     * @param plan The plan returned by `schedule`.
+     * @param[out] finished Requests that completed this step.
+     */
+    void on_step_complete(double now, const BatchPlan& plan,
+                          std::vector<Request*>* finished);
+
+    /** @return true while any request is waiting or running. */
+    bool has_work() const
+    {
+        return !waiting_.empty() || !running_.empty();
+    }
+
+    /** @return queued (not yet admitted) request count. */
+    std::size_t num_waiting() const { return waiting_.size(); }
+
+    /** @return admitted (KV-holding) request count. */
+    std::size_t num_running() const { return running_.size(); }
+
+    /** @return total unprocessed tokens across queued+running requests. */
+    std::int64_t outstanding_tokens() const;
+
+    /**
+     * @return the earliest arrival time among waiting requests, or +inf
+     * when none are waiting (used by the engine to skip idle time).
+     */
+    double earliest_waiting_arrival() const;
+
+    /** @return total preemptions performed. */
+    std::int64_t preemption_count() const { return preemptions_; }
+
+  private:
+    /**
+     * Free KV by recompute-preempting the most recently admitted running
+     * request other than `keep`, retracting the victim's chunk from `plan`
+     * if it had already been scheduled this step.
+     *
+     * @return true when a victim was preempted.
+     */
+    bool preempt_one(const Request* keep, BatchPlan* plan);
+
+    /**
+     * Schedule one prefill chunk for `r` within `budget`, splitting the
+     * chunk between the shared prefix entry (when `r` is its filler) and
+     * the request's private blocks.
+     *
+     * @return tokens scheduled (0 when blocked).
+     */
+    std::int64_t schedule_prefill(Request* r, std::int64_t budget,
+                                  BatchPlan* plan);
+
+    /** Pin `r` to its shared prefix entry and apply the cache hit. */
+    void attach_prefix_if_needed(Request* r);
+
+    /** Unpin `r` from its prefix entry (finish or preemption). */
+    void detach_prefix_if_attached(Request* r);
+
+    /** Insert into the waiting queue by priority class. */
+    void insert_waiting(Request* r, bool front_of_class);
+
+    SchedulerOptions opts_;
+    kvcache::CacheManager* cache_;
+    std::deque<Request*> waiting_;
+    std::vector<Request*> running_;  // admission order
+    std::int64_t preemptions_ = 0;
+};
+
+} // namespace shiftpar::engine

@@ -1,0 +1,34 @@
+#include "hw/gpu.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace shiftpar::hw {
+
+double
+GpuSpec::effective_gemm_flops(double dtype_bytes) const
+{
+    // FP8 (1 byte) runs at the FP8 peak; anything wider at the FP16 peak.
+    const double peak = dtype_bytes <= 1.0 ? peak_fp8_flops : peak_fp16_flops;
+    return peak * gemm_efficiency;
+}
+
+double
+GpuSpec::effective_attn_flops(double dtype_bytes) const
+{
+    const double peak = dtype_bytes <= 1.0 ? peak_fp8_flops : peak_fp16_flops;
+    return peak * attn_efficiency;
+}
+
+double
+GpuSpec::kernel_time(double flops, double bytes, double compute_rate) const
+{
+    SP_ASSERT(compute_rate > 0.0 && effective_bw() > 0.0);
+    SP_ASSERT(flops >= 0.0 && bytes >= 0.0);
+    const double compute = flops / compute_rate;
+    const double memory = bytes / effective_bw();
+    return std::max(compute, memory) + kernel_overhead;
+}
+
+} // namespace shiftpar::hw

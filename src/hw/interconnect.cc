@@ -1,0 +1,88 @@
+#include "hw/interconnect.h"
+
+#include "util/logging.h"
+
+namespace shiftpar::hw {
+
+CollectiveModel::CollectiveModel(LinkSpec link)
+    : link_(std::move(link))
+{
+    SP_ASSERT(link_.bw > 0.0 && link_.efficiency > 0.0);
+}
+
+double
+CollectiveModel::all_reduce(double bytes, int nranks) const
+{
+    SP_ASSERT(bytes >= 0.0 && nranks >= 1);
+    if (nranks == 1)
+        return 0.0;
+    const double p = static_cast<double>(nranks);
+    const double vol = all_reduce_volume(bytes, nranks);
+    // Ring: 2(P-1) latency steps. Switch fabric: reduce-scatter + all-gather,
+    // two phases of simultaneous exchange.
+    const double steps =
+        link_.kind == FabricKind::kRing ? 2.0 * (p - 1.0) : 2.0;
+    return vol / link_.effective_bw() + steps * link_.latency;
+}
+
+double
+CollectiveModel::all_gather(double bytes, int nranks) const
+{
+    SP_ASSERT(bytes >= 0.0 && nranks >= 1);
+    if (nranks == 1)
+        return 0.0;
+    const double p = static_cast<double>(nranks);
+    const double vol = all_gather_volume(bytes, nranks);
+    const double steps = link_.kind == FabricKind::kRing ? (p - 1.0) : 1.0;
+    return vol / link_.effective_bw() + steps * link_.latency;
+}
+
+double
+CollectiveModel::reduce_scatter(double bytes, int nranks) const
+{
+    // Symmetric to all-gather in both volume and steps.
+    return all_gather(bytes, nranks);
+}
+
+double
+CollectiveModel::all_to_all(double bytes, int nranks) const
+{
+    SP_ASSERT(bytes >= 0.0 && nranks >= 1);
+    if (nranks == 1)
+        return 0.0;
+    const double p = static_cast<double>(nranks);
+    const double vol = all_to_all_volume(bytes, nranks);
+    // On a switch all pairwise exchanges proceed simultaneously (one phase);
+    // a ring serializes P-1 neighbor rounds.
+    const double steps = link_.kind == FabricKind::kRing ? (p - 1.0) : 1.0;
+    return vol / link_.effective_bw() + steps * link_.latency;
+}
+
+double
+CollectiveModel::all_reduce_volume(double bytes, int nranks)
+{
+    if (nranks <= 1)
+        return 0.0;
+    const double p = static_cast<double>(nranks);
+    return 2.0 * (p - 1.0) / p * bytes;
+}
+
+double
+CollectiveModel::all_to_all_volume(double bytes, int nranks)
+{
+    if (nranks <= 1)
+        return 0.0;
+    const double p = static_cast<double>(nranks);
+    return (p - 1.0) / p * bytes;
+}
+
+double
+CollectiveModel::all_gather_volume(double bytes, int nranks)
+{
+    if (nranks <= 1)
+        return 0.0;
+    const double p = static_cast<double>(nranks);
+    return (p - 1.0) / p * bytes;
+}
+
+} // namespace shiftpar::hw

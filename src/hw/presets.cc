@@ -1,0 +1,106 @@
+#include "hw/presets.h"
+
+#include "util/units.h"
+
+namespace shiftpar::hw {
+
+GpuSpec
+h200()
+{
+    GpuSpec g;
+    g.name = "H200-SXM";
+    g.peak_fp8_flops = tflops(1979.0);
+    g.peak_fp16_flops = tflops(989.0);
+    g.hbm_bytes = gb(141.0);
+    g.hbm_bw = tb(4.8);
+    g.gemm_efficiency = 0.68;
+    g.attn_efficiency = 0.45;
+    g.mem_efficiency = 0.78;
+    g.kernel_overhead = usec(2.0);
+    return g;
+}
+
+GpuSpec
+h100()
+{
+    GpuSpec g;
+    g.name = "H100-SXM";
+    g.peak_fp8_flops = tflops(1979.0);
+    g.peak_fp16_flops = tflops(989.0);
+    g.hbm_bytes = gb(80.0);
+    g.hbm_bw = tb(3.35);
+    g.gemm_efficiency = 0.68;
+    g.attn_efficiency = 0.45;
+    g.mem_efficiency = 0.78;
+    g.kernel_overhead = usec(2.0);
+    return g;
+}
+
+GpuSpec
+b200()
+{
+    GpuSpec g;
+    g.name = "B200-SXM";
+    g.peak_fp8_flops = tflops(4500.0);
+    g.peak_fp16_flops = tflops(2250.0);
+    g.hbm_bytes = gb(192.0);
+    g.hbm_bw = tb(8.0);
+    g.gemm_efficiency = 0.68;
+    g.attn_efficiency = 0.45;
+    g.mem_efficiency = 0.78;
+    g.kernel_overhead = usec(2.0);
+    return g;
+}
+
+GpuSpec
+a100()
+{
+    GpuSpec g;
+    g.name = "A100-SXM-80GB";
+    // A100 has no FP8 tensor cores; FP8 weights would run via FP16 paths.
+    g.peak_fp8_flops = tflops(312.0);
+    g.peak_fp16_flops = tflops(312.0);
+    g.hbm_bytes = gb(80.0);
+    g.hbm_bw = tb(2.039);
+    g.gemm_efficiency = 0.68;
+    g.attn_efficiency = 0.45;
+    g.mem_efficiency = 0.78;
+    g.kernel_overhead = usec(2.0);
+    return g;
+}
+
+LinkSpec
+nvswitch()
+{
+    LinkSpec l;
+    l.name = "NVSwitch-gen4";
+    l.bw = gb(900.0);
+    l.latency = usec(6.0);
+    l.efficiency = 0.70;
+    l.kind = FabricKind::kSwitch;
+    return l;
+}
+
+LinkSpec
+pcie_gen5()
+{
+    LinkSpec l;
+    l.name = "PCIe-gen5-x16";
+    l.bw = gb(64.0);
+    l.latency = usec(10.0);
+    l.efficiency = 0.80;
+    l.kind = FabricKind::kRing;
+    return l;
+}
+
+Node
+h200_node(int num_gpus)
+{
+    Node n;
+    n.gpu = h200();
+    n.link = nvswitch();
+    n.num_gpus = num_gpus;
+    return n;
+}
+
+} // namespace shiftpar::hw

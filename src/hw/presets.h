@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Hardware presets used by the evaluation.
+ *
+ * The paper's testbed is an AWS p5en.48xlarge: 8x H200 (141 GB HBM3e,
+ * 4.8 TB/s, 1979 dense FP8 TFLOPS) joined by NVSwitch at 900 GB/s per GPU.
+ * Efficiency knobs are calibrated so the simulated Llama-70B results land in
+ * the paper's ballpark (see DESIGN.md Section 5 and EXPERIMENTS.md).
+ */
+
+#pragma once
+
+#include "hw/topology.h"
+
+namespace shiftpar::hw {
+
+/** NVIDIA H200 SXM (datasheet peaks, calibrated efficiencies). */
+GpuSpec h200();
+
+/** NVIDIA H100 SXM (80 GB, 3.35 TB/s) for sensitivity runs. */
+GpuSpec h100();
+
+/** NVIDIA B200 SXM (192 GB, 8 TB/s, ~4.5 PFLOPS dense FP8). */
+GpuSpec b200();
+
+/** NVIDIA A100 SXM 80 GB (no FP8; FP16 peak used) for sensitivity runs. */
+GpuSpec a100();
+
+/** Fourth-generation NVSwitch fabric (900 GB/s per GPU). */
+LinkSpec nvswitch();
+
+/** PCIe Gen5 x16-class fabric (ring collectives) for sensitivity runs. */
+LinkSpec pcie_gen5();
+
+/** The paper's evaluation node: 8x H200 with NVSwitch. */
+Node h200_node(int num_gpus = 8);
+
+} // namespace shiftpar::hw

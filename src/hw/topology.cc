@@ -1,0 +1,46 @@
+#include "hw/topology.h"
+
+#include "util/logging.h"
+
+namespace shiftpar::hw {
+
+std::vector<std::vector<int>>
+tp_groups(int sp, int tp)
+{
+    SP_ASSERT(sp >= 1 && tp >= 1);
+    std::vector<std::vector<int>> groups(sp);
+    for (int i = 0; i < sp; ++i) {
+        groups[i].reserve(tp);
+        for (int j = 0; j < tp; ++j)
+            groups[i].push_back(i * tp + j);
+    }
+    return groups;
+}
+
+std::vector<std::vector<int>>
+sp_groups(int sp, int tp)
+{
+    SP_ASSERT(sp >= 1 && tp >= 1);
+    std::vector<std::vector<int>> groups(tp);
+    for (int j = 0; j < tp; ++j) {
+        groups[j].reserve(sp);
+        for (int i = 0; i < sp; ++i)
+            groups[j].push_back(i * tp + j);
+    }
+    return groups;
+}
+
+std::vector<int>
+sp_tp_group(int sp, int tp)
+{
+    SP_ASSERT(sp >= 1 && tp >= 1);
+    std::vector<int> order;
+    order.reserve(static_cast<std::size_t>(sp) * tp);
+    // SP-major within each TP column: for TP column j list all SP rows i.
+    for (int j = 0; j < tp; ++j)
+        for (int i = 0; i < sp; ++i)
+            order.push_back(i * tp + j);
+    return order;
+}
+
+} // namespace shiftpar::hw

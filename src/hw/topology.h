@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Node topology: a set of identical GPUs joined by one fabric, plus the
+ * rank-group constructions used by the parallelism strategies.
+ *
+ * Rank convention (matches the paper's Figure 6 example for SP=3, TP=2):
+ * a global rank r encodes (sp_idx, tp_idx) as r = sp_idx * TP + tp_idx, so
+ *  - TP groups are consecutive ranks:   [[0,1], [2,3], [4,5]]
+ *  - SP groups are strided ranks:       [[0,2,4], [1,3,5]]
+ *  - the SP_TP group (used by the shift configuration to load TP=P weights
+ *    in KV-cache-invariant order, Section 3.3.2) enumerates ranks
+ *    SP-major within each TP column:    [[0,2,4,1,3,5]]
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "hw/gpu.h"
+#include "hw/interconnect.h"
+
+namespace shiftpar::hw {
+
+/** One multi-GPU server node. */
+struct Node
+{
+    GpuSpec gpu;
+    LinkSpec link;
+    int num_gpus = 8;
+
+    /** @return a collective model over this node's fabric. */
+    CollectiveModel collectives() const { return CollectiveModel(link); }
+
+    /** @return total HBM across the node, bytes. */
+    double total_hbm() const { return gpu.hbm_bytes * num_gpus; }
+};
+
+/**
+ * Build the TP groups for an (SP, TP) decomposition of `sp * tp` ranks.
+ *
+ * @return sp groups of tp consecutive ranks each.
+ */
+std::vector<std::vector<int>> tp_groups(int sp, int tp);
+
+/**
+ * Build the SP groups for an (SP, TP) decomposition.
+ *
+ * @return tp groups of sp ranks each, strided by tp.
+ */
+std::vector<std::vector<int>> sp_groups(int sp, int tp);
+
+/**
+ * Build the single SP_TP group: all ranks ordered SP-major within each TP
+ * column — the rank order in which the shift configuration's TP=P weights
+ * must be loaded to preserve KV-cache invariance (Section 3.3.2).
+ */
+std::vector<int> sp_tp_group(int sp, int tp);
+
+} // namespace shiftpar::hw

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Paged KV-cache block pool (vLLM-style PagedAttention allocator).
+ *
+ * The KV cache is carved into fixed-size blocks of `block_size` tokens;
+ * requests own chains of blocks via `BlockTable`. The allocator is a simple
+ * free-list with O(1) allocate/free and exact occupancy accounting — enough
+ * to reproduce cache-pressure effects (admission control, preemption, the
+ * Mooncake overflow of Section 4.2.2) without modeling block contents.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace shiftpar::kvcache {
+
+/** Identifier of one cache block. */
+using BlockId = std::int64_t;
+
+/** Fixed-size block pool with a free list. */
+class BlockAllocator
+{
+  public:
+    /**
+     * @param num_blocks Total blocks in the pool.
+     * @param block_size Tokens per block (vLLM default is 16).
+     */
+    BlockAllocator(std::int64_t num_blocks, int block_size);
+
+    /** @return a free block, or nullopt when the pool is exhausted. */
+    std::optional<BlockId> allocate();
+
+    /** Return `block` to the pool; double-free is a panic. */
+    void free(BlockId block);
+
+    /** @return true when at least `n` blocks are free. */
+    bool can_allocate(std::int64_t n) const { return num_free() >= n; }
+
+    /** @return free block count. */
+    std::int64_t num_free() const
+    {
+        return static_cast<std::int64_t>(free_list_.size());
+    }
+
+    /** @return total block count. */
+    std::int64_t num_blocks() const { return num_blocks_; }
+
+    /** @return allocated block count. */
+    std::int64_t num_used() const { return num_blocks_ - num_free(); }
+
+    /** @return tokens per block. */
+    int block_size() const { return block_size_; }
+
+    /** @return blocks needed to hold `tokens` tokens. */
+    std::int64_t blocks_for_tokens(std::int64_t tokens) const;
+
+    /** @return fraction of the pool currently allocated, in [0, 1]. */
+    double utilization() const;
+
+  private:
+    std::int64_t num_blocks_;
+    int block_size_;
+    std::vector<BlockId> free_list_;
+    std::vector<bool> allocated_;
+};
+
+} // namespace shiftpar::kvcache

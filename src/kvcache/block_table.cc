@@ -1,0 +1,38 @@
+#include "kvcache/block_table.h"
+
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace shiftpar::kvcache {
+
+bool
+BlockTable::append_tokens(std::int64_t tokens, BlockAllocator& allocator)
+{
+    SP_ASSERT(tokens >= 0);
+    if (tokens == 0)
+        return true;
+    const std::int64_t needed_total =
+        allocator.blocks_for_tokens(num_tokens_ + tokens);
+    const std::int64_t extra = needed_total - num_blocks();
+    if (extra > 0 && !allocator.can_allocate(extra))
+        return false;
+    for (std::int64_t i = 0; i < extra; ++i) {
+        auto block = allocator.allocate();
+        SP_ASSERT(block.has_value(),
+                  "allocator reneged after can_allocate succeeded");
+        blocks_.push_back(*block);
+    }
+    num_tokens_ += tokens;
+    return true;
+}
+
+void
+BlockTable::release(BlockAllocator& allocator)
+{
+    for (BlockId b : blocks_)
+        allocator.free(b);
+    blocks_.clear();
+    num_tokens_ = 0;
+}
+
+} // namespace shiftpar::kvcache

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Per-request block table: the chain of cache blocks holding one sequence.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kvcache/block_allocator.h"
+
+namespace shiftpar::kvcache {
+
+/**
+ * Tracks the blocks backing one sequence's KV cache.
+ *
+ * Growth is all-or-nothing: `append_tokens` either acquires every block the
+ * new tokens need or acquires none (so a failed admission leaves the pool
+ * unchanged and the request can be retried or preempted cleanly).
+ */
+class BlockTable
+{
+  public:
+    /**
+     * Extend the sequence by `tokens` tokens, allocating blocks on demand.
+     *
+     * @return true on success; false (with no allocation) when the pool
+     * cannot supply the required blocks.
+     */
+    bool append_tokens(std::int64_t tokens, BlockAllocator& allocator);
+
+    /** Release all blocks back to `allocator` and reset to empty. */
+    void release(BlockAllocator& allocator);
+
+    /** @return tokens currently stored. */
+    std::int64_t num_tokens() const { return num_tokens_; }
+
+    /** @return blocks currently owned. */
+    std::int64_t num_blocks() const
+    {
+        return static_cast<std::int64_t>(blocks_.size());
+    }
+
+    /** @return the owned block ids in sequence order. */
+    const std::vector<BlockId>& blocks() const { return blocks_; }
+
+  private:
+    std::vector<BlockId> blocks_;
+    std::int64_t num_tokens_ = 0;
+};
+
+} // namespace shiftpar::kvcache

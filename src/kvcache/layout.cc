@@ -1,0 +1,123 @@
+#include "kvcache/layout.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace shiftpar::kvcache {
+
+namespace {
+
+KvLayout
+from_head_layout(const parallel::HeadLayout& heads)
+{
+    KvLayout layout;
+    layout.placement = SeqPlacement::kHeadSharded;
+    layout.kv_heads_per_rank.resize(static_cast<std::size_t>(heads.world()));
+    for (int r = 0; r < heads.world(); ++r)
+        layout.kv_heads_per_rank[static_cast<std::size_t>(r)] =
+            heads.rank(r).kv;
+    return layout;
+}
+
+} // namespace
+
+KvLayout
+KvLayout::base(const model::ModelConfig& m,
+               const parallel::ParallelConfig& cfg)
+{
+    return from_head_layout(parallel::HeadLayout::base(m, cfg));
+}
+
+KvLayout
+KvLayout::shift(const model::ModelConfig& m,
+                const parallel::ParallelConfig& base_cfg)
+{
+    return from_head_layout(parallel::HeadLayout::shift(m, base_cfg));
+}
+
+KvLayout
+KvLayout::naive_tp(const model::ModelConfig& m, int world)
+{
+    return from_head_layout(parallel::HeadLayout::naive_tp(m, world));
+}
+
+KvLayout
+KvLayout::dp(const model::ModelConfig& m, int world)
+{
+    KvLayout layout;
+    layout.placement = SeqPlacement::kReplicaLocal;
+    layout.kv_heads_per_rank.resize(static_cast<std::size_t>(world));
+    std::vector<int> all_heads;
+    for (int h = 0; h < m.kv_heads; ++h)
+        all_heads.push_back(h);
+    for (auto& rank : layout.kv_heads_per_rank)
+        rank = all_heads;
+    return layout;
+}
+
+bool
+KvLayout::invariant_with(const KvLayout& other) const
+{
+    return placement == other.placement &&
+           kv_heads_per_rank == other.kv_heads_per_rank;
+}
+
+double
+switch_cost_bytes(const model::ModelConfig& m, const KvLayout& from,
+                  const KvLayout& to, std::int64_t cached_tokens)
+{
+    if (from.invariant_with(to))
+        return 0.0;
+    const double per_head_bytes =
+        static_cast<double>(cached_tokens) * 2.0 * m.head_dim *
+        model::dtype_bytes(m.kv_dtype);
+
+    if (from.placement != to.placement) {
+        // DP <-> head-sharded: the entire cache must be resharded across
+        // the sequence/head boundary (the "complex and costly data
+        // movement" of Section 1).
+        return static_cast<double>(m.kv_heads) * per_head_bytes;
+    }
+
+    SP_ASSERT(from.world() == to.world(),
+              "switch cost requires equal world sizes");
+    // Count head slices that live on a different rank (or a different
+    // on-device position, which still forces a copy) under `to`.
+    double moved = 0.0;
+    for (int r = 0; r < from.world(); ++r) {
+        const auto& a = from.kv_heads_per_rank[static_cast<std::size_t>(r)];
+        const auto& b = to.kv_heads_per_rank[static_cast<std::size_t>(r)];
+        const std::size_t positions = std::max(a.size(), b.size());
+        for (std::size_t p = 0; p < positions; ++p) {
+            const bool same =
+                p < a.size() && p < b.size() && a[p] == b[p];
+            if (!same)
+                moved += per_head_bytes;
+        }
+    }
+    return moved;
+}
+
+std::string
+describe(const KvLayout& layout)
+{
+    std::ostringstream os;
+    os << (layout.placement == SeqPlacement::kReplicaLocal ? "replica-local"
+                                                           : "head-sharded")
+       << " [";
+    for (int r = 0; r < layout.world(); ++r) {
+        if (r)
+            os << " | ";
+        os << "r" << r << ":";
+        const auto& heads =
+            layout.kv_heads_per_rank[static_cast<std::size_t>(r)];
+        for (std::size_t i = 0; i < heads.size(); ++i)
+            os << (i ? "," : "") << heads[i];
+    }
+    os << "]";
+    return os.str();
+}
+
+} // namespace shiftpar::kvcache

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Distributed KV-cache layout descriptors and the invariance/switch-cost
+ * analysis that motivates Shift Parallelism (Sections 1, 3.1, 3.3.1).
+ *
+ * A `KvLayout` records which KV heads each rank stores, in on-device order,
+ * plus how the *sequence* dimension is distributed (sharded by head across
+ * the group, or confined to one replica under DP). Two execution
+ * configurations can share a cache iff their layouts are equal — the paper's
+ * KV-cache invariance. `switch_cost_bytes` quantifies the data movement a
+ * non-invariant switch would require (e.g. TP <-> DP), which is why only
+ * SP <-> TP switching is viable.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/model_config.h"
+#include "parallel/config.h"
+#include "parallel/layout.h"
+
+namespace shiftpar::kvcache {
+
+/** How the cached sequence's KV is distributed over ranks. */
+enum class SeqPlacement
+{
+    /** Every rank holds all tokens for its head subset (TP/SP/SP+TP). */
+    kHeadSharded,
+
+    /** One replica holds all tokens for all heads (DP). */
+    kReplicaLocal,
+};
+
+/** Distributed layout of one engine's KV cache. */
+struct KvLayout
+{
+    SeqPlacement placement = SeqPlacement::kHeadSharded;
+
+    /** KV head ids on each rank, in on-device order. */
+    std::vector<std::vector<int>> kv_heads_per_rank;
+
+    /** Build the head-sharded layout of an (SP, TP) base configuration. */
+    static KvLayout base(const model::ModelConfig& m,
+                         const parallel::ParallelConfig& cfg);
+
+    /** Build the layout of the SP_TP-ordered shift configuration. */
+    static KvLayout shift(const model::ModelConfig& m,
+                          const parallel::ParallelConfig& base_cfg);
+
+    /** Build a naive full-TP layout (plain rank-order head sharding). */
+    static KvLayout naive_tp(const model::ModelConfig& m, int world);
+
+    /** Build a DP replica-local layout over `world` replicas. */
+    static KvLayout dp(const model::ModelConfig& m, int world);
+
+    /** @return number of ranks described. */
+    int world() const
+    {
+        return static_cast<int>(kv_heads_per_rank.size());
+    }
+
+    /** @return true when `other` is bit-layout compatible with this. */
+    bool invariant_with(const KvLayout& other) const;
+};
+
+/**
+ * Bytes that must move to convert a cache of `cached_tokens` tokens from
+ * layout `from` to layout `to` (0 when invariant). Head-sharded <->
+ * replica-local conversion moves the full cache; head-sharded layouts with
+ * permuted heads move every misplaced head's slice.
+ */
+double switch_cost_bytes(const model::ModelConfig& m, const KvLayout& from,
+                         const KvLayout& to, std::int64_t cached_tokens);
+
+/** One-line description for diagnostics. */
+std::string describe(const KvLayout& layout);
+
+} // namespace shiftpar::kvcache

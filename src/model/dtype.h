@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Numeric datatypes for weights and KV cache.
+ *
+ * All evaluation models in the paper are FP8-quantized (Table 4); the
+ * Mooncake experiment additionally switches the KV cache from FP16 to FP8 to
+ * double cache capacity (Section 4.2.2).
+ */
+
+#pragma once
+
+namespace shiftpar::model {
+
+/** Element datatype. */
+enum class DType { kFp8, kFp16, kBf16 };
+
+/** @return bytes per element. */
+inline constexpr double
+dtype_bytes(DType t)
+{
+    switch (t) {
+      case DType::kFp8:  return 1.0;
+      case DType::kFp16: return 2.0;
+      case DType::kBf16: return 2.0;
+    }
+    return 2.0;
+}
+
+/** @return short printable name. */
+inline constexpr const char*
+dtype_name(DType t)
+{
+    switch (t) {
+      case DType::kFp8:  return "fp8";
+      case DType::kFp16: return "fp16";
+      case DType::kBf16: return "bf16";
+    }
+    return "?";
+}
+
+} // namespace shiftpar::model

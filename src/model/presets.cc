@@ -1,0 +1,92 @@
+#include "model/presets.h"
+
+#include <vector>
+
+namespace shiftpar::model {
+
+ModelConfig
+llama_70b()
+{
+    ModelConfig m;
+    m.name = "Llama-70B";
+    m.num_layers = 80;
+    m.hidden_size = 8192;
+    m.q_heads = 64;
+    m.kv_heads = 8;
+    m.head_dim = 128;
+    m.intermediate_size = 28672;
+    m.vocab_size = 128256;
+    m.weight_dtype = DType::kFp8;
+    m.params_total_override = 70.6e9;
+    m.validate();
+    return m;
+}
+
+ModelConfig
+qwen_32b()
+{
+    ModelConfig m;
+    m.name = "Qwen-32B";
+    m.num_layers = 64;
+    m.hidden_size = 5120;
+    m.q_heads = 64;
+    m.kv_heads = 8;
+    m.head_dim = 128;
+    m.intermediate_size = 25600;
+    m.vocab_size = 151936;
+    m.weight_dtype = DType::kFp8;
+    m.params_total_override = 32.8e9;
+    m.validate();
+    return m;
+}
+
+ModelConfig
+llama_17b_16e()
+{
+    ModelConfig m;
+    m.name = "Llama-17B-16E";
+    m.num_layers = 48;
+    m.hidden_size = 5120;
+    m.q_heads = 40;
+    m.kv_heads = 8;
+    m.head_dim = 128;
+    m.intermediate_size = 8192;
+    m.vocab_size = 202048;
+    m.num_experts = 16;
+    m.active_experts = 1;
+    m.weight_dtype = DType::kFp8;
+    // Table 4 lists 109B total / 17B active (shared expert included).
+    m.params_total_override = 109.0e9;
+    m.params_active_override = 17.0e9;
+    m.validate();
+    return m;
+}
+
+ModelConfig
+qwen_30b_a3b()
+{
+    ModelConfig m;
+    m.name = "Qwen-30B-A3B";
+    m.num_layers = 48;
+    m.hidden_size = 2048;
+    m.q_heads = 32;
+    m.kv_heads = 4;
+    m.head_dim = 128;
+    m.intermediate_size = 768;
+    m.vocab_size = 151936;
+    m.num_experts = 128;
+    m.active_experts = 8;
+    m.weight_dtype = DType::kFp8;
+    m.params_total_override = 30.5e9;
+    m.params_active_override = 3.3e9;
+    m.validate();
+    return m;
+}
+
+std::vector<ModelConfig>
+table4_models()
+{
+    return {llama_70b(), qwen_32b(), llama_17b_16e(), qwen_30b_a3b()};
+}
+
+} // namespace shiftpar::model

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The four evaluation models from Table 4 of the paper, all FP8-quantized.
+ *
+ * | Model          | Params    | Layers | Hidden | Q heads | KV heads |
+ * |----------------|-----------|--------|--------|---------|----------|
+ * | Llama-70B      | 70B       | 80     | 8192   | 64      | 8        |
+ * | Qwen-32B       | 32B       | 64     | 5120   | 64      | 8        |
+ * | Llama-17B-16E  | 109B/17B  | 48     | 5120   | 40      | 8        |
+ * | Qwen-30B-A3B   | 30B/3B    | 48     | 2048   | 32      | 4        |
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "model/model_config.h"
+
+namespace shiftpar::model {
+
+/** Llama-3.3-70B-Instruct (dense). */
+ModelConfig llama_70b();
+
+/** Qwen3-32B (dense). */
+ModelConfig qwen_32b();
+
+/** Llama-4-Scout-style 16-expert MoE: 109B total / 17B active. */
+ModelConfig llama_17b_16e();
+
+/** Qwen3-30B-A3B MoE: 30B total / 3B active, only 4 KV heads. */
+ModelConfig qwen_30b_a3b();
+
+/** All four Table 4 models in presentation order (dense first). */
+std::vector<ModelConfig> table4_models();
+
+} // namespace shiftpar::model

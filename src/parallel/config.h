@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Execution-group parallel configuration.
+ *
+ * `ParallelConfig` describes how one engine's rank group is decomposed into
+ * sequence-parallel (SP) and tensor-parallel (TP) dimensions. Data
+ * parallelism lives one level up (a deployment runs several engines); within
+ * an engine, every forward pass executes under some (SP, TP) with
+ * SP * TP = group size. Shift Parallelism alternates per step between a
+ * *base* (SP, TP) and the *shift* (1, SP*TP) configuration.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "model/model_config.h"
+
+namespace shiftpar::parallel {
+
+/** One (SP, TP[, EP]) decomposition of an engine's rank group. */
+struct ParallelConfig
+{
+    /** Sequence-parallel (Ulysses) degree. */
+    int sp = 1;
+
+    /** Tensor-parallel degree. */
+    int tp = 1;
+
+    /**
+     * Expert-parallel degree (MoE models only; Section 4.6 extension).
+     * Experts are distributed over `ep` of the group's ranks, overlapping
+     * the SP/TP dimensions; attention and the KV cache are untouched, so
+     * EP composes with Shift Parallelism's cache invariance.
+     */
+    int ep = 1;
+
+    /** @return total ranks in the group (EP overlaps, does not multiply). */
+    int world() const { return sp * tp; }
+
+    /** @return the shift configuration: (SP=1, TP=SP*TP), EP preserved. */
+    ParallelConfig shift_config() const { return {1, world(), ep}; }
+
+    /** @return true when this is the full-TP configuration. */
+    bool is_full_tp() const { return sp == 1; }
+
+    /** @return "(SP=s,TP=t[,EP=e])" for reports. */
+    std::string to_string() const;
+
+    bool operator==(const ParallelConfig&) const = default;
+};
+
+/**
+ * KV-head replication factor needed to spread `m.kv_heads` across
+ * `cfg.world()` ranks (Section 3.2.1): 1 when there are at least as many KV
+ * heads as ranks, world/kv_heads otherwise.
+ */
+int kv_replication(const model::ModelConfig& m, const ParallelConfig& cfg);
+
+/**
+ * Validate a configuration against a model: positive degrees, query heads
+ * divisible across the group, and KV heads either evenly divisible across
+ * ranks or evenly replicable. Returns a human-readable error, or an empty
+ * string when valid.
+ */
+std::string validate_config(const model::ModelConfig& m,
+                            const ParallelConfig& cfg);
+
+/** As `validate_config`, but fatal() on any error. */
+void validate_config_or_die(const model::ModelConfig& m,
+                            const ParallelConfig& cfg);
+
+} // namespace shiftpar::parallel

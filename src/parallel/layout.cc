@@ -1,0 +1,116 @@
+#include "parallel/layout.h"
+
+#include <algorithm>
+
+#include "hw/topology.h"
+#include "util/logging.h"
+
+namespace shiftpar::parallel {
+
+HeadLayout
+HeadLayout::from_blocks(const model::ModelConfig& m,
+                        const std::vector<int>& block_of_rank)
+{
+    const int g = static_cast<int>(block_of_rank.size());
+    SP_ASSERT(g >= 1 && m.q_heads % g == 0);
+    const int hq = m.q_heads / g;           // query heads per rank
+    const int gqa = m.q_heads / m.kv_heads; // query heads per KV head
+
+    HeadLayout layout;
+    layout.ranks_.resize(g);
+    layout.kv_replication_ = g > m.kv_heads ? g / m.kv_heads : 1;
+    for (int r = 0; r < g; ++r) {
+        RankHeads& rh = layout.ranks_[r];
+        const int first = block_of_rank[r] * hq;
+        for (int q = first; q < first + hq; ++q) {
+            rh.q.push_back(q);
+            const int kv = q / gqa;
+            if (rh.kv.empty() || rh.kv.back() != kv)
+                rh.kv.push_back(kv);
+        }
+    }
+    return layout;
+}
+
+HeadLayout
+HeadLayout::base(const model::ModelConfig& m, const ParallelConfig& cfg)
+{
+    validate_config_or_die(m, cfg);
+    const int g = cfg.world();
+    // Rank r = sp_idx * TP + tp_idx. TP shards head columns into `tp`
+    // chunks; the SP all-to-all splits each chunk into `sp` sub-chunks. The
+    // head block owned by rank (i, j) is therefore j * sp + i — exactly the
+    // rank's position in the SP_TP group order.
+    std::vector<int> block(g);
+    for (int r = 0; r < g; ++r) {
+        const int i = r / cfg.tp;  // SP index
+        const int j = r % cfg.tp;  // TP index
+        block[r] = j * cfg.sp + i;
+    }
+    return from_blocks(m, block);
+}
+
+HeadLayout
+HeadLayout::shift(const model::ModelConfig& m, const ParallelConfig& base_cfg)
+{
+    validate_config_or_die(m, base_cfg);
+    const int g = base_cfg.world();
+    // The shift model's TP=g weights are loaded over ranks enumerated in
+    // SP_TP order: the rank at position p in that order gets head block p.
+    const std::vector<int> order = hw::sp_tp_group(base_cfg.sp, base_cfg.tp);
+    std::vector<int> block(g, -1);
+    for (int p = 0; p < g; ++p)
+        block[order[p]] = p;
+    for (int r = 0; r < g; ++r)
+        SP_ASSERT(block[r] >= 0, "SP_TP order must be a permutation");
+    return from_blocks(m, block);
+}
+
+HeadLayout
+HeadLayout::naive_tp(const model::ModelConfig& m, int world)
+{
+    validate_config_or_die(m, ParallelConfig{1, world});
+    std::vector<int> block(world);
+    for (int r = 0; r < world; ++r)
+        block[r] = r;
+    return from_blocks(m, block);
+}
+
+const RankHeads&
+HeadLayout::rank(int r) const
+{
+    SP_ASSERT(r >= 0 && r < world());
+    return ranks_[static_cast<std::size_t>(r)];
+}
+
+std::vector<int>
+HeadLayout::rank_of_q_head() const
+{
+    int num_heads = 0;
+    for (const auto& rh : ranks_)
+        num_heads += static_cast<int>(rh.q.size());
+    std::vector<int> owner(num_heads, -1);
+    for (int r = 0; r < world(); ++r) {
+        for (int q : ranks_[r].q) {
+            SP_ASSERT(owner[q] == -1, "duplicate query head placement");
+            owner[q] = r;
+        }
+    }
+    return owner;
+}
+
+bool
+HeadLayout::invariant_with(const HeadLayout& other) const
+{
+    if (world() != other.world())
+        return false;
+    // KV-cache invariance requires each rank to hold the same KV heads in
+    // the same order (Section 3.3.1: same layout *and* same head ordering).
+    for (int r = 0; r < world(); ++r) {
+        if (ranks_[r].kv != other.ranks_[r].kv)
+            return false;
+    }
+    return true;
+}
+
+} // namespace shiftpar::parallel

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Head-to-rank mapping and KV-cache invariance (Section 3.3.1).
+ *
+ * Under a combined (SP, TP) base configuration the QKV projection is
+ * 2D-partitioned: TP shards the weight columns (heads) and SP shards the
+ * sequence rows. The all-to-all inside each SP group then redistributes
+ * heads so each rank holds the full sequence for a *subset of heads* — and
+ * that subset follows an interleaved order. For the paper's Figure 6 example
+ * (SP=3, TP=2, 6 heads), the rank that serves head k is:
+ *
+ *      head:   0  1  2  3  4  5
+ *      rank:   0  2  4  1  3  5
+ *
+ * The shift configuration (full TP over the same ranks) must shard its
+ * weights in *that* order — the SP_TP group order of Section 3.3.2 — or the
+ * KV cache written by the base configuration would be misplaced. This file
+ * computes the base layout, the correctly-ordered shift layout, the naive
+ * (rank-order) TP layout that breaks invariance, and the comparison between
+ * them.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "model/model_config.h"
+#include "parallel/config.h"
+
+namespace shiftpar::parallel {
+
+/** The attention heads resident on one rank, in on-device order. */
+struct RankHeads
+{
+    /** Query head ids, ascending. */
+    std::vector<int> q;
+
+    /** KV head ids serving those query heads (replicated heads repeat
+     *  across ranks when world > kv_heads). */
+    std::vector<int> kv;
+
+    bool operator==(const RankHeads&) const = default;
+};
+
+/** Complete head placement for one execution configuration. */
+class HeadLayout
+{
+  public:
+    /**
+     * Head placement of the base (SP, TP) configuration after the Ulysses
+     * all-to-all (Algorithm 1 line 4).
+     */
+    static HeadLayout base(const model::ModelConfig& m,
+                           const ParallelConfig& cfg);
+
+    /**
+     * Head placement of the shift configuration (SP=1, TP=world) when its
+     * weights are loaded in the SP_TP rank order derived from `base_cfg`
+     * (Section 3.3.2) — KV-cache invariant with the base layout by
+     * construction.
+     */
+    static HeadLayout shift(const model::ModelConfig& m,
+                            const ParallelConfig& base_cfg);
+
+    /**
+     * Head placement of a naive full-TP configuration that shards heads in
+     * plain rank order 0..world-1. Equals the base layout only when the
+     * base has TP=1 or SP=1; used to demonstrate the invariance violation.
+     */
+    static HeadLayout naive_tp(const model::ModelConfig& m, int world);
+
+    /** @return number of ranks. */
+    int world() const { return static_cast<int>(ranks_.size()); }
+
+    /** @return heads on rank `r`. */
+    const RankHeads& rank(int r) const;
+
+    /** @return the rank serving each query head: result[head] = rank. */
+    std::vector<int> rank_of_q_head() const;
+
+    /** @return KV replication factor (ranks per KV head, >= 1). */
+    int kv_replication() const { return kv_replication_; }
+
+    /**
+     * @return true when `other` places every KV head on the same set of
+     * ranks in the same on-device order — i.e. the two configurations can
+     * share one KV cache with zero data movement.
+     */
+    bool invariant_with(const HeadLayout& other) const;
+
+  private:
+    static HeadLayout from_blocks(const model::ModelConfig& m,
+                                  const std::vector<int>& block_of_rank);
+
+    std::vector<RankHeads> ranks_;
+    int kv_replication_ = 1;
+};
+
+} // namespace shiftpar::parallel

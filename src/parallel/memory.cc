@@ -1,0 +1,71 @@
+#include "parallel/memory.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace shiftpar::parallel {
+
+MemoryPlan
+plan_memory(const model::ModelConfig& m, const hw::GpuSpec& gpu,
+            const ParallelConfig& cfg, bool with_shift_model,
+            WeightStrategy strategy, const MemoryOptions& opts)
+{
+    validate_config_or_die(m, cfg);
+    MemoryPlan plan;
+    const double w = m.weight_bytes();
+    // Expert weights additionally shard across the EP dimension
+    // (Section 4.6 extension); dense weights shard by TP only.
+    const double expert_frac = m.expert_weight_fraction();
+    const double dense = w * (1.0 - expert_frac);
+    const double experts = w * expert_frac;
+    plan.base_weight_bytes = dense / cfg.tp + experts / (cfg.tp * cfg.ep);
+    if (with_shift_model && strategy == WeightStrategy::kSeparateModels &&
+        cfg.sp > 1) {
+        // Eq. (1): the shift model adds W/(SP*TP) per GPU (its expert
+        // shards follow the same EP split).
+        plan.shift_weight_bytes =
+            dense / cfg.world() + experts / (cfg.world() * cfg.ep);
+    }
+    plan.workspace_bytes = opts.workspace_bytes;
+
+    const double budget = gpu.hbm_bytes * opts.hbm_utilization;
+    const double pool =
+        budget - plan.weight_bytes() - plan.workspace_bytes;
+    plan.kv_pool_bytes = std::max(0.0, pool);
+
+    // Each cached token's KV heads are spread across the group; replicated
+    // heads (world > kv_heads) occupy proportionally more space.
+    const int rep = kv_replication(m, cfg);
+    plan.kv_bytes_per_token_per_gpu =
+        m.kv_bytes_per_token() * rep / cfg.world();
+    if (plan.kv_bytes_per_token_per_gpu > 0.0 && plan.fits()) {
+        plan.kv_token_capacity = static_cast<std::int64_t>(
+            plan.kv_pool_bytes / plan.kv_bytes_per_token_per_gpu);
+    }
+    return plan;
+}
+
+std::string
+describe(const MemoryPlan& plan)
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(1);
+    os << "weights " << to_gb(plan.base_weight_bytes) << " GB";
+    if (plan.shift_weight_bytes > 0.0)
+        os << " + shift " << to_gb(plan.shift_weight_bytes) << " GB";
+    os << ", workspace " << to_gb(plan.workspace_bytes) << " GB";
+    if (plan.fits()) {
+        os << ", KV pool " << to_gb(plan.kv_pool_bytes) << " GB ("
+           << plan.kv_token_capacity << " tokens)";
+    } else {
+        os << ", DOES NOT FIT";
+    }
+    return os.str();
+}
+
+} // namespace shiftpar::parallel

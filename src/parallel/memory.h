@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Per-GPU memory planning (Section 3.3.2).
+ *
+ * Weights under a (SP, TP) base configuration are sharded by TP only — SP
+ * ranks replicate them — so each GPU holds `W / TP` bytes of base weights.
+ * Shift Parallelism additionally needs the shift model's full-TP shard:
+ *
+ *      w_total = W/TP + W/(SP*TP)                       (Eq. 1)
+ *
+ * with the *separate models* strategy (the paper's production choice), or
+ * just `W/TP` with *on-the-fly slicing* (which instead pays a per-step
+ * transpose penalty, modeled in `PerfModel`). Whatever HBM remains after
+ * weights and the activation workspace becomes the paged KV cache pool.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "hw/gpu.h"
+#include "model/model_config.h"
+#include "parallel/config.h"
+
+namespace shiftpar::parallel {
+
+/** How the shift configuration obtains its weight shards (Section 3.3.2). */
+enum class WeightStrategy
+{
+    /** Load a second, TP=P-sharded copy of the weights (paper default). */
+    kSeparateModels,
+
+    /** Slice the base shards per step; no extra memory, transpose cost. */
+    kOnTheFlySlicing,
+};
+
+/** Result of planning one GPU's memory for an engine. */
+struct MemoryPlan
+{
+    /** Base-model weight bytes per GPU (W / TP). */
+    double base_weight_bytes = 0.0;
+
+    /** Shift-model weight bytes per GPU (W / (SP*TP)); 0 when absent. */
+    double shift_weight_bytes = 0.0;
+
+    /** Activation/workspace reserve per GPU, bytes. */
+    double workspace_bytes = 0.0;
+
+    /** Paged KV pool per GPU, bytes (0 when the model does not fit). */
+    double kv_pool_bytes = 0.0;
+
+    /** KV bytes per cached token *on this GPU* (sharding + replication). */
+    double kv_bytes_per_token_per_gpu = 0.0;
+
+    /** Total tokens the engine's (sharded) KV cache can hold. */
+    std::int64_t kv_token_capacity = 0;
+
+    /** @return total weight bytes per GPU. */
+    double weight_bytes() const
+    {
+        return base_weight_bytes + shift_weight_bytes;
+    }
+
+    /** @return shift-model overhead as a fraction of base weights (1/SP). */
+    double shift_overhead_frac() const
+    {
+        return base_weight_bytes > 0.0
+                   ? shift_weight_bytes / base_weight_bytes
+                   : 0.0;
+    }
+
+    /** @return true when weights + workspace fit and some KV pool remains. */
+    bool fits() const { return kv_pool_bytes > 0.0; }
+};
+
+/** Planner knobs (vLLM-equivalent gpu_memory_utilization etc.). */
+struct MemoryOptions
+{
+    /** Fraction of HBM the engine may use (vLLM gpu_memory_utilization). */
+    double hbm_utilization = 0.92;
+
+    /** Activation/CUDA-graph workspace per GPU, bytes. */
+    double workspace_bytes = 4.0e9;
+};
+
+/**
+ * Plan one GPU's memory for an engine running `cfg`.
+ *
+ * @param with_shift_model Reserve the shift model's weights per Eq. (1)
+ *        (only meaningful with `kSeparateModels`).
+ */
+MemoryPlan plan_memory(const model::ModelConfig& m, const hw::GpuSpec& gpu,
+                       const ParallelConfig& cfg, bool with_shift_model,
+                       WeightStrategy strategy = WeightStrategy::kSeparateModels,
+                       const MemoryOptions& opts = {});
+
+/** Human-readable summary ("weights 13.6 GB + shift 1.7 GB, KV 112 GB"). */
+std::string describe(const MemoryPlan& plan);
+
+} // namespace shiftpar::parallel

@@ -1,0 +1,213 @@
+#include "parallel/perf_model.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace shiftpar::parallel {
+
+std::int64_t
+BatchWork::total_new_tokens() const
+{
+    std::int64_t total = 0;
+    for (const auto& c : chunks)
+        total += c.new_tokens;
+    return total;
+}
+
+BatchWork
+BatchWork::prefill(std::int64_t prompt_tokens)
+{
+    BatchWork w;
+    w.chunks.push_back({prompt_tokens, 0, true});
+    return w;
+}
+
+BatchWork
+BatchWork::decode(std::int64_t batch, std::int64_t context)
+{
+    BatchWork w;
+    w.chunks.reserve(static_cast<std::size_t>(batch));
+    for (std::int64_t i = 0; i < batch; ++i)
+        w.chunks.push_back({1, context, false});
+    return w;
+}
+
+StepTiming&
+StepTiming::operator+=(const StepTiming& o)
+{
+    gemm += o.gemm;
+    attention += o.attention;
+    comm += o.comm;
+    overhead += o.overhead;
+    return *this;
+}
+
+PerfModel::PerfModel(hw::Node node, model::ModelConfig m, PerfOptions opts)
+    : node_(std::move(node)), model_(std::move(m)), opts_(opts),
+      coll_(node_.link)
+{
+    model_.validate();
+}
+
+StepTiming
+PerfModel::step_time(const BatchWork& work, const ParallelConfig& cfg,
+                     bool sliced_weights) const
+{
+    validate_config_or_die(model_, cfg);
+    SP_ASSERT(cfg.world() <= node_.num_gpus,
+              "configuration exceeds node size");
+
+    const model::ModelConfig& m = model_;
+    const int g = cfg.world();
+    const int rep = kv_replication(m, cfg);
+    const double wbytes = model::dtype_bytes(m.weight_dtype);
+    const double act_b = opts_.act_bytes;
+
+    StepTiming t;
+    if (opts_.engine_overhead) {
+        t.overhead = opts_.step_overhead_base +
+                     opts_.step_overhead_per_rank * (g - 1);
+    }
+
+    const std::int64_t n_raw = work.total_new_tokens();
+    if (n_raw == 0)
+        return t;
+
+    // Section 3.2.1 load balancing: pad the batch to a multiple of SP so
+    // every rank receives the same number of sequence rows.
+    const std::int64_t n =
+        cfg.sp > 1 ? round_up(n_raw, cfg.sp) : n_raw;
+    const double rows = static_cast<double>(n) / cfg.sp;  // rows per GPU
+
+    // Effective compute tokens after feature scaling: SwiftKV shrinks
+    // prefill compute, speculative verification inflates decode compute.
+    double compute_tokens = 0.0;
+    for (const auto& c : work.chunks) {
+        compute_tokens += static_cast<double>(c.new_tokens) *
+                          (c.is_prefill ? opts_.swiftkv_prefill_factor
+                                        : opts_.decode_compute_inflation);
+    }
+    const double compute_scale =
+        compute_tokens / static_cast<double>(n_raw);
+
+    // ---- GEMM compute + weight streaming, per layer per GPU -------------
+    // Each GPU computes rows/SP of the sequence against 1/TP of the weight
+    // columns: FLOPs / (SP*TP). Weights are read once per step at 1/TP
+    // (SP replicates weights — this term is what makes SP decode slow).
+    const double gemm_flops_pg =
+        model::layer_gemm_flops(m, static_cast<double>(n) * compute_scale) /
+        g;
+    // Expert weights are additionally spread over the EP dimension
+    // (Section 4.6 extension): each rank streams only its local experts.
+    double weight_read_pg =
+        model::layer_dense_weight_bytes(m) / cfg.tp +
+        model::layer_expert_read_bytes(m, static_cast<double>(n)) /
+            (cfg.tp * cfg.ep);
+    if (sliced_weights) {
+        // On-the-fly slicing transposes each shard before use (FP8 Hopper
+        // limitation, Section 3.3.2) — modeled as extra weight traffic.
+        weight_read_pg *= 1.0 + opts_.slicing_overhead_frac;
+    }
+    const double act_bytes_pg =
+        model::layer_activation_bytes(m, static_cast<double>(n)) / g;
+    const double gemm_layer = node_.gpu.kernel_time(
+        gemm_flops_pg, weight_read_pg + act_bytes_pg,
+        node_.gpu.effective_gemm_flops(wbytes));
+
+    // ---- Attention, per layer per GPU -----------------------------------
+    // Heads are sharded across the whole group (identically under base and
+    // shift configs — the KV-cache invariance); replicated KV heads
+    // multiply cache traffic.
+    double attn_flops = 0.0;
+    double kv_traffic = 0.0;
+    for (const auto& c : work.chunks) {
+        const double nt = static_cast<double>(c.new_tokens);
+        const double past = static_cast<double>(c.past);
+        if (c.is_prefill) {
+            // SwiftKV skips attention in the reduced layers during prefill.
+            const double f = opts_.swiftkv_prefill_factor;
+            attn_flops += f * model::attn_flops(m, nt, past);
+            kv_traffic += f * model::kv_read_bytes(m, nt, past) +
+                          model::kv_write_bytes(m, nt);
+        } else {
+            // Verification queries attend with draft_len+1 positions per
+            // emitted token (compute inflation); the cache is still
+            // streamed once per chunk, so reads are not inflated.
+            attn_flops += opts_.decode_compute_inflation *
+                          model::attn_flops(m, nt, past);
+            kv_traffic += model::kv_read_bytes(m, nt, past) +
+                          model::kv_write_bytes(m, nt);
+        }
+    }
+    const double attn_flops_pg = attn_flops / g;
+    const double kv_traffic_pg = kv_traffic * rep / g;
+    const double attn_layer = node_.gpu.kernel_time(
+        attn_flops_pg, kv_traffic_pg,
+        node_.gpu.effective_attn_flops(model::dtype_bytes(m.kv_dtype)));
+
+    // ---- Communication, per layer (Algorithm 1) --------------------------
+    double comm_layer = 0.0;
+    if (cfg.tp > 1) {
+        // Lines 8 and 11: two all-reduces of embed[n/SP, d].
+        const double ar_bytes = rows * m.hidden_size * act_b;
+        comm_layer += 2.0 * coll_.all_reduce(ar_bytes, cfg.tp);
+    }
+    if (cfg.sp > 1) {
+        // Line 4: all-to-all of the fused QKV heads. GQA replaces 3h with
+        // h + 2*h_kv (Section 3.2.1); replication inflates the KV part.
+        const double qkv_cols =
+            (m.q_heads + 2.0 * m.kv_heads * rep) * m.head_dim / cfg.tp;
+        comm_layer += coll_.all_to_all(rows * qkv_cols * act_b, cfg.sp);
+        // Line 6: all-to-all of the attention output heads.
+        const double o_cols =
+            static_cast<double>(m.q_heads) * m.head_dim / cfg.tp;
+        comm_layer += coll_.all_to_all(rows * o_cols * act_b, cfg.sp);
+    }
+    if (m.is_moe() && cfg.ep > 1) {
+        // Expert parallelism routes each token's hidden state to its
+        // experts and back: dispatch + combine all-to-alls over the EP
+        // group, `active_experts` copies per token.
+        const double routed =
+            rows * m.active_experts * m.hidden_size * act_b / cfg.tp;
+        comm_layer += 2.0 * coll_.all_to_all(routed, cfg.ep);
+    }
+
+    t.gemm = m.num_layers * gemm_layer;
+    t.attention = m.num_layers * attn_layer * opts_.attention_scale;
+    t.comm = m.num_layers * comm_layer * opts_.comm_scale;
+
+    // ---- LM head (sampled positions only) --------------------------------
+    const double sampled = static_cast<double>(work.num_seqs());
+    const double head_flops = model::lm_head_flops(m, sampled) / g;
+    const double head_bytes =
+        static_cast<double>(m.vocab_size) * m.hidden_size * wbytes / g;
+    t.gemm += node_.gpu.kernel_time(head_flops, head_bytes,
+                                    node_.gpu.effective_gemm_flops(wbytes));
+
+    // ---- Final sequence all-gather (Algorithm 1 line 13) -----------------
+    if (cfg.sp > 1) {
+        t.comm += opts_.comm_scale *
+                  coll_.all_gather(
+                      static_cast<double>(n) * m.hidden_size * act_b,
+                      cfg.sp);
+    }
+    return t;
+}
+
+double
+PerfModel::prefill_time(std::int64_t prompt_tokens,
+                        const ParallelConfig& cfg) const
+{
+    return step_time(BatchWork::prefill(prompt_tokens), cfg).total();
+}
+
+double
+PerfModel::decode_step_time(std::int64_t batch, std::int64_t context,
+                            const ParallelConfig& cfg) const
+{
+    return step_time(BatchWork::decode(batch, context), cfg).total();
+}
+
+} // namespace shiftpar::parallel

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Analytical per-step performance model for all parallelism strategies.
+ *
+ * The model evaluates one engine iteration (a batch of prefill chunks and
+ * decode tokens) under an arbitrary (SP, TP) configuration, following
+ * Algorithm 1 of the paper, and returns the step time decomposed into the
+ * Figure 15 components: GEMM compute, attention, communication, and engine
+ * (vLLM-equivalent) overhead.
+ *
+ * Strategy-distinguishing behaviour captured here:
+ *  - TP shards weights (1/TP reads) but pays two all-reduces of the full
+ *    `n x d` embedding per layer — comm volume independent of TP degree
+ *    (Table 2's "TP x const" comm/compute ratio).
+ *  - SP shards the sequence; weights are replicated across SP ranks, so a
+ *    decode step streams the *whole* TP shard of the weights regardless of
+ *    batch size — the worst TPOT in Table 1. Its two all-to-alls move only
+ *    1/(SP*TP) of the head activations (Table 2's constant ratio).
+ *  - Small batches are padded up to a multiple of SP (Section 3.2.1 load
+ *    balancing), wasting up to (SP-1)/batch of the compute.
+ *  - KV replication (world > kv_heads, Section 3.2.1) inflates per-rank KV
+ *    traffic and the first all-to-all payload.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/topology.h"
+#include "model/flops.h"
+#include "model/model_config.h"
+#include "parallel/config.h"
+#include "parallel/memory.h"
+
+namespace shiftpar::parallel {
+
+/** One request's contribution to a step: new tokens after cached context. */
+struct SeqChunk
+{
+    /** Tokens processed this step (prefill chunk size, or 1 for decode). */
+    std::int64_t new_tokens = 0;
+
+    /** Tokens already in the KV cache for this sequence. */
+    std::int64_t past = 0;
+
+    /** True for prefill chunks (SwiftKV applies only to these). */
+    bool is_prefill = false;
+};
+
+/** The work one engine iteration performs. */
+struct BatchWork
+{
+    std::vector<SeqChunk> chunks;
+
+    /** @return sum of new tokens across chunks (the Alg. 2 batch size). */
+    std::int64_t total_new_tokens() const;
+
+    /** @return number of sequences in the batch. */
+    std::int64_t num_seqs() const
+    {
+        return static_cast<std::int64_t>(chunks.size());
+    }
+
+    /** Convenience: a pure-prefill batch of one request. */
+    static BatchWork prefill(std::int64_t prompt_tokens);
+
+    /** Convenience: a decode batch of `batch` sequences at `context` each. */
+    static BatchWork decode(std::int64_t batch, std::int64_t context);
+};
+
+/** Step time decomposed into the Figure 15 cost components (seconds). */
+struct StepTiming
+{
+    double gemm = 0.0;       ///< dense/expert GEMM compute + weight reads
+    double attention = 0.0;  ///< attention kernels + KV cache traffic
+    double comm = 0.0;       ///< collective communication
+    double overhead = 0.0;   ///< engine (scheduler/launch) overhead
+
+    double total() const { return gemm + attention + comm + overhead; }
+
+    StepTiming& operator+=(const StepTiming& o);
+};
+
+/** Engine-overhead and ablation knobs. */
+struct PerfOptions
+{
+    /** Fixed serving-engine overhead per step, seconds. */
+    double step_overhead_base = 2.0e-3;
+
+    /** Additional coordination overhead per extra rank in the group. */
+    double step_overhead_per_rank = 0.25e-3;
+
+    /** Extra fraction of weight-read time paid by on-the-fly slicing in
+     *  shift-mode steps (FP8 transpose penalty, Section 3.3.2). */
+    double slicing_overhead_frac = 0.30;
+
+    /** Activation dtype bytes (BF16 activations around FP8 GEMMs). */
+    double act_bytes = 2.0;
+
+    /**
+     * SwiftKV prefill-compute factor (Section 4.5): fraction of the full
+     * per-token prefill compute (GEMM + attention) that remains after the
+     * SwiftKV model transformation. 1.0 = disabled.
+     */
+    double swiftkv_prefill_factor = 1.0;
+
+    /**
+     * Speculative-decoding compute inflation on decode chunks: the verify
+     * pass processes draft_len+1 tokens to emit E accepted tokens, so each
+     * emitted token costs (draft_len+1)/E target-model FLOPs (plus the
+     * draft model). 1.0 = disabled.
+     */
+    double decode_compute_inflation = 1.0;
+
+    /**
+     * Component-removal knobs for the Fig. 15 methodology ("taking away
+     * one component at a time"): scale factors on the communication and
+     * attention components, and a switch for the engine overhead. 1/true
+     * = the real system; 0/false = component removed.
+     */
+    double comm_scale = 1.0;
+    double attention_scale = 1.0;
+    bool engine_overhead = true;
+};
+
+/**
+ * Evaluates step timings for one engine group on one node.
+ *
+ * Construct once per (node, model) pair and query with any valid
+ * configuration; the model is stateless across calls.
+ */
+class PerfModel
+{
+  public:
+    PerfModel(hw::Node node, model::ModelConfig m, PerfOptions opts = {});
+
+    /**
+     * Time one engine iteration.
+     *
+     * @param work The batch composition.
+     * @param cfg The execution configuration for this step.
+     * @param sliced_weights True when this is a shift-mode step executed
+     *        via on-the-fly slicing (adds the transpose penalty).
+     */
+    StepTiming step_time(const BatchWork& work, const ParallelConfig& cfg,
+                         bool sliced_weights = false) const;
+
+    /** Shorthand: full (unchunked) prefill of one prompt. */
+    double prefill_time(std::int64_t prompt_tokens,
+                        const ParallelConfig& cfg) const;
+
+    /** Shorthand: one decode step of `batch` seqs at `context` tokens. */
+    double decode_step_time(std::int64_t batch, std::int64_t context,
+                            const ParallelConfig& cfg) const;
+
+    const model::ModelConfig& model() const { return model_; }
+    const hw::Node& node() const { return node_; }
+    const PerfOptions& options() const { return opts_; }
+
+  private:
+    hw::Node node_;
+    model::ModelConfig model_;
+    PerfOptions opts_;
+    hw::CollectiveModel coll_;
+};
+
+} // namespace shiftpar::parallel

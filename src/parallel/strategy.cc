@@ -1,0 +1,42 @@
+#include "parallel/strategy.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/logging.h"
+
+namespace shiftpar::parallel {
+
+std::string
+strategy_name(Strategy s)
+{
+    switch (s) {
+      case Strategy::kDp:    return "DP";
+      case Strategy::kTp:    return "TP";
+      case Strategy::kSp:    return "SP";
+      case Strategy::kSpTp:  return "SP+TP";
+      case Strategy::kShift: return "Shift";
+    }
+    return "?";
+}
+
+Strategy
+parse_strategy(const std::string& name)
+{
+    std::string lower = name;
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (lower == "dp")
+        return Strategy::kDp;
+    if (lower == "tp")
+        return Strategy::kTp;
+    if (lower == "sp")
+        return Strategy::kSp;
+    if (lower == "sp+tp" || lower == "sptp")
+        return Strategy::kSpTp;
+    if (lower == "shift")
+        return Strategy::kShift;
+    fatal("unknown parallelism strategy: '" + name + "'");
+}
+
+} // namespace shiftpar::parallel

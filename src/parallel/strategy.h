@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Parallelism strategy identifiers and helpers.
+ */
+
+#pragma once
+
+#include <string>
+
+namespace shiftpar::parallel {
+
+/**
+ * The deployment-level parallelization strategies compared in the paper.
+ *
+ *  - kDp:    data parallelism — P independent single-GPU replicas.
+ *  - kTp:    tensor parallelism across all P GPUs.
+ *  - kSp:    Ulysses sequence parallelism across all P GPUs.
+ *  - kSpTp:  a static combined (SP, TP) configuration (Algorithm 1).
+ *  - kShift: Shift Parallelism — dynamic per-step switching between the
+ *            base (SP or SP x TP) and shift (full TP) configurations
+ *            (Algorithm 2).
+ */
+enum class Strategy { kDp, kTp, kSp, kSpTp, kShift };
+
+/** @return short printable name ("DP", "TP", "SP", "SP+TP", "Shift"). */
+std::string strategy_name(Strategy s);
+
+/** Parse a strategy name (case-insensitive); fatal() on unknown input. */
+Strategy parse_strategy(const std::string& name);
+
+} // namespace shiftpar::parallel

@@ -1,0 +1,170 @@
+#include "util/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace shiftpar {
+
+namespace {
+
+/** Glyphs assigned to series in order. */
+constexpr const char* kGlyphs = "*o+x#@%&";
+
+/** Resample `v` to `n` points by averaging each destination bucket. */
+std::vector<double>
+resample(const std::vector<double>& v, int n)
+{
+    std::vector<double> out(static_cast<std::size_t>(n), 0.0);
+    if (v.empty())
+        return out;
+    for (int i = 0; i < n; ++i) {
+        const std::size_t lo = v.size() * static_cast<std::size_t>(i) /
+                               static_cast<std::size_t>(n);
+        std::size_t hi = v.size() * static_cast<std::size_t>(i + 1) /
+                         static_cast<std::size_t>(n);
+        hi = std::max(hi, lo + 1);
+        double acc = 0.0;
+        for (std::size_t j = lo; j < hi && j < v.size(); ++j)
+            acc += v[j];
+        out[static_cast<std::size_t>(i)] =
+            acc / static_cast<double>(std::min(hi, v.size()) - lo);
+    }
+    return out;
+}
+
+std::string
+fmt_tick(double v)
+{
+    std::ostringstream os;
+    if (std::abs(v) >= 1e6)
+        os << std::fixed << std::setprecision(1) << v / 1e6 << "M";
+    else if (std::abs(v) >= 1e3)
+        os << std::fixed << std::setprecision(1) << v / 1e3 << "k";
+    else
+        os << std::fixed << std::setprecision(v < 10 ? 2 : 0) << v;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+render_line_plot(const std::vector<PlotSeries>& series,
+                 const LinePlotOptions& opts)
+{
+    SP_ASSERT(opts.width >= 8 && opts.height >= 2);
+    if (series.empty())
+        return "(empty plot)\n";
+
+    // Resample all series and find the global range.
+    std::vector<std::vector<double>> rs;
+    double lo = 1e300;
+    double hi = -1e300;
+    for (const auto& s : series) {
+        rs.push_back(resample(s.values, opts.width));
+        for (double v : rs.back()) {
+            if (opts.log_y && v <= 0.0)
+                continue;
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+    }
+    if (lo > hi) {
+        lo = 0.0;
+        hi = 1.0;
+    }
+    if (hi == lo)
+        hi = lo + 1.0;
+
+    const auto to_row = [&](double v) -> int {
+        double t;
+        if (opts.log_y) {
+            if (v <= 0.0)
+                return -1;
+            t = (std::log(v) - std::log(lo)) /
+                (std::log(hi) - std::log(lo));
+        } else {
+            t = (v - lo) / (hi - lo);
+        }
+        t = std::clamp(t, 0.0, 1.0);
+        return static_cast<int>(std::lround(t * (opts.height - 1)));
+    };
+
+    // Paint the grid bottom-up.
+    std::vector<std::string> grid(
+        static_cast<std::size_t>(opts.height),
+        std::string(static_cast<std::size_t>(opts.width), ' '));
+    for (std::size_t si = 0; si < rs.size(); ++si) {
+        const char glyph = kGlyphs[si % 8];
+        for (int x = 0; x < opts.width; ++x) {
+            const int row = to_row(rs[si][static_cast<std::size_t>(x)]);
+            if (row >= 0)
+                grid[static_cast<std::size_t>(row)]
+                    [static_cast<std::size_t>(x)] = glyph;
+        }
+    }
+
+    std::ostringstream os;
+    if (!opts.y_label.empty() || opts.log_y)
+        os << opts.y_label << (opts.log_y ? " (log scale)" : "") << "\n";
+    const std::string hi_tick = fmt_tick(hi);
+    const std::string lo_tick = fmt_tick(lo);
+    const std::size_t margin = std::max(hi_tick.size(), lo_tick.size());
+    for (int r = opts.height - 1; r >= 0; --r) {
+        std::string tick;
+        if (r == opts.height - 1)
+            tick = hi_tick;
+        else if (r == 0)
+            tick = lo_tick;
+        os << std::setw(static_cast<int>(margin)) << tick << " |"
+           << grid[static_cast<std::size_t>(r)] << "\n";
+    }
+    os << std::string(margin + 1, ' ') << '+'
+       << std::string(static_cast<std::size_t>(opts.width), '-') << "\n";
+    if (!opts.x_label.empty()) {
+        os << std::string(margin + 2, ' ') << opts.x_label << "\n";
+    }
+    os << std::string(margin + 2, ' ');
+    for (std::size_t si = 0; si < series.size(); ++si) {
+        if (si)
+            os << "   ";
+        os << kGlyphs[si % 8] << " " << series[si].name;
+    }
+    os << "\n";
+    return os.str();
+}
+
+std::string
+render_bar_chart(const std::vector<std::string>& labels,
+                 const std::vector<double>& values,
+                 const std::string& value_label, int width)
+{
+    SP_ASSERT(labels.size() == values.size());
+    if (labels.empty())
+        return "(empty chart)\n";
+    double hi = 0.0;
+    std::size_t label_w = 0;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        hi = std::max(hi, values[i]);
+        label_w = std::max(label_w, labels[i].size());
+    }
+    if (hi <= 0.0)
+        hi = 1.0;
+
+    std::ostringstream os;
+    if (!value_label.empty())
+        os << value_label << "\n";
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        const int len = static_cast<int>(
+            std::lround(values[i] / hi * width));
+        os << std::setw(static_cast<int>(label_w)) << labels[i] << " |"
+           << std::string(static_cast<std::size_t>(std::max(0, len)), '#')
+           << " " << fmt_tick(values[i]) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace shiftpar

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Terminal plotting for bench output: multi-series line charts and
+ * horizontal bar charts rendered with Unicode block characters.
+ *
+ * The paper's timeline figures (Figs. 7, 9, 10) are regenerated directly in
+ * the terminal so bench_output.txt carries the visual shape, not just
+ * numbers. Plots are deterministic text — diffable across runs.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace shiftpar {
+
+/** One named series of (implicitly x-indexed) samples. */
+struct PlotSeries
+{
+    std::string name;
+    std::vector<double> values;
+};
+
+/** Options for the line chart renderer. */
+struct LinePlotOptions
+{
+    /** Plot body width in characters (series are resampled to fit). */
+    int width = 72;
+
+    /** Plot body height in rows. */
+    int height = 12;
+
+    /** Y-axis label (printed in the header). */
+    std::string y_label;
+
+    /** X-axis label (printed under the plot). */
+    std::string x_label;
+
+    /** Use a logarithmic y-axis (values must be > 0 where plotted). */
+    bool log_y = false;
+};
+
+/**
+ * Render a multi-series line chart; each series gets a distinct glyph.
+ * Series may have different lengths — each is resampled onto the width.
+ */
+std::string render_line_plot(const std::vector<PlotSeries>& series,
+                             const LinePlotOptions& opts = {});
+
+/** Render a labeled horizontal bar chart (one bar per entry). */
+std::string render_bar_chart(const std::vector<std::string>& labels,
+                             const std::vector<double>& values,
+                             const std::string& value_label, int width = 50);
+
+} // namespace shiftpar

@@ -1,0 +1,74 @@
+#include "util/csv.h"
+
+#include <filesystem>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace shiftpar {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : arity_(header.size())
+{
+    SP_ASSERT(!header.empty());
+    const auto parent = std::filesystem::path(path).parent_path();
+    if (!parent.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+    }
+    out_.open(path);
+    if (!out_) {
+        SP_LOG_WARN("CsvWriter: could not open ", path,
+                    "; results will not be persisted");
+        return;
+    }
+    write_fields(header);
+}
+
+void
+CsvWriter::add_row(const std::vector<std::string>& row)
+{
+    SP_ASSERT(row.size() == arity_, "CSV row arity mismatch");
+    if (out_)
+        write_fields(row);
+}
+
+void
+CsvWriter::add_row(const std::vector<double>& row)
+{
+    std::vector<std::string> fields;
+    fields.reserve(row.size());
+    for (double v : row) {
+        std::ostringstream os;
+        os << v;
+        fields.push_back(os.str());
+    }
+    add_row(fields);
+}
+
+void
+CsvWriter::write_fields(const std::vector<std::string>& fields)
+{
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        const std::string& f = fields[i];
+        const bool needs_quotes =
+            f.find_first_of(",\"\n") != std::string::npos;
+        if (i != 0)
+            out_ << ',';
+        if (needs_quotes) {
+            out_ << '"';
+            for (char c : f) {
+                if (c == '"')
+                    out_ << '"';
+                out_ << c;
+            }
+            out_ << '"';
+        } else {
+            out_ << f;
+        }
+    }
+    out_ << '\n';
+}
+
+} // namespace shiftpar

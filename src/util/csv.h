@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Tiny CSV writer used by bench binaries to persist figure series.
+ *
+ * Bench binaries write one CSV per figure into `bench_results/` so the
+ * series can be re-plotted outside the harness. Fields containing commas or
+ * quotes are quoted per RFC 4180.
+ */
+
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace shiftpar {
+
+/** Streams rows to a CSV file; creates parent directory if needed. */
+class CsvWriter
+{
+  public:
+    /**
+     * Open `path` for writing and emit the header row.
+     *
+     * @param path Output file path; its parent directory is created.
+     * @param header Column names.
+     */
+    CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+    /** Append a row of string fields (must match header arity). */
+    void add_row(const std::vector<std::string>& row);
+
+    /** Append a row of doubles (formatted with max precision). */
+    void add_row(const std::vector<double>& row);
+
+    /** @return true if the file opened successfully. */
+    bool ok() const { return static_cast<bool>(out_); }
+
+  private:
+    void write_fields(const std::vector<std::string>& fields);
+
+    std::ofstream out_;
+    std::size_t arity_;
+};
+
+} // namespace shiftpar

@@ -1,0 +1,147 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace shiftpar {
+
+namespace {
+
+/** SplitMix64 step, used for seeding and stream splitting. */
+std::uint64_t
+splitmix64(std::uint64_t& x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto& s : s_)
+        s = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next_u64()
+{
+    // xoshiro256** by Blackman & Vigna (public domain reference).
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t
+Rng::uniform_int(std::int64_t lo, std::int64_t hi)
+{
+    SP_ASSERT(lo <= hi);
+    const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0)  // full 64-bit range
+        return static_cast<std::int64_t>(next_u64());
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % range);
+    std::uint64_t v;
+    do {
+        v = next_u64();
+    } while (v >= limit);
+    return lo + static_cast<std::int64_t>(v % range);
+}
+
+double
+Rng::exponential(double rate)
+{
+    SP_ASSERT(rate > 0.0);
+    // -log(1 - U) avoids log(0) since uniform() < 1.
+    return -std::log(1.0 - uniform()) / rate;
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    // Box-Muller; draws two uniforms per variate (second discarded for
+    // simplicity and reproducibility under stream splitting).
+    double u1 = 1.0 - uniform();  // (0, 1]
+    double u2 = uniform();
+    double z = std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * M_PI * u2);
+    return mean + stddev * z;
+}
+
+double
+Rng::lognormal(double mu, double sigma)
+{
+    return std::exp(normal(mu, sigma));
+}
+
+double
+Rng::pareto(double xm, double alpha)
+{
+    SP_ASSERT(xm > 0.0 && alpha > 0.0);
+    return xm / std::pow(1.0 - uniform(), 1.0 / alpha);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+std::size_t
+Rng::categorical(const std::vector<double>& weights)
+{
+    SP_ASSERT(!weights.empty());
+    double total = 0.0;
+    for (double w : weights) {
+        SP_ASSERT(w >= 0.0);
+        total += w;
+    }
+    SP_ASSERT(total > 0.0);
+    double r = uniform() * total;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (r < acc)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+Rng
+Rng::split()
+{
+    std::uint64_t child_seed = next_u64();
+    return Rng(child_seed);
+}
+
+} // namespace shiftpar

@@ -1,0 +1,92 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace shiftpar {
+
+Table::Table(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    SP_ASSERT(!header_.empty());
+}
+
+void
+Table::add_row(std::vector<std::string> row)
+{
+    SP_ASSERT(row.size() == header_.size(),
+              "row arity must match header arity");
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::fmt(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+Table::fmt_count(long long v)
+{
+    std::string digits = std::to_string(v < 0 ? -v : v);
+    std::string out;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count != 0 && count % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    if (v < 0)
+        out.push_back('-');
+    return {out.rbegin(), out.rend()};
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto render_row = [&](const std::vector<std::string>& row) {
+        std::string line;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            line += "| ";
+            line += row[c];
+            line.append(widths[c] - row[c].size() + 1, ' ');
+        }
+        line += "|\n";
+        return line;
+    };
+
+    std::string sep;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        sep += "+";
+        sep.append(widths[c] + 2, '-');
+    }
+    sep += "+\n";
+
+    std::string out = sep + render_row(header_) + sep;
+    for (const auto& row : rows_)
+        out += render_row(row);
+    out += sep;
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+} // namespace shiftpar

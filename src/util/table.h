@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Aligned ASCII table rendering for benchmark reports.
+ *
+ * Every bench binary prints its figure/table as an aligned text table so the
+ * paper-vs-measured comparison is readable directly from stdout (and is
+ * captured verbatim into bench_output.txt).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace shiftpar {
+
+/** Builds and renders a column-aligned text table. */
+class Table
+{
+  public:
+    /** Construct with the header row. */
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a pre-formatted row (must match header arity). */
+    void add_row(std::vector<std::string> row);
+
+    /**
+     * Format a double with `precision` fractional digits (fixed notation).
+     */
+    static std::string fmt(double v, int precision = 1);
+
+    /** Format an integer with thousands separators (e.g. "75,535"). */
+    static std::string fmt_count(long long v);
+
+    /** @return the rendered table, trailing newline included. */
+    std::string render() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace shiftpar

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Unit helpers and conversions used throughout the simulator.
+ *
+ * All internal times are held in double-precision seconds, data sizes in
+ * double-precision bytes, and compute in double-precision FLOPs. The helpers
+ * here make call sites self-documenting (e.g. `gb(141)` instead of a raw
+ * constant) and centralize the decimal-vs-binary convention: we follow vendor
+ * datasheet convention (decimal GB/TB, as H200's "141 GB" and "4.8 TB/s"
+ * are specified) everywhere.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace shiftpar {
+
+/** Kilo/mega/giga/tera multipliers (decimal, datasheet convention). */
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+
+/** @return `x` decimal kilobytes in bytes. */
+inline constexpr double kb(double x) { return x * kKilo; }
+/** @return `x` megabytes in bytes. */
+inline constexpr double mb(double x) { return x * kMega; }
+/** @return `x` gigabytes in bytes. */
+inline constexpr double gb(double x) { return x * kGiga; }
+/** @return `x` terabytes in bytes. */
+inline constexpr double tb(double x) { return x * kTera; }
+
+/** @return `x` teraFLOPs (or TFLOP/s) in FLOPs. */
+inline constexpr double tflops(double x) { return x * kTera; }
+/** @return `x` gigaFLOPs in FLOPs. */
+inline constexpr double gflops(double x) { return x * kGiga; }
+
+/** @return `x` microseconds in seconds. */
+inline constexpr double usec(double x) { return x * 1e-6; }
+/** @return `x` milliseconds in seconds. */
+inline constexpr double msec(double x) { return x * 1e-3; }
+
+/** @return seconds expressed in milliseconds (for reporting). */
+inline constexpr double to_ms(double seconds) { return seconds * 1e3; }
+/** @return seconds expressed in microseconds (for reporting). */
+inline constexpr double to_us(double seconds) { return seconds * 1e6; }
+
+/** @return bytes expressed in decimal gigabytes (for reporting). */
+inline constexpr double to_gb(double bytes) { return bytes / kGiga; }
+
+/** Integer ceiling division for non-negative operands. */
+inline constexpr std::int64_t
+ceil_div(std::int64_t a, std::int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round `a` up to the next multiple of `b` (b > 0). */
+inline constexpr std::int64_t
+round_up(std::int64_t a, std::int64_t b)
+{
+    return ceil_div(a, b) * b;
+}
+
+} // namespace shiftpar

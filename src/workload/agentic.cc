@@ -1,0 +1,53 @@
+#include "workload/agentic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace shiftpar::workload {
+
+std::vector<engine::RequestSpec>
+agentic_sessions(Rng& rng, const AgenticOptions& opts)
+{
+    SP_ASSERT(opts.num_agents >= 1 && opts.turns_per_agent >= 1);
+    SP_ASSERT(opts.base_context >= 1 && opts.turn_delta >= 1);
+
+    std::vector<engine::RequestSpec> reqs;
+    reqs.reserve(static_cast<std::size_t>(opts.num_agents) *
+                 opts.turns_per_agent);
+    const double mu_out = std::log(opts.output_median);
+
+    for (int agent = 0; agent < opts.num_agents; ++agent) {
+        Rng agent_rng = rng.split();
+        double t = opts.session_stagger * agent;
+        std::int64_t context = opts.base_context;
+        for (int turn = 0; turn < opts.turns_per_agent; ++turn) {
+            engine::RequestSpec r;
+            r.arrival = t;
+            // The prompt is the accumulated context plus this turn's new
+            // tokens; everything but the new tokens is shared with the
+            // agent's previous turns.
+            r.prompt_tokens = context + opts.turn_delta;
+            r.prefix_id = agent;
+            r.prefix_tokens = context;
+            r.output_tokens = std::max<std::int64_t>(
+                1, static_cast<std::int64_t>(std::llround(
+                       agent_rng.lognormal(mu_out, opts.output_sigma))));
+            reqs.push_back(r);
+
+            // The next turn's context absorbs this prompt and its output.
+            context = r.prompt_tokens + r.output_tokens;
+            t += agent_rng.exponential(1.0 / opts.think_time) +
+                 opts.est_service;
+        }
+    }
+    std::stable_sort(reqs.begin(), reqs.end(),
+                     [](const engine::RequestSpec& a,
+                        const engine::RequestSpec& b) {
+                         return a.arrival < b.arrival;
+                     });
+    return reqs;
+}
+
+} // namespace shiftpar::workload

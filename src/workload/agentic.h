@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Agentic-session workload with shared, growing prefixes.
+ *
+ * Models the paper's motivating coding-agent pattern (Section 2.1): each
+ * agent issues a closed loop of requests whose prompts share an
+ * ever-growing context (system prompt + repo + conversation so far). The
+ * generated requests carry `prefix_id`/`prefix_tokens` so deployments with
+ * automatic prefix caching can serve the shared part from cache.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "engine/request.h"
+#include "util/rng.h"
+
+namespace shiftpar::workload {
+
+/** Knobs for the agentic-session generator. */
+struct AgenticOptions
+{
+    /** Number of concurrent agent sessions. */
+    int num_agents = 16;
+
+    /** Requests issued by each agent. */
+    int turns_per_agent = 8;
+
+    /** Initial shared context (system prompt + repo), tokens. */
+    std::int64_t base_context = 6000;
+
+    /** New prompt tokens added per turn (tool output, user message). */
+    std::int64_t turn_delta = 600;
+
+    /** Median output tokens per turn. */
+    double output_median = 250.0;
+
+    /** Log-space spread of output lengths. */
+    double output_sigma = 0.4;
+
+    /** Mean agent think time between turns, seconds. */
+    double think_time = 2.0;
+
+    /** Estimated service time per turn, seconds (arrival spacing). */
+    double est_service = 4.0;
+
+    /** Spacing between session starts, seconds. */
+    double session_stagger = 1.0;
+};
+
+/**
+ * Generate the sessions. Turn t of an agent has prompt = base_context +
+ * t*(turn_delta + prior output) with everything except the final
+ * `turn_delta` marked as the shared prefix; `prefix_id` is the agent
+ * index. Sorted by arrival.
+ */
+std::vector<engine::RequestSpec>
+agentic_sessions(Rng& rng, const AgenticOptions& opts = {});
+
+} // namespace shiftpar::workload

@@ -1,0 +1,101 @@
+#include "workload/arrival.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace shiftpar::workload {
+
+std::vector<double>
+fixed_rate_arrivals(double rate, double duration, double start)
+{
+    SP_ASSERT(rate > 0.0 && duration >= 0.0);
+    std::vector<double> times;
+    const double gap = 1.0 / rate;
+    for (double t = 0.0; t < duration; t += gap)
+        times.push_back(start + t);
+    return times;
+}
+
+std::vector<double>
+poisson_arrivals(Rng& rng, double rate, double duration, double start)
+{
+    return gamma_arrivals(rng, rate, 1.0, duration, start);
+}
+
+namespace {
+
+/**
+ * Gamma(shape, scale) variate via Marsaglia-Tsang (shape >= 1) with the
+ * boost for shape < 1.
+ */
+double
+gamma_variate(Rng& rng, double shape, double scale)
+{
+    SP_ASSERT(shape > 0.0 && scale > 0.0);
+    if (shape < 1.0) {
+        const double u = rng.uniform();
+        return gamma_variate(rng, shape + 1.0, scale) *
+               std::pow(u, 1.0 / shape);
+    }
+    const double d = shape - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+        double x;
+        double v;
+        do {
+            x = rng.normal();
+            v = 1.0 + c * x;
+        } while (v <= 0.0);
+        v = v * v * v;
+        const double u = rng.uniform();
+        if (u < 1.0 - 0.0331 * x * x * x * x)
+            return d * v * scale;
+        if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+            return d * v * scale;
+    }
+}
+
+} // namespace
+
+std::vector<double>
+gamma_arrivals(Rng& rng, double rate, double burstiness, double duration,
+               double start)
+{
+    SP_ASSERT(rate > 0.0 && burstiness > 0.0 && duration >= 0.0);
+    std::vector<double> times;
+    // Inter-arrival ~ Gamma(shape=burstiness, mean=1/rate).
+    const double scale = 1.0 / (rate * burstiness);
+    double t = gamma_variate(rng, burstiness, scale);
+    while (t < duration) {
+        times.push_back(start + t);
+        t += gamma_variate(rng, burstiness, scale);
+    }
+    return times;
+}
+
+std::vector<double>
+batch_arrivals(Rng& rng, double batch_size, double period, double duration,
+               double start)
+{
+    SP_ASSERT(batch_size > 0.0 && period > 0.0 && duration >= 0.0);
+    std::vector<double> times;
+    for (double t = 0.0; t < duration; t += period) {
+        // Poisson-distributed batch size with the given mean (inverse CDF
+        // by sequential search; means here are small).
+        const double u = rng.uniform();
+        double p = std::exp(-batch_size);
+        double cdf = p;
+        int k = 0;
+        while (u > cdf && k < 10000) {
+            ++k;
+            p *= batch_size / k;
+            cdf += p;
+        }
+        for (int i = 0; i < k; ++i)
+            times.push_back(start + t);
+    }
+    return times;
+}
+
+} // namespace shiftpar::workload

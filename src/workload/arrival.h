@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Request arrival processes.
+ *
+ * Every generator returns ascending arrival times within [start, start +
+ * duration). The gamma-modulated process reproduces vLLM's serving-benchmark
+ * `--burstiness` knob (inter-arrival times ~ Gamma(shape=burstiness,
+ * mean=1/rate); burstiness < 1 clusters arrivals, 1 = Poisson).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace shiftpar::workload {
+
+/** Evenly spaced arrivals at `rate` requests/second. */
+std::vector<double> fixed_rate_arrivals(double rate, double duration,
+                                        double start = 0.0);
+
+/** Poisson arrivals at `rate` requests/second. */
+std::vector<double> poisson_arrivals(Rng& rng, double rate, double duration,
+                                     double start = 0.0);
+
+/**
+ * Gamma-renewal arrivals (vLLM benchmark semantics).
+ *
+ * @param rate Mean request rate, req/s.
+ * @param burstiness Gamma shape; 1 = Poisson, < 1 = bursty.
+ */
+std::vector<double> gamma_arrivals(Rng& rng, double rate, double burstiness,
+                                   double duration, double start = 0.0);
+
+/**
+ * Batched arrivals: every `period` seconds a batch of ~`batch_size`
+ * requests lands simultaneously (Poisson-distributed batch size) — the
+ * Mooncake conversation pattern of Fig. 8(b).
+ */
+std::vector<double> batch_arrivals(Rng& rng, double batch_size, double period,
+                                   double duration, double start = 0.0);
+
+} // namespace shiftpar::workload

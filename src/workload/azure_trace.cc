@@ -1,0 +1,67 @@
+#include "workload/azure_trace.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "workload/arrival.h"
+#include "workload/synthetic.h"
+
+namespace shiftpar::workload {
+
+std::vector<engine::RequestSpec>
+azure_code_trace(Rng& rng, const AzureTraceOptions& opts)
+{
+    SP_ASSERT(opts.duration > 0.0);
+    Rng on_off_rng = rng.split();
+    Rng arrivals_rng = rng.split();
+    Rng sizes_rng = rng.split();
+
+    const SizeSampler sizes =
+        lognormal_size(opts.prompt_median, opts.prompt_sigma,
+                       opts.output_median, opts.output_sigma,
+                       /*min_tokens=*/1, /*max_prompt=*/32768,
+                       /*max_output=*/1024);
+
+    // On/off modulated arrivals: agents work in closed loops, producing
+    // clustered activity separated by silent regions.
+    std::vector<engine::RequestSpec> reqs;
+    double t = 0.0;
+    bool active = true;
+    while (t < opts.duration) {
+        const double span = active
+                                ? on_off_rng.exponential(1.0 / opts.active_mean)
+                                : on_off_rng.exponential(1.0 / opts.silent_mean);
+        const double end = std::min(t + span, opts.duration);
+        if (active && end > t) {
+            const auto burst = make_requests(
+                gamma_arrivals(arrivals_rng, opts.active_rate,
+                               /*burstiness=*/0.6, end - t, t),
+                sizes_rng, sizes);
+            reqs.insert(reqs.end(), burst.begin(), burst.end());
+        }
+        t = end;
+        active = !active;
+    }
+
+    // Prominent large bursts (the paper highlights three in Fig. 9).
+    const double seg =
+        opts.duration / static_cast<double>(opts.num_big_bursts + 1);
+    for (int i = 1; i <= opts.num_big_bursts; ++i) {
+        const double start = seg * i;
+        const auto burst = make_requests(
+            gamma_arrivals(arrivals_rng, opts.big_burst_rate,
+                           /*burstiness=*/0.5, opts.big_burst_duration,
+                           start),
+            sizes_rng, sizes);
+        reqs.insert(reqs.end(), burst.begin(), burst.end());
+    }
+
+    std::stable_sort(reqs.begin(), reqs.end(),
+                     [](const engine::RequestSpec& a,
+                        const engine::RequestSpec& b) {
+                         return a.arrival < b.arrival;
+                     });
+    return reqs;
+}
+
+} // namespace shiftpar::workload

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Synthetic Azure LLM Code trace (Fig. 8(a), Fig. 9, Fig. 11(a)).
+ *
+ * The paper replays 15 minutes of the Azure LLM inference *code* trace
+ * (Patel et al., Splitwise, ISCA'24) — real-world agentic code completion.
+ * The published trace characteristics we reproduce: strongly bursty
+ * arrivals with silent regions and a few prominent bursts (the paper calls
+ * out three), medium-to-long prompts (code context, heavy tail) and short
+ * outputs (completions). We synthesize an equivalent trace from those
+ * marginals: an on/off arrival process with a handful of large bursts
+ * layered on top, lognormal prompt lengths, short lognormal outputs.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "engine/request.h"
+#include "util/rng.h"
+
+namespace shiftpar::workload {
+
+/** Knobs for the synthetic Azure code trace. */
+struct AzureTraceOptions
+{
+    /** Trace duration, seconds (paper replays 15 minutes). */
+    double duration = 900.0;
+
+    /** Mean request rate inside active (on) periods, req/s. */
+    double active_rate = 3.0;
+
+    /** Mean active-period length, seconds. */
+    double active_mean = 20.0;
+
+    /** Mean silent-period length, seconds. */
+    double silent_mean = 12.0;
+
+    /** Number of prominent large bursts (paper: three). */
+    int num_big_bursts = 3;
+
+    /** Request rate inside a big burst, req/s. */
+    double big_burst_rate = 25.0;
+
+    /** Big-burst duration, seconds. */
+    double big_burst_duration = 15.0;
+
+    /** Prompt length distribution (code context, heavy-tailed). */
+    double prompt_median = 2500.0;
+    double prompt_sigma = 1.0;
+
+    /** Output length distribution (short completions). */
+    double output_median = 60.0;
+    double output_sigma = 0.9;
+};
+
+/** Generate the synthetic Azure code trace, sorted by arrival. */
+std::vector<engine::RequestSpec>
+azure_code_trace(Rng& rng, const AzureTraceOptions& opts = {});
+
+} // namespace shiftpar::workload

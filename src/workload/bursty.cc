@@ -1,0 +1,61 @@
+#include "workload/bursty.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "workload/arrival.h"
+#include "workload/synthetic.h"
+
+namespace shiftpar::workload {
+
+std::vector<double>
+burst_starts(const BurstyOptions& opts)
+{
+    SP_ASSERT(opts.num_bursts >= 0);
+    std::vector<double> starts;
+    // Center the bursts in equal segments of the run, leaving a quiet
+    // lead-in and tail.
+    const double seg =
+        opts.duration / static_cast<double>(opts.num_bursts + 1);
+    for (int i = 1; i <= opts.num_bursts; ++i)
+        starts.push_back(seg * i - opts.burst_duration / 2.0);
+    return starts;
+}
+
+std::vector<engine::RequestSpec>
+bursty_workload(Rng& rng, const BurstyOptions& opts)
+{
+    SP_ASSERT(opts.duration > 0.0);
+    Rng arrivals_rng = rng.split();
+    Rng sizes_rng = rng.split();
+
+    const SizeSampler interactive =
+        lognormal_size(opts.interactive_prompt_median, opts.sigma,
+                       opts.interactive_output_median, opts.sigma);
+    const SizeSampler batch =
+        lognormal_size(opts.batch_prompt_median, opts.sigma,
+                       opts.batch_output_median, opts.sigma);
+
+    // Steady interactive stream over the full duration.
+    std::vector<engine::RequestSpec> reqs = make_requests(
+        poisson_arrivals(arrivals_rng, opts.base_rate, opts.duration),
+        sizes_rng, interactive);
+
+    // Throughput bursts.
+    for (double start : burst_starts(opts)) {
+        const auto burst = make_requests(
+            gamma_arrivals(arrivals_rng, opts.burst_rate,
+                           /*burstiness=*/0.5, opts.burst_duration, start),
+            sizes_rng, batch);
+        reqs.insert(reqs.end(), burst.begin(), burst.end());
+    }
+
+    std::stable_sort(reqs.begin(), reqs.end(),
+                     [](const engine::RequestSpec& a,
+                        const engine::RequestSpec& b) {
+                         return a.arrival < b.arrival;
+                     });
+    return reqs;
+}
+
+} // namespace shiftpar::workload

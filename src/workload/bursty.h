@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Bursty mixed workload (Fig. 2 / Fig. 7 / Table 5).
+ *
+ * Models the paper's production-like pattern: a steady low-rate stream of
+ * latency-sensitive interactive requests with periodic high-rate bursts of
+ * throughput-sensitive batch requests, built with the same gamma-modulated
+ * arrival mechanics as vLLM's burstiness benchmark.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "engine/request.h"
+#include "util/rng.h"
+
+namespace shiftpar::workload {
+
+/** Knobs for the bursty generator. */
+struct BurstyOptions
+{
+    /** Total experiment duration, seconds. */
+    double duration = 600.0;
+
+    /** Steady interactive stream rate, req/s. */
+    double base_rate = 0.5;
+
+    /** Number of high-traffic bursts, evenly spaced. */
+    int num_bursts = 4;
+
+    /** Duration of each burst, seconds. */
+    double burst_duration = 25.0;
+
+    /** Request rate inside a burst, req/s. */
+    double burst_rate = 25.0;
+
+    /** Interactive request sizes (agentic/chat-like). */
+    double interactive_prompt_median = 1200.0;
+    double interactive_output_median = 250.0;
+
+    /** Batch request sizes (summarization/analysis-like). */
+    double batch_prompt_median = 3000.0;
+    double batch_output_median = 150.0;
+
+    /** Log-space spread of all sizes. */
+    double sigma = 0.6;
+};
+
+/**
+ * Generate the bursty workload; interactive requests arrive throughout,
+ * batch requests only inside bursts. Sorted by arrival.
+ */
+std::vector<engine::RequestSpec> bursty_workload(Rng& rng,
+                                                 const BurstyOptions& opts);
+
+/** Burst window start times for the given options (for plotting). */
+std::vector<double> burst_starts(const BurstyOptions& opts);
+
+} // namespace shiftpar::workload

@@ -1,0 +1,71 @@
+#include "workload/characterize.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace shiftpar::workload {
+
+WorkloadStats
+characterize(const std::vector<engine::RequestSpec>& reqs,
+             double bin_seconds)
+{
+    SP_ASSERT(bin_seconds > 0.0);
+    WorkloadStats stats;
+    stats.num_requests = reqs.size();
+    if (reqs.empty())
+        return stats;
+
+    double first = reqs.front().arrival;
+    double last = reqs.front().arrival;
+    std::size_t with_prefix = 0;
+    TimeSeries rate(bin_seconds);
+    for (const auto& r : reqs) {
+        stats.prompt.add(static_cast<double>(r.prompt_tokens));
+        stats.output.add(static_cast<double>(r.output_tokens));
+        stats.total_tokens += r.prompt_tokens + r.output_tokens;
+        first = std::min(first, r.arrival);
+        last = std::max(last, r.arrival);
+        with_prefix += r.prefix_id >= 0;
+        rate.add(r.arrival, 1.0);
+    }
+    stats.duration = last - first;
+    stats.prefix_fraction =
+        static_cast<double>(with_prefix) /
+        static_cast<double>(stats.num_requests);
+    stats.peak_rate = rate.peak_rate();
+    if (stats.duration > 0.0) {
+        stats.mean_rate =
+            static_cast<double>(stats.num_requests) / stats.duration;
+        stats.token_rate =
+            static_cast<double>(stats.total_tokens) / stats.duration;
+        stats.burstiness = stats.peak_rate / stats.mean_rate;
+    }
+    return stats;
+}
+
+std::string
+describe(const WorkloadStats& s)
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(1);
+    os << s.num_requests << " requests over " << s.duration << " s ("
+       << s.mean_rate << " req/s mean, " << s.peak_rate
+       << " req/s peak, burstiness " << s.burstiness << "x)\n";
+    os << "  prompt tokens: p50 " << s.prompt.percentile(50) << ", p99 "
+       << s.prompt.percentile(99) << ", max " << s.prompt.max() << "\n";
+    os << "  output tokens: p50 " << s.output.percentile(50) << ", p99 "
+       << s.output.percentile(99) << ", max " << s.output.max() << "\n";
+    os << "  sustained demand: " << s.token_rate << " tok/s";
+    if (s.prefix_fraction > 0.0) {
+        os.precision(0);
+        os << " (" << 100.0 * s.prefix_fraction
+           << "% of requests share prefixes)";
+    }
+    os << "\n";
+    return os.str();
+}
+
+} // namespace shiftpar::workload

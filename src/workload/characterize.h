@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Workload characterization: the summary statistics the paper's Fig. 8
+ * reports for its traces, computed for any request list.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/request.h"
+#include "util/stats.h"
+
+namespace shiftpar::workload {
+
+/** Aggregate statistics of one workload. */
+struct WorkloadStats
+{
+    std::size_t num_requests = 0;
+
+    /** Prompt/output token distributions. */
+    Summary prompt;
+    Summary output;
+
+    /** Total tokens (prompt + output). */
+    std::int64_t total_tokens = 0;
+
+    /** Workload time span (first to last arrival), seconds. */
+    double duration = 0.0;
+
+    /** Mean arrival rate, req/s (0 when duration is 0). */
+    double mean_rate = 0.0;
+
+    /** Peak arrival rate over `bin_seconds` bins, req/s. */
+    double peak_rate = 0.0;
+
+    /** Peak-to-mean ratio — the burstiness signature of Fig. 8. */
+    double burstiness = 0.0;
+
+    /** Sustained token demand: total tokens / duration, tokens/s. */
+    double token_rate = 0.0;
+
+    /** Fraction of requests carrying a shared prefix. */
+    double prefix_fraction = 0.0;
+};
+
+/**
+ * Characterize a workload.
+ *
+ * @param bin_seconds Arrival-rate bin width for the peak/burstiness stats.
+ */
+WorkloadStats characterize(const std::vector<engine::RequestSpec>& reqs,
+                           double bin_seconds = 10.0);
+
+/** Multi-line human-readable report of the stats. */
+std::string describe(const WorkloadStats& stats);
+
+} // namespace shiftpar::workload

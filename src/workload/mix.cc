@@ -1,0 +1,40 @@
+#include "workload/mix.h"
+
+#include "util/logging.h"
+#include "workload/synthetic.h"
+
+namespace shiftpar::workload {
+
+std::vector<engine::RequestSpec>
+production_mix(Rng& rng, const MixOptions& opts)
+{
+    SP_ASSERT(opts.num_requests >= 0 && opts.rate > 0.0);
+    Rng arrivals_rng = rng.split();
+    Rng sizes_rng = rng.split();
+
+    // Population samplers (medians/sigmas chosen to mimic the datasets:
+    // HumanEval: short one-shot problems; SWEBench agent: long repo
+    // context; ShareGPT: multi-turn chat).
+    const SizeSampler humaneval = lognormal_size(350.0, 0.4, 250.0, 0.5);
+    const SizeSampler swebench = lognormal_size(8000.0, 0.7, 500.0, 0.6);
+    const SizeSampler sharegpt = lognormal_size(1200.0, 0.8, 300.0, 0.7);
+    const std::vector<double> weights = {
+        opts.humaneval_weight, opts.swebench_weight, opts.sharegpt_weight};
+
+    std::vector<engine::RequestSpec> reqs;
+    reqs.reserve(static_cast<std::size_t>(opts.num_requests));
+    double t = 0.0;
+    for (int i = 0; i < opts.num_requests; ++i) {
+        t += arrivals_rng.exponential(opts.rate);
+        SizeSpec s;
+        switch (sizes_rng.categorical(weights)) {
+          case 0: s = humaneval(sizes_rng); break;
+          case 1: s = swebench(sizes_rng); break;
+          default: s = sharegpt(sizes_rng); break;
+        }
+        reqs.push_back({t, s.prompt, s.output});
+    }
+    return reqs;
+}
+
+} // namespace shiftpar::workload

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Mixed production-style dataset (Section 4.1.4-iv, Fig. 16).
+ *
+ * The paper's production experiment measures latency on "a mixture of
+ * ShareGPT, HumanEval and SWEBench" style requests: one-shot coding
+ * problems (short prompt, medium output), agentic SWE sessions (long
+ * context, medium output, repeated closed-loop calls), and chat turns.
+ * This generator mixes the three populations with configurable weights.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "engine/request.h"
+#include "util/rng.h"
+
+namespace shiftpar::workload {
+
+/** Knobs for the mixed production dataset. */
+struct MixOptions
+{
+    /** Number of requests to generate. */
+    int num_requests = 500;
+
+    /** Mean arrival rate, req/s (Poisson). */
+    double rate = 2.0;
+
+    /** Mixture weights: {HumanEval-like, SWEBench-agentic, ShareGPT-chat}. */
+    double humaneval_weight = 0.3;
+    double swebench_weight = 0.4;
+    double sharegpt_weight = 0.3;
+};
+
+/** Generate the mixed dataset, sorted by arrival. */
+std::vector<engine::RequestSpec> production_mix(Rng& rng,
+                                                const MixOptions& opts = {});
+
+} // namespace shiftpar::workload

@@ -1,0 +1,27 @@
+#include "workload/mooncake_trace.h"
+
+#include "util/logging.h"
+#include "workload/arrival.h"
+#include "workload/synthetic.h"
+
+namespace shiftpar::workload {
+
+std::vector<engine::RequestSpec>
+mooncake_conversation_trace(Rng& rng, const MooncakeTraceOptions& opts)
+{
+    SP_ASSERT(opts.duration > 0.0 && opts.period > 0.0);
+    Rng arrivals_rng = rng.split();
+    Rng sizes_rng = rng.split();
+
+    const SizeSampler sizes =
+        lognormal_size(opts.prompt_median, opts.prompt_sigma,
+                       opts.output_median, opts.output_sigma,
+                       /*min_tokens=*/1, /*max_prompt=*/65536,
+                       /*max_output=*/4096);
+
+    return make_requests(batch_arrivals(arrivals_rng, opts.batch_size,
+                                        opts.period, opts.duration),
+                         sizes_rng, sizes);
+}
+
+} // namespace shiftpar::workload

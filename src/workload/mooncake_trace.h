@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Synthetic Mooncake conversation trace (Fig. 8(b), Fig. 10, Fig. 11(b)).
+ *
+ * The paper replays 15 minutes of Moonshot AI's Mooncake conversation
+ * trace (FAST'25 release): a *steady* arrival of medium-input, long-output
+ * chat requests — "a batch of nearly 9 requests is sent every 3 seconds"
+ * (Fig. 8 caption). The sustained token rate is heavy enough that DP and TP
+ * fall behind (growing wait times / KV overflow) while SP and Shift keep
+ * up, and the paper additionally enables FP8 KV cache to fit it at all.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "engine/request.h"
+#include "util/rng.h"
+
+namespace shiftpar::workload {
+
+/** Knobs for the synthetic Mooncake conversation trace. */
+struct MooncakeTraceOptions
+{
+    /** Trace duration, seconds (paper replays 15 minutes). */
+    double duration = 900.0;
+
+    /** Mean requests per batch (Fig. 8(b): ~9). */
+    double batch_size = 9.0;
+
+    /** Seconds between batches (Fig. 8(b): 3 s). */
+    double period = 3.0;
+
+    /** Prompt length distribution (multi-turn chat context). */
+    double prompt_median = 3500.0;
+    double prompt_sigma = 0.9;
+
+    /** Output length distribution (long assistant turns). */
+    double output_median = 500.0;
+    double output_sigma = 0.5;
+};
+
+/** Generate the synthetic Mooncake conversation trace, sorted by arrival. */
+std::vector<engine::RequestSpec>
+mooncake_conversation_trace(Rng& rng, const MooncakeTraceOptions& opts = {});
+
+} // namespace shiftpar::workload

@@ -1,0 +1,70 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace shiftpar::workload {
+
+SizeSampler
+fixed_size(std::int64_t prompt, std::int64_t output)
+{
+    SP_ASSERT(prompt >= 1 && output >= 1);
+    return [prompt, output](Rng&) { return SizeSpec{prompt, output}; };
+}
+
+SizeSampler
+lognormal_size(double prompt_median, double prompt_sigma,
+               double output_median, double output_sigma,
+               std::int64_t min_tokens, std::int64_t max_prompt,
+               std::int64_t max_output)
+{
+    SP_ASSERT(prompt_median >= 1.0 && output_median >= 1.0);
+    const double mu_p = std::log(prompt_median);
+    const double mu_o = std::log(output_median);
+    return [=](Rng& rng) {
+        const auto clamp = [&](double v, std::int64_t hi) {
+            return std::clamp<std::int64_t>(
+                static_cast<std::int64_t>(std::llround(v)), min_tokens, hi);
+        };
+        SizeSpec s;
+        s.prompt = clamp(rng.lognormal(mu_p, prompt_sigma), max_prompt);
+        s.output = clamp(rng.lognormal(mu_o, output_sigma), max_output);
+        return s;
+    };
+}
+
+std::vector<engine::RequestSpec>
+make_requests(const std::vector<double>& arrivals, Rng& rng,
+              const SizeSampler& sampler)
+{
+    std::vector<engine::RequestSpec> reqs;
+    reqs.reserve(arrivals.size());
+    for (double t : arrivals) {
+        const SizeSpec s = sampler(rng);
+        reqs.push_back({t, s.prompt, s.output});
+    }
+    return reqs;
+}
+
+std::vector<engine::RequestSpec>
+uniform_batch(int n, std::int64_t prompt, std::int64_t output)
+{
+    std::vector<engine::RequestSpec> reqs;
+    reqs.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        reqs.push_back({0.0, prompt, output});
+    return reqs;
+}
+
+std::int64_t
+total_tokens(const std::vector<engine::RequestSpec>& reqs)
+{
+    std::int64_t total = 0;
+    for (const auto& r : reqs)
+        total += r.prompt_tokens + r.output_tokens;
+    return total;
+}
+
+} // namespace shiftpar::workload

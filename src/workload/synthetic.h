@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Composable synthetic request generation (Section 4.3's parameterized
+ * benchmarking inputs).
+ *
+ * A workload = an arrival process (see arrival.h) x a size sampler. Fixed
+ * sizes reproduce the paper's uniform benchmarks (e.g. 4k in / 250 out);
+ * lognormal samplers model realistic long-tailed request sizes.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "engine/request.h"
+#include "util/rng.h"
+
+namespace shiftpar::workload {
+
+/** Prompt/output lengths for one request. */
+struct SizeSpec
+{
+    std::int64_t prompt = 0;
+    std::int64_t output = 0;
+};
+
+/** Draws one request's sizes. */
+using SizeSampler = std::function<SizeSpec(Rng&)>;
+
+/** Sampler returning constant sizes. */
+SizeSampler fixed_size(std::int64_t prompt, std::int64_t output);
+
+/**
+ * Sampler with independent lognormal prompt and output lengths.
+ *
+ * @param prompt_median Median prompt tokens.
+ * @param prompt_sigma Log-space sigma of the prompt length.
+ * @param output_median Median output tokens.
+ * @param output_sigma Log-space sigma of the output length.
+ * @param min_tokens Lower clamp applied to both lengths.
+ * @param max_prompt Upper clamp for prompts.
+ * @param max_output Upper clamp for outputs.
+ */
+SizeSampler lognormal_size(double prompt_median, double prompt_sigma,
+                           double output_median, double output_sigma,
+                           std::int64_t min_tokens = 1,
+                           std::int64_t max_prompt = 131072,
+                           std::int64_t max_output = 8192);
+
+/** Build requests by pairing each arrival time with a sampled size. */
+std::vector<engine::RequestSpec>
+make_requests(const std::vector<double>& arrivals, Rng& rng,
+              const SizeSampler& sampler);
+
+/** Uniform benchmark: `n` identical requests, all arriving at t = 0. */
+std::vector<engine::RequestSpec>
+uniform_batch(int n, std::int64_t prompt, std::int64_t output);
+
+/** Total tokens (prompt + output) across a workload. */
+std::int64_t total_tokens(const std::vector<engine::RequestSpec>& reqs);
+
+} // namespace shiftpar::workload

@@ -1,0 +1,101 @@
+#include "workload/trace_io.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace shiftpar::workload {
+
+namespace {
+
+/** Split one CSV line on commas (the trace format never quotes). */
+std::vector<std::string>
+split_fields(const std::string& line)
+{
+    std::vector<std::string> fields;
+    std::string field;
+    std::istringstream is(line);
+    while (std::getline(is, field, ','))
+        fields.push_back(field);
+    return fields;
+}
+
+double
+parse_double(const std::string& s, const std::string& path, int lineno)
+{
+    char* end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str())
+        fatal(path + ":" + std::to_string(lineno) + ": bad number '" + s +
+              "'");
+    return v;
+}
+
+} // namespace
+
+std::vector<engine::RequestSpec>
+load_trace(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace file '" + path + "'");
+
+    std::string line;
+    int lineno = 0;
+    // Header.
+    if (!std::getline(in, line))
+        fatal(path + ": empty trace file");
+    ++lineno;
+    if (line.rfind("arrival_s", 0) != 0)
+        fatal(path + ": expected header 'arrival_s,prompt_tokens,"
+                     "output_tokens', got '" + line + "'");
+
+    std::vector<engine::RequestSpec> reqs;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        const auto fields = split_fields(line);
+        if (fields.size() != 3)
+            fatal(path + ":" + std::to_string(lineno) +
+                  ": expected 3 fields, got " +
+                  std::to_string(fields.size()));
+        engine::RequestSpec r;
+        r.arrival = parse_double(fields[0], path, lineno);
+        r.prompt_tokens =
+            static_cast<std::int64_t>(parse_double(fields[1], path, lineno));
+        r.output_tokens =
+            static_cast<std::int64_t>(parse_double(fields[2], path, lineno));
+        if (r.arrival < 0.0 || r.prompt_tokens < 1 || r.output_tokens < 1)
+            fatal(path + ":" + std::to_string(lineno) +
+                  ": invalid request (arrival >= 0, tokens >= 1 required)");
+        reqs.push_back(r);
+    }
+    std::stable_sort(reqs.begin(), reqs.end(),
+                     [](const engine::RequestSpec& a,
+                        const engine::RequestSpec& b) {
+                         return a.arrival < b.arrival;
+                     });
+    return reqs;
+}
+
+void
+save_trace(const std::string& path,
+           const std::vector<engine::RequestSpec>& reqs)
+{
+    CsvWriter csv(path, {"arrival_s", "prompt_tokens", "output_tokens"});
+    if (!csv.ok())
+        fatal("cannot write trace file '" + path + "'");
+    for (const auto& r : reqs) {
+        csv.add_row(std::vector<std::string>{
+            Table::fmt(r.arrival, 6), std::to_string(r.prompt_tokens),
+            std::to_string(r.output_tokens)});
+    }
+}
+
+} // namespace shiftpar::workload

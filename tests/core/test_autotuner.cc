@@ -1,0 +1,115 @@
+/** @file Tests for the simulation-driven deployment auto-tuner. */
+
+#include <gtest/gtest.h>
+
+#include "core/autotuner.h"
+#include "model/presets.h"
+#include "workload/arrival.h"
+#include "workload/synthetic.h"
+
+namespace shiftpar::core {
+namespace {
+
+std::vector<engine::RequestSpec>
+sample_workload(double rate = 2.0, double duration = 40.0)
+{
+    Rng rng(3);
+    return workload::make_requests(
+        workload::poisson_arrivals(rng, rate, duration), rng,
+        workload::lognormal_size(3000.0, 0.6, 300.0, 0.5));
+}
+
+TEST(AutoTuner, CandidatesCoverStrategiesAndSplits)
+{
+    const AutoTuner tuner(model::llama_70b(), hw::h200_node());
+    const auto cands = tuner.candidates({});
+    // DP, TP, SP x {8x1, 4x2, 2x4}, Shift x {8x1, 4x2, 2x4} = 8.
+    EXPECT_EQ(cands.size(), 8u);
+    int shift_count = 0;
+    for (const auto& d : cands)
+        shift_count += d.strategy == parallel::Strategy::kShift;
+    EXPECT_EQ(shift_count, 3);
+}
+
+TEST(AutoTuner, ThresholdSweepAddsVariants)
+{
+    const AutoTuner tuner(model::llama_70b(), hw::h200_node());
+    TuneOptions opts;
+    opts.sweep_threshold = true;
+    const auto base = tuner.candidates({}).size();
+    const auto swept = tuner.candidates(opts).size();
+    EXPECT_GT(swept, base);
+}
+
+TEST(AutoTuner, EpSweepOnlyForMoe)
+{
+    TuneOptions opts;
+    opts.sweep_ep = true;
+    const AutoTuner dense(model::llama_70b(), hw::h200_node());
+    const AutoTuner moe(model::qwen_30b_a3b(), hw::h200_node());
+    EXPECT_EQ(dense.candidates(opts).size(), dense.candidates({}).size());
+    EXPECT_GT(moe.candidates(opts).size(), moe.candidates({}).size());
+}
+
+TEST(AutoTuner, ResultsSortedByScore)
+{
+    const AutoTuner tuner(model::qwen_32b(), hw::h200_node());
+    const auto ranked = tuner.tune(sample_workload());
+    ASSERT_GE(ranked.size(), 4u);
+    for (std::size_t i = 1; i < ranked.size(); ++i)
+        EXPECT_GE(ranked[i].score, ranked[i - 1].score);
+    // Best candidate's score is the normalized optimum (1.0 for a pure
+    // single-term objective dominated by one candidate, >= 1 in general).
+    EXPECT_GE(ranked.front().score, 0.999);
+}
+
+TEST(AutoTuner, ShiftWinsMixedTrafficObjective)
+{
+    // On dynamic traffic with a combined latency+throughput objective the
+    // tuner should select a Shift deployment — the paper's thesis.
+    const AutoTuner tuner(model::qwen_32b(), hw::h200_node());
+    TuneObjective objective;
+    objective.completion = 1.0;
+    objective.ttft_p99 = 0.5;
+    objective.throughput = 0.5;
+    const auto ranked = tuner.tune(sample_workload(3.0), objective);
+    EXPECT_EQ(ranked.front().deployment.strategy,
+              parallel::Strategy::kShift);
+}
+
+TEST(AutoTuner, ThroughputOnlyObjectivePrefersDpOrShift)
+{
+    const AutoTuner tuner(model::llama_70b(), hw::h200_node());
+    TuneObjective objective;
+    objective.completion = 0.0;
+    objective.throughput = 1.0;
+    const auto ranked =
+        tuner.tune(workload::uniform_batch(256, 4096, 250), objective);
+    const auto s = ranked.front().deployment.strategy;
+    EXPECT_TRUE(s == parallel::Strategy::kDp ||
+                s == parallel::Strategy::kShift)
+        << parallel::strategy_name(s);
+}
+
+TEST(AutoTuner, NamesAreDescriptive)
+{
+    const AutoTuner tuner(model::qwen_32b(), hw::h200_node());
+    const auto ranked = tuner.tune(sample_workload(1.0, 20.0));
+    bool saw_shift_with_threshold = false;
+    for (const auto& r : ranked) {
+        EXPECT_FALSE(r.name.empty());
+        if (r.name.find("Shift") != std::string::npos)
+            saw_shift_with_threshold |=
+                r.name.find("thr=") != std::string::npos;
+    }
+    EXPECT_TRUE(saw_shift_with_threshold);
+}
+
+TEST(AutoTuner, EmptySampleIsFatal)
+{
+    const AutoTuner tuner(model::qwen_32b(), hw::h200_node());
+    EXPECT_DEATH(tuner.tune({}), "sample");
+}
+
+} // namespace
+} // namespace shiftpar::core

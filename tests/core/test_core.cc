@@ -1,0 +1,248 @@
+/** @file Tests for the Shift controller, SwiftKV, speculative decoding,
+ *  frameworks, and the deployment builder. */
+
+#include <gtest/gtest.h>
+
+#include "common/test_helpers.h"
+#include "core/deployment.h"
+#include "core/framework.h"
+#include "core/shift_controller.h"
+#include "model/presets.h"
+
+namespace shiftpar::core {
+namespace {
+
+using shiftpar::testing::test_node;
+
+TEST(ShiftController, Algorithm2Decision)
+{
+    const ShiftController c({8, 1}, /*threshold=*/256);
+    // Large batch: base (SP) config.
+    EXPECT_EQ(c.choose(257).cfg, (parallel::ParallelConfig{8, 1}));
+    // Small batch (<= threshold): full-TP shift config.
+    EXPECT_EQ(c.choose(256).cfg, (parallel::ParallelConfig{1, 8}));
+    EXPECT_EQ(c.choose(1).cfg, (parallel::ParallelConfig{1, 8}));
+    EXPECT_FALSE(c.choose(1).sliced);
+}
+
+TEST(ShiftController, SlicingMarksShiftSteps)
+{
+    const ShiftController c({8, 1}, 256,
+                            parallel::WeightStrategy::kOnTheFlySlicing);
+    EXPECT_TRUE(c.choose(1).sliced);
+    EXPECT_FALSE(c.choose(1000).sliced);  // base steps never slice
+}
+
+TEST(ShiftController, RequiresSpBase)
+{
+    EXPECT_DEATH(ShiftController({1, 8}, 100), "SP > 1");
+}
+
+TEST(ShiftController, AutoThresholdIsACrossover)
+{
+    const parallel::PerfModel perf(test_node(), model::llama_70b());
+    const parallel::ParallelConfig base{8, 1};
+    const std::int64_t th =
+        ShiftController::auto_threshold(perf, base, 2048);
+    ASSERT_GT(th, 0);
+    ASSERT_LT(th, 65536);
+    // Below the threshold the shift (TP) config must win; above, the base.
+    const auto shift = base.shift_config();
+    EXPECT_LT(perf.decode_step_time(std::max<std::int64_t>(1, th / 4), 2048,
+                                    shift),
+              perf.decode_step_time(std::max<std::int64_t>(1, th / 4), 2048,
+                                    base));
+    EXPECT_LE(perf.decode_step_time(th * 4, 2048, base),
+              perf.decode_step_time(th * 4, 2048, shift));
+}
+
+TEST(SwiftKvTest, FactorMath)
+{
+    const SwiftKv s{.skip_fraction = 0.5, .residual_fraction = 0.1};
+    EXPECT_NEAR(s.prefill_compute_factor(), 0.55, 1e-12);
+    parallel::PerfOptions opts;
+    s.apply(&opts);
+    EXPECT_NEAR(opts.swiftkv_prefill_factor, 0.55, 1e-12);
+}
+
+TEST(SwiftKvTest, VanillaIsIdentity)
+{
+    const SwiftKv s{.skip_fraction = 0.0, .residual_fraction = 0.1};
+    EXPECT_DOUBLE_EQ(s.prefill_compute_factor(), 1.0);
+}
+
+TEST(SpecDecode, ExpectedTokensFormula)
+{
+    const SpeculativeDecoder d{.draft_len = 4, .acceptance = 0.7};
+    // (1 - 0.7^5) / (1 - 0.7) = 2.77309...
+    EXPECT_NEAR(d.expected_tokens_per_step(), 2.77310, 1e-4);
+    EXPECT_EQ(d.tokens_per_step(), 2);
+    EXPECT_GT(d.decode_inflation(), 1.0);
+}
+
+TEST(SpecDecode, HighAcceptanceEmitsMore)
+{
+    const SpeculativeDecoder lo{.draft_len = 5, .acceptance = 0.3};
+    const SpeculativeDecoder hi{.draft_len = 5, .acceptance = 0.9};
+    EXPECT_GT(hi.tokens_per_step(), lo.tokens_per_step());
+}
+
+TEST(SpecDecode, ApplyInstallsBothKnobs)
+{
+    const SpeculativeDecoder d{.draft_len = 5, .acceptance = 0.8};
+    engine::SchedulerOptions sched;
+    parallel::PerfOptions perf;
+    d.apply(&sched, &perf);
+    EXPECT_EQ(sched.decode_tokens_per_step, d.tokens_per_step());
+    EXPECT_DOUBLE_EQ(perf.decode_compute_inflation, d.decode_inflation());
+}
+
+TEST(SpecDecode, ImprovesTpotEndToEnd)
+{
+    Deployment plain;
+    plain.model = model::llama_70b();
+    plain.strategy = parallel::Strategy::kTp;
+    Deployment spec = plain;
+    spec.spec_decode = SpeculativeDecoder{.draft_len = 5, .acceptance = 0.8};
+
+    const std::vector<engine::RequestSpec> one = {{0.0, 1024, 64}};
+    const auto m_plain = run_deployment(plain, one);
+    const auto m_spec = run_deployment(spec, one);
+    EXPECT_LT(m_spec.tpot().mean(), m_plain.tpot().mean() / 1.5);
+}
+
+TEST(SwiftKvTest, ImprovesTtftEndToEnd)
+{
+    Deployment plain;
+    plain.model = model::llama_70b();
+    plain.strategy = parallel::Strategy::kSp;
+    Deployment swift = plain;
+    swift.swiftkv = SwiftKv{};
+
+    const std::vector<engine::RequestSpec> one = {{0.0, 8192, 4}};
+    EXPECT_LT(run_deployment(swift, one).ttft().mean(),
+              run_deployment(plain, one).ttft().mean());
+}
+
+TEST(Deployment, ResolveDp)
+{
+    Deployment d;
+    d.model = model::llama_70b();
+    d.strategy = parallel::Strategy::kDp;
+    const auto r = resolve(d);
+    EXPECT_EQ(r.base, (parallel::ParallelConfig{1, 1}));
+    EXPECT_EQ(r.replicas, 8);
+    EXPECT_EQ(r.shift_threshold, 0);
+}
+
+TEST(Deployment, ResolveTp)
+{
+    Deployment d;
+    d.model = model::llama_70b();
+    d.strategy = parallel::Strategy::kTp;
+    const auto r = resolve(d);
+    EXPECT_EQ(r.base, (parallel::ParallelConfig{1, 8}));
+    EXPECT_EQ(r.replicas, 1);
+}
+
+TEST(Deployment, ResolveSpFullNode)
+{
+    Deployment d;
+    d.model = model::llama_70b();
+    d.strategy = parallel::Strategy::kSp;
+    const auto r = resolve(d);
+    EXPECT_EQ(r.base, (parallel::ParallelConfig{8, 1}));
+}
+
+TEST(Deployment, ResolveShiftLlama70B)
+{
+    Deployment d;
+    d.model = model::llama_70b();
+    d.strategy = parallel::Strategy::kShift;
+    const auto r = resolve(d);
+    EXPECT_EQ(r.base, (parallel::ParallelConfig{8, 1}));
+    EXPECT_TRUE(r.with_shift_model);
+    EXPECT_GT(r.shift_threshold, 0);
+    // Eq. 1 at SP=8: 12.5% weight overhead.
+    EXPECT_NEAR(r.memory.shift_overhead_frac(), 0.125, 1e-9);
+}
+
+TEST(Deployment, ResolveShiftMoePicksPaperConfig)
+{
+    // Section 4.6: Llama-17B-16E needs (SP=4, TP=2) for long-context room.
+    Deployment d;
+    d.model = model::llama_17b_16e();
+    d.strategy = parallel::Strategy::kShift;
+    const auto r = resolve(d);
+    EXPECT_EQ(r.base, (parallel::ParallelConfig{4, 2}));
+}
+
+TEST(Deployment, ManualOverridesWin)
+{
+    Deployment d;
+    d.model = model::llama_70b();
+    d.strategy = parallel::Strategy::kSpTp;
+    d.sp = 2;
+    d.tp = 4;
+    d.shift_threshold = 777;
+    const auto r = resolve(d);
+    EXPECT_EQ(r.base, (parallel::ParallelConfig{2, 4}));
+
+    d.strategy = parallel::Strategy::kShift;
+    const auto r2 = resolve(d);
+    EXPECT_EQ(r2.shift_threshold, 777);
+}
+
+TEST(Deployment, DescribeMentionsConfig)
+{
+    Deployment d;
+    d.model = model::llama_70b();
+    d.strategy = parallel::Strategy::kShift;
+    const std::string s = resolve(d).describe();
+    EXPECT_NE(s.find("(SP=8,TP=1)"), std::string::npos);
+    EXPECT_NE(s.find("threshold"), std::string::npos);
+}
+
+TEST(Deployment, RunDeploymentEndToEnd)
+{
+    Deployment d;
+    d.model = model::qwen_32b();
+    d.strategy = parallel::Strategy::kShift;
+    const auto workload = std::vector<engine::RequestSpec>{
+        {0.0, 512, 16}, {0.1, 2048, 64}, {0.2, 128, 8}};
+    const auto m = run_deployment(d, workload);
+    EXPECT_EQ(m.requests().size(), 3u);
+    // Shift deployments should exercise both modes on a mixed workload.
+    EXPECT_GT(m.tp_steps(), 0);
+    EXPECT_GT(m.sp_steps(), 0);
+}
+
+TEST(Framework, ProfilesHaveExpectedStrategies)
+{
+    EXPECT_EQ(ours().strategies.front(), parallel::Strategy::kShift);
+    for (const auto& p : {vllm_baseline(), sglang(), trt_llm()}) {
+        EXPECT_EQ(p.strategies.size(), 2u);
+        EXPECT_TRUE(p.spec_decode.has_value());
+        EXPECT_FALSE(p.swiftkv.has_value());
+    }
+    EXPECT_TRUE(ours().swiftkv.has_value());
+}
+
+TEST(Framework, MakeDeploymentRejectsUnofferedStrategy)
+{
+    EXPECT_DEATH(make_deployment(vllm_baseline(), model::llama_70b(),
+                                 test_node(), parallel::Strategy::kShift),
+                 "does not offer");
+}
+
+TEST(Framework, MakeDeploymentCarriesOverheads)
+{
+    const auto p = trt_llm();
+    const auto d = make_deployment(p, model::llama_70b(), test_node(),
+                                   parallel::Strategy::kTp);
+    EXPECT_DOUBLE_EQ(d.perf.step_overhead_base, p.step_overhead_base);
+    EXPECT_TRUE(d.spec_decode.has_value());
+}
+
+} // namespace
+} // namespace shiftpar::core

@@ -1,0 +1,142 @@
+/** @file Edge-case tests for the scheduler: tiny budgets, clipping,
+ *  arrival gating under priorities, plan retraction. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/test_helpers.h"
+#include "engine/scheduler.h"
+#include "kvcache/layout.h"
+#include "model/presets.h"
+
+namespace shiftpar::engine {
+namespace {
+
+class SchedulerEdge : public ::testing::Test
+{
+  protected:
+    SchedulerEdge()
+        : cache_(1 << 18,
+                 kvcache::KvLayout::base(model::llama_70b(), {1, 8}), 16)
+    {
+    }
+
+    Request*
+    add(std::int64_t prompt, std::int64_t output, int priority = 0,
+        double arrival = 0.0)
+    {
+        auto r = std::make_unique<Request>();
+        r->id = next_id_++;
+        r->spec = {arrival, prompt, output};
+        r->spec.priority = priority;
+        r->prefill_target = prompt;
+        requests_.push_back(std::move(r));
+        return requests_.back().get();
+    }
+
+    void
+    run_step(Scheduler& s, double t)
+    {
+        std::vector<Request*> fin;
+        s.on_step_complete(t, s.schedule(t), &fin);
+    }
+
+    kvcache::CacheManager cache_;
+    std::vector<std::unique_ptr<Request>> requests_;
+    RequestId next_id_ = 1;
+};
+
+TEST_F(SchedulerEdge, BudgetOfOneStillMakesProgress)
+{
+    Scheduler s({.max_batched_tokens = 1}, &cache_);
+    Request* r = add(3, 2);
+    s.enqueue(r);
+    double t = 0.0;
+    for (int i = 0; i < 10 && s.has_work(); ++i)
+        run_step(s, t += 0.01);
+    EXPECT_TRUE(r->done());
+    // 3 prefill chunks of 1 token + 1 decode step.
+    EXPECT_DOUBLE_EQ(r->finished, 0.04);
+}
+
+TEST_F(SchedulerEdge, DecodeClipsAtOutputBoundary)
+{
+    Scheduler s({.max_batched_tokens = 8192,
+                 .max_running_seqs = 1024,
+                 .decode_tokens_per_step = 100},
+                &cache_);
+    Request* r = add(10, 3);  // only 2 tokens to decode after prefill
+    s.enqueue(r);
+    run_step(s, 0.1);  // prefill emits token 1
+    const auto plan = s.schedule(0.2);
+    ASSERT_EQ(plan.chunks.size(), 1u);
+    EXPECT_EQ(plan.chunks[0].new_tokens, 2);
+}
+
+TEST_F(SchedulerEdge, FutureArrivalNotScheduled)
+{
+    Scheduler s({}, &cache_);
+    Request* r = add(100, 2, 0, /*arrival=*/5.0);
+    s.enqueue(r);
+    EXPECT_TRUE(s.schedule(1.0).empty());
+    EXPECT_DOUBLE_EQ(s.earliest_waiting_arrival(), 5.0);
+    EXPECT_FALSE(s.schedule(5.0).empty());
+}
+
+TEST_F(SchedulerEdge, ArrivedLowPriorityAdmittedPastFutureHighPriority)
+{
+    Scheduler s({}, &cache_);
+    s.enqueue(add(100, 2, /*priority=*/5, /*arrival=*/100.0));
+    Request* now_req = add(100, 2, /*priority=*/0, /*arrival=*/0.0);
+    s.enqueue(now_req);
+    const auto plan = s.schedule(0.0);
+    ASSERT_EQ(plan.chunks.size(), 1u);
+    EXPECT_EQ(plan.chunks[0].request, now_req);
+}
+
+TEST_F(SchedulerEdge, HigherPriorityPrefillGetsBudgetFirst)
+{
+    Scheduler s({.max_batched_tokens = 1000}, &cache_);
+    Request* low = add(5000, 2, 0);
+    Request* high = add(5000, 2, 3);
+    s.enqueue(low);   // submitted first
+    s.enqueue(high);  // outranks it
+    const auto plan = s.schedule(0.0);
+    ASSERT_FALSE(plan.empty());
+    EXPECT_EQ(plan.chunks[0].request, high);
+    EXPECT_EQ(plan.batched_tokens(), 1000);
+}
+
+TEST_F(SchedulerEdge, ZeroOutputRequestsAreIllegalUpstream)
+{
+    // Engine::submit rejects them; scheduler-level contract is output>=1.
+    auto e = shiftpar::testing::make_engine(
+        shiftpar::testing::tiny_model(),
+        shiftpar::testing::tp8_engine_config());
+    EXPECT_DEATH(e->submit({0.0, 10, 0}, 1), "at least one");
+}
+
+TEST_F(SchedulerEdge, OutstandingTokensZeroWhenIdle)
+{
+    Scheduler s({}, &cache_);
+    EXPECT_EQ(s.outstanding_tokens(), 0);
+    EXPECT_FALSE(s.has_work());
+    EXPECT_TRUE(std::isinf(s.earliest_waiting_arrival()));
+}
+
+TEST_F(SchedulerEdge, BatchPlanAccounting)
+{
+    Scheduler s({.max_batched_tokens = 600}, &cache_);
+    s.enqueue(add(500, 5));
+    s.enqueue(add(500, 5));
+    const auto plan = s.schedule(0.0);
+    EXPECT_EQ(plan.batched_tokens(), 600);
+    const auto work = plan.work();
+    EXPECT_EQ(work.total_new_tokens(), 600);
+    EXPECT_EQ(work.num_seqs(), 2);
+    EXPECT_TRUE(work.chunks[0].is_prefill);
+}
+
+} // namespace
+} // namespace shiftpar::engine

@@ -1,0 +1,154 @@
+/** @file Unit tests for the GPU roofline, collectives, and topology. */
+
+#include <gtest/gtest.h>
+
+#include "hw/interconnect.h"
+#include "hw/presets.h"
+#include "hw/topology.h"
+#include "util/units.h"
+
+namespace shiftpar::hw {
+namespace {
+
+TEST(GpuSpec, EffectiveRatesApplyEfficiency)
+{
+    const GpuSpec g = h200();
+    EXPECT_DOUBLE_EQ(g.effective_gemm_flops(1.0),
+                     g.peak_fp8_flops * g.gemm_efficiency);
+    EXPECT_DOUBLE_EQ(g.effective_gemm_flops(2.0),
+                     g.peak_fp16_flops * g.gemm_efficiency);
+    EXPECT_DOUBLE_EQ(g.effective_bw(), g.hbm_bw * g.mem_efficiency);
+}
+
+TEST(GpuSpec, KernelTimeComputeBound)
+{
+    GpuSpec g = h200();
+    g.kernel_overhead = 0.0;
+    // Huge FLOPs, tiny bytes: compute bound.
+    const double t = g.kernel_time(1e15, 1.0, g.effective_gemm_flops(1.0));
+    EXPECT_NEAR(t, 1e15 / g.effective_gemm_flops(1.0), 1e-9);
+}
+
+TEST(GpuSpec, KernelTimeMemoryBound)
+{
+    GpuSpec g = h200();
+    g.kernel_overhead = 0.0;
+    const double t = g.kernel_time(1.0, 1e12, g.effective_gemm_flops(1.0));
+    EXPECT_NEAR(t, 1e12 / g.effective_bw(), 1e-9);
+}
+
+TEST(GpuSpec, KernelOverheadAdds)
+{
+    GpuSpec g = h200();
+    const double t0 = g.kernel_time(0.0, 0.0, g.effective_gemm_flops(1.0));
+    EXPECT_DOUBLE_EQ(t0, g.kernel_overhead);
+}
+
+TEST(Collectives, SingleRankIsFree)
+{
+    const CollectiveModel c(nvswitch());
+    EXPECT_DOUBLE_EQ(c.all_reduce(1e9, 1), 0.0);
+    EXPECT_DOUBLE_EQ(c.all_gather(1e9, 1), 0.0);
+    EXPECT_DOUBLE_EQ(c.all_to_all(1e9, 1), 0.0);
+}
+
+TEST(Collectives, VolumesMatchAlphaBetaFormulas)
+{
+    // Table 2 accounting: ring all-reduce moves 2(P-1)/P of the tensor per
+    // rank; all-to-all and all-gather move (P-1)/P.
+    EXPECT_DOUBLE_EQ(CollectiveModel::all_reduce_volume(8e6, 8),
+                     2.0 * 7.0 / 8.0 * 8e6);
+    EXPECT_DOUBLE_EQ(CollectiveModel::all_to_all_volume(8e6, 8),
+                     7.0 / 8.0 * 8e6);
+    EXPECT_DOUBLE_EQ(CollectiveModel::all_gather_volume(8e6, 8),
+                     7.0 / 8.0 * 8e6);
+    EXPECT_DOUBLE_EQ(CollectiveModel::all_reduce_volume(8e6, 1), 0.0);
+}
+
+TEST(Collectives, AllReduceCostsMoreThanAllToAllAtEqualBytes)
+{
+    // The core Table 2 asymmetry: for the same per-rank buffer, all-reduce
+    // moves ~2x the bytes of an all-to-all.
+    const CollectiveModel c(nvswitch());
+    EXPECT_GT(c.all_reduce(64e6, 8), c.all_to_all(64e6, 8));
+}
+
+TEST(Collectives, RingPaysMoreLatencySteps)
+{
+    LinkSpec ring = nvswitch();
+    ring.kind = FabricKind::kRing;
+    const CollectiveModel cr(ring);
+    const CollectiveModel cs(nvswitch());
+    // Same volume, more latency steps on the ring.
+    EXPECT_GT(cr.all_reduce(1.0, 8), cs.all_reduce(1.0, 8));
+}
+
+TEST(Collectives, MonotoneInBytes)
+{
+    const CollectiveModel c(nvswitch());
+    EXPECT_LT(c.all_reduce(1e6, 8), c.all_reduce(2e6, 8));
+    EXPECT_LT(c.all_to_all(1e6, 8), c.all_to_all(2e6, 8));
+}
+
+TEST(Topology, PaperExampleGroups)
+{
+    // Section 3.3.2 example for (SP=3, TP=2):
+    //   TP: [[0,1],[2,3],[4,5]]  SP: [[0,2,4],[1,3,5]]  SP_TP: [[0,2,4,1,3,5]]
+    const auto tp = tp_groups(3, 2);
+    ASSERT_EQ(tp.size(), 3u);
+    EXPECT_EQ(tp[0], (std::vector<int>{0, 1}));
+    EXPECT_EQ(tp[1], (std::vector<int>{2, 3}));
+    EXPECT_EQ(tp[2], (std::vector<int>{4, 5}));
+
+    const auto sp = sp_groups(3, 2);
+    ASSERT_EQ(sp.size(), 2u);
+    EXPECT_EQ(sp[0], (std::vector<int>{0, 2, 4}));
+    EXPECT_EQ(sp[1], (std::vector<int>{1, 3, 5}));
+
+    EXPECT_EQ(sp_tp_group(3, 2), (std::vector<int>{0, 2, 4, 1, 3, 5}));
+}
+
+class SpTpPermutation : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(SpTpPermutation, IsAPermutationOfAllRanks)
+{
+    const auto [sp, tp] = GetParam();
+    const auto order = sp_tp_group(sp, tp);
+    ASSERT_EQ(order.size(), static_cast<std::size_t>(sp * tp));
+    std::vector<bool> seen(order.size(), false);
+    for (int r : order) {
+        ASSERT_GE(r, 0);
+        ASSERT_LT(r, sp * tp);
+        EXPECT_FALSE(seen[static_cast<std::size_t>(r)]);
+        seen[static_cast<std::size_t>(r)] = true;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDecompositions, SpTpPermutation,
+    ::testing::Values(std::pair{1, 1}, std::pair{1, 8}, std::pair{8, 1},
+                      std::pair{2, 4}, std::pair{4, 2}, std::pair{3, 2},
+                      std::pair{2, 3}, std::pair{16, 4}));
+
+TEST(Topology, DegenerateGroups)
+{
+    EXPECT_EQ(sp_tp_group(1, 1), (std::vector<int>{0}));
+    EXPECT_EQ(sp_tp_group(1, 4), (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(sp_tp_group(4, 1), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Presets, H200NodeMatchesPaperTestbed)
+{
+    const Node n = h200_node();
+    EXPECT_EQ(n.num_gpus, 8);
+    EXPECT_DOUBLE_EQ(n.gpu.hbm_bytes, gb(141.0));
+    EXPECT_DOUBLE_EQ(n.gpu.hbm_bw, tb(4.8));
+    EXPECT_DOUBLE_EQ(n.gpu.peak_fp8_flops, tflops(1979.0));
+    EXPECT_DOUBLE_EQ(n.link.bw, gb(900.0));
+    EXPECT_DOUBLE_EQ(n.total_hbm(), 8 * gb(141.0));
+}
+
+} // namespace
+} // namespace shiftpar::hw

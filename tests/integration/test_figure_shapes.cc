@@ -1,0 +1,132 @@
+/**
+ * @file
+ * End-to-end shape assertions for the evaluation figures that are not
+ * already covered by test_calibration (which pins Fig. 12's operating
+ * points): the Fig. 13 context-sweep monotonicities, the Fig. 14
+ * crossover, the Fig. 15 breakdown structure, and the Fig. 16 compounding
+ * ladder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bench_common.h"
+#include "core/deployment.h"
+#include "model/presets.h"
+#include "workload/arrival.h"
+#include "workload/synthetic.h"
+
+namespace shiftpar {
+namespace {
+
+TEST(FigureShapes, Fig13TtftGrowsWithContextAndShiftStaysLowest)
+{
+    const auto m = model::llama_70b();
+    double prev_shift = 0.0;
+    for (std::int64_t input : {2048LL, 8192LL, 32768LL}) {
+        const auto shift = bench::min_latency(
+            m, parallel::Strategy::kShift, input, 64);
+        const auto tp =
+            bench::min_latency(m, parallel::Strategy::kTp, input, 64);
+        const auto dp =
+            bench::min_latency(m, parallel::Strategy::kDp, input, 64);
+        EXPECT_GT(shift.ttft, prev_shift);
+        EXPECT_LE(shift.ttft, tp.ttft);
+        EXPECT_LT(shift.ttft, dp.ttft / 3.0);
+        prev_shift = shift.ttft;
+    }
+}
+
+TEST(FigureShapes, Fig13ThroughputDropsAtLongContext)
+{
+    const auto m = model::qwen_32b();
+    const double short_ctx = bench::peak_throughput(
+        m, parallel::Strategy::kShift, 8192, 250, 128);
+    const double long_ctx = bench::peak_throughput(
+        m, parallel::Strategy::kShift, 65536, 250, 32);
+    EXPECT_LT(long_ctx, 0.75 * short_ctx);
+}
+
+TEST(FigureShapes, Fig14CrossoverExists)
+{
+    // TP beats DP at a low rate; DP beats TP at a high one.
+    const auto m = model::llama_70b();
+    const auto completion = [&](parallel::Strategy s, double rate) {
+        Rng rng(11);
+        const auto reqs = workload::make_requests(
+            workload::poisson_arrivals(rng, rate, 60.0), rng,
+            workload::fixed_size(8192, 250));
+        return bench::run_strategy(m, s, reqs)
+            .metrics.completion()
+            .mean();
+    };
+    EXPECT_LT(completion(parallel::Strategy::kTp, 0.5),
+              completion(parallel::Strategy::kDp, 0.5));
+    EXPECT_GT(completion(parallel::Strategy::kTp, 5.0),
+              completion(parallel::Strategy::kDp, 5.0));
+}
+
+TEST(FigureShapes, Fig15BreakdownStructure)
+{
+    const auto run_components = [&](const model::ModelConfig& m,
+                                    parallel::Strategy s,
+                                    std::int64_t input) {
+        return bench::run_strategy(
+                   m, s, workload::uniform_batch(64, input, 128))
+            .metrics.component_totals();
+    };
+    // SP communicates far less than TP at equal work.
+    const auto m = model::llama_70b();
+    const auto tp = run_components(m, parallel::Strategy::kTp, 8192);
+    const auto sp = run_components(m, parallel::Strategy::kSp, 8192);
+    EXPECT_LT(sp.comm, tp.comm / 3.0);
+    // Attention share grows with context.
+    const auto short_ctx = run_components(m, parallel::Strategy::kTp, 1024);
+    const auto long_ctx =
+        run_components(m, parallel::Strategy::kTp, 65536);
+    EXPECT_GT(long_ctx.attention / long_ctx.total(),
+              2.0 * (short_ctx.attention / short_ctx.total()));
+    // Engine-overhead share is larger for the smaller model.
+    const auto qwen =
+        run_components(model::qwen_32b(), parallel::Strategy::kTp, 1024);
+    EXPECT_GT(qwen.overhead / qwen.total(),
+              short_ctx.overhead / short_ctx.total());
+}
+
+TEST(FigureShapes, Fig16FeaturesCompound)
+{
+    // Each production feature must strictly improve mean completion on a
+    // decode-and-prefill mixed workload.
+    Rng rng(13);
+    const auto reqs = workload::make_requests(
+        workload::poisson_arrivals(rng, 2.0, 40.0), rng,
+        workload::lognormal_size(3000.0, 0.6, 300.0, 0.5));
+
+    core::Deployment d;
+    d.model = model::llama_70b();
+    d.strategy = parallel::Strategy::kShift;
+    const double shift_only =
+        core::run_deployment(d, reqs).completion().mean();
+    d.swiftkv = core::SwiftKv{};
+    const double with_swift =
+        core::run_deployment(d, reqs).completion().mean();
+    d.spec_decode = core::ours().spec_decode;
+    const double with_both =
+        core::run_deployment(d, reqs).completion().mean();
+    EXPECT_LT(with_swift, shift_only);
+    EXPECT_LT(with_both, with_swift);
+}
+
+TEST(FigureShapes, Fig17MoeFasterThanDenseAcrossBoard)
+{
+    for (std::int64_t input : {2048LL, 8192LL}) {
+        const auto dense = bench::min_latency(
+            model::qwen_32b(), parallel::Strategy::kShift, input, 64);
+        const auto moe = bench::min_latency(
+            model::qwen_30b_a3b(), parallel::Strategy::kShift, input, 64);
+        EXPECT_LT(moe.ttft, dense.ttft);
+        EXPECT_LT(moe.tpot, dense.tpot);
+    }
+}
+
+} // namespace
+} // namespace shiftpar

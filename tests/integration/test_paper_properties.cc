@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Integration tests asserting the paper's headline claims as end-to-end
+ * properties of the full system (Table 1, Table 3, Section 4 shapes).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/deployment.h"
+#include "model/presets.h"
+#include "workload/arrival.h"
+#include "workload/synthetic.h"
+
+namespace shiftpar {
+namespace {
+
+using core::Deployment;
+using core::run_deployment;
+using parallel::Strategy;
+
+engine::Metrics
+run(const model::ModelConfig& m, Strategy s,
+    const std::vector<engine::RequestSpec>& w)
+{
+    Deployment d;
+    d.model = m;
+    d.strategy = s;
+    return run_deployment(d, w);
+}
+
+/** One isolated request: minimum-latency regime. */
+std::vector<engine::RequestSpec>
+lone_request(std::int64_t prompt, std::int64_t output)
+{
+    return {{0.0, prompt, output}};
+}
+
+class Table1Properties : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    model::ModelConfig
+    model() const
+    {
+        return GetParam() == "Llama-70B" ? model::llama_70b()
+                                         : model::qwen_32b();
+    }
+};
+
+TEST_P(Table1Properties, ShiftHasLowestTtft)
+{
+    const auto w = lone_request(4096, 8);
+    const double shift = run(model(), Strategy::kShift, w).ttft().mean();
+    const double tp = run(model(), Strategy::kTp, w).ttft().mean();
+    const double dp = run(model(), Strategy::kDp, w).ttft().mean();
+    const double sp = run(model(), Strategy::kSp, w).ttft().mean();
+    EXPECT_LE(shift, tp);
+    EXPECT_LE(shift, dp);
+    EXPECT_LE(shift, sp * 1.001);  // shift prefills like SP
+    // DP is the worst TTFT by a wide margin (no intra-request parallelism).
+    EXPECT_GT(dp, 3.0 * shift);
+}
+
+TEST_P(Table1Properties, ShiftHasLowestTpot)
+{
+    const auto w = lone_request(1024, 128);
+    const double shift = run(model(), Strategy::kShift, w).tpot().mean();
+    const double tp = run(model(), Strategy::kTp, w).tpot().mean();
+    const double dp = run(model(), Strategy::kDp, w).tpot().mean();
+    const double sp = run(model(), Strategy::kSp, w).tpot().mean();
+    EXPECT_LE(shift, tp * 1.001);  // shift decodes like TP
+    EXPECT_LT(shift, dp);
+    EXPECT_LT(shift, sp);
+    // SP is the worst TPOT (full weight stream per decode step).
+    EXPECT_GE(sp, dp * 0.999);
+}
+
+TEST_P(Table1Properties, ThroughputOrderingDpShiftTp)
+{
+    // Enough requests to saturate all 8 DP replicas past straggler noise.
+    const auto w = workload::uniform_batch(512, 4096, 250);
+    const double dp = run(model(), Strategy::kDp, w).mean_throughput();
+    const double shift =
+        run(model(), Strategy::kShift, w).mean_throughput();
+    const double tp = run(model(), Strategy::kTp, w).mean_throughput();
+    EXPECT_GT(dp, shift);   // DP is the throughput optimum
+    EXPECT_GT(shift, tp);   // Shift beats TP by a wide margin...
+    EXPECT_GT(shift / tp, 1.2);
+    EXPECT_GT(shift / dp, 0.75);  // ...while staying close to DP
+}
+
+INSTANTIATE_TEST_SUITE_P(BothDenseModels, Table1Properties,
+                         ::testing::Values("Llama-70B", "Qwen-32B"),
+                         [](const auto& info) {
+                             std::string n = info.param;
+                             for (auto& c : n)
+                                 if (c == '-')
+                                     c = '_';
+                             return n;
+                         });
+
+TEST(PaperProperties, ShiftUsesBothModesOnMixedTraffic)
+{
+    // Low-traffic decode steps run the shift (TP) config; prefill bursts
+    // run the base (SP) config.
+    Deployment d;
+    d.model = model::llama_70b();
+    d.strategy = Strategy::kShift;
+    std::vector<engine::RequestSpec> w;
+    for (int i = 0; i < 6; ++i)
+        w.push_back({i * 2.0, 6000, 100});
+    const auto m = run_deployment(d, w);
+    EXPECT_GT(m.sp_steps(), 0);
+    EXPECT_GT(m.tp_steps(), 0);
+}
+
+TEST(PaperProperties, PureSpNeverShifts)
+{
+    Deployment d;
+    d.model = model::llama_70b();
+    d.strategy = Strategy::kSp;
+    const auto m = run_deployment(d, lone_request(2048, 32));
+    EXPECT_EQ(m.tp_steps(), 0);
+}
+
+TEST(PaperProperties, CompletionTimeMonotoneInArrivalRate)
+{
+    // Fig. 14's premise: higher traffic -> higher completion time, for
+    // every strategy.
+    const auto m = model::qwen_32b();
+    for (Strategy s : {Strategy::kTp, Strategy::kDp, Strategy::kShift}) {
+        double prev = 0.0;
+        for (double rate : {0.5, 4.0, 16.0}) {
+            Rng rng(99);
+            const auto w = workload::make_requests(
+                workload::poisson_arrivals(rng, rate, 30.0), rng,
+                workload::fixed_size(4096, 128));
+            const double completion =
+                run(m, s, w).completion().mean();
+            EXPECT_GE(completion, prev * 0.9)
+                << parallel::strategy_name(s) << " at rate " << rate;
+            prev = completion;
+        }
+    }
+}
+
+TEST(PaperProperties, MoeModelsServeFasterThanDenseCousins)
+{
+    // Section 4.6: sparse models attain higher throughput / lower latency
+    // because they have fewer active parameters.
+    const auto w = lone_request(4096, 32);
+    EXPECT_LT(run(model::qwen_30b_a3b(), Strategy::kShift, w).ttft().mean(),
+              run(model::qwen_32b(), Strategy::kShift, w).ttft().mean());
+}
+
+TEST(PaperProperties, Fp8KvCacheDoublesTokenCapacity)
+{
+    // Section 4.2.2: the Mooncake run needs FP8 KV to fit.
+    Deployment fp16;
+    fp16.model = model::qwen_32b();
+    fp16.strategy = Strategy::kShift;
+    Deployment fp8 = fp16;
+    fp8.model.kv_dtype = model::DType::kFp8;
+    const auto r16 = core::resolve(fp16);
+    const auto r8 = core::resolve(fp8);
+    EXPECT_NEAR(static_cast<double>(r8.memory.kv_token_capacity) /
+                    static_cast<double>(r16.memory.kv_token_capacity),
+                2.0, 0.01);
+}
+
+TEST(PaperProperties, SeparateModelsTradeMemoryForSpeed)
+{
+    // Section 3.3.2 ablation: slicing saves the Eq. 1 memory but shifted
+    // decode steps get slower.
+    Deployment sep;
+    sep.model = model::llama_70b();
+    sep.strategy = Strategy::kShift;
+    Deployment sliced = sep;
+    sliced.weights = parallel::WeightStrategy::kOnTheFlySlicing;
+
+    const auto rs = core::resolve(sep);
+    const auto rl = core::resolve(sliced);
+    EXPECT_GT(rs.memory.weight_bytes(), rl.memory.weight_bytes());
+
+    const auto w = lone_request(1024, 128);
+    const double tpot_sep = run_deployment(sep, w).tpot().mean();
+    const double tpot_sliced = run_deployment(sliced, w).tpot().mean();
+    EXPECT_GT(tpot_sliced, tpot_sep);
+}
+
+} // namespace
+} // namespace shiftpar

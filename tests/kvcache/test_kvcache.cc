@@ -1,0 +1,194 @@
+/** @file Tests for the paged KV cache: allocator, tables, layouts, manager. */
+
+#include <gtest/gtest.h>
+
+#include "kvcache/cache_manager.h"
+#include "model/presets.h"
+
+namespace shiftpar::kvcache {
+namespace {
+
+TEST(BlockAllocator, AllocateUntilExhausted)
+{
+    BlockAllocator a(4, 16);
+    EXPECT_EQ(a.num_free(), 4);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(a.allocate().has_value());
+    EXPECT_FALSE(a.allocate().has_value());
+    EXPECT_EQ(a.num_used(), 4);
+    EXPECT_DOUBLE_EQ(a.utilization(), 1.0);
+}
+
+TEST(BlockAllocator, FreeReturnsBlocks)
+{
+    BlockAllocator a(2, 16);
+    const BlockId b = *a.allocate();
+    a.free(b);
+    EXPECT_EQ(a.num_free(), 2);
+}
+
+TEST(BlockAllocator, DoubleFreePanics)
+{
+    BlockAllocator a(2, 16);
+    const BlockId b = *a.allocate();
+    a.free(b);
+    EXPECT_DEATH(a.free(b), "double free");
+}
+
+TEST(BlockAllocator, InvalidFreePanics)
+{
+    BlockAllocator a(2, 16);
+    EXPECT_DEATH(a.free(99), "invalid block");
+}
+
+TEST(BlockAllocator, BlocksForTokens)
+{
+    BlockAllocator a(10, 16);
+    EXPECT_EQ(a.blocks_for_tokens(0), 0);
+    EXPECT_EQ(a.blocks_for_tokens(1), 1);
+    EXPECT_EQ(a.blocks_for_tokens(16), 1);
+    EXPECT_EQ(a.blocks_for_tokens(17), 2);
+}
+
+TEST(BlockAllocator, CanAllocate)
+{
+    BlockAllocator a(3, 16);
+    EXPECT_TRUE(a.can_allocate(3));
+    EXPECT_FALSE(a.can_allocate(4));
+}
+
+TEST(BlockTable, GrowthAllocatesOnBlockBoundaries)
+{
+    BlockAllocator a(10, 16);
+    BlockTable t;
+    EXPECT_TRUE(t.append_tokens(10, a));
+    EXPECT_EQ(t.num_blocks(), 1);
+    EXPECT_TRUE(t.append_tokens(6, a));  // exactly fills the block
+    EXPECT_EQ(t.num_blocks(), 1);
+    EXPECT_TRUE(t.append_tokens(1, a));
+    EXPECT_EQ(t.num_blocks(), 2);
+    EXPECT_EQ(t.num_tokens(), 17);
+}
+
+TEST(BlockTable, AllOrNothingOnFailure)
+{
+    BlockAllocator a(2, 16);
+    BlockTable t;
+    // 40 tokens need 3 blocks but only 2 exist: nothing allocated.
+    EXPECT_FALSE(t.append_tokens(40, a));
+    EXPECT_EQ(t.num_tokens(), 0);
+    EXPECT_EQ(a.num_free(), 2);
+}
+
+TEST(BlockTable, ReleaseReturnsEverything)
+{
+    BlockAllocator a(4, 16);
+    BlockTable t;
+    ASSERT_TRUE(t.append_tokens(50, a));
+    t.release(a);
+    EXPECT_EQ(t.num_tokens(), 0);
+    EXPECT_EQ(a.num_free(), 4);
+}
+
+TEST(KvLayoutTest, DpAndTpAreNotInvariant)
+{
+    // Section 1: TP and DP cannot switch — incompatible cache layouts.
+    const auto m = model::llama_70b();
+    const KvLayout dp = KvLayout::dp(m, 8);
+    const KvLayout tp = KvLayout::naive_tp(m, 8);
+    EXPECT_FALSE(dp.invariant_with(tp));
+    EXPECT_GT(switch_cost_bytes(m, dp, tp, 10000), 0.0);
+}
+
+TEST(KvLayoutTest, InvariantSwitchIsFree)
+{
+    const auto m = model::llama_70b();
+    const KvLayout base = KvLayout::base(m, {4, 2});
+    const KvLayout shift = KvLayout::shift(m, {4, 2});
+    EXPECT_TRUE(base.invariant_with(shift));
+    EXPECT_DOUBLE_EQ(switch_cost_bytes(m, base, shift, 1 << 20), 0.0);
+}
+
+TEST(KvLayoutTest, NaiveTpSwitchCostCountsMisplacedHeads)
+{
+    const auto m = model::llama_70b();
+    const KvLayout base = KvLayout::base(m, {4, 2});
+    const KvLayout naive = KvLayout::naive_tp(m, 8);
+    const double cost = switch_cost_bytes(m, base, naive, 1000);
+    EXPECT_GT(cost, 0.0);
+    // Upper bound: all 8 KV heads' slices move.
+    const double all = 8.0 * 1000.0 * 2.0 * m.head_dim *
+                       model::dtype_bytes(m.kv_dtype);
+    EXPECT_LE(cost, all);
+}
+
+TEST(KvLayoutTest, DpToDpIsFree)
+{
+    const auto m = model::llama_70b();
+    EXPECT_DOUBLE_EQ(
+        switch_cost_bytes(m, KvLayout::dp(m, 8), KvLayout::dp(m, 8), 5000),
+        0.0);
+}
+
+TEST(KvLayoutTest, DescribeShowsPlacementAndHeads)
+{
+    const auto m = model::llama_70b();
+    const std::string s = describe(KvLayout::base(m, {1, 8}));
+    EXPECT_NE(s.find("head-sharded"), std::string::npos);
+    EXPECT_NE(s.find("r0:0"), std::string::npos);
+}
+
+TEST(CacheManager, AdmitAndReleaseAccounting)
+{
+    const auto m = model::llama_70b();
+    CacheManager c(1000, KvLayout::base(m, {1, 8}), 16);
+    EXPECT_EQ(c.token_capacity(), 1000);
+    EXPECT_TRUE(c.try_append(1, 100));
+    EXPECT_EQ(c.cached_tokens(1), 100);
+    EXPECT_TRUE(c.contains(1));
+    EXPECT_EQ(c.num_requests(), 1u);
+    c.release(1);
+    EXPECT_FALSE(c.contains(1));
+    EXPECT_EQ(c.free_tokens(), (1000 / 16) * 16);
+}
+
+TEST(CacheManager, RejectsWhenFull)
+{
+    const auto m = model::llama_70b();
+    CacheManager c(64, KvLayout::base(m, {1, 8}), 16);
+    EXPECT_TRUE(c.try_append(1, 64));
+    EXPECT_FALSE(c.try_append(2, 1));
+    EXPECT_FALSE(c.contains(2));  // failed admission leaves no residue
+    c.release(1);
+    EXPECT_TRUE(c.try_append(2, 1));
+}
+
+TEST(CacheManager, FailedGrowthKeepsExistingTokens)
+{
+    const auto m = model::llama_70b();
+    CacheManager c(32, KvLayout::base(m, {1, 8}), 16);
+    EXPECT_TRUE(c.try_append(1, 30));
+    EXPECT_FALSE(c.try_append(1, 100));
+    EXPECT_EQ(c.cached_tokens(1), 30);
+}
+
+TEST(CacheManager, InvarianceAssertPassesAndFails)
+{
+    const auto m = model::llama_70b();
+    CacheManager c(100, KvLayout::base(m, {4, 2}), 16);
+    c.assert_invariant_with(KvLayout::shift(m, {4, 2}));
+    EXPECT_DEATH(c.assert_invariant_with(KvLayout::naive_tp(m, 8)),
+                 "not invariant");
+}
+
+TEST(CacheManager, UtilizationTracksUsage)
+{
+    const auto m = model::llama_70b();
+    CacheManager c(160, KvLayout::base(m, {1, 8}), 16);
+    EXPECT_DOUBLE_EQ(c.utilization(), 0.0);
+    c.try_append(1, 80);
+    EXPECT_DOUBLE_EQ(c.utilization(), 0.5);
+}
+
+} // namespace
+} // namespace shiftpar::kvcache

@@ -1,0 +1,105 @@
+/** @file Tests for the expert-parallelism extension (Section 4.6). */
+
+#include <gtest/gtest.h>
+
+#include "hw/presets.h"
+#include "kvcache/layout.h"
+#include "model/presets.h"
+#include "parallel/memory.h"
+#include "parallel/perf_model.h"
+
+namespace shiftpar::parallel {
+namespace {
+
+TEST(ExpertParallel, ValidationRules)
+{
+    const auto moe = model::qwen_30b_a3b();   // 128 experts
+    const auto dense = model::llama_70b();
+    EXPECT_TRUE(validate_config(moe, {8, 1, 4}).empty());
+    // EP on a dense model is rejected.
+    EXPECT_FALSE(validate_config(dense, {8, 1, 2}).empty());
+    // EP must divide the group.
+    EXPECT_FALSE(validate_config(moe, {4, 1, 3}).empty());
+    // EP must divide the expert count (16 experts, EP 32 impossible
+    // anyway by group, use a 16-expert model with ep 5 via group 20... use
+    // llama_17b_16e: 16 experts, group (8,1): ep 8 ok).
+    const auto l17 = model::llama_17b_16e();
+    EXPECT_TRUE(validate_config(l17, {4, 2, 8}).empty());
+}
+
+TEST(ExpertParallel, ToStringIncludesEp)
+{
+    EXPECT_EQ((ParallelConfig{4, 2, 8}).to_string(), "(SP=4,TP=2,EP=8)");
+    EXPECT_EQ((ParallelConfig{4, 2, 1}).to_string(), "(SP=4,TP=2)");
+}
+
+TEST(ExpertParallel, ShiftConfigPreservesEp)
+{
+    const ParallelConfig base{4, 2, 8};
+    EXPECT_EQ(base.shift_config(), (ParallelConfig{1, 8, 8}));
+}
+
+TEST(ExpertParallel, MemoryShardsExpertsOnly)
+{
+    const auto m = model::qwen_30b_a3b();
+    const auto gpu = hw::h200();
+    const auto ep1 = plan_memory(m, gpu, {8, 1, 1}, false);
+    const auto ep8 = plan_memory(m, gpu, {8, 1, 8}, false);
+    // Expert weights dominate this model; EP=8 should cut per-GPU weights
+    // by nearly 8x but never below the dense share.
+    EXPECT_LT(ep8.base_weight_bytes, ep1.base_weight_bytes / 4.0);
+    const double dense_share =
+        m.weight_bytes() * (1.0 - m.expert_weight_fraction());
+    EXPECT_GE(ep8.base_weight_bytes, dense_share * 0.999);
+    // Freed memory grows the KV pool.
+    EXPECT_GT(ep8.kv_pool_bytes, ep1.kv_pool_bytes);
+}
+
+TEST(ExpertParallel, DenseModelUnaffected)
+{
+    const auto m = model::llama_70b();
+    EXPECT_DOUBLE_EQ(m.expert_weight_fraction(), 0.0);
+    const auto p1 = plan_memory(m, hw::h200(), {8, 1, 1}, false);
+    EXPECT_DOUBLE_EQ(p1.base_weight_bytes, m.weight_bytes());
+}
+
+TEST(ExpertParallel, ExpertFractionIsLargeForMoe)
+{
+    EXPECT_GT(model::qwen_30b_a3b().expert_weight_fraction(), 0.8);
+    EXPECT_GT(model::llama_17b_16e().expert_weight_fraction(), 0.5);
+}
+
+TEST(ExpertParallel, RoutingCommAppearsOnlyWithEp)
+{
+    const auto m = model::qwen_30b_a3b();
+    const PerfModel perf(hw::h200_node(), m);
+    const auto work = BatchWork::prefill(8192);
+    const auto ep1 = perf.step_time(work, {8, 1, 1});
+    const auto ep8 = perf.step_time(work, {8, 1, 8});
+    EXPECT_GT(ep8.comm, ep1.comm);
+}
+
+TEST(ExpertParallel, KvLayoutUntouchedByEp)
+{
+    // EP never moves attention state: the Shift invariance holds with any
+    // EP degree.
+    const auto m = model::qwen_30b_a3b();
+    const auto base = kvcache::KvLayout::base(m, {8, 1, 8});
+    const auto base_noep = kvcache::KvLayout::base(m, {8, 1, 1});
+    EXPECT_TRUE(base.invariant_with(base_noep));
+    EXPECT_TRUE(base.invariant_with(kvcache::KvLayout::shift(m, {8, 1, 8})));
+}
+
+TEST(ExpertParallel, LargeBatchWeightStreamingDropsWithEp)
+{
+    // At moderate batch the MoE streams many experts; EP divides that
+    // traffic so memory-bound steps get faster even with routing comm.
+    const auto m = model::qwen_30b_a3b();
+    const PerfModel perf(hw::h200_node(), m);
+    const auto ep1 = perf.step_time(BatchWork::decode(256, 2048), {8, 1, 1});
+    const auto ep8 = perf.step_time(BatchWork::decode(256, 2048), {8, 1, 8});
+    EXPECT_LT(ep8.gemm, ep1.gemm);
+}
+
+} // namespace
+} // namespace shiftpar::parallel

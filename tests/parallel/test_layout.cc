@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the Section 3.3.1 head-to-rank mapping and KV-cache invariance
+ * — the correctness core of Shift Parallelism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "model/presets.h"
+#include "parallel/layout.h"
+
+namespace shiftpar::parallel {
+namespace {
+
+/** A 6-head toy model matching the paper's Figure 6 example. */
+model::ModelConfig
+six_head_model()
+{
+    model::ModelConfig m;
+    m.name = "toy-6h";
+    m.num_layers = 2;
+    m.hidden_size = 768;
+    m.q_heads = 6;
+    m.kv_heads = 6;  // MHA so q and kv layouts coincide
+    m.head_dim = 128;
+    m.intermediate_size = 3072;
+    m.vocab_size = 1000;
+    m.validate();
+    return m;
+}
+
+TEST(HeadLayout, PaperFigure6Example)
+{
+    // (SP=3, TP=2): the paper shows head k served by rank (0,2,4,1,3,5).
+    const auto layout = HeadLayout::base(six_head_model(), {3, 2});
+    EXPECT_EQ(layout.rank_of_q_head(), (std::vector<int>{0, 2, 4, 1, 3, 5}));
+}
+
+TEST(HeadLayout, PureSpMatchesRankOrder)
+{
+    // With TP=1 the all-to-all distributes heads in plain rank order, so
+    // the base layout coincides with naive TP.
+    const auto m = six_head_model();
+    const auto base = HeadLayout::base(m, {6, 1});
+    const auto naive = HeadLayout::naive_tp(m, 6);
+    EXPECT_TRUE(base.invariant_with(naive));
+}
+
+TEST(HeadLayout, PureTpMatchesRankOrder)
+{
+    const auto m = six_head_model();
+    const auto base = HeadLayout::base(m, {1, 6});
+    const auto naive = HeadLayout::naive_tp(m, 6);
+    EXPECT_TRUE(base.invariant_with(naive));
+}
+
+TEST(HeadLayout, MixedConfigBreaksNaiveInvariance)
+{
+    // The central claim of Section 3.3.1: for a combined (SP, TP) base,
+    // naive rank-order TP sharding is NOT cache compatible...
+    const auto m = six_head_model();
+    const auto base = HeadLayout::base(m, {3, 2});
+    const auto naive = HeadLayout::naive_tp(m, 6);
+    EXPECT_FALSE(base.invariant_with(naive));
+}
+
+TEST(HeadLayout, SpTpOrderedShiftRestoresInvariance)
+{
+    // ...but the SP_TP-ordered shift configuration is invariant.
+    const auto m = six_head_model();
+    const auto base = HeadLayout::base(m, {3, 2});
+    const auto shift = HeadLayout::shift(m, {3, 2});
+    EXPECT_TRUE(base.invariant_with(shift));
+}
+
+/** Property test over every (SP, TP) decomposition of the real models. */
+class InvarianceProperty
+    : public ::testing::TestWithParam<std::tuple<std::string, int, int>>
+{
+  protected:
+    static model::ModelConfig
+    model_by_name(const std::string& name)
+    {
+        for (const auto& m : model::table4_models())
+            if (m.name == name)
+                return m;
+        ADD_FAILURE() << "unknown model " << name;
+        return model::llama_70b();
+    }
+};
+
+TEST_P(InvarianceProperty, ShiftConfigAlwaysInvariantWithBase)
+{
+    const auto [name, sp, tp] = GetParam();
+    const auto m = model_by_name(name);
+    const ParallelConfig cfg{sp, tp};
+    if (!validate_config(m, cfg).empty())
+        GTEST_SKIP() << "config invalid for this model";
+    const auto base = HeadLayout::base(m, cfg);
+    const auto shift = HeadLayout::shift(m, cfg);
+    EXPECT_TRUE(base.invariant_with(shift))
+        << "invariance failed for " << name << " " << cfg.to_string();
+}
+
+TEST_P(InvarianceProperty, EveryQueryHeadPlacedExactlyOnce)
+{
+    const auto [name, sp, tp] = GetParam();
+    const auto m = model_by_name(name);
+    const ParallelConfig cfg{sp, tp};
+    if (!validate_config(m, cfg).empty())
+        GTEST_SKIP();
+    const auto owner = HeadLayout::base(m, cfg).rank_of_q_head();
+    ASSERT_EQ(owner.size(), static_cast<std::size_t>(m.q_heads));
+    for (int r : owner) {
+        EXPECT_GE(r, 0);
+        EXPECT_LT(r, sp * tp);
+    }
+}
+
+TEST_P(InvarianceProperty, KvReplicationCountIsExact)
+{
+    const auto [name, sp, tp] = GetParam();
+    const auto m = model_by_name(name);
+    const ParallelConfig cfg{sp, tp};
+    if (!validate_config(m, cfg).empty())
+        GTEST_SKIP();
+    const auto layout = HeadLayout::base(m, cfg);
+    // Count how many ranks host each KV head.
+    std::vector<int> hosts(static_cast<std::size_t>(m.kv_heads), 0);
+    for (int r = 0; r < layout.world(); ++r)
+        for (int kv : layout.rank(r).kv)
+            ++hosts[static_cast<std::size_t>(kv)];
+    const int expected = std::max(1, sp * tp / m.kv_heads);
+    EXPECT_EQ(layout.kv_replication(), expected);
+    for (int h : hosts)
+        EXPECT_EQ(h, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModelsAllConfigs, InvarianceProperty,
+    ::testing::Combine(
+        ::testing::Values("Llama-70B", "Qwen-32B", "Llama-17B-16E",
+                          "Qwen-30B-A3B"),
+        ::testing::Values(1, 2, 4, 8),   // SP
+        ::testing::Values(1, 2, 4, 8)),  // TP
+    [](const auto& info) {
+        auto name = std::get<0>(info.param);
+        for (auto& c : name)
+            if (c == '-')
+                c = '_';
+        return name + "_sp" + std::to_string(std::get<1>(info.param)) +
+               "_tp" + std::to_string(std::get<2>(info.param));
+    });
+
+TEST(HeadLayout, KvHeadsFollowQueryHeads)
+{
+    // GQA: a rank's KV heads must be exactly the groups of its Q heads.
+    const auto m = model::llama_70b();  // 64 q / 8 kv -> groups of 8
+    const auto layout = HeadLayout::base(m, {4, 2});
+    for (int r = 0; r < layout.world(); ++r) {
+        const auto& rh = layout.rank(r);
+        std::set<int> expected;
+        for (int q : rh.q)
+            expected.insert(q / 8);
+        std::set<int> actual(rh.kv.begin(), rh.kv.end());
+        EXPECT_EQ(actual, expected) << "rank " << r;
+    }
+}
+
+TEST(HeadLayout, ReplicationCaseSharesKvHeads)
+{
+    // Qwen-30B-A3B: 4 KV heads on 8 ranks -> each KV head on 2 ranks
+    // (Section 3.2.1 KV cache replication).
+    const auto m = model::qwen_30b_a3b();
+    const auto layout = HeadLayout::base(m, {8, 1});
+    EXPECT_EQ(layout.kv_replication(), 2);
+}
+
+TEST(HeadLayout, RankAccessorBoundsChecked)
+{
+    const auto layout = HeadLayout::base(six_head_model(), {3, 2});
+    EXPECT_EQ(layout.world(), 6);
+    EXPECT_DEATH(layout.rank(6), "");
+}
+
+} // namespace
+} // namespace shiftpar::parallel

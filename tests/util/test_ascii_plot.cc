@@ -1,0 +1,129 @@
+/** @file Unit tests for the terminal plot renderers. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/ascii_plot.h"
+
+namespace shiftpar {
+namespace {
+
+TEST(LinePlot, EmptyInput)
+{
+    EXPECT_EQ(render_line_plot({}), "(empty plot)\n");
+}
+
+TEST(LinePlot, ContainsLegendAndAxis)
+{
+    PlotSeries s{"tok/s", {1.0, 2.0, 3.0, 4.0}};
+    LinePlotOptions opts;
+    opts.width = 20;
+    opts.height = 4;
+    opts.y_label = "throughput";
+    opts.x_label = "time";
+    const std::string out = render_line_plot({s}, opts);
+    EXPECT_NE(out.find("throughput"), std::string::npos);
+    EXPECT_NE(out.find("time"), std::string::npos);
+    EXPECT_NE(out.find("* tok/s"), std::string::npos);
+    EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(LinePlot, MonotoneSeriesRisesLeftToRight)
+{
+    // For a strictly increasing series the glyph column index in the top
+    // row must be to the right of the one in the bottom row.
+    std::vector<double> vals;
+    for (int i = 0; i < 40; ++i)
+        vals.push_back(static_cast<double>(i));
+    LinePlotOptions opts;
+    opts.width = 40;
+    opts.height = 8;
+    const std::string out = render_line_plot({{"s", vals}}, opts);
+    std::istringstream is(out);
+    std::string line;
+    std::size_t top_pos = std::string::npos;
+    std::size_t bottom_pos = std::string::npos;
+    while (std::getline(is, line)) {
+        const auto pos = line.find('*');
+        if (pos == std::string::npos)
+            continue;
+        if (top_pos == std::string::npos)
+            top_pos = pos;  // first row with a glyph = highest values
+        bottom_pos = pos;   // last row with a glyph = lowest values
+    }
+    ASSERT_NE(top_pos, std::string::npos);
+    EXPECT_GT(top_pos, bottom_pos);
+}
+
+TEST(LinePlot, MultipleSeriesGetDistinctGlyphs)
+{
+    PlotSeries a{"alpha", {1, 1, 1}};
+    PlotSeries b{"beta", {2, 2, 2}};
+    LinePlotOptions opts;
+    opts.width = 12;
+    opts.height = 4;
+    const std::string out = render_line_plot({a, b}, opts);
+    EXPECT_NE(out.find("* alpha"), std::string::npos);
+    EXPECT_NE(out.find("o beta"), std::string::npos);
+}
+
+TEST(LinePlot, ConstantSeriesDoesNotDivideByZero)
+{
+    LinePlotOptions opts;
+    opts.width = 10;
+    opts.height = 3;
+    const std::string out = render_line_plot({{"c", {5.0, 5.0, 5.0}}}, opts);
+    EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(LinePlot, LogScaleSkipsNonPositive)
+{
+    LinePlotOptions opts;
+    opts.width = 16;
+    opts.height = 5;
+    opts.log_y = true;
+    const std::string out =
+        render_line_plot({{"s", {0.0, 1.0, 10.0, 100.0}}}, opts);
+    EXPECT_NE(out.find("log scale"), std::string::npos);
+}
+
+TEST(BarChart, RendersLabelsAndValues)
+{
+    const std::string out = render_bar_chart(
+        {"DP", "TP", "Shift"}, {75535.0, 51162.0, 69147.0},
+        "peak throughput (tok/s)", 40);
+    EXPECT_NE(out.find("DP"), std::string::npos);
+    EXPECT_NE(out.find("Shift"), std::string::npos);
+    EXPECT_NE(out.find("75.5k"), std::string::npos);
+    EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(BarChart, LargestValueGetsLongestBar)
+{
+    const std::string out =
+        render_bar_chart({"a", "bb"}, {10.0, 100.0}, "", 20);
+    std::istringstream is(out);
+    std::string first;
+    std::string second;
+    std::getline(is, first);
+    std::getline(is, second);
+    const auto count = [](const std::string& s) {
+        return std::count(s.begin(), s.end(), '#');
+    };
+    EXPECT_LT(count(first), count(second));
+    EXPECT_EQ(count(second), 20);
+}
+
+TEST(BarChart, EmptyInput)
+{
+    EXPECT_EQ(render_bar_chart({}, {}, "x"), "(empty chart)\n");
+}
+
+TEST(BarChart, MismatchedSizesPanics)
+{
+    EXPECT_DEATH(render_bar_chart({"a"}, {1.0, 2.0}, ""), "");
+}
+
+} // namespace
+} // namespace shiftpar

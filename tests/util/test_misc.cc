@@ -1,0 +1,129 @@
+/** @file Unit tests for units, table rendering, and the CSV writer. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace shiftpar {
+namespace {
+
+TEST(Units, DecimalMultipliers)
+{
+    EXPECT_DOUBLE_EQ(gb(141.0), 141.0e9);
+    EXPECT_DOUBLE_EQ(tb(4.8), 4.8e12);
+    EXPECT_DOUBLE_EQ(tflops(1979.0), 1.979e15);
+    EXPECT_DOUBLE_EQ(mb(1.0), 1.0e6);
+    EXPECT_DOUBLE_EQ(kb(2.0), 2.0e3);
+}
+
+TEST(Units, TimeConversions)
+{
+    EXPECT_DOUBLE_EQ(usec(6.0), 6.0e-6);
+    EXPECT_DOUBLE_EQ(msec(2.5), 2.5e-3);
+    EXPECT_DOUBLE_EQ(to_ms(0.05), 50.0);
+    EXPECT_DOUBLE_EQ(to_us(0.001), 1000.0);
+    EXPECT_DOUBLE_EQ(to_gb(2.0e9), 2.0);
+}
+
+TEST(Units, CeilDiv)
+{
+    EXPECT_EQ(ceil_div(0, 4), 0);
+    EXPECT_EQ(ceil_div(1, 4), 1);
+    EXPECT_EQ(ceil_div(4, 4), 1);
+    EXPECT_EQ(ceil_div(5, 4), 2);
+}
+
+TEST(Units, RoundUp)
+{
+    EXPECT_EQ(round_up(0, 8), 0);
+    EXPECT_EQ(round_up(1, 8), 8);
+    EXPECT_EQ(round_up(8, 8), 8);
+    EXPECT_EQ(round_up(9, 8), 16);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"a", "longheader"});
+    t.add_row({"xxxx", "1"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| a    "), std::string::npos);
+    EXPECT_NE(out.find("| longheader "), std::string::npos);
+    EXPECT_NE(out.find("| xxxx "), std::string::npos);
+    // Header separator lines: top, below header, bottom.
+    std::size_t seps = 0;
+    std::istringstream is(out);
+    std::string line;
+    while (std::getline(is, line))
+        seps += line.rfind("+-", 0) == 0;
+    EXPECT_EQ(seps, 3u);
+}
+
+TEST(Table, FmtPrecision)
+{
+    EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::fmt(2.0, 0), "2");
+}
+
+TEST(Table, FmtCountThousandsSeparators)
+{
+    EXPECT_EQ(Table::fmt_count(0), "0");
+    EXPECT_EQ(Table::fmt_count(999), "999");
+    EXPECT_EQ(Table::fmt_count(1000), "1,000");
+    EXPECT_EQ(Table::fmt_count(75535), "75,535");
+    EXPECT_EQ(Table::fmt_count(1234567), "1,234,567");
+    EXPECT_EQ(Table::fmt_count(-4200), "-4,200");
+}
+
+TEST(Table, RowArityMismatchPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.add_row({"only-one"}), "arity");
+}
+
+TEST(Csv, WritesHeaderAndRows)
+{
+    const std::string path = "test_tmp/out.csv";
+    {
+        CsvWriter csv(path, {"x", "y"});
+        ASSERT_TRUE(csv.ok());
+        csv.add_row(std::vector<std::string>{"1", "2"});
+        csv.add_row(std::vector<double>{3.5, 4.25});
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "x,y");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1,2");
+    std::getline(in, line);
+    EXPECT_EQ(line, "3.5,4.25");
+    std::filesystem::remove_all("test_tmp");
+}
+
+TEST(Csv, QuotesSpecialCharacters)
+{
+    const std::string path = "test_tmp/quoted.csv";
+    {
+        CsvWriter csv(path, {"v"});
+        csv.add_row({std::string("a,b")});
+        csv.add_row({std::string("say \"hi\"")});
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);  // header
+    std::getline(in, line);
+    EXPECT_EQ(line, "\"a,b\"");
+    std::getline(in, line);
+    EXPECT_EQ(line, "\"say \"\"hi\"\"\"");
+    std::filesystem::remove_all("test_tmp");
+}
+
+} // namespace
+} // namespace shiftpar

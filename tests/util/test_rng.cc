@@ -1,0 +1,158 @@
+/** @file Unit tests for the deterministic RNG and its distributions. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.h"
+
+namespace shiftpar {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next_u64() == b.next_u64();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(5.0, 9.0);
+        EXPECT_GE(u, 5.0);
+        EXPECT_LT(u, 9.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusively)
+{
+    Rng rng(11);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::int64_t v = rng.uniform_int(3, 6);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 6);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u);  // all of {3,4,5,6} should appear
+}
+
+TEST(Rng, UniformIntSingleton)
+{
+    Rng rng(1);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate)
+{
+    Rng rng(3);
+    const double rate = 4.0;
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(rate);
+    EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(5);
+    const int n = 50000;
+    double sum = 0.0;
+    double sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal(2.0, 3.0);
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 2.0, 0.1);
+    EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(Rng, LognormalMedian)
+{
+    Rng rng(9);
+    const int n = 50001;
+    std::vector<double> vals;
+    for (int i = 0; i < n; ++i)
+        vals.push_back(rng.lognormal(std::log(100.0), 0.5));
+    std::sort(vals.begin(), vals.end());
+    EXPECT_NEAR(vals[n / 2], 100.0, 5.0);
+}
+
+TEST(Rng, ParetoLowerBound)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, BernoulliProbability)
+{
+    Rng rng(17);
+    int hits = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, CategoricalRespectsWeights)
+{
+    Rng rng(19);
+    std::vector<double> counts(3, 0.0);
+    const int n = 30000;
+    for (int i = 0; i < n; ++i)
+        counts[rng.categorical({1.0, 2.0, 1.0})] += 1.0;
+    EXPECT_NEAR(counts[0] / n, 0.25, 0.02);
+    EXPECT_NEAR(counts[1] / n, 0.50, 0.02);
+    EXPECT_NEAR(counts[2] / n, 0.25, 0.02);
+}
+
+TEST(Rng, CategoricalZeroWeightNeverPicked)
+{
+    Rng rng(23);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_NE(rng.categorical({1.0, 0.0, 1.0}), 1u);
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated)
+{
+    Rng parent(29);
+    Rng a = parent.split();
+    Rng b = parent.split();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next_u64() == b.next_u64();
+    EXPECT_LT(same, 3);
+}
+
+} // namespace
+} // namespace shiftpar

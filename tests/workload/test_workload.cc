@@ -1,0 +1,239 @@
+/** @file Tests for arrival processes, samplers, and trace generators. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "workload/arrival.h"
+#include "workload/azure_trace.h"
+#include "workload/bursty.h"
+#include "workload/mix.h"
+#include "workload/mooncake_trace.h"
+#include "workload/synthetic.h"
+
+namespace shiftpar::workload {
+namespace {
+
+template <typename T>
+bool
+sorted_by_arrival(const std::vector<T>& reqs)
+{
+    return std::is_sorted(reqs.begin(), reqs.end(),
+                          [](const auto& a, const auto& b) {
+                              return a.arrival < b.arrival;
+                          });
+}
+
+TEST(Arrival, FixedRateSpacing)
+{
+    const auto times = fixed_rate_arrivals(2.0, 3.0);
+    ASSERT_EQ(times.size(), 6u);
+    EXPECT_DOUBLE_EQ(times[0], 0.0);
+    EXPECT_DOUBLE_EQ(times[1], 0.5);
+    EXPECT_LT(times.back(), 3.0);
+}
+
+TEST(Arrival, PoissonRateApproximatelyCorrect)
+{
+    Rng rng(1);
+    const auto times = poisson_arrivals(rng, 10.0, 1000.0);
+    EXPECT_NEAR(static_cast<double>(times.size()), 10000.0, 400.0);
+    EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+    for (double t : times) {
+        EXPECT_GE(t, 0.0);
+        EXPECT_LT(t, 1000.0);
+    }
+}
+
+TEST(Arrival, GammaBurstinessPreservesMeanRate)
+{
+    Rng rng(2);
+    const auto bursty = gamma_arrivals(rng, 10.0, 0.3, 1000.0);
+    EXPECT_NEAR(static_cast<double>(bursty.size()), 10000.0, 700.0);
+}
+
+TEST(Arrival, LowBurstinessClustersArrivals)
+{
+    Rng r1(3);
+    Rng r2(3);
+    const auto smooth = gamma_arrivals(r1, 5.0, 5.0, 2000.0);
+    const auto bursty = gamma_arrivals(r2, 5.0, 0.2, 2000.0);
+    // Coefficient of variation of inter-arrival gaps: bursty >> smooth.
+    const auto cv = [](const std::vector<double>& t) {
+        double sum = 0.0;
+        double sq = 0.0;
+        const std::size_t n = t.size() - 1;
+        for (std::size_t i = 1; i < t.size(); ++i) {
+            const double g = t[i] - t[i - 1];
+            sum += g;
+            sq += g * g;
+        }
+        const double mean = sum / n;
+        return std::sqrt(sq / n - mean * mean) / mean;
+    };
+    EXPECT_GT(cv(bursty), 1.5 * cv(smooth));
+}
+
+TEST(Arrival, StartOffsetApplied)
+{
+    Rng rng(4);
+    const auto times = poisson_arrivals(rng, 5.0, 10.0, 100.0);
+    for (double t : times) {
+        EXPECT_GE(t, 100.0);
+        EXPECT_LT(t, 110.0);
+    }
+}
+
+TEST(Arrival, BatchArrivalsLandOnPeriods)
+{
+    Rng rng(5);
+    const auto times = batch_arrivals(rng, 9.0, 3.0, 30.0);
+    // Every arrival time is a multiple of the 3-second period.
+    for (double t : times) {
+        const double mod = std::fmod(t, 3.0);
+        EXPECT_NEAR(std::min(mod, 3.0 - mod), 0.0, 1e-9);
+    }
+    // Mean batch size ~9 over 10 batches.
+    EXPECT_NEAR(static_cast<double>(times.size()), 90.0, 30.0);
+}
+
+TEST(Synthetic, FixedSizeSampler)
+{
+    Rng rng(1);
+    const auto s = fixed_size(128, 32)(rng);
+    EXPECT_EQ(s.prompt, 128);
+    EXPECT_EQ(s.output, 32);
+}
+
+TEST(Synthetic, LognormalMedianAndClamps)
+{
+    Rng rng(6);
+    const auto sampler = lognormal_size(1000.0, 0.5, 100.0, 0.5,
+                                        /*min=*/1, /*max_prompt=*/2000,
+                                        /*max_output=*/150);
+    std::vector<double> prompts;
+    for (int i = 0; i < 20000; ++i) {
+        const auto s = sampler(rng);
+        EXPECT_GE(s.prompt, 1);
+        EXPECT_LE(s.prompt, 2000);
+        EXPECT_LE(s.output, 150);
+        prompts.push_back(static_cast<double>(s.prompt));
+    }
+    std::sort(prompts.begin(), prompts.end());
+    EXPECT_NEAR(prompts[prompts.size() / 2], 1000.0, 50.0);
+}
+
+TEST(Synthetic, MakeRequestsPairsArrivalsWithSizes)
+{
+    Rng rng(7);
+    const auto reqs =
+        make_requests({1.0, 2.0, 3.0}, rng, fixed_size(10, 5));
+    ASSERT_EQ(reqs.size(), 3u);
+    EXPECT_DOUBLE_EQ(reqs[1].arrival, 2.0);
+    EXPECT_EQ(total_tokens(reqs), 45);
+}
+
+TEST(Synthetic, UniformBatchAllAtZero)
+{
+    const auto reqs = uniform_batch(10, 4096, 250);
+    EXPECT_EQ(reqs.size(), 10u);
+    for (const auto& r : reqs) {
+        EXPECT_DOUBLE_EQ(r.arrival, 0.0);
+        EXPECT_EQ(r.prompt_tokens, 4096);
+        EXPECT_EQ(r.output_tokens, 250);
+    }
+}
+
+TEST(Bursty, DeterministicAndSorted)
+{
+    Rng a(42);
+    Rng b(42);
+    const auto w1 = bursty_workload(a, {});
+    const auto w2 = bursty_workload(b, {});
+    ASSERT_EQ(w1.size(), w2.size());
+    EXPECT_TRUE(sorted_by_arrival(w1));
+    for (std::size_t i = 0; i < w1.size(); ++i)
+        EXPECT_DOUBLE_EQ(w1[i].arrival, w2[i].arrival);
+}
+
+TEST(Bursty, BurstsRaiseLocalRate)
+{
+    Rng rng(42);
+    BurstyOptions opts;
+    const auto reqs = bursty_workload(rng, opts);
+    const auto starts = burst_starts(opts);
+    ASSERT_EQ(starts.size(), static_cast<std::size_t>(opts.num_bursts));
+    // Count requests inside vs outside burst windows, per second.
+    double in_window = 0.0;
+    double out_window = 0.0;
+    for (const auto& r : reqs) {
+        bool in = false;
+        for (double s : starts)
+            in |= r.arrival >= s && r.arrival < s + opts.burst_duration;
+        (in ? in_window : out_window) += 1.0;
+    }
+    const double in_secs = opts.num_bursts * opts.burst_duration;
+    const double out_secs = opts.duration - in_secs;
+    EXPECT_GT(in_window / in_secs, 5.0 * (out_window / out_secs));
+}
+
+TEST(AzureTrace, ShortOutputsLongPrompts)
+{
+    Rng rng(7);
+    const auto reqs = azure_code_trace(rng, {});
+    ASSERT_GT(reqs.size(), 100u);
+    EXPECT_TRUE(sorted_by_arrival(reqs));
+    double prompt_sum = 0.0;
+    double output_sum = 0.0;
+    for (const auto& r : reqs) {
+        prompt_sum += static_cast<double>(r.prompt_tokens);
+        output_sum += static_cast<double>(r.output_tokens);
+    }
+    // Code completion: prompts dominate outputs by an order of magnitude.
+    EXPECT_GT(prompt_sum, 10.0 * output_sum);
+}
+
+TEST(AzureTrace, StaysWithinDuration)
+{
+    Rng rng(8);
+    AzureTraceOptions opts;
+    opts.duration = 100.0;
+    const auto reqs = azure_code_trace(rng, opts);
+    for (const auto& r : reqs)
+        EXPECT_LT(r.arrival, 100.0 + opts.big_burst_duration);
+}
+
+TEST(MooncakeTrace, BatchedSteadyArrivals)
+{
+    Rng rng(9);
+    MooncakeTraceOptions opts;
+    opts.duration = 300.0;
+    const auto reqs = mooncake_conversation_trace(rng, opts);
+    EXPECT_TRUE(sorted_by_arrival(reqs));
+    // ~9 per 3 seconds over 100 periods.
+    EXPECT_NEAR(static_cast<double>(reqs.size()), 900.0, 150.0);
+    // Long outputs relative to the Azure code trace.
+    double output_sum = 0.0;
+    for (const auto& r : reqs)
+        output_sum += static_cast<double>(r.output_tokens);
+    EXPECT_GT(output_sum / static_cast<double>(reqs.size()), 300.0);
+}
+
+TEST(Mix, PopulationsAndDeterminism)
+{
+    Rng a(10);
+    Rng b(10);
+    const auto w1 = production_mix(a, {});
+    const auto w2 = production_mix(b, {});
+    ASSERT_EQ(w1.size(), 500u);
+    ASSERT_EQ(w1.size(), w2.size());
+    for (std::size_t i = 0; i < w1.size(); ++i) {
+        EXPECT_EQ(w1[i].prompt_tokens, w2[i].prompt_tokens);
+        EXPECT_EQ(w1[i].output_tokens, w2[i].output_tokens);
+    }
+    EXPECT_TRUE(sorted_by_arrival(w1));
+}
+
+} // namespace
+} // namespace shiftpar::workload

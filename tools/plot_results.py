@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Plot the CSVs the bench binaries write into bench_results/.
+
+The paper's artifact ships a plot.py that turns raw benchmark output into
+the paper's figures; this is the equivalent for this reproduction. Each
+known CSV gets a dedicated figure; unknown CSVs get a generic per-column
+line plot. Requires matplotlib; degrades to a summary listing without it.
+
+Usage:
+    tools/plot_results.py [--results bench_results] [--out plots]
+"""
+
+import argparse
+import csv
+import os
+import sys
+from collections import defaultdict
+
+
+def read_csv(path):
+    with open(path, newline="") as f:
+        rows = list(csv.DictReader(f))
+    return rows
+
+
+def group_by(rows, key):
+    groups = defaultdict(list)
+    for row in rows:
+        groups[row[key]].append(row)
+    return groups
+
+
+def plot_fig09_style(plt, rows, value_key, title, ylabel, out):
+    for strategy, series in group_by(rows, "strategy").items():
+        xs = [int(r["request_index"]) for r in series]
+        ys = [float(r[value_key]) for r in series]
+        plt.plot(xs, ys, label=strategy, linewidth=0.8)
+    plt.xlabel("request index (arrival order)")
+    plt.ylabel(ylabel)
+    plt.title(title)
+    plt.legend()
+    plt.yscale("log")
+    plt.savefig(out, dpi=150, bbox_inches="tight")
+    plt.clf()
+
+
+def plot_rate_sweep(plt, rows, xkey, ykey, series_key, title, out,
+                    logy=False):
+    for name, series in group_by(rows, series_key).items():
+        xs = [float(r[xkey]) for r in series]
+        ys = [float(r[ykey]) for r in series]
+        plt.plot(xs, ys, marker="o", label=name)
+    plt.xlabel(xkey)
+    plt.ylabel(ykey)
+    plt.title(title)
+    if logy:
+        plt.yscale("log")
+    plt.legend()
+    plt.savefig(out, dpi=150, bbox_inches="tight")
+    plt.clf()
+
+
+KNOWN = {
+    "fig09_azure_series.csv": lambda plt, rows, out: plot_fig09_style(
+        plt, rows, "completion_ms", "Fig. 9: Azure code trace, Llama-70B",
+        "completion (ms)", out),
+    "fig10_mooncake_series.csv": lambda plt, rows, out: plot_fig09_style(
+        plt, rows, "completion_s", "Fig. 10: Mooncake trace, Qwen-32B",
+        "completion (s)", out),
+    "fig14_arrival.csv": lambda plt, rows, out: plot_rate_sweep(
+        plt, rows, "rate_req_s", "mean_completion_s", "strategy",
+        "Fig. 14: completion vs arrival rate", out, logy=True),
+    "fig13_context.csv": lambda plt, rows, out: plot_rate_sweep(
+        plt, rows, "input_tokens", "ttft_ms", "strategy",
+        "Fig. 13: TTFT vs context length", out, logy=True),
+    "ext_slo.csv": lambda plt, rows, out: plot_rate_sweep(
+        plt, rows, "rate_req_s", "attainment", "strategy",
+        "SLO attainment vs arrival rate", out),
+    "fig07_timeline.csv": lambda plt, rows, out: plot_rate_sweep(
+        plt, rows, "t_s", "throughput_tok_s", "strategy",
+        "Fig. 7: throughput timeline", out),
+}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--results", default="bench_results")
+    parser.add_argument("--out", default="plots")
+    args = parser.parse_args()
+
+    if not os.path.isdir(args.results):
+        sys.exit(f"no results directory '{args.results}' — run the bench "
+                 "binaries first")
+    csvs = sorted(f for f in os.listdir(args.results) if f.endswith(".csv"))
+    if not csvs:
+        sys.exit(f"no CSVs in '{args.results}'")
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; listing results instead:")
+        for name in csvs:
+            rows = read_csv(os.path.join(args.results, name))
+            print(f"  {name}: {len(rows)} rows, "
+                  f"columns {list(rows[0].keys()) if rows else []}")
+        return
+
+    os.makedirs(args.out, exist_ok=True)
+    for name in csvs:
+        rows = read_csv(os.path.join(args.results, name))
+        if not rows:
+            continue
+        out = os.path.join(args.out, name.replace(".csv", ".png"))
+        plotter = KNOWN.get(name)
+        if plotter is not None:
+            plotter(plt, rows, out)
+            print(f"wrote {out}")
+    print("done")
+
+
+if __name__ == "__main__":
+    main()
