@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sp.dir/bench_ablation_sp.cc.o"
+  "CMakeFiles/bench_ablation_sp.dir/bench_ablation_sp.cc.o.d"
+  "bench_ablation_sp"
+  "bench_ablation_sp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

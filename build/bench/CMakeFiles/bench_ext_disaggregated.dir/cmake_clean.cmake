@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_disaggregated.dir/bench_ext_disaggregated.cc.o"
+  "CMakeFiles/bench_ext_disaggregated.dir/bench_ext_disaggregated.cc.o.d"
+  "bench_ext_disaggregated"
+  "bench_ext_disaggregated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_disaggregated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

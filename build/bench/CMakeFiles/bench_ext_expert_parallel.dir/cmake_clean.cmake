@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_expert_parallel.dir/bench_ext_expert_parallel.cc.o"
+  "CMakeFiles/bench_ext_expert_parallel.dir/bench_ext_expert_parallel.cc.o.d"
+  "bench_ext_expert_parallel"
+  "bench_ext_expert_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_expert_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_slo.dir/bench_ext_slo.cc.o"
+  "CMakeFiles/bench_ext_slo.dir/bench_ext_slo.cc.o.d"
+  "bench_ext_slo"
+  "bench_ext_slo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_slo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

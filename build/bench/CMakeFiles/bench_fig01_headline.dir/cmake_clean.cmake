@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_headline.dir/bench_fig01_headline.cc.o"
+  "CMakeFiles/bench_fig01_headline.dir/bench_fig01_headline.cc.o.d"
+  "bench_fig01_headline"
+  "bench_fig01_headline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_headline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_bursty.dir/bench_fig07_bursty.cc.o"
+  "CMakeFiles/bench_fig07_bursty.dir/bench_fig07_bursty.cc.o.d"
+  "bench_fig07_bursty"
+  "bench_fig07_bursty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_bursty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

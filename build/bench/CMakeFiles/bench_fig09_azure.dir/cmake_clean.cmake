@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_azure.dir/bench_fig09_azure.cc.o"
+  "CMakeFiles/bench_fig09_azure.dir/bench_fig09_azure.cc.o.d"
+  "bench_fig09_azure"
+  "bench_fig09_azure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_azure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

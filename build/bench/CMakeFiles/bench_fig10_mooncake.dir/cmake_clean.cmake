@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_mooncake.dir/bench_fig10_mooncake.cc.o"
+  "CMakeFiles/bench_fig10_mooncake.dir/bench_fig10_mooncake.cc.o.d"
+  "bench_fig10_mooncake"
+  "bench_fig10_mooncake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_mooncake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

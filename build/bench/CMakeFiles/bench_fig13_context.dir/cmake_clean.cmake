@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_context.dir/bench_fig13_context.cc.o"
+  "CMakeFiles/bench_fig13_context.dir/bench_fig13_context.cc.o.d"
+  "bench_fig13_context"
+  "bench_fig13_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_arrival.dir/bench_fig14_arrival.cc.o"
+  "CMakeFiles/bench_fig14_arrival.dir/bench_fig14_arrival.cc.o.d"
+  "bench_fig14_arrival"
+  "bench_fig14_arrival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_arrival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

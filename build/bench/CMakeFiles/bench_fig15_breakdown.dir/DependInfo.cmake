@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig15_breakdown.cc" "bench/CMakeFiles/bench_fig15_breakdown.dir/bench_fig15_breakdown.cc.o" "gcc" "bench/CMakeFiles/bench_fig15_breakdown.dir/bench_fig15_breakdown.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/shiftpar_core.dir/DependInfo.cmake"
+  "/root/repo/build/bench/CMakeFiles/shiftpar_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/shiftpar_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/shiftpar_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvcache/CMakeFiles/shiftpar_kvcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/shiftpar_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/shiftpar_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/shiftpar_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/shiftpar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_models.dir/bench_fig17_models.cc.o"
+  "CMakeFiles/bench_fig17_models.dir/bench_fig17_models.cc.o.d"
+  "bench_fig17_models"
+  "bench_fig17_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

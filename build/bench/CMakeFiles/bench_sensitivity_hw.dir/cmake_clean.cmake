@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sensitivity_hw.dir/bench_sensitivity_hw.cc.o"
+  "CMakeFiles/bench_sensitivity_hw.dir/bench_sensitivity_hw.cc.o.d"
+  "bench_sensitivity_hw"
+  "bench_sensitivity_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sensitivity_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_tradeoffs.dir/bench_table1_tradeoffs.cc.o"
+  "CMakeFiles/bench_table1_tradeoffs.dir/bench_table1_tradeoffs.cc.o.d"
+  "bench_table1_tradeoffs"
+  "bench_table1_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

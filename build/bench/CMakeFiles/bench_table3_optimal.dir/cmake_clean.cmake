@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_optimal.dir/bench_table3_optimal.cc.o"
+  "CMakeFiles/bench_table3_optimal.dir/bench_table3_optimal.cc.o.d"
+  "bench_table3_optimal"
+  "bench_table3_optimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

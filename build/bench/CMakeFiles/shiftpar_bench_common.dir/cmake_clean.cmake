@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shiftpar_bench_common.dir/common/bench_common.cc.o"
+  "CMakeFiles/shiftpar_bench_common.dir/common/bench_common.cc.o.d"
+  "libshiftpar_bench_common.a"
+  "libshiftpar_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shiftpar_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

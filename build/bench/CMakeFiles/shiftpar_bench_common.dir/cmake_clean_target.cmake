@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libshiftpar_bench_common.a"
+)

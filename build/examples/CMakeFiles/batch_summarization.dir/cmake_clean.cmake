@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_summarization.dir/batch_summarization.cpp.o"
+  "CMakeFiles/batch_summarization.dir/batch_summarization.cpp.o.d"
+  "batch_summarization"
+  "batch_summarization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_summarization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_agent.dir/interactive_agent.cpp.o"
+  "CMakeFiles/interactive_agent.dir/interactive_agent.cpp.o.d"
+  "interactive_agent"
+  "interactive_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

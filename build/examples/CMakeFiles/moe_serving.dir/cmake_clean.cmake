@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moe_serving.dir/moe_serving.cpp.o"
+  "CMakeFiles/moe_serving.dir/moe_serving.cpp.o.d"
+  "moe_serving"
+  "moe_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moe_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/autotuner.cc" "src/core/CMakeFiles/shiftpar_core.dir/autotuner.cc.o" "gcc" "src/core/CMakeFiles/shiftpar_core.dir/autotuner.cc.o.d"
+  "/root/repo/src/core/deployment.cc" "src/core/CMakeFiles/shiftpar_core.dir/deployment.cc.o" "gcc" "src/core/CMakeFiles/shiftpar_core.dir/deployment.cc.o.d"
+  "/root/repo/src/core/disaggregated.cc" "src/core/CMakeFiles/shiftpar_core.dir/disaggregated.cc.o" "gcc" "src/core/CMakeFiles/shiftpar_core.dir/disaggregated.cc.o.d"
+  "/root/repo/src/core/framework.cc" "src/core/CMakeFiles/shiftpar_core.dir/framework.cc.o" "gcc" "src/core/CMakeFiles/shiftpar_core.dir/framework.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/shiftpar_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/shiftpar_core.dir/report.cc.o.d"
+  "/root/repo/src/core/shift_controller.cc" "src/core/CMakeFiles/shiftpar_core.dir/shift_controller.cc.o" "gcc" "src/core/CMakeFiles/shiftpar_core.dir/shift_controller.cc.o.d"
+  "/root/repo/src/core/spec_decode.cc" "src/core/CMakeFiles/shiftpar_core.dir/spec_decode.cc.o" "gcc" "src/core/CMakeFiles/shiftpar_core.dir/spec_decode.cc.o.d"
+  "/root/repo/src/core/swiftkv.cc" "src/core/CMakeFiles/shiftpar_core.dir/swiftkv.cc.o" "gcc" "src/core/CMakeFiles/shiftpar_core.dir/swiftkv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/shiftpar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/shiftpar_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/shiftpar_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/shiftpar_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvcache/CMakeFiles/shiftpar_kvcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/shiftpar_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/shiftpar_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shiftpar_core.dir/autotuner.cc.o"
+  "CMakeFiles/shiftpar_core.dir/autotuner.cc.o.d"
+  "CMakeFiles/shiftpar_core.dir/deployment.cc.o"
+  "CMakeFiles/shiftpar_core.dir/deployment.cc.o.d"
+  "CMakeFiles/shiftpar_core.dir/disaggregated.cc.o"
+  "CMakeFiles/shiftpar_core.dir/disaggregated.cc.o.d"
+  "CMakeFiles/shiftpar_core.dir/framework.cc.o"
+  "CMakeFiles/shiftpar_core.dir/framework.cc.o.d"
+  "CMakeFiles/shiftpar_core.dir/report.cc.o"
+  "CMakeFiles/shiftpar_core.dir/report.cc.o.d"
+  "CMakeFiles/shiftpar_core.dir/shift_controller.cc.o"
+  "CMakeFiles/shiftpar_core.dir/shift_controller.cc.o.d"
+  "CMakeFiles/shiftpar_core.dir/spec_decode.cc.o"
+  "CMakeFiles/shiftpar_core.dir/spec_decode.cc.o.d"
+  "CMakeFiles/shiftpar_core.dir/swiftkv.cc.o"
+  "CMakeFiles/shiftpar_core.dir/swiftkv.cc.o.d"
+  "libshiftpar_core.a"
+  "libshiftpar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shiftpar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/engine.cc" "src/engine/CMakeFiles/shiftpar_engine.dir/engine.cc.o" "gcc" "src/engine/CMakeFiles/shiftpar_engine.dir/engine.cc.o.d"
+  "/root/repo/src/engine/metrics.cc" "src/engine/CMakeFiles/shiftpar_engine.dir/metrics.cc.o" "gcc" "src/engine/CMakeFiles/shiftpar_engine.dir/metrics.cc.o.d"
+  "/root/repo/src/engine/request.cc" "src/engine/CMakeFiles/shiftpar_engine.dir/request.cc.o" "gcc" "src/engine/CMakeFiles/shiftpar_engine.dir/request.cc.o.d"
+  "/root/repo/src/engine/router.cc" "src/engine/CMakeFiles/shiftpar_engine.dir/router.cc.o" "gcc" "src/engine/CMakeFiles/shiftpar_engine.dir/router.cc.o.d"
+  "/root/repo/src/engine/scheduler.cc" "src/engine/CMakeFiles/shiftpar_engine.dir/scheduler.cc.o" "gcc" "src/engine/CMakeFiles/shiftpar_engine.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/shiftpar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/shiftpar_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/shiftpar_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/shiftpar_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvcache/CMakeFiles/shiftpar_kvcache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shiftpar_engine.dir/engine.cc.o"
+  "CMakeFiles/shiftpar_engine.dir/engine.cc.o.d"
+  "CMakeFiles/shiftpar_engine.dir/metrics.cc.o"
+  "CMakeFiles/shiftpar_engine.dir/metrics.cc.o.d"
+  "CMakeFiles/shiftpar_engine.dir/request.cc.o"
+  "CMakeFiles/shiftpar_engine.dir/request.cc.o.d"
+  "CMakeFiles/shiftpar_engine.dir/router.cc.o"
+  "CMakeFiles/shiftpar_engine.dir/router.cc.o.d"
+  "CMakeFiles/shiftpar_engine.dir/scheduler.cc.o"
+  "CMakeFiles/shiftpar_engine.dir/scheduler.cc.o.d"
+  "libshiftpar_engine.a"
+  "libshiftpar_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shiftpar_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

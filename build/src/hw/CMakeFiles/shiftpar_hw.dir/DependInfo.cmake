@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/gpu.cc" "src/hw/CMakeFiles/shiftpar_hw.dir/gpu.cc.o" "gcc" "src/hw/CMakeFiles/shiftpar_hw.dir/gpu.cc.o.d"
+  "/root/repo/src/hw/interconnect.cc" "src/hw/CMakeFiles/shiftpar_hw.dir/interconnect.cc.o" "gcc" "src/hw/CMakeFiles/shiftpar_hw.dir/interconnect.cc.o.d"
+  "/root/repo/src/hw/presets.cc" "src/hw/CMakeFiles/shiftpar_hw.dir/presets.cc.o" "gcc" "src/hw/CMakeFiles/shiftpar_hw.dir/presets.cc.o.d"
+  "/root/repo/src/hw/topology.cc" "src/hw/CMakeFiles/shiftpar_hw.dir/topology.cc.o" "gcc" "src/hw/CMakeFiles/shiftpar_hw.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/shiftpar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

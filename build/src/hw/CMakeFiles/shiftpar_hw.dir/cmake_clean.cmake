@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shiftpar_hw.dir/gpu.cc.o"
+  "CMakeFiles/shiftpar_hw.dir/gpu.cc.o.d"
+  "CMakeFiles/shiftpar_hw.dir/interconnect.cc.o"
+  "CMakeFiles/shiftpar_hw.dir/interconnect.cc.o.d"
+  "CMakeFiles/shiftpar_hw.dir/presets.cc.o"
+  "CMakeFiles/shiftpar_hw.dir/presets.cc.o.d"
+  "CMakeFiles/shiftpar_hw.dir/topology.cc.o"
+  "CMakeFiles/shiftpar_hw.dir/topology.cc.o.d"
+  "libshiftpar_hw.a"
+  "libshiftpar_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shiftpar_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kvcache/block_allocator.cc" "src/kvcache/CMakeFiles/shiftpar_kvcache.dir/block_allocator.cc.o" "gcc" "src/kvcache/CMakeFiles/shiftpar_kvcache.dir/block_allocator.cc.o.d"
+  "/root/repo/src/kvcache/block_table.cc" "src/kvcache/CMakeFiles/shiftpar_kvcache.dir/block_table.cc.o" "gcc" "src/kvcache/CMakeFiles/shiftpar_kvcache.dir/block_table.cc.o.d"
+  "/root/repo/src/kvcache/cache_manager.cc" "src/kvcache/CMakeFiles/shiftpar_kvcache.dir/cache_manager.cc.o" "gcc" "src/kvcache/CMakeFiles/shiftpar_kvcache.dir/cache_manager.cc.o.d"
+  "/root/repo/src/kvcache/layout.cc" "src/kvcache/CMakeFiles/shiftpar_kvcache.dir/layout.cc.o" "gcc" "src/kvcache/CMakeFiles/shiftpar_kvcache.dir/layout.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/shiftpar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/shiftpar_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/shiftpar_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/shiftpar_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shiftpar_kvcache.dir/block_allocator.cc.o"
+  "CMakeFiles/shiftpar_kvcache.dir/block_allocator.cc.o.d"
+  "CMakeFiles/shiftpar_kvcache.dir/block_table.cc.o"
+  "CMakeFiles/shiftpar_kvcache.dir/block_table.cc.o.d"
+  "CMakeFiles/shiftpar_kvcache.dir/cache_manager.cc.o"
+  "CMakeFiles/shiftpar_kvcache.dir/cache_manager.cc.o.d"
+  "CMakeFiles/shiftpar_kvcache.dir/layout.cc.o"
+  "CMakeFiles/shiftpar_kvcache.dir/layout.cc.o.d"
+  "libshiftpar_kvcache.a"
+  "libshiftpar_kvcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shiftpar_kvcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

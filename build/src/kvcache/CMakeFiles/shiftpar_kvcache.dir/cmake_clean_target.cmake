@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libshiftpar_kvcache.a"
+)

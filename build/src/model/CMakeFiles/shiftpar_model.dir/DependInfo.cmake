@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/flops.cc" "src/model/CMakeFiles/shiftpar_model.dir/flops.cc.o" "gcc" "src/model/CMakeFiles/shiftpar_model.dir/flops.cc.o.d"
+  "/root/repo/src/model/model_config.cc" "src/model/CMakeFiles/shiftpar_model.dir/model_config.cc.o" "gcc" "src/model/CMakeFiles/shiftpar_model.dir/model_config.cc.o.d"
+  "/root/repo/src/model/presets.cc" "src/model/CMakeFiles/shiftpar_model.dir/presets.cc.o" "gcc" "src/model/CMakeFiles/shiftpar_model.dir/presets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/shiftpar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

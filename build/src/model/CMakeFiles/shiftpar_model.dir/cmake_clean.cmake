@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shiftpar_model.dir/flops.cc.o"
+  "CMakeFiles/shiftpar_model.dir/flops.cc.o.d"
+  "CMakeFiles/shiftpar_model.dir/model_config.cc.o"
+  "CMakeFiles/shiftpar_model.dir/model_config.cc.o.d"
+  "CMakeFiles/shiftpar_model.dir/presets.cc.o"
+  "CMakeFiles/shiftpar_model.dir/presets.cc.o.d"
+  "libshiftpar_model.a"
+  "libshiftpar_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shiftpar_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

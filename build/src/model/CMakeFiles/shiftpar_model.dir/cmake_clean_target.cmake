@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libshiftpar_model.a"
+)

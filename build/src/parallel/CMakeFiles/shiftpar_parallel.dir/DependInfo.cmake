@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/config.cc" "src/parallel/CMakeFiles/shiftpar_parallel.dir/config.cc.o" "gcc" "src/parallel/CMakeFiles/shiftpar_parallel.dir/config.cc.o.d"
+  "/root/repo/src/parallel/layout.cc" "src/parallel/CMakeFiles/shiftpar_parallel.dir/layout.cc.o" "gcc" "src/parallel/CMakeFiles/shiftpar_parallel.dir/layout.cc.o.d"
+  "/root/repo/src/parallel/memory.cc" "src/parallel/CMakeFiles/shiftpar_parallel.dir/memory.cc.o" "gcc" "src/parallel/CMakeFiles/shiftpar_parallel.dir/memory.cc.o.d"
+  "/root/repo/src/parallel/perf_model.cc" "src/parallel/CMakeFiles/shiftpar_parallel.dir/perf_model.cc.o" "gcc" "src/parallel/CMakeFiles/shiftpar_parallel.dir/perf_model.cc.o.d"
+  "/root/repo/src/parallel/strategy.cc" "src/parallel/CMakeFiles/shiftpar_parallel.dir/strategy.cc.o" "gcc" "src/parallel/CMakeFiles/shiftpar_parallel.dir/strategy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/shiftpar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/shiftpar_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/shiftpar_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

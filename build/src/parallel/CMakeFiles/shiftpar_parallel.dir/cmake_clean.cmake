@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shiftpar_parallel.dir/config.cc.o"
+  "CMakeFiles/shiftpar_parallel.dir/config.cc.o.d"
+  "CMakeFiles/shiftpar_parallel.dir/layout.cc.o"
+  "CMakeFiles/shiftpar_parallel.dir/layout.cc.o.d"
+  "CMakeFiles/shiftpar_parallel.dir/memory.cc.o"
+  "CMakeFiles/shiftpar_parallel.dir/memory.cc.o.d"
+  "CMakeFiles/shiftpar_parallel.dir/perf_model.cc.o"
+  "CMakeFiles/shiftpar_parallel.dir/perf_model.cc.o.d"
+  "CMakeFiles/shiftpar_parallel.dir/strategy.cc.o"
+  "CMakeFiles/shiftpar_parallel.dir/strategy.cc.o.d"
+  "libshiftpar_parallel.a"
+  "libshiftpar_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shiftpar_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shiftpar_util.dir/argparse.cc.o"
+  "CMakeFiles/shiftpar_util.dir/argparse.cc.o.d"
+  "CMakeFiles/shiftpar_util.dir/ascii_plot.cc.o"
+  "CMakeFiles/shiftpar_util.dir/ascii_plot.cc.o.d"
+  "CMakeFiles/shiftpar_util.dir/csv.cc.o"
+  "CMakeFiles/shiftpar_util.dir/csv.cc.o.d"
+  "CMakeFiles/shiftpar_util.dir/logging.cc.o"
+  "CMakeFiles/shiftpar_util.dir/logging.cc.o.d"
+  "CMakeFiles/shiftpar_util.dir/rng.cc.o"
+  "CMakeFiles/shiftpar_util.dir/rng.cc.o.d"
+  "CMakeFiles/shiftpar_util.dir/stats.cc.o"
+  "CMakeFiles/shiftpar_util.dir/stats.cc.o.d"
+  "CMakeFiles/shiftpar_util.dir/table.cc.o"
+  "CMakeFiles/shiftpar_util.dir/table.cc.o.d"
+  "libshiftpar_util.a"
+  "libshiftpar_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shiftpar_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/agentic.cc" "src/workload/CMakeFiles/shiftpar_workload.dir/agentic.cc.o" "gcc" "src/workload/CMakeFiles/shiftpar_workload.dir/agentic.cc.o.d"
+  "/root/repo/src/workload/arrival.cc" "src/workload/CMakeFiles/shiftpar_workload.dir/arrival.cc.o" "gcc" "src/workload/CMakeFiles/shiftpar_workload.dir/arrival.cc.o.d"
+  "/root/repo/src/workload/azure_trace.cc" "src/workload/CMakeFiles/shiftpar_workload.dir/azure_trace.cc.o" "gcc" "src/workload/CMakeFiles/shiftpar_workload.dir/azure_trace.cc.o.d"
+  "/root/repo/src/workload/bursty.cc" "src/workload/CMakeFiles/shiftpar_workload.dir/bursty.cc.o" "gcc" "src/workload/CMakeFiles/shiftpar_workload.dir/bursty.cc.o.d"
+  "/root/repo/src/workload/characterize.cc" "src/workload/CMakeFiles/shiftpar_workload.dir/characterize.cc.o" "gcc" "src/workload/CMakeFiles/shiftpar_workload.dir/characterize.cc.o.d"
+  "/root/repo/src/workload/mix.cc" "src/workload/CMakeFiles/shiftpar_workload.dir/mix.cc.o" "gcc" "src/workload/CMakeFiles/shiftpar_workload.dir/mix.cc.o.d"
+  "/root/repo/src/workload/mooncake_trace.cc" "src/workload/CMakeFiles/shiftpar_workload.dir/mooncake_trace.cc.o" "gcc" "src/workload/CMakeFiles/shiftpar_workload.dir/mooncake_trace.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/workload/CMakeFiles/shiftpar_workload.dir/synthetic.cc.o" "gcc" "src/workload/CMakeFiles/shiftpar_workload.dir/synthetic.cc.o.d"
+  "/root/repo/src/workload/trace_io.cc" "src/workload/CMakeFiles/shiftpar_workload.dir/trace_io.cc.o" "gcc" "src/workload/CMakeFiles/shiftpar_workload.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/shiftpar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/shiftpar_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvcache/CMakeFiles/shiftpar_kvcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/shiftpar_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/shiftpar_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/shiftpar_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shiftpar_workload.dir/agentic.cc.o"
+  "CMakeFiles/shiftpar_workload.dir/agentic.cc.o.d"
+  "CMakeFiles/shiftpar_workload.dir/arrival.cc.o"
+  "CMakeFiles/shiftpar_workload.dir/arrival.cc.o.d"
+  "CMakeFiles/shiftpar_workload.dir/azure_trace.cc.o"
+  "CMakeFiles/shiftpar_workload.dir/azure_trace.cc.o.d"
+  "CMakeFiles/shiftpar_workload.dir/bursty.cc.o"
+  "CMakeFiles/shiftpar_workload.dir/bursty.cc.o.d"
+  "CMakeFiles/shiftpar_workload.dir/characterize.cc.o"
+  "CMakeFiles/shiftpar_workload.dir/characterize.cc.o.d"
+  "CMakeFiles/shiftpar_workload.dir/mix.cc.o"
+  "CMakeFiles/shiftpar_workload.dir/mix.cc.o.d"
+  "CMakeFiles/shiftpar_workload.dir/mooncake_trace.cc.o"
+  "CMakeFiles/shiftpar_workload.dir/mooncake_trace.cc.o.d"
+  "CMakeFiles/shiftpar_workload.dir/synthetic.cc.o"
+  "CMakeFiles/shiftpar_workload.dir/synthetic.cc.o.d"
+  "CMakeFiles/shiftpar_workload.dir/trace_io.cc.o"
+  "CMakeFiles/shiftpar_workload.dir/trace_io.cc.o.d"
+  "libshiftpar_workload.a"
+  "libshiftpar_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shiftpar_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

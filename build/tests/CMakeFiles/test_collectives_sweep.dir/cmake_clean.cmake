@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collectives_sweep.dir/hw/test_collectives_sweep.cc.o"
+  "CMakeFiles/test_collectives_sweep.dir/hw/test_collectives_sweep.cc.o.d"
+  "test_collectives_sweep"
+  "test_collectives_sweep.pdb"
+  "test_collectives_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collectives_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_memory.dir/parallel/test_config_memory.cc.o"
+  "CMakeFiles/test_config_memory.dir/parallel/test_config_memory.cc.o.d"
+  "test_config_memory"
+  "test_config_memory.pdb"
+  "test_config_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

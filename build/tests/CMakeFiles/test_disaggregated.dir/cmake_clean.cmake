@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disaggregated.dir/core/test_disaggregated.cc.o"
+  "CMakeFiles/test_disaggregated.dir/core/test_disaggregated.cc.o.d"
+  "test_disaggregated"
+  "test_disaggregated.pdb"
+  "test_disaggregated[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disaggregated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_expert_parallel.dir/parallel/test_expert_parallel.cc.o"
+  "CMakeFiles/test_expert_parallel.dir/parallel/test_expert_parallel.cc.o.d"
+  "test_expert_parallel"
+  "test_expert_parallel.pdb"
+  "test_expert_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_expert_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

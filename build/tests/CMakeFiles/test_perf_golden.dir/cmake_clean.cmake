@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_golden.dir/parallel/test_perf_golden.cc.o"
+  "CMakeFiles/test_perf_golden.dir/parallel/test_perf_golden.cc.o.d"
+  "test_perf_golden"
+  "test_perf_golden.pdb"
+  "test_perf_golden[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

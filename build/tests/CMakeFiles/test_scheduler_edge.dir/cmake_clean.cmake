@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheduler_edge.dir/engine/test_scheduler_edge.cc.o"
+  "CMakeFiles/test_scheduler_edge.dir/engine/test_scheduler_edge.cc.o.d"
+  "test_scheduler_edge"
+  "test_scheduler_edge.pdb"
+  "test_scheduler_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheduler_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shift_conformance.dir/integration/test_shift_conformance.cc.o"
+  "CMakeFiles/test_shift_conformance.dir/integration/test_shift_conformance.cc.o.d"
+  "test_shift_conformance"
+  "test_shift_conformance.pdb"
+  "test_shift_conformance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shift_conformance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strategy_matrix.dir/integration/test_strategy_matrix.cc.o"
+  "CMakeFiles/test_strategy_matrix.dir/integration/test_strategy_matrix.cc.o.d"
+  "test_strategy_matrix"
+  "test_strategy_matrix.pdb"
+  "test_strategy_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strategy_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
