@@ -22,8 +22,9 @@
 using namespace shiftpar;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::print_banner("Ablation (chunked prefill)",
                         "Token-budget sweep (Llama-70B, Shift, mixed "
                         "traffic)");
@@ -44,7 +45,10 @@ main()
         d.model = model::llama_70b();
         d.strategy = parallel::Strategy::kShift;
         d.sched.max_batched_tokens = budget;
-        const auto met = core::run_deployment(d, reqs);
+        const auto met =
+            bench::run_deployment_named("budget " + std::to_string(budget),
+                                        d, reqs)
+                .metrics;
         table.add_row({Table::fmt_count(budget),
                        Table::fmt(to_ms(met.ttft().percentile(50))),
                        Table::fmt(to_ms(met.ttft().percentile(99))),

@@ -18,8 +18,9 @@
 using namespace shiftpar;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::print_banner("Ablation (Sec. 3.3.2)",
                         "Separate models vs. on-the-fly slicing");
     const auto m = model::llama_70b();
@@ -39,11 +40,12 @@ main()
         d.strategy = parallel::Strategy::kShift;
         d.weights = ws;
         const auto r = core::resolve(d);
-        const auto met = core::run_deployment(d, interactive);
         const char* name =
             ws == parallel::WeightStrategy::kSeparateModels
                 ? "separate models (paper)"
                 : "on-the-fly slicing";
+        const auto met =
+            bench::run_deployment_named(name, d, interactive).metrics;
         table.add_row({name, Table::fmt(to_gb(r.memory.weight_bytes())),
                        Table::fmt(to_gb(r.memory.kv_pool_bytes)),
                        Table::fmt_count(r.memory.kv_token_capacity),

@@ -25,8 +25,9 @@
 using namespace shiftpar;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::print_banner("Ablation (Sec. 3.2.1)",
                         "SP generalizations: padding, KV replication, "
                         "threshold");

@@ -24,8 +24,9 @@
 using namespace shiftpar;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::print_banner("Extension (disaggregation)",
                         "Disaggregated prefill/decode vs. Shift "
                         "(Llama-70B, mixed traffic)");
@@ -59,8 +60,8 @@ main()
         core::Deployment d;
         d.model = model::llama_70b();
         d.strategy = s;
-        add("colocated " + parallel::strategy_name(s),
-            core::run_deployment(d, reqs));
+        const std::string name = "colocated " + parallel::strategy_name(s);
+        add(name, bench::run_deployment_named(name, d, reqs).metrics);
     }
 
     // Disaggregated pool splits.
@@ -68,13 +69,18 @@ main()
     const std::vector<std::pair<int, int>> splits = {
         {2, 4}, {4, 4}, {4, 2}};
     for (const auto& [p, dn] : splits) {
+        const std::string name = "disagg " + std::to_string(p) + "P+" +
+                                 std::to_string(dn) + "D";
         core::DisaggregatedOptions opts;
         opts.prefill_gpus = p;
         opts.decode_gpus = dn;
+        opts.trace = bench::trace();
+        bench::set_run_label(name);
         core::DisaggregatedSystem sys(model::llama_70b(), hw::h200_node(),
                                       opts);
-        add("disagg " + std::to_string(p) + "P+" + std::to_string(dn) + "D",
-            sys.run_workload(reqs));
+        const engine::Metrics met = sys.run_workload(reqs);
+        bench::record_run(name, met);
+        add(name, met);
     }
     table.print();
     std::printf(

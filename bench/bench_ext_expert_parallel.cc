@@ -20,8 +20,9 @@
 using namespace shiftpar;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::print_banner("Extension (Sec. 4.6)",
                         "Shift Parallelism x Expert Parallelism on the MoE "
                         "models");
@@ -43,9 +44,16 @@ main()
             const auto resolved = core::resolve(d);
 
             const std::vector<engine::RequestSpec> one = {{0.0, 8192, 128}};
-            const auto lat = core::run_deployment(d, one);
-            const auto thr_run = core::run_deployment(
-                d, workload::uniform_batch(256, 8192, 250));
+            const std::string series =
+                m.name + " ep" + std::to_string(ep);
+            const auto lat =
+                bench::run_deployment_named(series + " (latency)", d, one)
+                    .metrics;
+            const auto thr_run =
+                bench::run_deployment_named(
+                    series + " (throughput)", d,
+                    workload::uniform_batch(256, 8192, 250))
+                    .metrics;
 
             table.add_row(
                 {std::to_string(ep),

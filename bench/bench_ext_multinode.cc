@@ -39,6 +39,14 @@ two_nodes(parallel::Strategy strategy)
         engine::EngineConfig cfg;
         cfg.base = base;
         cfg.with_shift_model = shift && base.sp > 1;
+        if (obs::TraceSink* sink = bench::trace()) {
+            obs::EngineMeta meta;
+            meta.label = "node engine " + std::to_string(engines.size()) +
+                         " " + base.to_string();
+            meta.base = base;
+            cfg.trace = sink;
+            cfg.trace_id = sink->register_engine(meta);
+        }
         std::unique_ptr<engine::ExecutionPolicy> policy;
         if (shift && base.sp > 1) {
             const parallel::PerfModel perf(node, m, cfg.perf);
@@ -67,15 +75,18 @@ two_nodes(parallel::Strategy strategy)
       default:
         fatal("unsupported strategy for the multi-node bench");
     }
-    return std::make_unique<engine::Router>(
+    auto router = std::make_unique<engine::Router>(
         std::move(engines), engine::RoutingPolicy::kLeastTokens);
+    router->set_trace(bench::trace());
+    return router;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::print_banner("Extension (multi-node)",
                         "2 nodes x 8 H200: DP-of-{Shift, TP} vs flat DP "
                         "(Llama-70B, bursty)");
@@ -100,8 +111,10 @@ main()
         {"DP of Shift (2 replicas)", parallel::Strategy::kShift},
     };
     for (const auto& [name, strategy] : systems) {
+        bench::set_run_label(name);
         auto router = two_nodes(strategy);
         const auto met = router->run_workload(reqs);
+        bench::record_run(name, met);
         table.add_row({name, Table::fmt(to_ms(met.ttft().percentile(50))),
                        Table::fmt(to_ms(met.tpot().percentile(50)), 2),
                        Table::fmt(met.completion().percentile(99), 2),

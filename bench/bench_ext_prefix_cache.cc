@@ -21,8 +21,9 @@
 using namespace shiftpar;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::print_banner("Extension (APC)",
                         "Automatic prefix caching on agentic sessions "
                         "(Llama-70B, Shift)");
@@ -50,7 +51,10 @@ main()
         d.model = model::llama_70b();
         d.strategy = parallel::Strategy::kShift;
         d.sched.enable_prefix_caching = apc;
-        const auto met = core::run_deployment(d, reqs);
+        const auto met =
+            bench::run_deployment_named(
+                apc ? "prefix caching on" : "prefix caching off", d, reqs)
+                .metrics;
         table.add_row({apc ? "on" : "off",
                        Table::fmt_count(met.total_tokens()),
                        Table::fmt(to_ms(met.ttft().percentile(50))),

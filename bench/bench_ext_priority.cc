@@ -22,8 +22,9 @@
 using namespace shiftpar;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::print_banner("Extension (QoS priority)",
                         "Interactive-over-batch admission under Shift "
                         "(Qwen-32B)");
@@ -57,7 +58,11 @@ main()
         core::Deployment d;
         d.model = model::qwen_32b();
         d.strategy = parallel::Strategy::kShift;
-        const auto met = core::run_deployment(d, build_workload(prio));
+        const auto met =
+            bench::run_deployment_named(prio ? "priority scheduling"
+                                             : "FCFS",
+                                        d, build_workload(prio))
+                .metrics;
 
         // Batch documents all arrive at t = 0; chat arrivals are strictly
         // later (Poisson inter-arrival > 0).

@@ -21,8 +21,9 @@
 using namespace shiftpar;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::print_banner("Extension (SLO goodput)",
                         "SLO attainment vs. arrival rate (Llama-70B, "
                         "TTFT<=0.5s, TPOT<=15ms)");

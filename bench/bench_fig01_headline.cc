@@ -21,8 +21,9 @@
 using namespace shiftpar;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::print_banner("Figure 1",
                         "Headline: response speed, generation rate, "
                         "throughput (Llama-70B)");

@@ -22,8 +22,9 @@
 using namespace shiftpar;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::print_banner("Figure 7 / Table 5",
                         "Bursty synthetic workload (Llama-70B, 8xH200)");
     // Burst rate calibrated to the testbed's capacities: ~47k tok/s inside

@@ -62,8 +62,9 @@ characterize(const char* name,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::print_banner("Figure 8", "Production trace characteristics");
     CsvWriter csv(bench::results_path("fig08_traces.csv"),
                   {"trace", "t_s", "arrival_rate_req_s"});

@@ -23,8 +23,9 @@
 using namespace shiftpar;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::print_banner("Figure 9 / Figure 11(a)",
                         "Azure LLM Code trace on Llama-70B, 8xH200");
     Rng rng(2026);

@@ -24,8 +24,9 @@
 using namespace shiftpar;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::print_banner("Figure 10 / Figure 11(b)",
                         "Mooncake conversation trace on Qwen-32B (FP8 KV), "
                         "8xH200");

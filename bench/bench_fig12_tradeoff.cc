@@ -58,8 +58,9 @@ run_model(const model::ModelConfig& m, CsvWriter* csv)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::print_banner("Figure 12 / Figure 1",
                         "Latency vs. throughput tradeoff across parallelisms");
     CsvWriter csv(bench::results_path("fig12_tradeoff.csv"),

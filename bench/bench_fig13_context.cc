@@ -19,8 +19,9 @@
 using namespace shiftpar;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::print_banner("Figure 13",
                         "Latency and throughput vs. input context size");
     CsvWriter csv(bench::results_path("fig13_context.csv"),

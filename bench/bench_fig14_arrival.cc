@@ -20,8 +20,9 @@
 using namespace shiftpar;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::print_banner("Figure 14",
                         "Completion time vs. arrival rate (Llama-70B, "
                         "8k in / 250 out)");

@@ -22,8 +22,9 @@
 using namespace shiftpar;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::print_banner("Figure 15",
                         "Cost breakdown of batch workloads");
     CsvWriter csv(bench::results_path("fig15_breakdown.csv"),
@@ -61,19 +62,20 @@ main()
     // ---- The paper's methodology: remove one component at a time ---------
     std::printf("\nComponent-removal ablation (Llama-70B, TP, 8k input):\n");
     Table removal({"System variant", "Batch time (s)", "vs full"});
-    const auto timed = [&](parallel::PerfOptions opts) {
+    const auto timed = [&](const std::string& name,
+                           parallel::PerfOptions opts) {
         core::Deployment d;
         d.model = model::llama_70b();
         d.strategy = parallel::Strategy::kTp;
         d.perf = opts;
-        return core::run_deployment(
-                   d, workload::uniform_batch(192, 8192, 250))
-            .end_time();
+        return bench::run_deployment_named(
+                   name, d, workload::uniform_batch(192, 8192, 250))
+            .metrics.end_time();
     };
-    const double full_time = timed({});
+    const double full_time = timed("full system", {});
     const auto removal_row = [&](const char* name,
                                  parallel::PerfOptions opts) {
-        const double t = timed(opts);
+        const double t = timed(name, opts);
         removal.add_row({name, Table::fmt(t, 2),
                          Table::fmt(100.0 * t / full_time, 1) + "%"});
     };

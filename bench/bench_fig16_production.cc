@@ -22,8 +22,9 @@
 using namespace shiftpar;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::print_banner("Figure 16",
                         "Production stack vs. frameworks (Llama-70B, mixed "
                         "real-world dataset)");

@@ -22,8 +22,9 @@
 using namespace shiftpar;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::print_banner("Figure 17",
                         "All models x sequence lengths x parallelisms");
     CsvWriter csv(bench::results_path("fig17_models.csv"),

@@ -36,9 +36,15 @@ run_node(const char* label, const hw::Node& node, CsvWriter* csv)
         d.strategy = s;
 
         const std::vector<engine::RequestSpec> one = {{0.0, 4096, 250}};
-        const auto lone = core::run_deployment(d, one);
-        const auto sat = core::run_deployment(
-            d, workload::uniform_batch(512, 4096, 250));
+        const std::string series =
+            std::string(label) + " " + parallel::strategy_name(s);
+        const auto lone =
+            bench::run_deployment_named(series + " (latency)", d, one)
+                .metrics;
+        const auto sat = bench::run_deployment_named(
+                             series + " (saturated)", d,
+                             workload::uniform_batch(512, 4096, 250))
+                             .metrics;
 
         table.add_row({parallel::strategy_name(s),
                        Table::fmt(to_ms(lone.ttft().mean())),
@@ -58,8 +64,9 @@ run_node(const char* label, const hw::Node& node, CsvWriter* csv)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::print_banner("Sensitivity (A.3.2)",
                         "Do the conclusions hold on other nodes? "
                         "(Qwen-32B, 4k/250)");

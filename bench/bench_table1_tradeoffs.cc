@@ -41,8 +41,9 @@ grade(double value, double best, double worst, bool lower_better)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::print_banner("Table 1",
                         "Performance tradeoffs of inference parallelisms "
                         "(Llama-70B, 8xH200)");

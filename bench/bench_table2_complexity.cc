@@ -22,8 +22,9 @@
 using namespace shiftpar;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::print_banner("Table 2",
                         "Per-GPU complexity of TP and SP "
                         "(Llama-70B, 8k-token prefill)");

@@ -44,8 +44,9 @@ winner(const std::map<std::string, double>& vals, bool lower_better)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::print_banner("Table 3",
                         "Optimal parallelisms covered by Shift Parallelism "
                         "(Llama-70B; static strategies only)");

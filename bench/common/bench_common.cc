@@ -1,10 +1,122 @@
 #include "common/bench_common.h"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
 
 #include "util/logging.h"
 
 namespace shiftpar::bench {
+
+namespace {
+
+/** Process-wide observability state armed by `init`. */
+struct ObsState
+{
+    std::unique_ptr<obs::ChromeTraceWriter> trace;
+    std::string trace_path;
+    obs::ReportJson report;
+    std::string report_path;
+    bool report_enabled = true;
+    bool report_path_forced = false;
+};
+
+ObsState&
+obs_state()
+{
+    static ObsState state;
+    return state;
+}
+
+/** "Figure 7 — Bursty workload" -> "figure_7". */
+std::string
+slugify(const std::string& s)
+{
+    std::string slug;
+    for (const char c : s) {
+        if (std::isalnum(static_cast<unsigned char>(c))) {
+            slug.push_back(static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c))));
+        } else if (!slug.empty() && slug.back() != '_') {
+            slug.push_back('_');
+        }
+    }
+    while (!slug.empty() && slug.back() == '_')
+        slug.pop_back();
+    return slug.empty() ? "report" : slug;
+}
+
+void
+flush_outputs()
+{
+    ObsState& o = obs_state();
+    if (o.trace && !o.trace_path.empty()) {
+        o.trace->write_file(o.trace_path);
+        std::printf("\ntrace: wrote %s (%zu events)\n", o.trace_path.c_str(),
+                    o.trace->num_events());
+    }
+    if (o.report_enabled && o.report.num_runs() > 0 &&
+        !o.report_path.empty()) {
+        o.report.write_file(o.report_path);
+        std::printf("report: wrote %s (%zu runs)\n", o.report_path.c_str(),
+                    o.report.num_runs());
+    }
+}
+
+} // namespace
+
+void
+init(int argc, char** argv)
+{
+    ObsState& o = obs_state();
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        if (std::strcmp(arg, "--trace") == 0 && i + 1 < argc) {
+            o.trace = std::make_unique<obs::ChromeTraceWriter>();
+            o.trace_path = argv[++i];
+        } else if (std::strcmp(arg, "--report") == 0 && i + 1 < argc) {
+            o.report_path = argv[++i];
+            o.report_path_forced = true;
+        } else if (std::strcmp(arg, "--no-report") == 0) {
+            o.report_enabled = false;
+        } else {
+            fatal(std::string("unknown argument '") + arg +
+                  "' (expected --trace <path>, --report <path>, "
+                  "--no-report)");
+        }
+    }
+    std::atexit(flush_outputs);
+}
+
+obs::TraceSink*
+trace()
+{
+    return obs_state().trace.get();
+}
+
+obs::ReportJson&
+report()
+{
+    return obs_state().report;
+}
+
+void
+record_run(const std::string& name, const engine::Metrics& metrics)
+{
+    ObsState& o = obs_state();
+    if (o.report_enabled)
+        o.report.add_run(name, metrics);
+}
+
+void
+set_run_label(const std::string& label)
+{
+    ObsState& o = obs_state();
+    if (o.trace)
+        o.trace->set_run_label(label);
+}
 
 const std::vector<parallel::Strategy>&
 comparison_strategies()
@@ -42,10 +154,17 @@ RunResult
 run_deployment_named(const std::string& name, const core::Deployment& d,
                      const std::vector<engine::RequestSpec>& workload)
 {
+    ObsState& o = obs_state();
+    core::Deployment traced = d;
+    if (o.trace) {
+        o.trace->set_run_label(name);
+        traced.trace = o.trace.get();
+    }
     RunResult result;
     result.name = name;
-    result.resolved = core::resolve(d);
-    result.metrics = core::run_deployment(d, workload);
+    result.resolved = core::resolve(traced);
+    result.metrics = core::run_deployment(
+        traced, workload, o.report_enabled ? &o.report : nullptr, name);
     return result;
 }
 
@@ -77,6 +196,10 @@ print_banner(const std::string& figure, const std::string& title)
     std::printf("\n================================================================\n");
     std::printf("%s — %s\n", figure.c_str(), title.c_str());
     std::printf("================================================================\n");
+    ObsState& o = obs_state();
+    o.report.set_title(figure + " — " + title);
+    if (!o.report_path_forced)
+        o.report_path = results_path(slugify(figure) + ".report.json");
 }
 
 std::string

@@ -16,10 +16,45 @@
 #include "core/deployment.h"
 #include "core/framework.h"
 #include "engine/metrics.h"
+#include "obs/chrome_trace.h"
+#include "obs/report_json.h"
 #include "util/table.h"
 #include "workload/synthetic.h"
 
 namespace shiftpar::bench {
+
+/**
+ * Parse the standard observability flags and arm the shared sinks. Call
+ * first in every bench `main`:
+ *
+ *   --trace <path>   write a Chrome-trace/Perfetto JSON covering every
+ *                    run the binary performs (load in ui.perfetto.dev)
+ *   --report <path>  JSON run-report path (default:
+ *                    bench_results/<figure-slug>.report.json)
+ *   --no-report      disable the JSON run report
+ *
+ * Both outputs are flushed at process exit. Tracing is off unless
+ * `--trace` is given; metrics are bit-identical either way.
+ */
+void init(int argc, char** argv);
+
+/** Shared trace sink (null when `--trace` was not given). */
+obs::TraceSink* trace();
+
+/** Shared run report that `run_deployment_named` records into. */
+obs::ReportJson& report();
+
+/**
+ * Record a run performed outside `run_deployment_named` (disaggregated
+ * systems, hand-built engines) into the shared report.
+ */
+void record_run(const std::string& name, const engine::Metrics& metrics);
+
+/**
+ * Label the next run in the shared trace (engines registered afterwards
+ * appear under "<label>/..." tracks). No-op without `--trace`.
+ */
+void set_run_label(const std::string& label);
 
 /** The four strategies every comparison figure sweeps. */
 const std::vector<parallel::Strategy>& comparison_strategies();

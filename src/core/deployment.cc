@@ -143,10 +143,22 @@ build(const Deployment& d)
         } else {
             policy = std::make_unique<engine::FixedPolicy>(r.base);
         }
+        if (d.trace) {
+            obs::EngineMeta meta;
+            meta.label =
+                "engine " + std::to_string(i) + " " + r.base.to_string();
+            meta.base = r.base;
+            meta.shift_threshold = r.shift_threshold;
+            ecfg.trace = d.trace;
+            ecfg.trace_id = d.trace->register_engine(meta);
+        }
         engines.push_back(std::make_unique<engine::Engine>(
             d.node, d.model, ecfg, std::move(policy)));
     }
-    return std::make_unique<engine::Router>(std::move(engines), d.routing);
+    auto router =
+        std::make_unique<engine::Router>(std::move(engines), d.routing);
+    router->set_trace(d.trace);
+    return router;
 }
 
 engine::Metrics
@@ -155,6 +167,25 @@ run_deployment(const Deployment& d,
 {
     auto router = build(d);
     return router->run_workload(workload);
+}
+
+engine::Metrics
+run_deployment(const Deployment& d,
+               const std::vector<engine::RequestSpec>& workload,
+               obs::ReportJson* report, const std::string& run_name)
+{
+    engine::Metrics m = run_deployment(d, workload);
+    if (report) {
+        const ResolvedDeployment r = resolve(d);
+        obs::RunDeploymentInfo info;
+        info.description = r.describe();
+        info.sp = r.base.sp;
+        info.tp = r.base.tp;
+        info.replicas = r.replicas;
+        info.shift_threshold = r.shift_threshold;
+        report->add_run(run_name, m, info);
+    }
+    return m;
 }
 
 } // namespace shiftpar::core

@@ -31,6 +31,8 @@
 #include "engine/router.h"
 #include "hw/presets.h"
 #include "model/model_config.h"
+#include "obs/report_json.h"
+#include "obs/trace.h"
 #include "parallel/strategy.h"
 
 namespace shiftpar::core {
@@ -74,6 +76,14 @@ struct Deployment
     /** Optional production features (Section 4.5). */
     std::optional<SwiftKv> swiftkv;
     std::optional<SpeculativeDecoder> spec_decode;
+
+    /**
+     * Observability sink (borrowed, may be null). When set, `build`
+     * registers every engine replica on the bus and all layers publish
+     * lifecycle/step/gauge events to it. Null disables tracing;
+     * simulation results are bit-identical either way.
+     */
+    obs::TraceSink* trace = nullptr;
 };
 
 /** The concrete plan a deployment resolves to. */
@@ -111,5 +121,15 @@ std::unique_ptr<engine::Router> build(const Deployment& d);
 /** Convenience: build, replay `workload`, and return merged metrics. */
 engine::Metrics run_deployment(const Deployment& d,
                                const std::vector<engine::RequestSpec>& workload);
+
+/**
+ * As above, and additionally record the run — resolved deployment plan plus
+ * merged metrics — into `report` under `run_name` (no-op when `report` is
+ * null).
+ */
+engine::Metrics run_deployment(const Deployment& d,
+                               const std::vector<engine::RequestSpec>& workload,
+                               obs::ReportJson* report,
+                               const std::string& run_name);
 
 } // namespace shiftpar::core

@@ -38,18 +38,26 @@ engine::Metrics
 DisaggregatedSystem::run_workload(
     const std::vector<engine::RequestSpec>& workload)
 {
-    auto make_engine = [&](const parallel::ParallelConfig& cfg) {
+    auto make_engine = [&](const parallel::ParallelConfig& cfg,
+                           const char* pool) {
         engine::EngineConfig ecfg;
         ecfg.base = cfg;
         ecfg.sched = opts_.sched;
         ecfg.perf = opts_.perf;
         ecfg.mem = opts_.mem;
+        if (opts_.trace) {
+            obs::EngineMeta meta;
+            meta.label = std::string(pool) + " pool " + cfg.to_string();
+            meta.base = cfg;
+            ecfg.trace = opts_.trace;
+            ecfg.trace_id = opts_.trace->register_engine(meta);
+        }
         return std::make_unique<engine::Engine>(
             node_, model_, ecfg,
             std::make_unique<engine::FixedPolicy>(cfg));
     };
-    auto prefill_engine = make_engine(prefill_cfg_);
-    auto decode_engine = make_engine(decode_cfg_);
+    auto prefill_engine = make_engine(prefill_cfg_, "prefill");
+    auto decode_engine = make_engine(decode_cfg_, "decode");
 
     // ---- Phase 1: prefill pool produces the first token -------------------
     std::vector<engine::RequestSpec> sorted = workload;
@@ -100,6 +108,10 @@ DisaggregatedSystem::run_workload(
         decode_engine->run_until(h.ready);
         decode_engine->submit_prefilled(
             decode_spec, static_cast<engine::RequestId>(h.index));
+        if (opts_.trace) {
+            opts_.trace->on_instant(prefill_engine->trace_id(), h.ready,
+                                    "kv_handoff #" + std::to_string(h.index));
+        }
     }
     decode_engine->drain();
 

@@ -34,6 +34,13 @@ struct DisaggregatedOptions
     engine::SchedulerOptions sched;
     parallel::PerfOptions perf;
     parallel::MemoryOptions mem;
+
+    /**
+     * Observability sink (borrowed, may be null). When set, the prefill
+     * and decode pools register as separate engines on the bus; KV
+     * handoffs appear as instant events on the prefill pool's track.
+     */
+    obs::TraceSink* trace = nullptr;
 };
 
 /** A prefill-pool + decode-pool deployment of one model on one node. */

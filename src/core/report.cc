@@ -16,8 +16,8 @@ format_report(const ResolvedDeployment& deployment,
     os << "deployment: " << deployment.describe() << "\n";
 
     Table table({"metric", "p50", "p90", "p99", "mean"});
-    const auto row = [&](const char* name, const Summary& s, double scale,
-                         int prec) {
+    const auto row = [&](const char* name, const util::Histogram& s,
+                         double scale, int prec) {
         table.add_row({name, Table::fmt(s.percentile(50) * scale, prec),
                        Table::fmt(s.percentile(90) * scale, prec),
                        Table::fmt(s.percentile(99) * scale, prec),

@@ -14,11 +14,29 @@ ShiftController::ShiftController(parallel::ParallelConfig base,
     SP_ASSERT(threshold_ >= 0);
 }
 
+void
+ShiftController::attach_trace(obs::TraceSink* sink, obs::EngineId id,
+                              const double* clock)
+{
+    trace_ = sink;
+    trace_id_ = id;
+    trace_clock_ = clock;
+}
+
 engine::ExecutionPolicy::Choice
 ShiftController::choose(std::int64_t batched_tokens) const
 {
     // Algorithm 2: n > threshold -> base (SP or SP x TP); else full TP.
-    if (batched_tokens > threshold_)
+    const bool shift = batched_tokens <= threshold_;
+    if (trace_ && have_last_ && shift != last_shift_) {
+        trace_->on_mode_switch({trace_id_, *trace_clock_, shift,
+                                batched_tokens,
+                                shift ? base_ : base_.shift_config(),
+                                shift ? base_.shift_config() : base_});
+    }
+    last_shift_ = shift;
+    have_last_ = true;
+    if (!shift)
         return {base_, false};
     return {base_.shift_config(),
             weights_ == parallel::WeightStrategy::kOnTheFlySlicing};

@@ -42,6 +42,14 @@ class ShiftController : public engine::ExecutionPolicy
 
     Choice choose(std::int64_t batched_tokens) const override;
 
+    /**
+     * Publish shift/unshift transitions to the trace bus: every flip of
+     * Algorithm 2's decision emits a `ModeSwitchEvent` stamped with the
+     * engine clock and the batch size that triggered it.
+     */
+    void attach_trace(obs::TraceSink* sink, obs::EngineId id,
+                      const double* clock) override;
+
     /** @return the decision threshold in batched tokens. */
     std::int64_t threshold() const { return threshold_; }
 
@@ -67,6 +75,13 @@ class ShiftController : public engine::ExecutionPolicy
     parallel::ParallelConfig base_;
     std::int64_t threshold_;
     parallel::WeightStrategy weights_;
+
+    /** Trace bus (borrowed, may be null) and mode-flip detection state. */
+    obs::TraceSink* trace_ = nullptr;
+    obs::EngineId trace_id_ = 0;
+    const double* trace_clock_ = nullptr;
+    mutable bool last_shift_ = false;
+    mutable bool have_last_ = false;
 };
 
 } // namespace shiftpar::core

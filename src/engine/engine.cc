@@ -27,6 +27,11 @@ Engine::Engine(const hw::Node& node, const model::ModelConfig& m,
     // Section 3.3.1: the SP_TP-ordered shift configuration must be KV-cache
     // invariant with the base configuration by construction.
     cache_.assert_invariant_with(shift_layout_);
+    if (cfg_.trace) {
+        scheduler_.set_trace(cfg_.trace, cfg_.trace_id);
+        cache_.set_trace(cfg_.trace, cfg_.trace_id, &now_);
+        policy_->attach_trace(cfg_.trace, cfg_.trace_id, &now_);
+    }
 }
 
 void
@@ -48,6 +53,11 @@ Engine::submit(const RequestSpec& spec, RequestId id)
     req->prefill_target = spec.prompt_tokens;
     scheduler_.enqueue(req.get());
     requests_.push_back(std::move(req));
+    if (cfg_.trace) {
+        cfg_.trace->on_request({cfg_.trace_id, id,
+                                obs::RequestPhase::kSubmit, spec.arrival,
+                                spec.prompt_tokens});
+    }
 }
 
 void
@@ -66,6 +76,11 @@ Engine::submit_prefilled(const RequestSpec& spec, RequestId id,
     req->first_token = spec.arrival;  // produced by the prefill worker
     scheduler_.enqueue(req.get());
     requests_.push_back(std::move(req));
+    if (cfg_.trace) {
+        cfg_.trace->on_request({cfg_.trace_id, id,
+                                obs::RequestPhase::kSubmit, spec.arrival,
+                                spec.prompt_tokens});
+    }
 }
 
 bool
@@ -77,6 +92,10 @@ Engine::cancel(RequestId id)
         if (!scheduler_.cancel(req.get()))
             return false;
         ++cancelled_;
+        if (cfg_.trace) {
+            cfg_.trace->on_request(
+                {cfg_.trace_id, id, obs::RequestPhase::kCancel, now_, 0});
+        }
         return true;
     }
     return false;
@@ -114,10 +133,36 @@ Engine::step()
     rec.timing = timing;
     metrics_.on_step(rec);
 
+    if (cfg_.trace) {
+        obs::StepEvent ev;
+        ev.engine = cfg_.trace_id;
+        ev.start = rec.start;
+        ev.end = rec.end;
+        ev.batched_tokens = batched;
+        ev.num_seqs = rec.num_seqs;
+        ev.cfg = choice.cfg;
+        ev.shifted = !(choice.cfg == cfg_.base);
+        ev.sliced = choice.sliced;
+        ev.timing = timing;
+        cfg_.trace->on_step(ev);
+    }
+
     std::vector<Request*> finished;
     scheduler_.on_step_complete(now_, plan, &finished);
     for (const Request* r : finished)
         metrics_.on_request_finished(*r);
+
+    if (cfg_.trace) {
+        obs::GaugeEvent g;
+        g.engine = cfg_.trace_id;
+        g.t = now_;
+        g.kv_utilization = cache_.utilization();
+        g.kv_free_tokens = cache_.free_tokens();
+        g.waiting = static_cast<std::int64_t>(scheduler_.num_waiting());
+        g.running = static_cast<std::int64_t>(scheduler_.num_running());
+        g.outstanding_tokens = scheduler_.outstanding_tokens();
+        cfg_.trace->on_gauge(g);
+    }
     return true;
 }
 

@@ -21,6 +21,7 @@
 #include "engine/request.h"
 #include "engine/scheduler.h"
 #include "kvcache/cache_manager.h"
+#include "obs/trace.h"
 #include "parallel/memory.h"
 #include "parallel/perf_model.h"
 
@@ -46,6 +47,18 @@ class ExecutionPolicy
      * @return the configuration to execute this step under.
      */
     virtual Choice choose(std::int64_t batched_tokens) const = 0;
+
+    /**
+     * Attach the engine's trace bus (called once at construction when
+     * tracing is on). `clock` points at the engine's simulated-time
+     * counter and outlives the policy. Policies that make mode decisions
+     * (the ShiftController) publish their transitions here; the default
+     * is a no-op.
+     */
+    virtual void attach_trace(obs::TraceSink* /*sink*/, obs::EngineId /*id*/,
+                              const double* /*clock*/)
+    {
+    }
 };
 
 /** Always run the same configuration (plain DP/TP/SP/SP+TP engines). */
@@ -82,6 +95,17 @@ struct EngineConfig
 
     /** Throughput timeline bin width, seconds. */
     double throughput_bin = 1.0;
+
+    /**
+     * Observability sink (borrowed, may be null). When set, the engine,
+     * its scheduler, and its KV cache publish lifecycle/step/gauge events
+     * under `trace_id`. Null disables tracing at zero cost — simulation
+     * results are bit-identical either way.
+     */
+    obs::TraceSink* trace = nullptr;
+
+    /** Engine id on the trace bus (from `TraceSink::register_engine`). */
+    obs::EngineId trace_id = 0;
 };
 
 /** One serving engine over one rank group. */
@@ -156,6 +180,9 @@ class Engine
 
     /** @return requests cancelled so far. */
     std::int64_t cancelled_count() const { return cancelled_; }
+
+    /** @return this engine's id on the trace bus (0 when untraced). */
+    obs::EngineId trace_id() const { return cfg_.trace_id; }
 
   private:
     /** Execute one iteration; @return false when nothing was schedulable. */

@@ -42,6 +42,8 @@ Metrics::add_record(const RequestRecord& rec)
 void
 Metrics::on_step(const StepRecord& step)
 {
+    SP_ASSERT(step.end >= step.start && step.start >= 0.0,
+              "malformed step record");
     steps_.push_back(step);
     throughput_.add(step.end, static_cast<double>(step.batched_tokens));
     component_totals_ += step.timing;
@@ -56,23 +58,15 @@ Metrics::on_step(const StepRecord& step)
 void
 Metrics::merge(const Metrics& other)
 {
-    for (const auto& rec : other.requests_) {
-        requests_.push_back(rec);
-        ttft_.add(rec.ttft);
-        if (rec.output_tokens > 1)
-            tpot_.add(rec.tpot);
-        completion_.add(rec.completion);
-        wait_.add(rec.wait);
-    }
-    for (const auto& step : other.steps_) {
-        steps_.push_back(step);
-        throughput_.add(step.end, static_cast<double>(step.batched_tokens));
-        component_totals_ += step.timing;
-    }
-    total_tokens_ += other.total_tokens_;
-    sp_steps_ += other.sp_steps_;
-    tp_steps_ += other.tp_steps_;
-    end_time_ = std::max(end_time_, other.end_time_);
+    SP_ASSERT(&other != this, "cannot merge a Metrics into itself");
+    // Delegate to the single-sample paths so merged aggregates are
+    // bit-identical to direct accumulation (merging an empty Metrics is a
+    // no-op; merging into an empty Metrics reproduces `other` exactly up
+    // to throughput rebinning when bin widths differ).
+    for (const auto& rec : other.requests_)
+        add_record(rec);
+    for (const auto& step : other.steps_)
+        on_step(step);
 }
 
 double

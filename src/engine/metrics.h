@@ -16,6 +16,7 @@
 #include "engine/request.h"
 #include "parallel/config.h"
 #include "parallel/perf_model.h"
+#include "util/histogram.h"
 #include "util/stats.h"
 
 namespace shiftpar::engine {
@@ -82,17 +83,21 @@ class Metrics
     /** @return per-step records, in time order (per engine). */
     const std::vector<StepRecord>& steps() const { return steps_; }
 
-    /** TTFT distribution, seconds. */
-    const Summary& ttft() const { return ttft_; }
+    /**
+     * TTFT distribution, seconds. Latency distributions are streaming
+     * log-bucketed histograms: constant memory per engine with quantiles
+     * exact to within 0.5% relative error (moments are exact).
+     */
+    const util::Histogram& ttft() const { return ttft_; }
 
     /** TPOT distribution, seconds. */
-    const Summary& tpot() const { return tpot_; }
+    const util::Histogram& tpot() const { return tpot_; }
 
     /** Completion-time distribution, seconds. */
-    const Summary& completion() const { return completion_; }
+    const util::Histogram& completion() const { return completion_; }
 
     /** Queueing-delay distribution, seconds. */
-    const Summary& wait() const { return wait_; }
+    const util::Histogram& wait() const { return wait_; }
 
     /** Combined (prompt+output) token throughput timeline, tokens/s. */
     const TimeSeries& throughput() const { return throughput_; }
@@ -133,10 +138,10 @@ class Metrics
   private:
     std::vector<RequestRecord> requests_;
     std::vector<StepRecord> steps_;
-    Summary ttft_;
-    Summary tpot_;
-    Summary completion_;
-    Summary wait_;
+    util::Histogram ttft_;
+    util::Histogram tpot_;
+    util::Histogram completion_;
+    util::Histogram wait_;
     TimeSeries throughput_;
     parallel::StepTiming component_totals_;
     std::int64_t total_tokens_ = 0;

@@ -45,7 +45,13 @@ Router::select_replica()
 void
 Router::submit(const RequestSpec& spec, RequestId id)
 {
-    engines_[select_replica()]->submit(spec, id);
+    const std::size_t pick = select_replica();
+    engines_[pick]->submit(spec, id);
+    if (trace_) {
+        trace_->on_request({engines_[pick]->trace_id(), id,
+                            obs::RequestPhase::kRouted, spec.arrival,
+                            spec.prompt_tokens});
+    }
 }
 
 void

@@ -65,6 +65,13 @@ class Router
     Engine& engine(std::size_t i) { return *engines_.at(i); }
     const Engine& engine(std::size_t i) const { return *engines_.at(i); }
 
+    /**
+     * Publish routing decisions to `sink` (borrowed, may be null): each
+     * `submit` emits a `kRouted` lifecycle event under the chosen
+     * replica's trace id.
+     */
+    void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+
   private:
     /** Pick the replica for the next request. */
     std::size_t select_replica();
@@ -72,6 +79,7 @@ class Router
     std::vector<std::unique_ptr<Engine>> engines_;
     RoutingPolicy policy_;
     std::size_t next_rr_ = 0;
+    obs::TraceSink* trace_ = nullptr;
 };
 
 } // namespace shiftpar::engine

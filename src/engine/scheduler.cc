@@ -34,6 +34,14 @@ Scheduler::Scheduler(SchedulerOptions opts, kvcache::CacheManager* cache)
 }
 
 void
+Scheduler::publish(const Request* r, obs::RequestPhase phase, double t,
+                   std::int64_t tokens) const
+{
+    if (trace_)
+        trace_->on_request({trace_id_, r->id, phase, t, tokens});
+}
+
+void
 Scheduler::enqueue(Request* r)
 {
     SP_ASSERT(r != nullptr && r->state == RequestState::kWaiting);
@@ -86,6 +94,7 @@ Scheduler::preempt_one(const Request* keep, BatchPlan* plan)
             running_.erase(std::next(it).base());
             insert_waiting(victim, /*front_of_class=*/true);
             ++preemptions_;
+            publish(victim, obs::RequestPhase::kPreempt, sched_now_);
             return true;
         }
     }
@@ -97,6 +106,7 @@ Scheduler::schedule(double now)
 {
     BatchPlan plan;
     std::int64_t budget = opts_.max_batched_tokens;
+    sched_now_ = now;  // stamps preemption/lifecycle events this call
 
     // ---- Migrated-request admission ---------------------------------------
     // Requests arriving already prefilled (disaggregated decode workers)
@@ -115,8 +125,12 @@ Scheduler::schedule(double now)
             break;
         it = waiting_.erase(it);
         r->state = RequestState::kDecode;
-        if (r->first_scheduled < 0.0)
+        if (r->first_scheduled < 0.0) {
             r->first_scheduled = now;
+            publish(r, obs::RequestPhase::kFirstSchedule, now);
+        } else {
+            publish(r, obs::RequestPhase::kResume, now);
+        }
         running_.push_back(r);
     }
 
@@ -201,8 +215,12 @@ Scheduler::schedule(double now)
         }
         waiting_.erase(std::find(waiting_.begin(), waiting_.end(), r));
         r->state = RequestState::kPrefill;
-        if (r->first_scheduled < 0.0)
+        if (r->first_scheduled < 0.0) {
             r->first_scheduled = now;
+            publish(r, obs::RequestPhase::kFirstSchedule, now);
+        } else {
+            publish(r, obs::RequestPhase::kResume, now);
+        }
         running_.push_back(r);
         budget -= scheduled;
     }
@@ -299,6 +317,7 @@ Scheduler::schedule_prefill(Request* r, std::int64_t budget, BatchPlan* plan)
     }
     r->prefix_filled += to_prefix;
     plan->chunks.push_back({r, chunk, past, true});
+    publish(r, obs::RequestPhase::kPrefillChunk, sched_now_, chunk);
     return chunk;
 }
 
@@ -320,8 +339,10 @@ Scheduler::on_step_complete(double now, const BatchPlan& plan,
             // the resumption token after a recompute preemption.
             r->state = RequestState::kDecode;
             r->decoded += 1;
-            if (r->first_token < 0.0)
+            if (r->first_token < 0.0) {
                 r->first_token = now;
+                publish(r, obs::RequestPhase::kFirstToken, now);
+            }
         } else {
             r->decoded += c.new_tokens;
         }
@@ -332,6 +353,8 @@ Scheduler::on_step_complete(double now, const BatchPlan& plan,
             detach_prefix_if_attached(r);
             running_.erase(std::find(running_.begin(), running_.end(), r));
             finished->push_back(r);
+            publish(r, obs::RequestPhase::kFinish, now,
+                    r->spec.output_tokens);
         }
     }
 }

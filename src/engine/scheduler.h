@@ -21,6 +21,7 @@
 #include "engine/metrics.h"
 #include "engine/request.h"
 #include "kvcache/cache_manager.h"
+#include "obs/trace.h"
 #include "parallel/perf_model.h"
 
 namespace shiftpar::engine {
@@ -82,6 +83,13 @@ class Scheduler
 {
   public:
     Scheduler(SchedulerOptions opts, kvcache::CacheManager* cache);
+
+    /** Attach an observability sink (borrowed; null disables tracing). */
+    void set_trace(obs::TraceSink* sink, obs::EngineId id)
+    {
+        trace_ = sink;
+        trace_id_ = id;
+    }
 
     /** Add a request to the waiting queue (FCFS by submission order). */
     void enqueue(Request* r);
@@ -167,11 +175,18 @@ class Scheduler
     /** Insert into the waiting queue by priority class. */
     void insert_waiting(Request* r, bool front_of_class);
 
+    /** Publish a lifecycle event when a sink is attached. */
+    void publish(const Request* r, obs::RequestPhase phase, double t,
+                 std::int64_t tokens = 0) const;
+
     SchedulerOptions opts_;
     kvcache::CacheManager* cache_;
     std::deque<Request*> waiting_;
     std::vector<Request*> running_;  // admission order
     std::int64_t preemptions_ = 0;
+    obs::TraceSink* trace_ = nullptr;
+    obs::EngineId trace_id_ = 0;
+    double sched_now_ = 0.0;  ///< time of the in-progress schedule() call
 };
 
 } // namespace shiftpar::engine

@@ -110,6 +110,10 @@ CacheManager::evict_idle_prefixes(std::int64_t blocks)
         auto it = prefixes_.find(victim);
         it->second.blocks.release(allocator_);
         prefixes_.erase(it);
+        if (trace_ && trace_clock_) {
+            trace_->on_instant(trace_id_, *trace_clock_,
+                               "prefix_evict #" + std::to_string(victim));
+        }
     }
     return true;
 }

@@ -16,6 +16,7 @@
 #include "kvcache/block_allocator.h"
 #include "kvcache/block_table.h"
 #include "kvcache/layout.h"
+#include "obs/trace.h"
 #include "parallel/memory.h"
 
 namespace shiftpar::kvcache {
@@ -48,6 +49,19 @@ class CacheManager
      */
     CacheManager(std::int64_t token_capacity, KvLayout layout,
                  int block_size = 16);
+
+    /**
+     * Attach an observability sink (borrowed; null disables tracing).
+     * `clock` points at the owning engine's simulated-time variable so
+     * eviction events carry timestamps (the cache has no clock of its own).
+     */
+    void set_trace(obs::TraceSink* sink, obs::EngineId id,
+                   const double* clock)
+    {
+        trace_ = sink;
+        trace_id_ = id;
+        trace_clock_ = clock;
+    }
 
     /**
      * Reserve cache space for `tokens` new tokens of request `id`
@@ -146,6 +160,9 @@ class CacheManager
     std::unordered_map<PrefixKey, PrefixEntry> prefixes_;
     std::int64_t prefix_hit_tokens_ = 0;
     std::uint64_t lru_clock_ = 0;
+    obs::TraceSink* trace_ = nullptr;
+    obs::EngineId trace_id_ = 0;
+    const double* trace_clock_ = nullptr;
 };
 
 } // namespace shiftpar::kvcache

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Chrome-trace (Perfetto-loadable) JSON exporter for simulation runs.
+ *
+ * Renders the event bus into the Trace Event Format understood by
+ * `ui.perfetto.dev` and `chrome://tracing`:
+ *
+ *  - each engine becomes a *process* (pid = engine id) named from its
+ *    `EngineMeta` label, with three threads: "steps" (complete events, one
+ *    per iteration, named "base step"/"shift step" so the two modes color
+ *    differently), "mode" (shift/unshift instants), and "cache" (instants
+ *    such as prefix evictions);
+ *  - counter tracks per engine: batched tokens, execution mode (0 = base,
+ *    1 = shift), KV occupancy, queue depth, and outstanding tokens;
+ *  - requests become async (nestable) spans on a dedicated "requests"
+ *    process, begun at submit and ended at finish/cancel, with instant
+ *    markers for first-schedule, prefill chunks, preemptions, resumes, and
+ *    the first token — so a whole run's request lifecycles, including
+ *    cross-engine migrations in disaggregated deployments, line up against
+ *    the engines' step tracks on one timeline.
+ *
+ * Timestamps are microseconds of simulated time.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace shiftpar::obs {
+
+/** Buffers bus events and serializes them as Chrome trace JSON. */
+class ChromeTraceWriter : public TraceSink
+{
+  public:
+    ChromeTraceWriter() = default;
+
+    /**
+     * Label prefix applied to engines registered from now on (e.g. the
+     * strategy name when several deployments share one trace).
+     */
+    void
+    set_run_label(const std::string& label)
+    {
+        run_label_ = label;
+        // Each run gets a fresh "requests" process so async ids from
+        // overlapping simulated timelines never collide.
+        requests_process_made_ = false;
+    }
+
+    void on_request(const RequestEvent& e) override;
+    void on_step(const StepEvent& e) override;
+    void on_mode_switch(const ModeSwitchEvent& e) override;
+    void on_gauge(const GaugeEvent& e) override;
+    void on_instant(EngineId engine, double t,
+                    const std::string& name) override;
+
+    /** Serialize the full trace document to `os`. */
+    void write(std::ostream& os) const;
+
+    /** Serialize to `path`; fatal() when the file cannot be opened. */
+    void write_file(const std::string& path) const;
+
+    /** @return buffered trace-event count (metadata excluded). */
+    std::size_t num_events() const { return events_.size(); }
+
+  protected:
+    void on_engine_meta(const EngineMeta& meta) override;
+
+  private:
+    /** One pre-rendered trace event (args already JSON-encoded). */
+    struct Event
+    {
+        char ph = 'i';            ///< Trace Event Format phase code
+        int pid = 0;
+        int tid = 0;
+        double ts = 0.0;          ///< microseconds
+        double dur = 0.0;         ///< "X" events only
+        std::string name;
+        std::string cat;
+        std::string id;           ///< async events only
+        std::string args_json;    ///< rendered {"k":v,...} or empty
+    };
+
+    /** Append a counter sample ("C" event). */
+    void counter(int pid, double t, const std::string& name,
+                 const std::string& series, double value);
+
+    /** Ensure the synthetic "requests" process exists and return its pid. */
+    int requests_pid();
+
+    static double us(double seconds) { return seconds * 1e6; }
+
+    std::string run_label_;
+    std::vector<Event> events_;
+
+    struct Process
+    {
+        int pid = 0;
+        std::string name;
+        std::vector<std::string> threads;  ///< tid -> name
+    };
+    std::vector<Process> processes_;
+    bool requests_process_made_ = false;
+    int requests_pid_ = 0;
+};
+
+} // namespace shiftpar::obs

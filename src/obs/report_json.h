@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Machine-readable JSON run reports.
+ *
+ * Every experiment driver (the `bench_*` binaries, `core::run_deployment`,
+ * the examples) previously printed ad-hoc tables and per-figure CSVs;
+ * `ReportJson` gives them one schema-versioned document that
+ * `tools/plot_results.py` (and any external analysis) can consume without
+ * per-figure parsing code.
+ *
+ * Schema (`shiftpar.run_report`, version 1):
+ *
+ * {
+ *   "schema": "shiftpar.run_report",
+ *   "version": 1,
+ *   "title": "<figure or experiment title>",
+ *   "runs": [
+ *     {
+ *       "name": "<series name, e.g. strategy>",
+ *       "deployment": {"description": "...", "sp": 4, "tp": 2,
+ *                      "replicas": 1, "shift_threshold": 1536},
+ *       "metrics": {
+ *         "requests": N, "total_tokens": N, "duration_s": T,
+ *         "mean_throughput_tok_s": R, "peak_throughput_tok_s": R,
+ *         "sp_steps": N, "tp_steps": N, "preemptions": null | N,
+ *         "ttft_s":       {"p50":..,"p90":..,"p99":..,"mean":..,
+ *                          "min":..,"max":..,"count":..},
+ *         "tpot_s":       {...}, "completion_s": {...}, "wait_s": {...},
+ *         "slo": null | {"ttft_s":..,"tpot_s":..,"attainment":..,
+ *                        "goodput_tok_s":..}
+ *       }
+ *     }, ...
+ *   ]
+ * }
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "engine/metrics.h"
+
+namespace shiftpar::obs {
+
+/** Current schema version of the emitted document. */
+constexpr int kReportSchemaVersion = 1;
+
+/** Schema identifier of the emitted document. */
+constexpr const char* kReportSchemaName = "shiftpar.run_report";
+
+/** Deployment facts attached to one run (plain data; no core dependency). */
+struct RunDeploymentInfo
+{
+    std::string description;
+    int sp = 0;
+    int tp = 0;
+    int replicas = 0;
+    std::int64_t shift_threshold = 0;
+};
+
+/** Accumulates named runs and serializes the report document. */
+class ReportJson
+{
+  public:
+    /** @param title Human title (the figure/experiment name). */
+    explicit ReportJson(std::string title = "");
+
+    void set_title(const std::string& title) { title_ = title; }
+
+    /**
+     * Append one run.
+     *
+     * @param name Series name (strategy, sweep point, ...).
+     * @param metrics The run's merged metrics.
+     * @param deployment Optional resolved-deployment facts.
+     * @param slo Optional SLO to evaluate attainment/goodput against.
+     */
+    void add_run(const std::string& name, const engine::Metrics& metrics,
+                 const std::optional<RunDeploymentInfo>& deployment = {},
+                 const std::optional<engine::SloSpec>& slo = {});
+
+    /** @return number of accumulated runs. */
+    std::size_t num_runs() const { return runs_.size(); }
+
+    /** Serialize the document (pretty-printed). */
+    void write(std::ostream& os) const;
+
+    /** Serialize to `path`; fatal() when the file cannot be opened. */
+    void write_file(const std::string& path) const;
+
+  private:
+    struct LatencySummary
+    {
+        double p50 = 0.0, p90 = 0.0, p99 = 0.0;
+        double mean = 0.0, min = 0.0, max = 0.0;
+        std::int64_t count = 0;
+    };
+
+    struct Run
+    {
+        std::string name;
+        std::optional<RunDeploymentInfo> deployment;
+        std::int64_t requests = 0;
+        std::int64_t total_tokens = 0;
+        double duration = 0.0;
+        double mean_throughput = 0.0;
+        double peak_throughput = 0.0;
+        std::int64_t sp_steps = 0;
+        std::int64_t tp_steps = 0;
+        std::int64_t preemptions = 0;
+        LatencySummary ttft, tpot, completion, wait;
+        std::optional<engine::SloSpec> slo;
+        double slo_attainment = 0.0;
+        double goodput = 0.0;
+    };
+
+    std::string title_;
+    std::vector<Run> runs_;
+};
+
+} // namespace shiftpar::obs

@@ -1,0 +1,30 @@
+#include "obs/trace.h"
+
+namespace shiftpar::obs {
+
+const char*
+phase_name(RequestPhase phase)
+{
+    switch (phase) {
+      case RequestPhase::kSubmit:        return "submit";
+      case RequestPhase::kRouted:        return "routed";
+      case RequestPhase::kFirstSchedule: return "first_schedule";
+      case RequestPhase::kPrefillChunk:  return "prefill_chunk";
+      case RequestPhase::kPreempt:       return "preempt";
+      case RequestPhase::kResume:        return "resume";
+      case RequestPhase::kFirstToken:    return "first_token";
+      case RequestPhase::kFinish:        return "finish";
+      case RequestPhase::kCancel:        return "cancel";
+    }
+    return "?";
+}
+
+EngineId
+TraceSink::register_engine(EngineMeta meta)
+{
+    meta.engine = next_engine_++;
+    on_engine_meta(meta);
+    return meta.engine;
+}
+
+} // namespace shiftpar::obs

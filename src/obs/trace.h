@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The observability event bus: typed simulation events and the `TraceSink`
+ * consumer interface.
+ *
+ * `Engine`, `Scheduler`, `Router`, `ShiftController`, and `CacheManager`
+ * publish here; sinks (Chrome-trace export, counters, tests) subscribe by
+ * implementing `TraceSink`. Publication sites are guarded by a null check
+ * on the borrowed sink pointer, so a run without a sink attached executes
+ * exactly the seed code path — simulation results are bit-identical with
+ * tracing on or off because sinks only *observe* state, never mutate it.
+ *
+ * Engine identity: sinks allocate globally unique engine ids via
+ * `register_engine`, letting one sink span multiple deployments in a
+ * single trace (e.g. the four strategies of a comparison figure, or the
+ * prefill + decode pools of a disaggregated system).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "parallel/config.h"
+#include "parallel/perf_model.h"
+
+namespace shiftpar::obs {
+
+/** Globally unique engine/track identifier within one sink. */
+using EngineId = int;
+
+/** Request identifier (mirrors engine::RequestId without the dependency). */
+using RequestId = std::int64_t;
+
+/** Request lifecycle transitions (Section 2.1's serving pipeline). */
+enum class RequestPhase
+{
+    kSubmit,         ///< entered an engine's waiting queue
+    kRouted,         ///< router picked a replica (DP deployments)
+    kFirstSchedule,  ///< first chunk scheduled (ends queueing delay)
+    kPrefillChunk,   ///< one chunked-prefill piece scheduled
+    kPreempt,        ///< recompute-preempted (KV released)
+    kResume,         ///< rescheduled after a preemption
+    kFirstToken,     ///< first output token produced (TTFT point)
+    kFinish,         ///< all output tokens produced
+    kCancel,         ///< client abort
+};
+
+/** @return a stable lowercase name for a phase ("submit", "preempt", ...). */
+const char* phase_name(RequestPhase phase);
+
+/** One request lifecycle event. */
+struct RequestEvent
+{
+    EngineId engine = 0;
+    RequestId request = 0;
+    RequestPhase phase = RequestPhase::kSubmit;
+
+    /** Simulated time, seconds. */
+    double t = 0.0;
+
+    /** Phase payload: chunk tokens (kPrefillChunk), prompt tokens
+     *  (kSubmit), output tokens (kFinish); 0 otherwise. */
+    std::int64_t tokens = 0;
+};
+
+/** One engine iteration (the per-step telemetry of Figs. 7/15). */
+struct StepEvent
+{
+    EngineId engine = 0;
+    double start = 0.0;
+    double end = 0.0;
+    std::int64_t batched_tokens = 0;  ///< Alg. 2 decision input
+    std::int64_t num_seqs = 0;
+    parallel::ParallelConfig cfg;     ///< configuration executed
+    bool shifted = false;             ///< ran the shift (SP=1) config
+    bool sliced = false;              ///< weights sliced on the fly
+    parallel::StepTiming timing;
+};
+
+/** A shift/unshift transition (Algorithm 2 firing). */
+struct ModeSwitchEvent
+{
+    EngineId engine = 0;
+    double t = 0.0;
+    bool to_shift = false;  ///< true: base -> shift; false: shift -> base
+    std::int64_t batched_tokens = 0;
+    parallel::ParallelConfig from;
+    parallel::ParallelConfig to;
+};
+
+/** Sampled engine gauges (taken after every step). */
+struct GaugeEvent
+{
+    EngineId engine = 0;
+    double t = 0.0;
+    double kv_utilization = 0.0;       ///< KV-block pool occupancy [0,1]
+    std::int64_t kv_free_tokens = 0;
+    std::int64_t waiting = 0;          ///< queue depth
+    std::int64_t running = 0;          ///< admitted sequences
+    std::int64_t outstanding_tokens = 0;
+};
+
+/** Static engine description emitted once at registration. */
+struct EngineMeta
+{
+    EngineId engine = 0;
+    std::string label;  ///< e.g. "shift/engine 0 (SP=4,TP=2)"
+    parallel::ParallelConfig base;
+    std::int64_t shift_threshold = 0;  ///< 0 when the engine never shifts
+};
+
+/** Consumer interface; default implementations ignore everything. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /**
+     * Allocate a unique engine id and announce the engine to the sink.
+     * `meta.engine` is overwritten with the allocated id, which the caller
+     * must use for all subsequent events from that engine.
+     */
+    EngineId register_engine(EngineMeta meta);
+
+    virtual void on_request(const RequestEvent&) {}
+    virtual void on_step(const StepEvent&) {}
+    virtual void on_mode_switch(const ModeSwitchEvent&) {}
+    virtual void on_gauge(const GaugeEvent&) {}
+
+    /** Free-form point event (e.g. a prefix-cache eviction). */
+    virtual void on_instant(EngineId, double /*t*/,
+                            const std::string& /*name*/)
+    {
+    }
+
+  protected:
+    /** Registration callback for subclasses (id already assigned). */
+    virtual void on_engine_meta(const EngineMeta&) {}
+
+  private:
+    EngineId next_engine_ = 0;
+};
+
+} // namespace shiftpar::obs

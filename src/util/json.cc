@@ -1,0 +1,223 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace shiftpar::util {
+
+std::string
+json_escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+json_number(double v)
+{
+    if (!std::isfinite(v))
+        return "null";  // JSON has no NaN/Inf; null is the convention
+    char buf[40];
+    // %.17g round-trips any double; trim to a shorter form when exact.
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    double parsed = 0.0;
+    for (int prec = 1; prec < 17; ++prec) {
+        char probe[40];
+        std::snprintf(probe, sizeof(probe), "%.*g", prec, v);
+        std::sscanf(probe, "%lf", &parsed);
+        if (parsed == v)
+            return probe;
+    }
+    return buf;
+}
+
+JsonWriter::JsonWriter(std::ostream& os, bool pretty)
+    : os_(os), pretty_(pretty)
+{
+}
+
+void
+JsonWriter::newline_indent()
+{
+    if (!pretty_)
+        return;
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i)
+        os_ << "  ";
+}
+
+void
+JsonWriter::prepare_value()
+{
+    if (key_pending_) {
+        key_pending_ = false;
+        return;  // separator already emitted with the key
+    }
+    SP_ASSERT(!(wrote_root_ && stack_.empty()),
+              "JSON document already has a root value");
+    if (!stack_.empty()) {
+        SP_ASSERT(stack_.back() == Scope::kArray,
+                  "object members need a key() first");
+        if (has_items_.back())
+            os_ << ',';
+        has_items_.back() = true;
+        newline_indent();
+    }
+}
+
+JsonWriter&
+JsonWriter::key(std::string_view k)
+{
+    SP_ASSERT(!stack_.empty() && stack_.back() == Scope::kObject,
+              "key() outside an object");
+    SP_ASSERT(!key_pending_, "two keys in a row");
+    if (has_items_.back())
+        os_ << ',';
+    has_items_.back() = true;
+    newline_indent();
+    os_ << '"' << json_escape(k) << "\":";
+    if (pretty_)
+        os_ << ' ';
+    key_pending_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::begin_object()
+{
+    prepare_value();
+    os_ << '{';
+    stack_.push_back(Scope::kObject);
+    has_items_.push_back(false);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::end_object()
+{
+    SP_ASSERT(!stack_.empty() && stack_.back() == Scope::kObject);
+    SP_ASSERT(!key_pending_, "dangling key at end_object()");
+    const bool had = has_items_.back();
+    stack_.pop_back();
+    has_items_.pop_back();
+    if (had)
+        newline_indent();
+    os_ << '}';
+    wrote_root_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::begin_array()
+{
+    prepare_value();
+    os_ << '[';
+    stack_.push_back(Scope::kArray);
+    has_items_.push_back(false);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::end_array()
+{
+    SP_ASSERT(!stack_.empty() && stack_.back() == Scope::kArray);
+    const bool had = has_items_.back();
+    stack_.pop_back();
+    has_items_.pop_back();
+    if (had)
+        newline_indent();
+    os_ << ']';
+    wrote_root_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(std::string_view v)
+{
+    prepare_value();
+    os_ << '"' << json_escape(v) << '"';
+    wrote_root_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(const char* v)
+{
+    return value(std::string_view(v));
+}
+
+JsonWriter&
+JsonWriter::value(double v)
+{
+    prepare_value();
+    os_ << json_number(v);
+    wrote_root_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(std::int64_t v)
+{
+    prepare_value();
+    os_ << v;
+    wrote_root_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(int v)
+{
+    return value(static_cast<std::int64_t>(v));
+}
+
+JsonWriter&
+JsonWriter::value(bool v)
+{
+    prepare_value();
+    os_ << (v ? "true" : "false");
+    wrote_root_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::null()
+{
+    prepare_value();
+    os_ << "null";
+    wrote_root_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::raw(std::string_view json)
+{
+    prepare_value();
+    os_ << json;
+    wrote_root_ = true;
+    return *this;
+}
+
+} // namespace shiftpar::util

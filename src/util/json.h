@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Minimal streaming JSON writer.
+ *
+ * Backs the observability outputs (Chrome-trace export, machine-readable
+ * run reports) without an external dependency. The writer is a thin state
+ * machine over an `std::ostream`: containers are opened/closed explicitly,
+ * commas and key/value ordering are handled automatically, and emitted
+ * documents are always syntactically valid JSON provided begin/end calls
+ * are balanced. Numbers are formatted locale-independently with enough
+ * precision to round-trip doubles.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace shiftpar::util {
+
+/** Escape `s` for embedding inside a JSON string literal (no quotes). */
+std::string json_escape(std::string_view s);
+
+/** Format a double as a JSON number token ("null" for NaN/Inf). */
+std::string json_number(double v);
+
+/** Streaming JSON document writer over an ostream. */
+class JsonWriter
+{
+  public:
+    /**
+     * @param os Destination stream (borrowed; must outlive the writer).
+     * @param pretty Indent nested containers for human consumption.
+     */
+    explicit JsonWriter(std::ostream& os, bool pretty = false);
+
+    /** Open an object ("{"); as a value, or under a pending key. */
+    JsonWriter& begin_object();
+
+    /** Close the innermost object. */
+    JsonWriter& end_object();
+
+    /** Open an array ("["). */
+    JsonWriter& begin_array();
+
+    /** Close the innermost array. */
+    JsonWriter& end_array();
+
+    /** Emit an object key; the next emitted value binds to it. */
+    JsonWriter& key(std::string_view k);
+
+    /** Scalar values. */
+    JsonWriter& value(std::string_view v);
+    JsonWriter& value(const char* v);
+    JsonWriter& value(double v);
+    JsonWriter& value(std::int64_t v);
+    JsonWriter& value(int v);
+    JsonWriter& value(bool v);
+    JsonWriter& null();
+
+    /** Splice pre-rendered JSON verbatim as one value (caller's duty to
+     *  pass a complete, valid JSON term). */
+    JsonWriter& raw(std::string_view json);
+
+    /** Convenience: `key(k)` followed by `value(v)`. */
+    template <typename T>
+    JsonWriter&
+    kv(std::string_view k, T&& v)
+    {
+        key(k);
+        return value(std::forward<T>(v));
+    }
+
+    /** @return true once every opened container has been closed. */
+    bool complete() const { return stack_.empty() && wrote_root_; }
+
+  private:
+    enum class Scope { kObject, kArray };
+
+    /** Emit separators/indentation before a key or value token. */
+    void prepare_value();
+    void newline_indent();
+
+    std::ostream& os_;
+    bool pretty_;
+    bool wrote_root_ = false;
+    bool key_pending_ = false;
+    std::vector<Scope> stack_;
+    std::vector<bool> has_items_;
+};
+
+} // namespace shiftpar::util

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * obs::ChromeTraceWriter — well-formed Chrome-trace JSON, async span
+ * balance/nesting, per-engine tracks, and end-to-end traces of DP,
+ * Shift, and disaggregated deployments.
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json_checker.h"
+#include "common/test_helpers.h"
+#include "core/deployment.h"
+#include "core/disaggregated.h"
+#include "obs/chrome_trace.h"
+#include "workload/synthetic.h"
+
+using namespace shiftpar;
+using shiftpar::testing::JsonValue;
+using shiftpar::testing::parse_json;
+
+namespace {
+
+/** Parse the writer's output (throws on malformed JSON). */
+JsonValue
+render(const obs::ChromeTraceWriter& w)
+{
+    std::ostringstream os;
+    w.write(os);
+    return parse_json(os.str());
+}
+
+/** Collect process_name metadata: pid -> label. */
+std::map<int, std::string>
+process_names(const JsonValue& doc)
+{
+    std::map<int, std::string> names;
+    for (const auto& e : doc.at("traceEvents").arr()) {
+        if (e.at("ph").str() == "M" && e.at("name").str() == "process_name")
+            names[static_cast<int>(e.at("pid").num())] =
+                e.at("args").at("name").str();
+    }
+    return names;
+}
+
+/** Count events by phase code. */
+std::map<std::string, int>
+phase_counts(const JsonValue& doc)
+{
+    std::map<std::string, int> counts;
+    for (const auto& e : doc.at("traceEvents").arr())
+        ++counts[e.at("ph").str()];
+    return counts;
+}
+
+/** Assert every async begin has a matching end and markers sit between. */
+void
+expect_spans_balanced(const JsonValue& doc)
+{
+    struct Span
+    {
+        // A single id may carry several sequential b/e pairs (e.g. the
+        // prefill and decode legs of a disaggregated request), so track
+        // the envelope [first begin, last end].
+        double begin = 1e300, end = -1e300;
+        int begins = 0, ends = 0;
+        std::vector<double> markers;
+    };
+    std::map<std::string, Span> spans;
+    for (const auto& e : doc.at("traceEvents").arr()) {
+        const std::string ph = e.at("ph").str();
+        if (ph != "b" && ph != "e" && ph != "n")
+            continue;
+        Span& s = spans[e.at("id").str()];
+        const double ts = e.at("ts").num();
+        if (ph == "b") {
+            ++s.begins;
+            s.begin = std::min(s.begin, ts);
+        } else if (ph == "e") {
+            ++s.ends;
+            s.end = std::max(s.end, ts);
+        } else {
+            s.markers.push_back(ts);
+        }
+    }
+    ASSERT_FALSE(spans.empty());
+    for (const auto& [id, s] : spans) {
+        EXPECT_EQ(s.begins, s.ends) << "unbalanced span " << id;
+        EXPECT_GE(s.end, s.begin) << id;
+        for (const double m : s.markers) {
+            EXPECT_GE(m, s.begin) << id;
+            EXPECT_LE(m, s.end) << id;
+        }
+    }
+}
+
+} // namespace
+
+TEST(ChromeTrace, SyntheticEventsRenderValidJson)
+{
+    obs::ChromeTraceWriter w;
+    w.set_run_label("unit");
+    obs::EngineMeta meta;
+    meta.label = "engine A";
+    const obs::EngineId a = w.register_engine(meta);
+    meta.label = "engine B";
+    const obs::EngineId b = w.register_engine(meta);
+    ASSERT_NE(a, b);
+
+    w.on_request({a, 1, obs::RequestPhase::kSubmit, 0.0, 128});
+    w.on_request({a, 1, obs::RequestPhase::kFirstSchedule, 0.5, 0});
+    w.on_request({a, 1, obs::RequestPhase::kPrefillChunk, 0.5, 128});
+    w.on_request({a, 1, obs::RequestPhase::kFirstToken, 1.0, 0});
+    w.on_request({a, 1, obs::RequestPhase::kFinish, 2.0, 16});
+
+    obs::StepEvent step;
+    step.engine = b;
+    step.start = 0.0;
+    step.end = 0.125;
+    step.batched_tokens = 128;
+    step.num_seqs = 1;
+    step.cfg = {4, 2};
+    step.shifted = false;
+    w.on_step(step);
+    w.on_mode_switch({b, 0.125, true, 8, {4, 2}, {1, 8}});
+    w.on_gauge({b, 0.125, 0.5, 1000, 2, 3, 4096});
+    w.on_instant(b, 0.2, "prefix_evict #1");
+
+    const auto doc = render(w);
+    EXPECT_EQ(doc.at("displayTimeUnit").str(), "ms");
+
+    const auto names = process_names(doc);
+    EXPECT_EQ(names.at(a), "unit/engine A");
+    EXPECT_EQ(names.at(b), "unit/engine B");
+    // Request spans live on a dedicated per-run process.
+    bool found_requests = false;
+    for (const auto& [pid, name] : names)
+        found_requests |= name.find("requests") != std::string::npos;
+    EXPECT_TRUE(found_requests);
+
+    const auto counts = phase_counts(doc);
+    EXPECT_EQ(counts.at("b"), 1);
+    EXPECT_EQ(counts.at("e"), 1);
+    EXPECT_EQ(counts.at("n"), 3);
+    EXPECT_EQ(counts.at("X"), 1);
+    EXPECT_GE(counts.at("i"), 2);  // mode switch + cache instant
+    EXPECT_GE(counts.at("C"), 4);  // counters
+    expect_spans_balanced(doc);
+
+    // The step event carries timing/config args and a duration.
+    for (const auto& e : doc.at("traceEvents").arr()) {
+        if (e.at("ph").str() != "X")
+            continue;
+        EXPECT_EQ(e.at("name").str(), "base step");
+        EXPECT_DOUBLE_EQ(e.at("dur").num(), 0.125 * 1e6);
+        EXPECT_EQ(e.at("args").at("batched_tokens").num(), 128.0);
+    }
+}
+
+TEST(ChromeTrace, CancelEndsTheSpan)
+{
+    obs::ChromeTraceWriter w;
+    const obs::EngineId a = w.register_engine({});
+    w.on_request({a, 7, obs::RequestPhase::kSubmit, 0.0, 64});
+    w.on_request({a, 7, obs::RequestPhase::kCancel, 1.0, 0});
+    const auto doc = render(w);
+    const auto counts = phase_counts(doc);
+    EXPECT_EQ(counts.at("b"), 1);
+    EXPECT_EQ(counts.at("e"), 1);
+    expect_spans_balanced(doc);
+}
+
+TEST(ChromeTrace, DpDeploymentGetsOneTrackPerReplica)
+{
+    obs::ChromeTraceWriter w;
+    w.set_run_label("DP");
+
+    core::Deployment d;
+    d.model = shiftpar::testing::tiny_model();
+    d.strategy = parallel::Strategy::kDp;
+    d.trace = &w;
+    const auto workload = workload::uniform_batch(16, 256, 8);
+    core::run_deployment(d, workload);
+
+    const auto doc = render(w);
+    const auto names = process_names(doc);
+    int engine_tracks = 0;
+    for (const auto& [pid, name] : names)
+        engine_tracks += name.rfind("DP/engine", 0) == 0 ? 1 : 0;
+    EXPECT_EQ(engine_tracks, core::resolve(d).replicas);
+    expect_spans_balanced(doc);
+
+    // Every request was routed: one kRouted marker per request.
+    int routed = 0;
+    for (const auto& e : doc.at("traceEvents").arr())
+        routed += e.at("name").str() == "routed" ? 1 : 0;
+    EXPECT_EQ(routed, 16);
+}
+
+TEST(ChromeTrace, ShiftRunEmitsModeTransitions)
+{
+    obs::ChromeTraceWriter w;
+    w.set_run_label("Shift");
+
+    core::Deployment d;
+    d.model = shiftpar::testing::tiny_model();
+    d.strategy = parallel::Strategy::kShift;
+    d.shift_threshold = 64;  // prefill chunks shift up, decode shifts down
+    d.trace = &w;
+    core::run_deployment(d, workload::uniform_batch(4, 512, 32));
+
+    const auto doc = render(w);
+    int shifts = 0, unshifts = 0, shift_steps = 0, base_steps = 0;
+    for (const auto& e : doc.at("traceEvents").arr()) {
+        const std::string& name = e.at("name").str();
+        shifts += name == "shift" ? 1 : 0;
+        unshifts += name == "unshift" ? 1 : 0;
+        shift_steps += name == "shift step" ? 1 : 0;
+        base_steps += name == "base step" ? 1 : 0;
+    }
+    EXPECT_GE(shifts, 1);
+    EXPECT_GE(base_steps, 1);
+    EXPECT_GE(shift_steps, 1);
+    // Transitions alternate, so the counts differ by at most one.
+    EXPECT_LE(std::abs(shifts - unshifts), 1);
+    expect_spans_balanced(doc);
+}
+
+TEST(ChromeTrace, DisaggregatedPoolsGetSeparateTracks)
+{
+    obs::ChromeTraceWriter w;
+    w.set_run_label("disagg");
+
+    core::DisaggregatedOptions opts;
+    opts.prefill_gpus = 4;
+    opts.decode_gpus = 4;
+    opts.trace = &w;
+    core::DisaggregatedSystem sys(shiftpar::testing::tiny_model(), shiftpar::testing::test_node(),
+                                  opts);
+    sys.run_workload(workload::uniform_batch(8, 256, 8));
+
+    const auto doc = render(w);
+    const auto names = process_names(doc);
+    bool prefill = false, decode = false;
+    for (const auto& [pid, name] : names) {
+        prefill |= name.find("prefill pool") != std::string::npos;
+        decode |= name.find("decode pool") != std::string::npos;
+    }
+    EXPECT_TRUE(prefill);
+    EXPECT_TRUE(decode);
+    expect_spans_balanced(doc);
+
+    int handoffs = 0;
+    for (const auto& e : doc.at("traceEvents").arr())
+        handoffs +=
+            e.at("name").str().rfind("kv_handoff", 0) == 0 ? 1 : 0;
+    EXPECT_EQ(handoffs, 8);
+}
+
+TEST(ChromeTrace, ConsecutiveRunsKeepSeparateIdSpaces)
+{
+    // Two runs replayed into one sink: both start at t=0 with request id
+    // 0, and must not corrupt each other's spans.
+    obs::ChromeTraceWriter w;
+    for (const char* label : {"run1", "run2"}) {
+        w.set_run_label(label);
+        const obs::EngineId id = w.register_engine({});
+        w.on_request({id, 0, obs::RequestPhase::kSubmit, 0.0, 32});
+        w.on_request({id, 0, obs::RequestPhase::kFinish, 1.0, 4});
+    }
+    const auto doc = render(w);
+    std::set<std::string> ids;
+    for (const auto& e : doc.at("traceEvents").arr())
+        if (e.at("ph").str() == "b")
+            ids.insert(e.at("id").str());
+    EXPECT_EQ(ids.size(), 2u);
+    expect_spans_balanced(doc);
+}
+
+TEST(ChromeTrace, TracingDoesNotPerturbResults)
+{
+    // The acceptance bar: identical simulation output with and without a
+    // sink attached.
+    core::Deployment d;
+    d.model = shiftpar::testing::tiny_model();
+    d.strategy = parallel::Strategy::kShift;
+    const auto workload = workload::uniform_batch(12, 384, 16);
+    const auto plain = core::run_deployment(d, workload);
+
+    obs::ChromeTraceWriter w;
+    d.trace = &w;
+    const auto traced = core::run_deployment(d, workload);
+    EXPECT_GT(w.num_events(), 0u);
+
+    ASSERT_EQ(plain.requests().size(), traced.requests().size());
+    for (std::size_t i = 0; i < plain.requests().size(); ++i) {
+        EXPECT_EQ(plain.requests()[i].ttft, traced.requests()[i].ttft);
+        EXPECT_EQ(plain.requests()[i].tpot, traced.requests()[i].tpot);
+        EXPECT_EQ(plain.requests()[i].completion,
+                  traced.requests()[i].completion);
+    }
+    EXPECT_EQ(plain.end_time(), traced.end_time());
+    EXPECT_EQ(plain.total_tokens(), traced.total_tokens());
+}

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * util::Histogram: exact moments, quantile error bounds against the exact
+ * `Summary` path it replaced, merge semantics, and adversarial inputs.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/histogram.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+using shiftpar::Rng;
+using shiftpar::Summary;
+using shiftpar::util::Histogram;
+
+namespace {
+
+/**
+ * Exact percentile by nearest-rank (the histogram's convention): the
+ * smallest sample whose rank is >= ceil(p/100 * n).
+ */
+double
+nearest_rank(std::vector<double> values, double p)
+{
+    std::sort(values.begin(), values.end());
+    const auto n = static_cast<double>(values.size());
+    auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+    rank = std::max<std::size_t>(rank, 1);
+    return values[rank - 1];
+}
+
+/** Assert every interior quantile is within the histogram's error bound. */
+void
+expect_quantiles_close(const Histogram& h, const std::vector<double>& values)
+{
+    for (const double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9}) {
+        const double exact = nearest_rank(values, p);
+        const double approx = h.percentile(p);
+        EXPECT_NEAR(approx, exact, h.relative_error() * exact + 1e-12)
+            << "p" << p;
+    }
+}
+
+} // namespace
+
+TEST(Histogram, EmptyIsAllZeros)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0.0);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.min(), 0.0);
+    EXPECT_EQ(h.max(), 0.0);
+    EXPECT_EQ(h.stddev(), 0.0);
+    EXPECT_EQ(h.percentile(50), 0.0);
+    EXPECT_EQ(h.num_buckets(), 0u);
+}
+
+TEST(Histogram, MomentsAreExact)
+{
+    Histogram h;
+    Summary s;
+    for (const double v : {0.25, 1.0, 3.5, 0.125, 10.0, 2.0}) {
+        h.add(v);
+        s.add(v);
+    }
+    EXPECT_EQ(h.count(), s.count());
+    EXPECT_DOUBLE_EQ(h.sum(), s.sum());
+    EXPECT_DOUBLE_EQ(h.mean(), s.mean());
+    EXPECT_DOUBLE_EQ(h.min(), s.min());
+    EXPECT_DOUBLE_EQ(h.max(), s.max());
+    EXPECT_NEAR(h.stddev(), s.stddev(), 1e-12);
+}
+
+TEST(Histogram, EndpointsAreExactMinMax)
+{
+    Histogram h;
+    for (const double v : {0.017, 4.2, 19.0, 0.3})
+        h.add(v);
+    EXPECT_DOUBLE_EQ(h.percentile(0), 0.017);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 19.0);
+    // Out-of-range percentiles are caller bugs, same as Summary.
+    EXPECT_DEATH(h.percentile(-3), "assertion");
+    EXPECT_DEATH(h.percentile(120), "assertion");
+}
+
+TEST(Histogram, QuantilesWithinBoundOnLognormal)
+{
+    // TTFT-like distribution: lognormal latencies spanning ~3 decades.
+    Rng rng(7);
+    Histogram h;
+    std::vector<double> values;
+    for (int i = 0; i < 100000; ++i) {
+        const double v = rng.lognormal(-2.0, 1.0);
+        h.add(v);
+        values.push_back(v);
+    }
+    expect_quantiles_close(h, values);
+}
+
+TEST(Histogram, QuantilesWithinBoundOnUniform)
+{
+    Rng rng(11);
+    Histogram h;
+    std::vector<double> values;
+    for (int i = 0; i < 50000; ++i) {
+        const double v = 0.001 + rng.uniform() * 100.0;
+        h.add(v);
+        values.push_back(v);
+    }
+    expect_quantiles_close(h, values);
+}
+
+TEST(Histogram, AdversarialGeometricSpacing)
+{
+    // Samples on an exact power grid straddle bucket boundaries — the
+    // worst case for a log-bucketed sketch.
+    Histogram h;
+    std::vector<double> values;
+    for (int k = -20; k <= 20; ++k) {
+        for (int rep = 0; rep < 7; ++rep) {
+            const double v = std::pow(2.0, k);
+            h.add(v);
+            values.push_back(v);
+        }
+    }
+    expect_quantiles_close(h, values);
+}
+
+TEST(Histogram, AdversarialTwoPointMass)
+{
+    // 10% tiny, 90% huge: percentile queries must land on the correct
+    // atom, 9 decades apart.
+    Histogram h;
+    for (int i = 0; i < 100; ++i)
+        h.add(1e-6);
+    for (int i = 0; i < 900; ++i)
+        h.add(1e3);
+    EXPECT_NEAR(h.percentile(5), 1e-6, h.relative_error() * 1e-6);
+    EXPECT_NEAR(h.percentile(10), 1e-6, h.relative_error() * 1e-6);
+    EXPECT_NEAR(h.percentile(50), 1e3, h.relative_error() * 1e3);
+    EXPECT_NEAR(h.percentile(99), 1e3, h.relative_error() * 1e3);
+}
+
+TEST(Histogram, ConstantDistribution)
+{
+    Histogram h;
+    for (int i = 0; i < 1000; ++i)
+        h.add(0.048);
+    for (const double p : {1.0, 50.0, 99.0, 99.9})
+        EXPECT_NEAR(h.percentile(p), 0.048, h.relative_error() * 0.048);
+    EXPECT_EQ(h.num_buckets(), 1u);
+}
+
+TEST(Histogram, ZerosAndNegativesClampExactly)
+{
+    Histogram h;
+    h.add(0.0);
+    h.add(-5.0);  // latencies cannot be negative; clamps to 0
+    h.add(1.0);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+    EXPECT_NEAR(h.percentile(99), 1.0, h.relative_error());
+}
+
+TEST(Histogram, MergeMatchesUnion)
+{
+    Rng rng(23);
+    Histogram a, b, all;
+    for (int i = 0; i < 5000; ++i) {
+        const double v = rng.lognormal(0.0, 2.0);
+        ((i % 2 == 0) ? a : b).add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+    // Same buckets + same counts -> identical quantile answers.
+    for (const double p : {1.0, 50.0, 90.0, 99.0})
+        EXPECT_DOUBLE_EQ(a.percentile(p), all.percentile(p));
+}
+
+TEST(Histogram, MergeEmptyIsNoop)
+{
+    Histogram h, empty;
+    h.add(1.0);
+    h.add(2.0);
+    h.merge(empty);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_DOUBLE_EQ(h.sum(), 3.0);
+
+    empty.merge(h);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_DOUBLE_EQ(empty.percentile(100), 2.0);
+}
+
+TEST(Histogram, ClearResets)
+{
+    Histogram h;
+    h.add(5.0);
+    h.clear();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(50), 0.0);
+    EXPECT_EQ(h.num_buckets(), 0u);
+}
+
+TEST(Histogram, TighterErrorBoundHoldsToo)
+{
+    Rng rng(5);
+    Histogram h(0.001);
+    std::vector<double> values;
+    for (int i = 0; i < 20000; ++i) {
+        const double v = rng.lognormal(-1.0, 1.5);
+        h.add(v);
+        values.push_back(v);
+    }
+    expect_quantiles_close(h, values);
+    EXPECT_DOUBLE_EQ(h.relative_error(), 0.001);
+}
+
+TEST(Histogram, MergeRequiresMatchingErrorBound)
+{
+    Histogram coarse(0.01), fine(0.001);
+    coarse.add(1.0);
+    fine.add(1.0);
+    EXPECT_DEATH(coarse.merge(fine), "");
+}

@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
-"""Plot the CSVs the bench binaries write into bench_results/.
+"""Plot the CSVs and JSON run reports the bench binaries write.
 
 The paper's artifact ships a plot.py that turns raw benchmark output into
 the paper's figures; this is the equivalent for this reproduction. Each
-known CSV gets a dedicated figure; unknown CSVs get a generic per-column
-line plot. Requires matplotlib; degrades to a summary listing without it.
+known CSV gets a dedicated figure; `*.report.json` documents (the
+schema-versioned run reports every bench binary emits) get a per-report
+latency/throughput summary chart. Requires matplotlib; degrades to a
+summary listing without it.
 
 Usage:
     tools/plot_results.py [--results bench_results] [--out plots]
@@ -12,15 +14,82 @@ Usage:
 
 import argparse
 import csv
+import json
 import os
 import sys
 from collections import defaultdict
+
+REPORT_SCHEMA = "shiftpar.run_report"
+REPORT_VERSION = 1
 
 
 def read_csv(path):
     with open(path, newline="") as f:
         rows = list(csv.DictReader(f))
     return rows
+
+
+def read_report(path):
+    """Load one schema-versioned run report; None if not ours."""
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != REPORT_SCHEMA:
+        print(f"  skipping {os.path.basename(path)}: "
+              f"unknown schema {doc.get('schema')!r}")
+        return None
+    if doc.get("version", 0) > REPORT_VERSION:
+        print(f"  skipping {os.path.basename(path)}: "
+              f"schema version {doc['version']} is newer than this tool")
+        return None
+    return doc
+
+
+def summarize_report(doc):
+    lines = [f"report: {doc.get('title') or '(untitled)'}"]
+    for run in doc.get("runs", []):
+        met = run["metrics"]
+        ttft = met["ttft_s"]
+        parts = [f"{met['requests']} req",
+                 f"{met['mean_throughput_tok_s']:.0f} tok/s"]
+        if ttft["count"]:
+            parts.append(f"ttft p50={ttft['p50'] * 1e3:.1f}ms "
+                         f"p99={ttft['p99'] * 1e3:.1f}ms")
+        slo = met.get("slo")
+        if slo:
+            parts.append(f"slo={slo['attainment'] * 100:.1f}% "
+                         f"goodput={slo['goodput_tok_s']:.0f} tok/s")
+        lines.append(f"  {run['name']}: " + ", ".join(parts))
+    return "\n".join(lines)
+
+
+def plot_report(plt, doc, out):
+    """Bar chart: per-run throughput plus TTFT p50/p99 on a twin axis."""
+    runs = doc.get("runs", [])
+    if not runs:
+        return False
+    names = [r["name"] for r in runs]
+    thru = [r["metrics"]["mean_throughput_tok_s"] for r in runs]
+    p50 = [r["metrics"]["ttft_s"]["p50"] * 1e3 for r in runs]
+    p99 = [r["metrics"]["ttft_s"]["p99"] * 1e3 for r in runs]
+    xs = range(len(runs))
+
+    fig, ax = plt.subplots(figsize=(max(6, 1.2 * len(runs)), 4))
+    ax.bar(xs, thru, width=0.6, color="tab:blue", alpha=0.7,
+           label="mean throughput")
+    ax.set_ylabel("throughput (tok/s)")
+    ax.set_xticks(list(xs))
+    ax.set_xticklabels(names, rotation=30, ha="right", fontsize=8)
+    if any(p99):
+        ax2 = ax.twinx()
+        ax2.plot(xs, p50, "o-", color="tab:orange", label="TTFT p50")
+        ax2.plot(xs, p99, "s--", color="tab:red", label="TTFT p99")
+        ax2.set_ylabel("TTFT (ms)")
+        ax2.legend(loc="upper right", fontsize=8)
+    ax.legend(loc="upper left", fontsize=8)
+    ax.set_title(doc.get("title") or "run report")
+    fig.savefig(out, dpi=150, bbox_inches="tight")
+    plt.close(fig)
+    return True
 
 
 def group_by(rows, key):
@@ -92,8 +161,10 @@ def main():
         sys.exit(f"no results directory '{args.results}' — run the bench "
                  "binaries first")
     csvs = sorted(f for f in os.listdir(args.results) if f.endswith(".csv"))
-    if not csvs:
-        sys.exit(f"no CSVs in '{args.results}'")
+    reports = sorted(f for f in os.listdir(args.results)
+                     if f.endswith(".report.json"))
+    if not csvs and not reports:
+        sys.exit(f"no CSVs or reports in '{args.results}'")
 
     try:
         import matplotlib
@@ -105,6 +176,10 @@ def main():
             rows = read_csv(os.path.join(args.results, name))
             print(f"  {name}: {len(rows)} rows, "
                   f"columns {list(rows[0].keys()) if rows else []}")
+        for name in reports:
+            doc = read_report(os.path.join(args.results, name))
+            if doc is not None:
+                print(summarize_report(doc))
         return
 
     os.makedirs(args.out, exist_ok=True)
@@ -116,6 +191,15 @@ def main():
         plotter = KNOWN.get(name)
         if plotter is not None:
             plotter(plt, rows, out)
+            print(f"wrote {out}")
+    for name in reports:
+        doc = read_report(os.path.join(args.results, name))
+        if doc is None:
+            continue
+        print(summarize_report(doc))
+        out = os.path.join(args.out,
+                           name.replace(".report.json", ".report.png"))
+        if plot_report(plt, doc, out):
             print(f"wrote {out}")
     print("done")
 
