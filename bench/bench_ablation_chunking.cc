@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "common/bench_common.h"
+#include "common/sweep.h"
 #include "model/presets.h"
 #include "util/csv.h"
 #include "util/units.h"
@@ -39,8 +40,10 @@ main(int argc, char** argv)
                   {"budget", "ttft_p50_ms", "ttft_p99_ms", "tpot_p50_ms",
                    "tpot_p99_ms", "throughput_tok_s"});
 
-    for (std::int64_t budget :
-         {1024LL, 2048LL, 4096LL, 8192LL, 16384LL, 65536LL}) {
+    const std::vector<std::int64_t> budgets = {1024,  2048,  4096,
+                                               8192, 16384, 65536};
+    bench::run_sweep(budgets.size(), [&](std::size_t i) {
+        const std::int64_t budget = budgets[i];
         core::Deployment d;
         d.model = model::llama_70b();
         d.strategy = parallel::Strategy::kShift;
@@ -49,20 +52,22 @@ main(int argc, char** argv)
             bench::run_deployment_named("budget " + std::to_string(budget),
                                         d, reqs)
                 .metrics;
-        table.add_row({Table::fmt_count(budget),
-                       Table::fmt(to_ms(met.ttft().percentile(50))),
-                       Table::fmt(to_ms(met.ttft().percentile(99))),
-                       Table::fmt(to_ms(met.tpot().percentile(50)), 2),
-                       Table::fmt(to_ms(met.tpot().percentile(99)), 2),
-                       Table::fmt_count(static_cast<long long>(
-                           met.mean_throughput()))});
-        csv.add_row({std::to_string(budget),
-                     Table::fmt(to_ms(met.ttft().percentile(50)), 2),
-                     Table::fmt(to_ms(met.ttft().percentile(99)), 2),
-                     Table::fmt(to_ms(met.tpot().percentile(50)), 3),
-                     Table::fmt(to_ms(met.tpot().percentile(99)), 3),
-                     Table::fmt(met.mean_throughput(), 0)});
-    }
+        return bench::SweepCommit([&, budget, met] {
+            table.add_row({Table::fmt_count(budget),
+                           Table::fmt(to_ms(met.ttft().percentile(50))),
+                           Table::fmt(to_ms(met.ttft().percentile(99))),
+                           Table::fmt(to_ms(met.tpot().percentile(50)), 2),
+                           Table::fmt(to_ms(met.tpot().percentile(99)), 2),
+                           Table::fmt_count(static_cast<long long>(
+                               met.mean_throughput()))});
+            csv.add_row({std::to_string(budget),
+                         Table::fmt(to_ms(met.ttft().percentile(50)), 2),
+                         Table::fmt(to_ms(met.ttft().percentile(99)), 2),
+                         Table::fmt(to_ms(met.tpot().percentile(50)), 3),
+                         Table::fmt(to_ms(met.tpot().percentile(99)), 3),
+                         Table::fmt(met.mean_throughput(), 0)});
+        });
+    });
     table.print();
     std::printf(
         "\nExpected: TTFT falls as the budget grows (fewer chunks per\n"

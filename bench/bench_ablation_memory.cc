@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "common/bench_common.h"
+#include "common/sweep.h"
 #include "model/presets.h"
 #include "util/csv.h"
 #include "util/units.h"
@@ -33,8 +34,11 @@ main(int argc, char** argv)
                   {"strategy", "weights_gb", "kv_pool_gb", "kv_tokens",
                    "tpot_ms"});
 
-    for (auto ws : {parallel::WeightStrategy::kSeparateModels,
-                    parallel::WeightStrategy::kOnTheFlySlicing}) {
+    const std::vector<parallel::WeightStrategy> variants = {
+        parallel::WeightStrategy::kSeparateModels,
+        parallel::WeightStrategy::kOnTheFlySlicing};
+    bench::run_sweep(variants.size(), [&](std::size_t i) {
+        const parallel::WeightStrategy ws = variants[i];
         core::Deployment d;
         d.model = m;
         d.strategy = parallel::Strategy::kShift;
@@ -46,15 +50,18 @@ main(int argc, char** argv)
                 : "on-the-fly slicing";
         const auto met =
             bench::run_deployment_named(name, d, interactive).metrics;
-        table.add_row({name, Table::fmt(to_gb(r.memory.weight_bytes())),
-                       Table::fmt(to_gb(r.memory.kv_pool_bytes)),
-                       Table::fmt_count(r.memory.kv_token_capacity),
-                       Table::fmt(to_ms(met.tpot().mean()), 2)});
-        csv.add_row({name, Table::fmt(to_gb(r.memory.weight_bytes()), 2),
-                     Table::fmt(to_gb(r.memory.kv_pool_bytes), 2),
-                     std::to_string(r.memory.kv_token_capacity),
-                     Table::fmt(to_ms(met.tpot().mean()), 3)});
-    }
+        return bench::SweepCommit([&, r, name, met] {
+            table.add_row({name, Table::fmt(to_gb(r.memory.weight_bytes())),
+                           Table::fmt(to_gb(r.memory.kv_pool_bytes)),
+                           Table::fmt_count(r.memory.kv_token_capacity),
+                           Table::fmt(to_ms(met.tpot().mean()), 2)});
+            csv.add_row({name,
+                         Table::fmt(to_gb(r.memory.weight_bytes()), 2),
+                         Table::fmt(to_gb(r.memory.kv_pool_bytes), 2),
+                         std::to_string(r.memory.kv_token_capacity),
+                         Table::fmt(to_ms(met.tpot().mean()), 3)});
+        });
+    });
     table.print();
     std::printf(
         "\nExpected: slicing saves the 1/SP (12.5%% at SP=8) weight\n"

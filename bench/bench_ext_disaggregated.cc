@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "common/bench_common.h"
+#include "common/sweep.h"
 #include "core/disaggregated.h"
 #include "model/presets.h"
 #include "util/csv.h"
@@ -54,34 +55,41 @@ main(int argc, char** argv)
                      Table::fmt(met.mean_throughput(), 0)});
     };
 
-    // Colocated baselines.
-    for (parallel::Strategy s :
-         {parallel::Strategy::kTp, parallel::Strategy::kShift}) {
-        core::Deployment d;
-        d.model = model::llama_70b();
-        d.strategy = s;
-        const std::string name = "colocated " + parallel::strategy_name(s);
-        add(name, bench::run_deployment_named(name, d, reqs).metrics);
-    }
-
-    // Disaggregated pool splits.
+    // Colocated baselines first, then the disaggregated pool splits.
     // Pool sizes must be valid TP degrees for the model's 64 heads.
+    const std::vector<parallel::Strategy> colocated = {
+        parallel::Strategy::kTp, parallel::Strategy::kShift};
     const std::vector<std::pair<int, int>> splits = {
         {2, 4}, {4, 4}, {4, 2}};
-    for (const auto& [p, dn] : splits) {
-        const std::string name = "disagg " + std::to_string(p) + "P+" +
-                                 std::to_string(dn) + "D";
-        core::DisaggregatedOptions opts;
-        opts.prefill_gpus = p;
-        opts.decode_gpus = dn;
-        opts.trace = bench::trace();
-        bench::set_run_label(name);
-        core::DisaggregatedSystem sys(model::llama_70b(), hw::h200_node(),
-                                      opts);
-        const engine::Metrics met = sys.run_workload(reqs);
-        bench::record_run(name, met);
-        add(name, met);
-    }
+    bench::run_sweep(colocated.size() + splits.size(), [&](std::size_t i) {
+        const auto [name, met] =
+            [&]() -> std::pair<std::string, engine::Metrics> {
+            if (i < colocated.size()) {
+                core::Deployment d;
+                d.model = model::llama_70b();
+                d.strategy = colocated[i];
+                const std::string n =
+                    "colocated " + parallel::strategy_name(colocated[i]);
+                return {n, bench::run_deployment_named(n, d, reqs).metrics};
+            }
+            const auto [p, dn] = splits[i - colocated.size()];
+            const std::string n = "disagg " + std::to_string(p) + "P+" +
+                                  std::to_string(dn) + "D";
+            core::DisaggregatedOptions opts;
+            opts.prefill_gpus = p;
+            opts.decode_gpus = dn;
+            opts.trace = bench::trace();
+            bench::set_run_label(n);
+            core::DisaggregatedSystem sys(model::llama_70b(),
+                                          hw::h200_node(), opts);
+            const engine::Metrics m = sys.run_workload(reqs);
+            bench::record_run(n, m);
+            return {n, m};
+        }();
+        return bench::SweepCommit([&, name = name, met = met] {
+            add(name, met);
+        });
+    });
     table.print();
     std::printf(
         "\nExpected (paper Sec. 5): disaggregation isolates decode from\n"

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "common/bench_common.h"
+#include "common/sweep.h"
 #include "model/presets.h"
 #include "util/csv.h"
 #include "util/units.h"
@@ -34,9 +35,13 @@ main(int argc, char** argv)
         std::printf("\n%s (Shift strategy, EP swept)\n", m.name.c_str());
         Table table({"EP", "Weights/GPU (GB)", "KV pool (GB)", "TTFT (ms)",
                      "TPOT (ms)", "Peak tok/s"});
+        std::vector<int> eps;
         for (int ep : {1, 2, 4, 8}) {
-            if (m.num_experts % ep != 0)
-                continue;
+            if (m.num_experts % ep == 0)
+                eps.push_back(ep);
+        }
+        bench::run_sweep(eps.size(), [&](std::size_t i) {
+            const int ep = eps[i];
             core::Deployment d;
             d.model = m;
             d.strategy = parallel::Strategy::kShift;
@@ -55,21 +60,24 @@ main(int argc, char** argv)
                     workload::uniform_batch(256, 8192, 250))
                     .metrics;
 
-            table.add_row(
-                {std::to_string(ep),
-                 Table::fmt(to_gb(resolved.memory.weight_bytes())),
-                 Table::fmt(to_gb(resolved.memory.kv_pool_bytes)),
-                 Table::fmt(to_ms(lat.ttft().mean())),
-                 Table::fmt(to_ms(lat.tpot().mean()), 2),
-                 Table::fmt_count(static_cast<long long>(
-                     thr_run.mean_throughput()))});
-            csv.add_row({m.name, std::to_string(ep),
-                         Table::fmt(to_gb(resolved.memory.weight_bytes()), 2),
-                         Table::fmt(to_gb(resolved.memory.kv_pool_bytes), 2),
-                         Table::fmt(to_ms(lat.ttft().mean()), 2),
-                         Table::fmt(to_ms(lat.tpot().mean()), 3),
-                         Table::fmt(thr_run.mean_throughput(), 0)});
-        }
+            return bench::SweepCommit([&, ep, resolved, lat, thr_run] {
+                table.add_row(
+                    {std::to_string(ep),
+                     Table::fmt(to_gb(resolved.memory.weight_bytes())),
+                     Table::fmt(to_gb(resolved.memory.kv_pool_bytes)),
+                     Table::fmt(to_ms(lat.ttft().mean())),
+                     Table::fmt(to_ms(lat.tpot().mean()), 2),
+                     Table::fmt_count(static_cast<long long>(
+                         thr_run.mean_throughput()))});
+                csv.add_row(
+                    {m.name, std::to_string(ep),
+                     Table::fmt(to_gb(resolved.memory.weight_bytes()), 2),
+                     Table::fmt(to_gb(resolved.memory.kv_pool_bytes), 2),
+                     Table::fmt(to_ms(lat.ttft().mean()), 2),
+                     Table::fmt(to_ms(lat.tpot().mean()), 3),
+                     Table::fmt(thr_run.mean_throughput(), 0)});
+            });
+        });
         table.print();
     }
     std::printf(

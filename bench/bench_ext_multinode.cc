@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "common/bench_common.h"
+#include "common/sweep.h"
 #include "core/shift_controller.h"
 #include "engine/router.h"
 #include "util/logging.h"
@@ -110,21 +111,26 @@ main(int argc, char** argv)
         {"DP of TP=8 (2 replicas)", parallel::Strategy::kTp},
         {"DP of Shift (2 replicas)", parallel::Strategy::kShift},
     };
-    for (const auto& [name, strategy] : systems) {
+    bench::run_sweep(systems.size(), [&](std::size_t i) {
+        const auto& [name, strategy] = systems[i];
         bench::set_run_label(name);
         auto router = two_nodes(strategy);
         const auto met = router->run_workload(reqs);
         bench::record_run(name, met);
-        table.add_row({name, Table::fmt(to_ms(met.ttft().percentile(50))),
-                       Table::fmt(to_ms(met.tpot().percentile(50)), 2),
-                       Table::fmt(met.completion().percentile(99), 2),
-                       Table::fmt_count(static_cast<long long>(
-                           met.throughput().peak_rate()))});
-        csv.add_row({name, Table::fmt(to_ms(met.ttft().percentile(50)), 2),
-                     Table::fmt(to_ms(met.tpot().percentile(50)), 3),
-                     Table::fmt(met.completion().percentile(99), 3),
-                     Table::fmt(met.throughput().peak_rate(), 0)});
-    }
+        return bench::SweepCommit([&, &name = systems[i].first, met] {
+            table.add_row({name,
+                           Table::fmt(to_ms(met.ttft().percentile(50))),
+                           Table::fmt(to_ms(met.tpot().percentile(50)), 2),
+                           Table::fmt(met.completion().percentile(99), 2),
+                           Table::fmt_count(static_cast<long long>(
+                               met.throughput().peak_rate()))});
+            csv.add_row({name,
+                         Table::fmt(to_ms(met.ttft().percentile(50)), 2),
+                         Table::fmt(to_ms(met.tpot().percentile(50)), 3),
+                         Table::fmt(met.completion().percentile(99), 3),
+                         Table::fmt(met.throughput().peak_rate(), 0)});
+        });
+    });
     table.print();
     std::printf(
         "\nExpected: the single-node ordering survives scale-out — each\n"

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "common/bench_common.h"
+#include "common/sweep.h"
 #include "model/presets.h"
 #include "util/csv.h"
 #include "util/units.h"
@@ -46,7 +47,8 @@ main(int argc, char** argv)
                   {"apc", "tokens_processed", "ttft_p50_ms", "ttft_p99_ms",
                    "completion_p50_s", "makespan_s"});
 
-    for (bool apc : {false, true}) {
+    bench::run_sweep(2, [&](std::size_t i) {
+        const bool apc = i == 1;
         core::Deployment d;
         d.model = model::llama_70b();
         d.strategy = parallel::Strategy::kShift;
@@ -55,19 +57,21 @@ main(int argc, char** argv)
             bench::run_deployment_named(
                 apc ? "prefix caching on" : "prefix caching off", d, reqs)
                 .metrics;
-        table.add_row({apc ? "on" : "off",
-                       Table::fmt_count(met.total_tokens()),
-                       Table::fmt(to_ms(met.ttft().percentile(50))),
-                       Table::fmt(to_ms(met.ttft().percentile(99))),
-                       Table::fmt(met.completion().percentile(50), 2),
-                       Table::fmt(met.end_time(), 1)});
-        csv.add_row({apc ? "on" : "off",
-                     std::to_string(met.total_tokens()),
-                     Table::fmt(to_ms(met.ttft().percentile(50)), 2),
-                     Table::fmt(to_ms(met.ttft().percentile(99)), 2),
-                     Table::fmt(met.completion().percentile(50), 3),
-                     Table::fmt(met.end_time(), 2)});
-    }
+        return bench::SweepCommit([&, apc, met] {
+            table.add_row({apc ? "on" : "off",
+                           Table::fmt_count(met.total_tokens()),
+                           Table::fmt(to_ms(met.ttft().percentile(50))),
+                           Table::fmt(to_ms(met.ttft().percentile(99))),
+                           Table::fmt(met.completion().percentile(50), 2),
+                           Table::fmt(met.end_time(), 1)});
+            csv.add_row({apc ? "on" : "off",
+                         std::to_string(met.total_tokens()),
+                         Table::fmt(to_ms(met.ttft().percentile(50)), 2),
+                         Table::fmt(to_ms(met.ttft().percentile(99)), 2),
+                         Table::fmt(met.completion().percentile(50), 3),
+                         Table::fmt(met.end_time(), 2)});
+        });
+    });
     table.print();
     std::printf(
         "\nExpected: with APC the shared per-agent context prefills once\n"

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "common/bench_common.h"
+#include "common/sweep.h"
 #include "model/presets.h"
 #include "util/csv.h"
 #include "util/units.h"
@@ -54,7 +55,8 @@ main(int argc, char** argv)
                   {"mode", "chat_ttft_p50_ms", "chat_ttft_p99_ms",
                    "batch_makespan_s", "throughput_tok_s"});
 
-    for (int prio : {0, 1}) {
+    bench::run_sweep(2, [&](std::size_t i) {
+        const int prio = static_cast<int>(i);
         core::Deployment d;
         d.model = model::qwen_32b();
         d.strategy = parallel::Strategy::kShift;
@@ -74,18 +76,20 @@ main(int argc, char** argv)
             else
                 chat_ttft.add(to_ms(r.ttft));
         }
-        const char* name = prio ? "prioritized (chat > batch)"
-                                : "flat FCFS";
-        table.add_row({name, Table::fmt(chat_ttft.percentile(50)),
-                       Table::fmt(chat_ttft.percentile(99)),
-                       Table::fmt(batch_done, 1),
-                       Table::fmt_count(static_cast<long long>(
-                           met.mean_throughput()))});
-        csv.add_row({name, Table::fmt(chat_ttft.percentile(50), 2),
-                     Table::fmt(chat_ttft.percentile(99), 2),
-                     Table::fmt(batch_done, 2),
-                     Table::fmt(met.mean_throughput(), 0)});
-    }
+        return bench::SweepCommit([&, prio, met, chat_ttft, batch_done] {
+            const char* name = prio ? "prioritized (chat > batch)"
+                                    : "flat FCFS";
+            table.add_row({name, Table::fmt(chat_ttft.percentile(50)),
+                           Table::fmt(chat_ttft.percentile(99)),
+                           Table::fmt(batch_done, 1),
+                           Table::fmt_count(static_cast<long long>(
+                               met.mean_throughput()))});
+            csv.add_row({name, Table::fmt(chat_ttft.percentile(50), 2),
+                         Table::fmt(chat_ttft.percentile(99), 2),
+                         Table::fmt(batch_done, 2),
+                         Table::fmt(met.mean_throughput(), 0)});
+        });
+    });
     table.print();
     std::printf(
         "\nExpected: prioritized admission collapses chat TTFT while the\n"

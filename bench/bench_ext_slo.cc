@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "common/bench_common.h"
+#include "common/sweep.h"
 #include "model/presets.h"
 #include "util/csv.h"
 #include "util/units.h"
@@ -35,27 +36,42 @@ main(int argc, char** argv)
     CsvWriter csv(bench::results_path("ext_slo.csv"),
                   {"rate_req_s", "strategy", "attainment", "goodput_tok_s"});
 
-    for (double rate : {0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0}) {
-        Rng rng(77);
-        const auto reqs = workload::make_requests(
-            workload::poisson_arrivals(rng, rate, 90.0), rng,
-            workload::lognormal_size(4000.0, 0.6, 250.0, 0.4));
-        std::vector<std::string> row = {Table::fmt(rate, 1)};
-        double shift_goodput = 0.0;
-        for (parallel::Strategy s : bench::comparison_strategies()) {
+    // Flattened rate x strategy sweep; each point regenerates its rate's
+    // workload from the fixed seed so points depend only on their index.
+    const std::vector<double> rates = {0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+    const auto& strategies = bench::comparison_strategies();
+    std::vector<std::string> row;
+    double shift_goodput = 0.0;
+    bench::run_sweep(
+        rates.size() * strategies.size(), [&](std::size_t idx) {
+            const double rate = rates[idx / strategies.size()];
+            const parallel::Strategy s = strategies[idx % strategies.size()];
+            Rng rng(77);
+            const auto reqs = workload::make_requests(
+                workload::poisson_arrivals(rng, rate, 90.0), rng,
+                workload::lognormal_size(4000.0, 0.6, 250.0, 0.4));
             const auto run = bench::run_strategy(m, s, reqs);
             const double att = run.metrics.slo_attainment(slo);
-            row.push_back(Table::fmt(100.0 * att, 0) + "%");
-            if (s == parallel::Strategy::kShift)
-                shift_goodput = run.metrics.goodput(slo);
-            csv.add_row({Table::fmt(rate, 2), parallel::strategy_name(s),
-                         Table::fmt(att, 4),
-                         Table::fmt(run.metrics.goodput(slo), 0)});
-        }
-        row.push_back(Table::fmt_count(
-            static_cast<long long>(shift_goodput)));
-        table.add_row(row);
-    }
+            const double good = run.metrics.goodput(slo);
+            return bench::SweepCommit([&, rate, s, att, good] {
+                if (row.empty()) {
+                    row.push_back(Table::fmt(rate, 1));
+                    shift_goodput = 0.0;
+                }
+                row.push_back(Table::fmt(100.0 * att, 0) + "%");
+                if (s == parallel::Strategy::kShift)
+                    shift_goodput = good;
+                csv.add_row({Table::fmt(rate, 2),
+                             parallel::strategy_name(s), Table::fmt(att, 4),
+                             Table::fmt(good, 0)});
+                if (row.size() == strategies.size() + 1) {
+                    row.push_back(Table::fmt_count(
+                        static_cast<long long>(shift_goodput)));
+                    table.add_row(row);
+                    row.clear();
+                }
+            });
+        });
     table.print();
     std::printf(
         "\nExpected: Shift sustains near-100%% attainment to higher rates\n"

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "common/bench_common.h"
+#include "common/sweep.h"
 #include "model/presets.h"
 #include "util/ascii_plot.h"
 #include "util/csv.h"
@@ -39,18 +40,22 @@ main(int argc, char** argv)
                    "throughput_tok_per_s"});
 
     const auto m = model::llama_70b();
-    for (parallel::Strategy s : bench::comparison_strategies()) {
+    const auto& strategies = bench::comparison_strategies();
+    bench::run_sweep(strategies.size(), [&](std::size_t i) {
+        const parallel::Strategy s = strategies[i];
         const auto lat = bench::min_latency(m, s, kPrompt, kOutput);
         const double thr = bench::peak_throughput(m, s, kPrompt, kOutput);
-        labels.push_back(parallel::strategy_name(s));
-        response.push_back(static_cast<double>(kPrompt) / lat.ttft);
-        generation.push_back(1.0 / lat.tpot);
-        throughput.push_back(thr);
-        csv.add_row({parallel::strategy_name(s),
-                     Table::fmt(response.back(), 0),
-                     Table::fmt(generation.back(), 1),
-                     Table::fmt(thr, 0)});
-    }
+        return bench::SweepCommit([&, s, lat, thr] {
+            labels.push_back(parallel::strategy_name(s));
+            response.push_back(static_cast<double>(kPrompt) / lat.ttft);
+            generation.push_back(1.0 / lat.tpot);
+            throughput.push_back(thr);
+            csv.add_row({parallel::strategy_name(s),
+                         Table::fmt(response.back(), 0),
+                         Table::fmt(generation.back(), 1),
+                         Table::fmt(thr, 0)});
+        });
+    });
 
     std::printf("\n%s\n",
                 render_bar_chart(labels, response,

@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "common/bench_common.h"
+#include "common/sweep.h"
 #include "model/presets.h"
 #include "util/csv.h"
 #include "util/units.h"
@@ -52,33 +53,37 @@ main(int argc, char** argv)
     CsvWriter timeline(bench::results_path("fig07_timeline.csv"),
                        {"strategy", "t_s", "throughput_tok_s"});
 
-    for (parallel::Strategy s :
-         {parallel::Strategy::kDp, parallel::Strategy::kTp,
-          parallel::Strategy::kSp, parallel::Strategy::kShift}) {
+    const auto& strategies = bench::comparison_strategies();
+    bench::run_sweep(strategies.size(), [&](std::size_t i) {
+        const parallel::Strategy s = strategies[i];
         const auto run = bench::run_strategy(m, s, reqs);
-        const auto& met = run.metrics;
-        const char* label =
-            s == parallel::Strategy::kDp ? "vLLM (throughput opt.-DP)"
-            : s == parallel::Strategy::kTp ? "vLLM (latency opt.-TP)"
-            : s == parallel::Strategy::kSp ? "vLLM+SP (static)"
-                                           : "vLLM+Shift Parallelism";
-        table.add_row({label, Table::fmt(to_ms(met.ttft().median())) + " ms",
-                       Table::fmt(to_ms(met.tpot().median())) + " ms",
-                       Table::fmt(to_ms(met.ttft().percentile(99))) + " ms",
-                       Table::fmt_count(static_cast<long long>(
-                           met.throughput().peak_rate())) +
-                           " tok/s"});
-        csv.add_row({parallel::strategy_name(s),
-                     Table::fmt(to_ms(met.ttft().median()), 2),
-                     Table::fmt(to_ms(met.tpot().median()), 2),
-                     Table::fmt(to_ms(met.ttft().percentile(99)), 2),
-                     Table::fmt(met.throughput().peak_rate(), 0)});
-        for (std::size_t b = 0; b < met.throughput().num_bins(); ++b) {
-            timeline.add_row({parallel::strategy_name(s),
-                              Table::fmt(met.throughput().bin_start(b), 1),
-                              Table::fmt(met.throughput().rate(b), 0)});
-        }
-    }
+        return bench::SweepCommit([&, s, run] {
+            const auto& met = run.metrics;
+            const char* label =
+                s == parallel::Strategy::kDp ? "vLLM (throughput opt.-DP)"
+                : s == parallel::Strategy::kTp ? "vLLM (latency opt.-TP)"
+                : s == parallel::Strategy::kSp ? "vLLM+SP (static)"
+                                               : "vLLM+Shift Parallelism";
+            table.add_row(
+                {label, Table::fmt(to_ms(met.ttft().median())) + " ms",
+                 Table::fmt(to_ms(met.tpot().median())) + " ms",
+                 Table::fmt(to_ms(met.ttft().percentile(99))) + " ms",
+                 Table::fmt_count(static_cast<long long>(
+                     met.throughput().peak_rate())) +
+                     " tok/s"});
+            csv.add_row({parallel::strategy_name(s),
+                         Table::fmt(to_ms(met.ttft().median()), 2),
+                         Table::fmt(to_ms(met.tpot().median()), 2),
+                         Table::fmt(to_ms(met.ttft().percentile(99)), 2),
+                         Table::fmt(met.throughput().peak_rate(), 0)});
+            for (std::size_t b = 0; b < met.throughput().num_bins(); ++b) {
+                timeline.add_row(
+                    {parallel::strategy_name(s),
+                     Table::fmt(met.throughput().bin_start(b), 1),
+                     Table::fmt(met.throughput().rate(b), 0)});
+            }
+        });
+    });
     table.print();
     std::printf(
         "\nPaper's Table 5: DP 1,355 ms / 83 ms / 75,535 tok/s; TP 3,930 ms\n"

@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "common/bench_common.h"
+#include "common/sweep.h"
 #include "model/presets.h"
 #include "util/csv.h"
 #include "util/units.h"
@@ -44,10 +45,11 @@ main(int argc, char** argv)
                      {"strategy", "request_index", "ttft_ms", "tpot_ms",
                       "completion_ms"});
 
-    for (parallel::Strategy s :
-         {parallel::Strategy::kDp, parallel::Strategy::kTp,
-          parallel::Strategy::kSp, parallel::Strategy::kShift}) {
+    const auto& strategies = bench::comparison_strategies();
+    bench::run_sweep(strategies.size(), [&](std::size_t idx) {
+        const parallel::Strategy s = strategies[idx];
         const auto run = bench::run_strategy(model::llama_70b(), s, reqs);
+        return bench::SweepCommit([&, s, run] {
         const auto& met = run.metrics;
         table.add_row(
             {parallel::strategy_name(s),
@@ -78,7 +80,8 @@ main(int argc, char** argv)
                             Table::fmt(to_ms(recs[i].tpot), 2),
                             Table::fmt(to_ms(recs[i].completion), 1)});
         }
-    }
+        });
+    });
     table.print();
     std::printf(
         "\nPaper's Fig. 9/11(a): three bursts spike TTFT/completion; Shift\n"

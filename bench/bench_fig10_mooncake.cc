@@ -16,6 +16,7 @@
 #include <cstdio>
 
 #include "common/bench_common.h"
+#include "common/sweep.h"
 #include "model/presets.h"
 #include "util/csv.h"
 #include "util/units.h"
@@ -56,9 +57,9 @@ main(int argc, char** argv)
                      {"strategy", "request_index", "wait_s", "ttft_s",
                       "completion_s"});
 
-    for (parallel::Strategy s :
-         {parallel::Strategy::kDp, parallel::Strategy::kTp,
-          parallel::Strategy::kSp, parallel::Strategy::kShift}) {
+    const auto& strategies = bench::comparison_strategies();
+    bench::run_sweep(strategies.size(), [&](std::size_t idx) {
+        const parallel::Strategy s = strategies[idx];
         const auto run = bench::run_strategy(m, s, reqs);
         const auto& met = run.metrics;
 
@@ -79,6 +80,8 @@ main(int argc, char** argv)
         }
         const double growth = last / std::max(first, 1e-9);
 
+        return bench::SweepCommit([&, s, run, recs, growth] {
+        const auto& met = run.metrics;
         table.add_row(
             {parallel::strategy_name(s),
              Table::fmt(met.wait().percentile(50), 2) + " / " +
@@ -100,7 +103,8 @@ main(int argc, char** argv)
                             Table::fmt(recs[i].ttft, 3),
                             Table::fmt(recs[i].completion, 3)});
         }
-    }
+        });
+    });
     table.print();
     std::printf(
         "\nPaper's Fig. 10/11(b): DP and TP cannot keep up — wait times\n"

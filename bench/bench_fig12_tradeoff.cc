@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "common/bench_common.h"
+#include "common/sweep.h"
 #include "model/presets.h"
 #include "util/csv.h"
 #include "util/units.h"
@@ -33,25 +34,31 @@ run_model(const model::ModelConfig& m, CsvWriter* csv)
     Table table({"Strategy", "min TTFT (ms)", "min TPOT (ms)",
                  "peak throughput (tok/s)", "vs DP"});
 
+    // "vs DP" relies on the DP point committing first; run_sweep commits
+    // in index order and DP is index 0, so the dependency holds.
     double dp_throughput = 0.0;
-    for (parallel::Strategy s : bench::comparison_strategies()) {
+    const auto& strategies = bench::comparison_strategies();
+    bench::run_sweep(strategies.size(), [&](std::size_t i) {
+        const parallel::Strategy s = strategies[i];
         const auto lat = bench::min_latency(m, s, kPrompt, kOutput);
         const double thr =
             bench::peak_throughput(m, s, kPrompt, kOutput, /*requests=*/768);
-        if (s == parallel::Strategy::kDp)
-            dp_throughput = thr;
-        table.add_row({parallel::strategy_name(s),
-                       Table::fmt(to_ms(lat.ttft)),
-                       Table::fmt(to_ms(lat.tpot), 2),
-                       Table::fmt_count(static_cast<long long>(thr)),
-                       Table::fmt(thr / dp_throughput * 100.0) + "%"});
-        if (csv) {
-            csv->add_row({m.name, parallel::strategy_name(s),
-                          Table::fmt(to_ms(lat.ttft), 3),
-                          Table::fmt(to_ms(lat.tpot), 3),
-                          Table::fmt(thr, 1)});
-        }
-    }
+        return bench::SweepCommit([&, s, lat, thr] {
+            if (s == parallel::Strategy::kDp)
+                dp_throughput = thr;
+            table.add_row({parallel::strategy_name(s),
+                           Table::fmt(to_ms(lat.ttft)),
+                           Table::fmt(to_ms(lat.tpot), 2),
+                           Table::fmt_count(static_cast<long long>(thr)),
+                           Table::fmt(thr / dp_throughput * 100.0) + "%"});
+            if (csv) {
+                csv->add_row({m.name, parallel::strategy_name(s),
+                              Table::fmt(to_ms(lat.ttft), 3),
+                              Table::fmt(to_ms(lat.tpot), 3),
+                              Table::fmt(thr, 1)});
+            }
+        });
+    });
     table.print();
 }
 

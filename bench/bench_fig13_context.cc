@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "common/bench_common.h"
+#include "common/sweep.h"
 #include "model/presets.h"
 #include "util/csv.h"
 #include "util/units.h"
@@ -32,29 +33,41 @@ main(int argc, char** argv)
         std::printf("\n%s (min TTFT ms | min TPOT ms | peak tok/s)\n",
                     m.name.c_str());
         Table table({"Input", "DP", "TP", "SP", "Shift"});
-        for (std::int64_t input :
-             {2048LL, 8192LL, 32768LL, 130816LL}) {  // 128k minus output
-            std::vector<std::string> row = {
-                Table::fmt_count(static_cast<long long>(input))};
-            // Saturation request count scaled down for huge contexts to
-            // keep the run tractable; still >> node concurrency.
-            const int nreq = input >= 32768 ? 64 : 256;
-            for (parallel::Strategy s : bench::comparison_strategies()) {
+        // 2k..128k (minus output); flattened input x strategy sweep.
+        const std::vector<std::int64_t> inputs = {2048, 8192, 32768, 130816};
+        const auto& strategies = bench::comparison_strategies();
+        std::vector<std::string> row;
+        bench::run_sweep(
+            inputs.size() * strategies.size(), [&](std::size_t idx) {
+                const std::int64_t input = inputs[idx / strategies.size()];
+                const parallel::Strategy s =
+                    strategies[idx % strategies.size()];
+                // Saturation request count scaled down for huge contexts
+                // to keep the run tractable; still >> node concurrency.
+                const int nreq = input >= 32768 ? 64 : 256;
                 const auto lat = bench::min_latency(m, s, input, 250);
                 const double thr =
                     bench::peak_throughput(m, s, input, 250, nreq);
-                row.push_back(Table::fmt(to_ms(lat.ttft), 0) + " | " +
-                              Table::fmt(to_ms(lat.tpot), 1) + " | " +
-                              Table::fmt_count(
-                                  static_cast<long long>(thr)));
-                csv.add_row({m.name, parallel::strategy_name(s),
-                             std::to_string(input),
-                             Table::fmt(to_ms(lat.ttft), 2),
-                             Table::fmt(to_ms(lat.tpot), 3),
-                             Table::fmt(thr, 0)});
-            }
-            table.add_row(row);
-        }
+                return bench::SweepCommit([&, input, s, lat, thr] {
+                    if (row.empty()) {
+                        row.push_back(
+                            Table::fmt_count(static_cast<long long>(input)));
+                    }
+                    row.push_back(Table::fmt(to_ms(lat.ttft), 0) + " | " +
+                                  Table::fmt(to_ms(lat.tpot), 1) + " | " +
+                                  Table::fmt_count(
+                                      static_cast<long long>(thr)));
+                    csv.add_row({m.name, parallel::strategy_name(s),
+                                 std::to_string(input),
+                                 Table::fmt(to_ms(lat.ttft), 2),
+                                 Table::fmt(to_ms(lat.tpot), 3),
+                                 Table::fmt(thr, 0)});
+                    if (row.size() == strategies.size() + 1) {
+                        table.add_row(row);
+                        row.clear();
+                    }
+                });
+            });
         table.print();
     }
     std::printf(

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "common/bench_common.h"
+#include "common/sweep.h"
 #include "model/presets.h"
 #include "util/csv.h"
 #include "util/units.h"
@@ -37,31 +38,46 @@ main(int argc, char** argv)
                   {"rate_req_s", "strategy", "mean_completion_s",
                    "p99_completion_s"});
 
-    for (double rate : rates) {
-        Rng rng(1234);
-        const auto reqs = workload::make_requests(
-            workload::poisson_arrivals(rng, rate, duration), rng,
-            workload::fixed_size(8192, 250));
-        std::vector<std::string> row = {Table::fmt(rate, 2)};
-        double best_static = 1e300;
-        double shift_val = 0.0;
-        for (parallel::Strategy s : bench::comparison_strategies()) {
+    // Flattened rate x strategy sweep. Each point regenerates its rate's
+    // workload from the same fixed seed, so the requests a point sees are
+    // a function of the index alone (determinism across --jobs).
+    const auto& strategies = bench::comparison_strategies();
+    std::vector<std::string> row;
+    double best_static = 1e300;
+    double shift_val = 0.0;
+    bench::run_sweep(
+        rates.size() * strategies.size(), [&](std::size_t idx) {
+            const double rate = rates[idx / strategies.size()];
+            const parallel::Strategy s = strategies[idx % strategies.size()];
+            Rng rng(1234);
+            const auto reqs = workload::make_requests(
+                workload::poisson_arrivals(rng, rate, duration), rng,
+                workload::fixed_size(8192, 250));
             const auto run = bench::run_strategy(m, s, reqs);
             const double mean = run.metrics.completion().mean();
-            row.push_back(Table::fmt(mean, 2));
-            if (s == parallel::Strategy::kShift)
-                shift_val = mean;
-            else
-                best_static = std::min(best_static, mean);
-            csv.add_row({Table::fmt(rate, 2), parallel::strategy_name(s),
-                         Table::fmt(mean, 3),
-                         Table::fmt(run.metrics.completion().percentile(99),
-                                    3)});
-        }
-        row.push_back(Table::fmt(best_static, 2));
-        row.push_back(shift_val <= best_static * 1.02 ? "yes" : "NO");
-        table.add_row(row);
-    }
+            const double p99 = run.metrics.completion().percentile(99);
+            return bench::SweepCommit([&, rate, s, mean, p99] {
+                if (row.empty()) {
+                    row.push_back(Table::fmt(rate, 2));
+                    best_static = 1e300;
+                    shift_val = 0.0;
+                }
+                row.push_back(Table::fmt(mean, 2));
+                if (s == parallel::Strategy::kShift)
+                    shift_val = mean;
+                else
+                    best_static = std::min(best_static, mean);
+                csv.add_row({Table::fmt(rate, 2), parallel::strategy_name(s),
+                             Table::fmt(mean, 3), Table::fmt(p99, 3)});
+                if (row.size() == strategies.size() + 1) {
+                    row.push_back(Table::fmt(best_static, 2));
+                    row.push_back(shift_val <= best_static * 1.02 ? "yes"
+                                                                  : "NO");
+                    table.add_row(row);
+                    row.clear();
+                }
+            });
+        });
     table.print();
     std::printf(
         "\nPaper's Fig. 14: TP and DP cross over at a few req/s; Shift is\n"

@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "common/bench_common.h"
+#include "common/sweep.h"
 #include "model/presets.h"
 #include "util/csv.h"
 #include "util/units.h"
@@ -35,28 +36,41 @@ main(int argc, char** argv)
         std::printf("\n%s — share of total step time (gemm/attn/comm/engine)\n",
                     m.name.c_str());
         Table table({"Input", "DP", "TP", "SP", "Shift"});
-        for (std::int64_t input : {1024LL, 8192LL, 65536LL}) {
-            std::vector<std::string> row = {
-                Table::fmt_count(static_cast<long long>(input))};
-            const int nreq = input >= 65536 ? 48 : 192;
-            for (parallel::Strategy s : bench::comparison_strategies()) {
+        const std::vector<std::int64_t> inputs = {1024, 8192, 65536};
+        const auto& strategies = bench::comparison_strategies();
+        std::vector<std::string> row;
+        bench::run_sweep(
+            inputs.size() * strategies.size(), [&](std::size_t idx) {
+                const std::int64_t input = inputs[idx / strategies.size()];
+                const parallel::Strategy s =
+                    strategies[idx % strategies.size()];
+                const int nreq = input >= 65536 ? 48 : 192;
                 const auto run = bench::run_strategy(
                     m, s, workload::uniform_batch(nreq, input, 250));
-                const auto& c = run.metrics.component_totals();
-                const double total = c.total();
-                row.push_back(
-                    Table::fmt(100.0 * c.gemm / total, 0) + "/" +
-                    Table::fmt(100.0 * c.attention / total, 0) + "/" +
-                    Table::fmt(100.0 * c.comm / total, 0) + "/" +
-                    Table::fmt(100.0 * c.overhead / total, 0) + "%");
-                csv.add_row({m.name, parallel::strategy_name(s),
-                             std::to_string(input), Table::fmt(c.gemm, 4),
-                             Table::fmt(c.attention, 4),
-                             Table::fmt(c.comm, 4),
-                             Table::fmt(c.overhead, 4)});
-            }
-            table.add_row(row);
-        }
+                const auto c = run.metrics.component_totals();
+                return bench::SweepCommit([&, input, s, c] {
+                    const double total = c.total();
+                    if (row.empty()) {
+                        row.push_back(
+                            Table::fmt_count(static_cast<long long>(input)));
+                    }
+                    row.push_back(
+                        Table::fmt(100.0 * c.gemm / total, 0) + "/" +
+                        Table::fmt(100.0 * c.attention / total, 0) + "/" +
+                        Table::fmt(100.0 * c.comm / total, 0) + "/" +
+                        Table::fmt(100.0 * c.overhead / total, 0) + "%");
+                    csv.add_row({m.name, parallel::strategy_name(s),
+                                 std::to_string(input),
+                                 Table::fmt(c.gemm, 4),
+                                 Table::fmt(c.attention, 4),
+                                 Table::fmt(c.comm, 4),
+                                 Table::fmt(c.overhead, 4)});
+                    if (row.size() == strategies.size() + 1) {
+                        table.add_row(row);
+                        row.clear();
+                    }
+                });
+            });
         table.print();
     }
     // ---- The paper's methodology: remove one component at a time ---------
@@ -72,29 +86,39 @@ main(int argc, char** argv)
                    name, d, workload::uniform_batch(192, 8192, 250))
             .metrics.end_time();
     };
-    const double full_time = timed("full system", {});
-    const auto removal_row = [&](const char* name,
-                                 parallel::PerfOptions opts) {
-        const double t = timed(name, opts);
-        removal.add_row({name, Table::fmt(t, 2),
-                         Table::fmt(100.0 * t / full_time, 1) + "%"});
+    struct Variant
+    {
+        const char* name;
+        parallel::PerfOptions opts;
     };
-    removal.add_row({"full system", Table::fmt(full_time, 2), "100.0%"});
+    std::vector<Variant> variants = {{"full system", {}}};
     {
         parallel::PerfOptions o;
         o.comm_scale = 0.0;
-        removal_row("- communication", o);
+        variants.push_back({"- communication", o});
     }
     {
         parallel::PerfOptions o;
         o.attention_scale = 0.0;
-        removal_row("- attention", o);
+        variants.push_back({"- attention", o});
     }
     {
         parallel::PerfOptions o;
         o.engine_overhead = false;
-        removal_row("- engine overhead", o);
+        variants.push_back({"- engine overhead", o});
     }
+    // The "vs full" column needs the full-system time; it commits first
+    // (index 0), so ordered commits preserve the dependency.
+    double full_time = 0.0;
+    bench::run_sweep(variants.size(), [&](std::size_t i) {
+        const double t = timed(variants[i].name, variants[i].opts);
+        return bench::SweepCommit([&, i, t] {
+            if (i == 0)
+                full_time = t;
+            removal.add_row({variants[i].name, Table::fmt(t, 2),
+                             Table::fmt(100.0 * t / full_time, 1) + "%"});
+        });
+    });
     removal.print();
 
     std::printf(

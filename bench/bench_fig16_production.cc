@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "common/bench_common.h"
+#include "common/sweep.h"
 #include "model/presets.h"
 #include "util/csv.h"
 #include "util/units.h"
@@ -42,26 +43,19 @@ main(int argc, char** argv)
                   {"system", "mean_completion_s", "p99_completion_s",
                    "throughput_tok_s"});
 
-    const auto report = [&](const std::string& name,
-                            const core::Deployment& d) {
-        const auto run = bench::run_deployment_named(name, d, reqs);
-        const auto& met = run.metrics;
-        table.add_row({name, Table::fmt(met.completion().mean(), 2),
-                       Table::fmt(met.completion().percentile(99), 2),
-                       Table::fmt_count(static_cast<long long>(
-                           met.mean_throughput()))});
-        csv.add_row({name, Table::fmt(met.completion().mean(), 3),
-                     Table::fmt(met.completion().percentile(99), 3),
-                     Table::fmt(met.mean_throughput(), 0)});
-    };
+    // Materialize every deployment up front so the sweep points are a
+    // pure function of their index.
+    std::vector<std::pair<std::string, core::Deployment>> systems;
 
     // Out-of-the-box frameworks: latency (TP) and throughput (DP) configs.
     for (const auto& p : {core::vllm_baseline(), core::sglang(),
                           core::trt_llm()}) {
-        report(p.name + " (latency opt. TP)",
-               core::make_deployment(p, m, node, parallel::Strategy::kTp));
-        report(p.name + " (throughput opt. DP)",
-               core::make_deployment(p, m, node, parallel::Strategy::kDp));
+        systems.emplace_back(
+            p.name + " (latency opt. TP)",
+            core::make_deployment(p, m, node, parallel::Strategy::kTp));
+        systems.emplace_back(
+            p.name + " (throughput opt. DP)",
+            core::make_deployment(p, m, node, parallel::Strategy::kDp));
     }
 
     // The compounding ladder of our stack.
@@ -70,12 +64,28 @@ main(int argc, char** argv)
         d.model = m;
         d.node = node;
         d.strategy = parallel::Strategy::kShift;
-        report("Ours: Shift only", d);
+        systems.emplace_back("Ours: Shift only", d);
         d.swiftkv = core::SwiftKv{};
-        report("Ours: Shift + SwiftKV", d);
+        systems.emplace_back("Ours: Shift + SwiftKV", d);
         d.spec_decode = core::ours().spec_decode;
-        report("Ours: Shift + SwiftKV + Spec", d);
+        systems.emplace_back("Ours: Shift + SwiftKV + Spec", d);
     }
+
+    bench::run_sweep(systems.size(), [&](std::size_t i) {
+        const std::string& name = systems[i].first;
+        const auto run =
+            bench::run_deployment_named(name, systems[i].second, reqs);
+        const auto met = run.metrics;
+        return bench::SweepCommit([&, &name = systems[i].first, met] {
+            table.add_row({name, Table::fmt(met.completion().mean(), 2),
+                           Table::fmt(met.completion().percentile(99), 2),
+                           Table::fmt_count(static_cast<long long>(
+                               met.mean_throughput()))});
+            csv.add_row({name, Table::fmt(met.completion().mean(), 3),
+                         Table::fmt(met.completion().percentile(99), 3),
+                         Table::fmt(met.mean_throughput(), 0)});
+        });
+    });
 
     table.print();
     std::printf(

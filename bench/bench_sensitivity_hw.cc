@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "common/bench_common.h"
+#include "common/sweep.h"
 #include "model/presets.h"
 #include "util/csv.h"
 #include "util/units.h"
@@ -29,7 +30,9 @@ run_node(const char* label, const hw::Node& node, CsvWriter* csv)
     const auto m = model::qwen_32b();
     Table table({"Strategy", "min TTFT (ms)", "min TPOT (ms)",
                  "peak throughput (tok/s)"});
-    for (parallel::Strategy s : bench::comparison_strategies()) {
+    const auto& strategies = bench::comparison_strategies();
+    bench::run_sweep(strategies.size(), [&](std::size_t i) {
+        const parallel::Strategy s = strategies[i];
         core::Deployment d;
         d.model = m;
         d.node = node;
@@ -46,18 +49,20 @@ run_node(const char* label, const hw::Node& node, CsvWriter* csv)
                              workload::uniform_batch(512, 4096, 250))
                              .metrics;
 
-        table.add_row({parallel::strategy_name(s),
-                       Table::fmt(to_ms(lone.ttft().mean())),
-                       Table::fmt(to_ms(lone.tpot().mean()), 2),
-                       Table::fmt_count(static_cast<long long>(
-                           sat.mean_throughput()))});
-        if (csv) {
-            csv->add_row({label, parallel::strategy_name(s),
-                          Table::fmt(to_ms(lone.ttft().mean()), 2),
-                          Table::fmt(to_ms(lone.tpot().mean()), 3),
-                          Table::fmt(sat.mean_throughput(), 0)});
-        }
-    }
+        return bench::SweepCommit([&, s, lone, sat] {
+            table.add_row({parallel::strategy_name(s),
+                           Table::fmt(to_ms(lone.ttft().mean())),
+                           Table::fmt(to_ms(lone.tpot().mean()), 2),
+                           Table::fmt_count(static_cast<long long>(
+                               sat.mean_throughput()))});
+            if (csv) {
+                csv->add_row({label, parallel::strategy_name(s),
+                              Table::fmt(to_ms(lone.ttft().mean()), 2),
+                              Table::fmt(to_ms(lone.tpot().mean()), 3),
+                              Table::fmt(sat.mean_throughput(), 0)});
+            }
+        });
+    });
     table.print();
 }
 

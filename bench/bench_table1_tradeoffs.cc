@@ -12,6 +12,7 @@
 #include <map>
 
 #include "common/bench_common.h"
+#include "common/sweep.h"
 #include "model/presets.h"
 #include "util/csv.h"
 #include "util/units.h"
@@ -52,13 +53,18 @@ main(int argc, char** argv)
     std::map<std::string, double> ttft;
     std::map<std::string, double> tpot;
     std::map<std::string, double> thr;
-    for (parallel::Strategy s : bench::comparison_strategies()) {
-        const auto name = parallel::strategy_name(s);
+    const auto& strategies = bench::comparison_strategies();
+    bench::run_sweep(strategies.size(), [&](std::size_t i) {
+        const parallel::Strategy s = strategies[i];
         const auto lat = bench::min_latency(m, s, 4096, 250);
-        ttft[name] = lat.ttft;
-        tpot[name] = lat.tpot;
-        thr[name] = bench::peak_throughput(m, s, 4096, 250, 512);
-    }
+        const double t = bench::peak_throughput(m, s, 4096, 250, 512);
+        return bench::SweepCommit([&, s, lat, t] {
+            const auto name = parallel::strategy_name(s);
+            ttft[name] = lat.ttft;
+            tpot[name] = lat.tpot;
+            thr[name] = t;
+        });
+    });
 
     const auto minmax = [](const std::map<std::string, double>& v) {
         double lo = 1e300;

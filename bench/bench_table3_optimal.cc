@@ -17,6 +17,7 @@
 #include <string>
 
 #include "common/bench_common.h"
+#include "common/sweep.h"
 #include "model/presets.h"
 #include "util/csv.h"
 #include "util/units.h"
@@ -61,13 +62,16 @@ main(int argc, char** argv)
     std::map<std::string, double> lo_ttft;
     std::map<std::string, double> lo_tpot;
     std::map<std::string, double> lo_completion;
-    for (auto s : statics) {
+    bench::run_sweep(statics.size(), [&](std::size_t i) {
+        const parallel::Strategy s = statics[i];
         const auto lat = bench::min_latency(m, s, 4096, 250);
-        const auto name = parallel::strategy_name(s);
-        lo_ttft[name] = lat.ttft;
-        lo_tpot[name] = lat.tpot;
-        lo_completion[name] = lat.completion;
-    }
+        return bench::SweepCommit([&, s, lat] {
+            const auto name = parallel::strategy_name(s);
+            lo_ttft[name] = lat.ttft;
+            lo_tpot[name] = lat.tpot;
+            lo_completion[name] = lat.completion;
+        });
+    });
 
     // ---- High traffic -----------------------------------------------------
     // Throughput: a deep saturating batch. TTFT/TPOT: a finite burst of
@@ -83,16 +87,22 @@ main(int argc, char** argv)
     // Deep decode concurrency: decode batches above the shift threshold,
     // where SP's per-step advantage shows up in TPOT.
     const auto deep = workload::uniform_batch(2048, 512, 192);
-    for (auto s : statics) {
-        const auto name = parallel::strategy_name(s);
-        hi_thr[name] = bench::run_strategy(
-                           m, s, workload::uniform_batch(512, 4096, 250))
-                           .metrics.mean_throughput();
-        hi_ttft[name] =
+    bench::run_sweep(statics.size(), [&](std::size_t i) {
+        const parallel::Strategy s = statics[i];
+        const double t = bench::run_strategy(
+                             m, s, workload::uniform_batch(512, 4096, 250))
+                             .metrics.mean_throughput();
+        const double tt =
             bench::run_strategy(m, s, burst).metrics.ttft().median();
-        hi_tpot[name] =
+        const double tp =
             bench::run_strategy(m, s, deep).metrics.tpot().median();
-    }
+        return bench::SweepCommit([&, s, t, tt, tp] {
+            const auto name = parallel::strategy_name(s);
+            hi_thr[name] = t;
+            hi_ttft[name] = tt;
+            hi_tpot[name] = tp;
+        });
+    });
 
     Table table({"Metric", "Low Traffic", "High Traffic"});
     table.add_row({"TTFT", winner(lo_ttft, true), winner(hi_ttft, true)});

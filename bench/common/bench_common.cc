@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace shiftpar::bench {
 
@@ -21,7 +22,11 @@ struct ObsState
     std::string report_path;
     bool report_enabled = true;
     bool report_path_forced = false;
+    int jobs = util::ThreadPool::default_concurrency();
 };
+
+/** Per-thread report override installed by the sweep runner. */
+thread_local obs::ReportJson* tls_report = nullptr;
 
 ObsState&
 obs_state()
@@ -81,10 +86,14 @@ init(int argc, char** argv)
             o.report_path_forced = true;
         } else if (std::strcmp(arg, "--no-report") == 0) {
             o.report_enabled = false;
+        } else if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+            o.jobs = std::atoi(argv[++i]);
+            if (o.jobs < 1)
+                fatal("--jobs requires a positive worker count");
         } else {
             fatal(std::string("unknown argument '") + arg +
                   "' (expected --trace <path>, --report <path>, "
-                  "--no-report)");
+                  "--no-report, --jobs <n>)");
         }
     }
     std::atexit(flush_outputs);
@@ -96,18 +105,23 @@ trace()
     return obs_state().trace.get();
 }
 
+int
+jobs()
+{
+    return obs_state().jobs;
+}
+
 obs::ReportJson&
 report()
 {
-    return obs_state().report;
+    return tls_report ? *tls_report : obs_state().report;
 }
 
 void
 record_run(const std::string& name, const engine::Metrics& metrics)
 {
-    ObsState& o = obs_state();
-    if (o.report_enabled)
-        o.report.add_run(name, metrics);
+    if (obs_state().report_enabled)
+        report().add_run(name, metrics);
 }
 
 void
@@ -163,8 +177,17 @@ run_deployment_named(const std::string& name, const core::Deployment& d,
     RunResult result;
     result.name = name;
     result.resolved = core::resolve(traced);
-    result.metrics = core::run_deployment(
-        traced, workload, o.report_enabled ? &o.report : nullptr, name);
+    result.metrics =
+        core::build(traced, result.resolved)->run_workload(workload);
+    if (o.report_enabled) {
+        obs::RunDeploymentInfo info;
+        info.description = result.resolved.describe();
+        info.sp = result.resolved.base.sp;
+        info.tp = result.resolved.base.tp;
+        info.replicas = result.resolved.replicas;
+        info.shift_threshold = result.resolved.shift_threshold;
+        report().add_run(name, result.metrics, info);
+    }
     return result;
 }
 
@@ -207,5 +230,28 @@ results_path(const std::string& filename)
 {
     return "bench_results/" + filename;
 }
+
+namespace detail {
+
+void
+set_thread_report(obs::ReportJson* buffer)
+{
+    tls_report = buffer;
+}
+
+bool
+report_enabled()
+{
+    return obs_state().report_enabled;
+}
+
+void
+set_jobs(int jobs)
+{
+    SP_ASSERT(jobs >= 1);
+    obs_state().jobs = jobs;
+}
+
+} // namespace detail
 
 } // namespace shiftpar::bench

@@ -32,6 +32,9 @@ namespace shiftpar::bench {
  *   --report <path>  JSON run-report path (default:
  *                    bench_results/<figure-slug>.report.json)
  *   --no-report      disable the JSON run report
+ *   --jobs <n>       parallel sweep workers for `run_sweep` (default:
+ *                    hardware concurrency; results are byte-identical for
+ *                    any value — see common/sweep.h)
  *
  * Both outputs are flushed at process exit. Tracing is off unless
  * `--trace` is given; metrics are bit-identical either way.
@@ -41,7 +44,15 @@ void init(int argc, char** argv);
 /** Shared trace sink (null when `--trace` was not given). */
 obs::TraceSink* trace();
 
-/** Shared run report that `run_deployment_named` records into. */
+/** Parsed `--jobs` value (defaults to hardware concurrency). */
+int jobs();
+
+/**
+ * Shared run report that `run_deployment_named` records into. On a sweep
+ * worker thread this resolves to the point's private buffer (see
+ * `detail::set_thread_report`), so records never interleave across
+ * concurrently simulated points.
+ */
 obs::ReportJson& report();
 
 /**
@@ -110,5 +121,23 @@ void print_banner(const std::string& figure, const std::string& title);
 
 /** Path under bench_results/ for persisting a figure's CSV. */
 std::string results_path(const std::string& filename);
+
+namespace detail {
+
+/**
+ * Redirect this thread's report records (`report()`, `record_run`,
+ * `run_deployment_named`) into `buffer`; null restores the shared report.
+ * Used by the sweep runner to give each point a private buffer that is
+ * merged into the shared report in point order.
+ */
+void set_thread_report(obs::ReportJson* buffer);
+
+/** @return whether `--no-report` was NOT given. */
+bool report_enabled();
+
+/** Override the `--jobs` value programmatically (tests). */
+void set_jobs(int jobs);
+
+} // namespace detail
 
 } // namespace shiftpar::bench

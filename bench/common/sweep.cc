@@ -1,0 +1,78 @@
+#include "common/sweep.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/bench_common.h"
+#include "util/thread_pool.h"
+
+namespace shiftpar::bench {
+
+int
+effective_jobs(std::size_t n)
+{
+    if (trace())
+        return 1;  // keep the shared trace buffer's event order stable
+    const std::size_t cap = std::max<std::size_t>(n, 1);
+    return static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(jobs()), cap));
+}
+
+void
+run_sweep(std::size_t n, const SweepPointFn& point)
+{
+    if (n == 0)
+        return;
+    if (effective_jobs(n) <= 1) {
+        // Sequential reference path: compute and commit inline. The
+        // parallel path below must be byte-identical to this one.
+        for (std::size_t i = 0; i < n; ++i) {
+            if (SweepCommit commit = point(i))
+                commit();
+        }
+        return;
+    }
+
+    struct Slot
+    {
+        obs::ReportJson buffer;  ///< point-local report records
+        SweepCommit commit;
+        bool ready = false;
+    };
+    std::vector<Slot> slots(n);
+    std::mutex mutex;
+    std::condition_variable done;
+
+    util::ThreadPool pool(effective_jobs(n));
+    for (std::size_t i = 0; i < n; ++i) {
+        pool.submit([&, i] {
+            detail::set_thread_report(&slots[i].buffer);
+            SweepCommit commit = point(i);
+            detail::set_thread_report(nullptr);
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                slots[i].commit = std::move(commit);
+                slots[i].ready = true;
+            }
+            done.notify_all();
+        });
+    }
+
+    // Reorder buffer: commit each point as soon as it and all of its
+    // predecessors are done, giving progressive output in index order.
+    for (std::size_t i = 0; i < n; ++i) {
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            done.wait(lock, [&] { return slots[i].ready; });
+        }
+        if (detail::report_enabled())
+            report().merge_from(std::move(slots[i].buffer));
+        if (slots[i].commit)
+            slots[i].commit();
+    }
+}
+
+} // namespace shiftpar::bench

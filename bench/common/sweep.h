@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Parallel sweep runner for the bench binaries.
+ *
+ * Every figure sweeps independent deployment points (strategy x model x
+ * rate x ...), each a self-contained `core::run_deployment` simulation.
+ * `run_sweep` executes those points on a `util::ThreadPool` sized by the
+ * `--jobs` flag while keeping every output byte-identical to a sequential
+ * (`--jobs 1`) run:
+ *
+ *  - a point function must depend only on its index (derive per-point RNG
+ *    streams from fixed seeds; never thread one generator through points),
+ *    so simulation results are the same on any worker;
+ *  - a point returns a *commit* closure holding its side effects (table
+ *    rows, CSV rows, prints); commits run on the calling thread in index
+ *    order, exactly as a sequential loop would have emitted them;
+ *  - report records made while a point computes (via `record_run` /
+ *    `run_deployment_named`) land in a per-point buffer that is merged
+ *    into the shared report in index order.
+ *
+ * Traced runs (`--trace`) are serialized onto the calling thread: the
+ * trace buffer's event order depends on thread interleaving, so parallel
+ * workers would produce a nondeterministic (although valid) trace.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace shiftpar::bench {
+
+/** A sweep point's deferred side effects; may be empty (no effects). */
+using SweepCommit = std::function<void()>;
+
+/**
+ * A sweep point: simulate point `i` and return its commit closure. Runs
+ * on a worker thread — only touch shared state through the returned
+ * commit (or the report helpers, which are redirected per point).
+ */
+using SweepPointFn = std::function<SweepCommit(std::size_t)>;
+
+/**
+ * Execute `n` sweep points with up to `--jobs` workers and apply their
+ * commits in index order. Blocks until every point has committed.
+ */
+void run_sweep(std::size_t n, const SweepPointFn& point);
+
+/**
+ * Worker count `run_sweep` will actually use for `n` points: `--jobs`
+ * clamped to `n`, forced to 1 while tracing is enabled.
+ */
+int effective_jobs(std::size_t n);
+
+} // namespace shiftpar::bench

@@ -122,8 +122,12 @@ resolve(const Deployment& d)
 std::unique_ptr<engine::Router>
 build(const Deployment& d)
 {
-    const ResolvedDeployment r = resolve(d);
+    return build(d, resolve(d));
+}
 
+std::unique_ptr<engine::Router>
+build(const Deployment& d, const ResolvedDeployment& r)
+{
     engine::EngineConfig ecfg;
     ecfg.base = r.base;
     ecfg.sched = r.sched;
@@ -174,9 +178,12 @@ run_deployment(const Deployment& d,
                const std::vector<engine::RequestSpec>& workload,
                obs::ReportJson* report, const std::string& run_name)
 {
-    engine::Metrics m = run_deployment(d, workload);
+    // Resolve once and reuse for both the build and the report record:
+    // resolving is pure but not free (memory planning + threshold
+    // auto-tuning), and sweep workers call this concurrently.
+    const ResolvedDeployment r = resolve(d);
+    engine::Metrics m = build(d, r)->run_workload(workload);
     if (report) {
-        const ResolvedDeployment r = resolve(d);
         obs::RunDeploymentInfo info;
         info.description = r.describe();
         info.sp = r.base.sp;

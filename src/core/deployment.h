@@ -118,6 +118,14 @@ ResolvedDeployment resolve(const Deployment& d);
 /** Build the engines + router for a deployment. */
 std::unique_ptr<engine::Router> build(const Deployment& d);
 
+/**
+ * As above with a pre-computed plan, so callers that already resolved the
+ * deployment (for reporting, labels, ...) do not pay for — or depend on
+ * the determinism of — a second resolve. `r` must come from `resolve(d)`.
+ */
+std::unique_ptr<engine::Router> build(const Deployment& d,
+                                      const ResolvedDeployment& r);
+
 /** Convenience: build, replay `workload`, and return merged metrics. */
 engine::Metrics run_deployment(const Deployment& d,
                                const std::vector<engine::RequestSpec>& workload);

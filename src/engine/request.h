@@ -90,6 +90,14 @@ struct Request
     /** Prompt tokens served from the prefix cache on (re-)admission. */
     std::int64_t prefix_hit = 0;
 
+    /**
+     * True once this request's prefix hit has been counted in the cache's
+     * hit statistics. Unlike the other prefix fields this survives
+     * recompute preemption, so a preempted-then-resumed request does not
+     * double-count its hit.
+     */
+    bool prefix_hit_counted = false;
+
     /** True while this request is filling its prefix-cache entry. */
     bool filling_prefix = false;
 

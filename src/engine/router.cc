@@ -81,6 +81,11 @@ Router::run_workload(const std::vector<RequestSpec>& workload)
 Metrics
 Router::merged_metrics() const
 {
+    // Seed the bin width defensively: an engineless router (possible when
+    // a caller moves the engines out or builds the router incrementally)
+    // must not index engines_[0].
+    if (engines_.empty())
+        return Metrics();
     Metrics merged(engines_[0]->metrics().throughput().bin_seconds());
     for (const auto& e : engines_)
         merged.merge(e->metrics());

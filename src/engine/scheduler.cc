@@ -63,13 +63,14 @@ Scheduler::insert_waiting(Request* r, bool front_of_class)
     waiting_.insert(pos, r);
 }
 
-bool
+std::int64_t
 Scheduler::preempt_one(const Request* keep, BatchPlan* plan)
 {
     // vLLM preempts the most recently admitted sequence first so the oldest
     // requests keep their progress (FCFS fairness under memory pressure).
     // Prefer victims that are not already part of this step's plan; when
-    // none exists, evict a planned one and retract its chunk.
+    // none exists, evict a planned one, retract its chunk, and report the
+    // retracted tokens so the caller can refund its budget.
     auto in_plan = [&](const Request* r) {
         return std::any_of(plan->chunks.begin(), plan->chunks.end(),
                            [&](const ScheduledChunk& c) {
@@ -83,9 +84,13 @@ Scheduler::preempt_one(const Request* keep, BatchPlan* plan)
                 continue;
             if (pass == 0 && in_plan(victim))
                 continue;
+            std::int64_t retracted = 0;
             if (in_plan(victim)) {
                 std::erase_if(plan->chunks, [&](const ScheduledChunk& c) {
-                    return c.request == victim;
+                    if (c.request != victim)
+                        return false;
+                    retracted += c.new_tokens;
+                    return true;
                 });
             }
             cache_->release(victim->id);
@@ -95,10 +100,10 @@ Scheduler::preempt_one(const Request* keep, BatchPlan* plan)
             insert_waiting(victim, /*front_of_class=*/true);
             ++preemptions_;
             publish(victim, obs::RequestPhase::kPreempt, sched_now_);
-            return true;
+            return retracted;
         }
     }
-    return false;
+    return -1;
 }
 
 BatchPlan
@@ -112,6 +117,7 @@ Scheduler::schedule(double now)
     // Requests arriving already prefilled (disaggregated decode workers)
     // materialize their transferred KV without compute; doing this before
     // the decode pass lets them decode in this very step.
+    bool migrated_blocked = false;
     for (auto it = waiting_.begin();
          it != waiting_.end() && static_cast<std::int64_t>(
                                      running_.size()) <
@@ -121,8 +127,14 @@ Scheduler::schedule(double now)
             ++it;
             continue;
         }
-        if (!cache_->try_append(r->id, r->prefilled))
-            break;
+        if (migrated_blocked || !cache_->try_append(r->id, r->prefilled)) {
+            // Keep intra-class FCFS (same rule as the prefill pass): later
+            // migrated requests must not jump a cache-blocked one, but the
+            // scan continues so non-migrated requests keep their slots.
+            migrated_blocked = true;
+            ++it;
+            continue;
+        }
         it = waiting_.erase(it);
         r->state = RequestState::kDecode;
         if (r->first_scheduled < 0.0) {
@@ -145,15 +157,23 @@ Scheduler::schedule(double now)
         }
         const std::int64_t past =
             r->prefix_filled + cache_->cached_tokens(r->id);
+        // Cap the chunk at the remaining budget: with multi-token decode
+        // steps (speculative decoding) an uncapped chunk could push
+        // batched_tokens() past max_batched_tokens, distorting the
+        // ShiftController's Alg. 2 decision near the threshold.
         const std::int64_t tokens =
-            std::min(opts_.decode_tokens_per_step,
-                     r->spec.output_tokens - r->decoded);
+            std::min({opts_.decode_tokens_per_step,
+                      r->spec.output_tokens - r->decoded, budget});
         SP_ASSERT(tokens >= 1);
         while (!cache_->try_append(r->id, tokens)) {
-            if (!preempt_one(r, &plan)) {
+            const std::int64_t retracted = preempt_one(r, &plan);
+            if (retracted < 0) {
                 fatal("KV cache cannot hold a single decoding request; "
                       "increase memory or reduce context");
             }
+            // A planned victim's chunk was retracted: refund its tokens so
+            // the freed budget stays spendable this step.
+            budget += retracted;
             // Preemption may have removed requests before the cursor.
             const auto pos =
                 std::find(running_.begin(), running_.end(), r);
@@ -228,7 +248,8 @@ Scheduler::schedule(double now)
     // Livelock escape: if the cache is packed with half-prefilled requests
     // so that nothing could be scheduled, preempt the newest and retry so
     // the oldest prefill can finish (recompute preemption, vLLM-style).
-    if (plan.empty() && running_.size() > 1 && preempt_one(nullptr, &plan))
+    if (plan.empty() && running_.size() > 1 &&
+        preempt_one(nullptr, &plan) >= 0)
         return schedule(now);
 
     return plan;
@@ -268,7 +289,12 @@ Scheduler::attach_prefix_if_needed(Request* r)
         std::min(r->spec.prefix_tokens, r->prefill_target - 1);
     if (target <= 0)
         return;
-    const auto attach = cache_->attach_prefix(r->spec.prefix_id, target);
+    // Hit statistics count a request's first attach only: a preempted and
+    // re-admitted request re-attaches, but counting it again would inflate
+    // the reported prefix hit rate.
+    const auto attach = cache_->attach_prefix(
+        r->spec.prefix_id, target, /*count_hit=*/!r->prefix_hit_counted);
+    r->prefix_hit_counted = true;
     r->prefix_attached = true;
     r->prefix_hit = attach.hit_tokens;
     r->prefix_filled = attach.hit_tokens;

@@ -152,9 +152,11 @@ class Scheduler
      * request other than `keep`, retracting the victim's chunk from `plan`
      * if it had already been scheduled this step.
      *
-     * @return true when a victim was preempted.
+     * @return the retracted token count (0 when the victim had no chunk in
+     * `plan`) so the caller can refund its step budget, or -1 when no
+     * victim could be preempted.
      */
-    bool preempt_one(const Request* keep, BatchPlan* plan);
+    std::int64_t preempt_one(const Request* keep, BatchPlan* plan);
 
     /**
      * Schedule one prefill chunk for `r` within `budget`, splitting the

@@ -30,7 +30,8 @@ CacheManager::try_append(RequestId id, std::int64_t tokens)
 }
 
 PrefixAttach
-CacheManager::attach_prefix(PrefixKey key, std::int64_t target_tokens)
+CacheManager::attach_prefix(PrefixKey key, std::int64_t target_tokens,
+                            bool count_hit)
 {
     SP_ASSERT(key >= 0 && target_tokens >= 0);
     auto [it, inserted] = prefixes_.try_emplace(key);
@@ -49,7 +50,8 @@ CacheManager::attach_prefix(PrefixKey key, std::int64_t target_tokens)
         entry.filling = true;
         result.is_filler = true;
     }
-    prefix_hit_tokens_ += result.hit_tokens;
+    if (count_hit)
+        prefix_hit_tokens_ += result.hit_tokens;
     return result;
 }
 

@@ -82,8 +82,13 @@ class CacheManager
      * the shared prefix `key` targeting `target_tokens`: creates the entry
      * on first use (the attaching request becomes the *filler*), pins it
      * (refcount), and reports how many prefix tokens are already cached.
+     *
+     * @param count_hit Whether the served tokens count towards
+     *        `prefix_hit_tokens()`. Pass false on re-attach (a preempted
+     *        request resuming) so one request's hit is counted once.
      */
-    PrefixAttach attach_prefix(PrefixKey key, std::int64_t target_tokens);
+    PrefixAttach attach_prefix(PrefixKey key, std::int64_t target_tokens,
+                               bool count_hit = true);
 
     /**
      * Append `tokens` of freshly prefilled prefix into entry `key` (called

@@ -77,6 +77,7 @@ class ArgsBuilder
 void
 ChromeTraceWriter::on_engine_meta(const EngineMeta& meta)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     Process p;
     p.pid = meta.engine;
     p.name = run_label_.empty() ? meta.label : run_label_ + "/" + meta.label;
@@ -116,6 +117,7 @@ ChromeTraceWriter::counter(int pid, double t, const std::string& name,
 void
 ChromeTraceWriter::on_request(const RequestEvent& ev)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     Event e;
     e.pid = requests_pid();
     e.ts = us(ev.t);
@@ -162,6 +164,7 @@ ChromeTraceWriter::on_request(const RequestEvent& ev)
 void
 ChromeTraceWriter::on_step(const StepEvent& ev)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     Event e;
     e.ph = 'X';
     e.pid = ev.engine;
@@ -191,6 +194,7 @@ ChromeTraceWriter::on_step(const StepEvent& ev)
 void
 ChromeTraceWriter::on_mode_switch(const ModeSwitchEvent& ev)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     Event e;
     e.ph = 'i';
     e.pid = ev.engine;
@@ -209,6 +213,7 @@ ChromeTraceWriter::on_mode_switch(const ModeSwitchEvent& ev)
 void
 ChromeTraceWriter::on_gauge(const GaugeEvent& ev)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     counter(ev.engine, ev.t, "kv_occupancy", "fraction",
             ev.kv_utilization);
     counter(ev.engine, ev.t, "queue_depth", "requests",
@@ -223,6 +228,7 @@ void
 ChromeTraceWriter::on_instant(EngineId engine, double t,
                               const std::string& name)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     Event e;
     e.ph = 'i';
     e.pid = engine;
@@ -236,6 +242,7 @@ ChromeTraceWriter::on_instant(EngineId engine, double t,
 void
 ChromeTraceWriter::write(std::ostream& os) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     util::JsonWriter w(os);
     w.begin_object();
     w.kv("displayTimeUnit", "ms");

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -33,7 +34,15 @@
 
 namespace shiftpar::obs {
 
-/** Buffers bus events and serializes them as Chrome trace JSON. */
+/**
+ * Buffers bus events and serializes them as Chrome trace JSON.
+ *
+ * Thread-safe: every handler and accessor locks one internal mutex, so
+ * engines running on parallel sweep workers can share a writer. Note that
+ * the *order* of buffered events then depends on thread interleaving; the
+ * sweep runner serializes traced sweeps (see bench/common/sweep.h) so an
+ * exported trace stays deterministic.
+ */
 class ChromeTraceWriter : public TraceSink
 {
   public:
@@ -46,6 +55,7 @@ class ChromeTraceWriter : public TraceSink
     void
     set_run_label(const std::string& label)
     {
+        std::lock_guard<std::mutex> lock(mutex_);
         run_label_ = label;
         // Each run gets a fresh "requests" process so async ids from
         // overlapping simulated timelines never collide.
@@ -66,7 +76,12 @@ class ChromeTraceWriter : public TraceSink
     void write_file(const std::string& path) const;
 
     /** @return buffered trace-event count (metadata excluded). */
-    std::size_t num_events() const { return events_.size(); }
+    std::size_t
+    num_events() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return events_.size();
+    }
 
   protected:
     void on_engine_meta(const EngineMeta& meta) override;
@@ -86,15 +101,19 @@ class ChromeTraceWriter : public TraceSink
         std::string args_json;    ///< rendered {"k":v,...} or empty
     };
 
-    /** Append a counter sample ("C" event). */
+    /** Append a counter sample ("C" event). Caller holds `mutex_`. */
     void counter(int pid, double t, const std::string& name,
                  const std::string& series, double value);
 
-    /** Ensure the synthetic "requests" process exists and return its pid. */
+    /**
+     * Ensure the synthetic "requests" process exists and return its pid.
+     * Caller holds `mutex_`.
+     */
     int requests_pid();
 
     static double us(double seconds) { return seconds * 1e6; }
 
+    mutable std::mutex mutex_;
     std::string run_label_;
     std::vector<Event> events_;
 

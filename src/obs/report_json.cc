@@ -49,12 +49,23 @@ ReportJson::add_run(const std::string& name, const engine::Metrics& metrics,
         run.slo_attainment = metrics.slo_attainment(*slo);
         run.goodput = metrics.goodput(*slo);
     }
+    std::lock_guard<std::mutex> lock(mutex_);
     runs_.push_back(std::move(run));
+}
+
+void
+ReportJson::merge_from(ReportJson&& other)
+{
+    std::scoped_lock lock(mutex_, other.mutex_);
+    for (auto& run : other.runs_)
+        runs_.push_back(std::move(run));
+    other.runs_.clear();
 }
 
 void
 ReportJson::write(std::ostream& os) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     util::JsonWriter w(os, /*pretty=*/true);
     w.begin_object();
     w.kv("schema", kReportSchemaName);

@@ -37,6 +37,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -62,7 +63,14 @@ struct RunDeploymentInfo
     std::int64_t shift_threshold = 0;
 };
 
-/** Accumulates named runs and serializes the report document. */
+/**
+ * Accumulates named runs and serializes the report document.
+ *
+ * Thread-safe: `add_run`/`merge_from` lock an internal mutex, so parallel
+ * sweep workers can record into per-point buffers that the sweep runner
+ * merges into a shared report in submission order (keeping the document
+ * byte-identical to a sequential sweep).
+ */
 class ReportJson
 {
   public:
@@ -83,8 +91,19 @@ class ReportJson
                  const std::optional<RunDeploymentInfo>& deployment = {},
                  const std::optional<engine::SloSpec>& slo = {});
 
+    /**
+     * Move every run of `other` to the end of this report, preserving
+     * their order. `other` is left empty; its title is ignored.
+     */
+    void merge_from(ReportJson&& other);
+
     /** @return number of accumulated runs. */
-    std::size_t num_runs() const { return runs_.size(); }
+    std::size_t
+    num_runs() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return runs_.size();
+    }
 
     /** Serialize the document (pretty-printed). */
     void write(std::ostream& os) const;
@@ -118,6 +137,7 @@ class ReportJson
         double goodput = 0.0;
     };
 
+    mutable std::mutex mutex_;
     std::string title_;
     std::vector<Run> runs_;
 };

@@ -22,6 +22,7 @@ phase_name(RequestPhase phase)
 EngineId
 TraceSink::register_engine(EngineMeta meta)
 {
+    std::lock_guard<std::mutex> lock(register_mutex_);
     meta.engine = next_engine_++;
     on_engine_meta(meta);
     return meta.engine;

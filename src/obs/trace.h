@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "parallel/config.h"
@@ -119,7 +120,10 @@ class TraceSink
     /**
      * Allocate a unique engine id and announce the engine to the sink.
      * `meta.engine` is overwritten with the allocated id, which the caller
-     * must use for all subsequent events from that engine.
+     * must use for all subsequent events from that engine. Thread-safe:
+     * parallel sweep workers may build deployments concurrently against a
+     * shared sink (id allocation and the `on_engine_meta` callback happen
+     * under one lock, so ids are unique and registration is atomic).
      */
     EngineId register_engine(EngineMeta meta);
 
@@ -139,6 +143,7 @@ class TraceSink
     virtual void on_engine_meta(const EngineMeta&) {}
 
   private:
+    std::mutex register_mutex_;
     EngineId next_engine_ = 0;
 };
 

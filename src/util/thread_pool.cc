@@ -1,0 +1,71 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace shiftpar::util {
+
+ThreadPool::ThreadPool(int num_threads)
+{
+    if (num_threads <= 0)
+        num_threads = default_concurrency();
+    workers_.reserve(static_cast<std::size_t>(num_threads));
+    for (int i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_ready_.notify_all();
+    for (auto& w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    work_ready_.notify_one();
+}
+
+void
+ThreadPool::wait_idle()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+int
+ThreadPool::default_concurrency()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void
+ThreadPool::worker_loop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        work_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty())
+            return;  // stopping and drained
+        auto task = std::move(queue_.front());
+        queue_.pop_front();
+        ++active_;
+        lock.unlock();
+        task();
+        lock.lock();
+        --active_;
+        if (queue_.empty() && active_ == 0)
+            idle_.notify_all();
+    }
+}
+
+} // namespace shiftpar::util

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal fixed-size worker pool for embarrassingly parallel host work
+ * (the bench sweep runner). Tasks are plain closures; ordering guarantees
+ * are built by callers (see bench/common/sweep.h for the ordered-commit
+ * pattern that keeps parallel sweeps bit-identical to sequential ones).
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace shiftpar::util {
+
+/** Fixed set of worker threads draining a FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * Start `num_threads` workers (clamped to >= 1).
+     *
+     * @param num_threads Worker count; 0 picks `default_concurrency()`.
+     */
+    explicit ThreadPool(int num_threads);
+
+    /** Drains outstanding tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Enqueue one task; runs on some worker in FIFO dispatch order. */
+    void submit(std::function<void()> task);
+
+    /** Block until the queue is empty and every worker is idle. */
+    void wait_idle();
+
+    /** @return worker-thread count. */
+    int size() const { return static_cast<int>(workers_.size()); }
+
+    /**
+     * @return the host's hardware concurrency (>= 1); the default for a
+     * sweep's `--jobs` flag.
+     */
+    static int default_concurrency();
+
+  private:
+    void worker_loop();
+
+    std::mutex mutex_;
+    std::condition_variable work_ready_;   ///< task queued or stopping
+    std::condition_variable idle_;         ///< queue empty, no task running
+    std::deque<std::function<void()>> queue_;
+    std::size_t active_ = 0;  ///< tasks currently executing
+    bool stop_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace shiftpar::util

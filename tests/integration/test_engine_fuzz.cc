@@ -10,6 +10,8 @@
 
 #include <map>
 
+#include "common/bench_common.h"
+#include "common/sweep.h"
 #include "core/deployment.h"
 #include "model/presets.h"
 #include "workload/arrival.h"
@@ -135,6 +137,33 @@ TEST_P(EngineFuzz, DeterministicUnderFixedSeed)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzz, ::testing::Range(0, 24));
+
+TEST(EngineFuzzSweep, ParallelSweepYieldsIdenticalMetrics)
+{
+    // Random-but-index-derived deployments replayed through run_sweep:
+    // the Metrics each point produces must not depend on --jobs.
+    const auto sweep_once = [](int jobs) {
+        bench::detail::set_jobs(jobs);
+        std::vector<std::pair<double, std::int64_t>> out(8);
+        bench::run_sweep(out.size(), [&](std::size_t i) {
+            Rng rng(1000 + 37 * static_cast<std::uint64_t>(i));
+            const auto d = random_deployment(rng, model::qwen_32b());
+            const auto reqs = random_workload(rng);
+            const auto met = core::run_deployment(d, reqs);
+            const auto val =
+                std::pair{met.completion().sum(), met.total_tokens()};
+            return bench::SweepCommit([&out, i, val] { out[i] = val; });
+        });
+        return out;
+    };
+    const auto seq = sweep_once(1);
+    const auto par = sweep_once(4);
+    ASSERT_EQ(seq.size(), par.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        EXPECT_DOUBLE_EQ(seq[i].first, par[i].first) << "point " << i;
+        EXPECT_EQ(seq[i].second, par[i].second) << "point " << i;
+    }
+}
 
 } // namespace
 } // namespace shiftpar
