@@ -37,22 +37,32 @@ main(int argc, char** argv)
         workload::lognormal_size(4000.0, 0.7, 300.0, 0.5));
 
     Table table({"System", "p50 TTFT (ms)", "p50 TPOT (ms)",
-                 "p50 completion (s)", "Throughput (tok/s)"});
+                 "p50 completion (s)", "Throughput (tok/s)",
+                 "Stalled adm.", "Stall (s)"});
     CsvWriter csv(bench::results_path("ext_disaggregated.csv"),
                   {"system", "ttft_p50_ms", "tpot_p50_ms",
-                   "completion_p50_s", "throughput_tok_s"});
+                   "completion_p50_s", "throughput_tok_s",
+                   "stalled_admissions", "stall_s"});
 
+    // Colocated systems have no admission pipeline: their stall cells are
+    // structurally zero, not measured zeros.
     const auto add = [&](const std::string& name,
-                         const engine::Metrics& met) {
+                         const engine::Metrics& met,
+                         const core::DisaggregatedStats* stats) {
         table.add_row({name, Table::fmt(to_ms(met.ttft().percentile(50))),
                        Table::fmt(to_ms(met.tpot().percentile(50)), 2),
                        Table::fmt(met.completion().percentile(50), 2),
                        Table::fmt_count(static_cast<long long>(
-                           met.mean_throughput()))});
+                           met.mean_throughput())),
+                       stats ? Table::fmt_count(stats->stalled_admissions)
+                             : "-",
+                       stats ? Table::fmt(stats->stall_seconds, 2) : "-"});
         csv.add_row({name, Table::fmt(to_ms(met.ttft().percentile(50)), 2),
                      Table::fmt(to_ms(met.tpot().percentile(50)), 3),
                      Table::fmt(met.completion().percentile(50), 3),
-                     Table::fmt(met.mean_throughput(), 0)});
+                     Table::fmt(met.mean_throughput(), 0),
+                     stats ? std::to_string(stats->stalled_admissions) : "",
+                     stats ? Table::fmt(stats->stall_seconds, 3) : ""});
     };
 
     // Colocated baselines first, then the disaggregated pool splits.
@@ -61,16 +71,23 @@ main(int argc, char** argv)
         parallel::Strategy::kTp, parallel::Strategy::kShift};
     const std::vector<std::pair<int, int>> splits = {
         {2, 4}, {4, 4}, {4, 2}};
+    struct Run
+    {
+        std::string name;
+        engine::Metrics met;
+        core::DisaggregatedStats stats;
+        bool disagg = false;
+    };
     bench::run_sweep(colocated.size() + splits.size(), [&](std::size_t i) {
-        const auto [name, met] =
-            [&]() -> std::pair<std::string, engine::Metrics> {
+        const Run run = [&]() -> Run {
             if (i < colocated.size()) {
                 core::Deployment d;
                 d.model = model::llama_70b();
                 d.strategy = colocated[i];
                 const std::string n =
                     "colocated " + parallel::strategy_name(colocated[i]);
-                return {n, bench::run_deployment_named(n, d, reqs).metrics};
+                return {n, bench::run_deployment_named(n, d, reqs).metrics,
+                        {}, false};
             }
             const auto [p, dn] = splits[i - colocated.size()];
             const std::string n = "disagg " + std::to_string(p) + "P+" +
@@ -84,10 +101,10 @@ main(int argc, char** argv)
                                           hw::h200_node(), opts);
             const engine::Metrics m = sys.run_workload(reqs);
             bench::record_run(n, m);
-            return {n, m};
+            return {n, m, sys.stats(), true};
         }();
-        return bench::SweepCommit([&, name = name, met = met] {
-            add(name, met);
+        return bench::SweepCommit([&, run = run] {
+            add(run.name, run.met, run.disagg ? &run.stats : nullptr);
         });
     });
     table.print();

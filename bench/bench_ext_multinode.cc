@@ -29,7 +29,8 @@ namespace {
 
 /** Build a 2-node deployment: one engine per node under `strategy`. */
 std::unique_ptr<engine::Router>
-two_nodes(parallel::Strategy strategy)
+two_nodes(parallel::Strategy strategy,
+          engine::MigrationOptions migration = {})
 {
     const auto m = model::llama_70b();
     const auto node = hw::h200_node();
@@ -77,7 +78,7 @@ two_nodes(parallel::Strategy strategy)
         fatal("unsupported strategy for the multi-node bench");
     }
     auto router = std::make_unique<engine::Router>(
-        std::move(engines), engine::RoutingPolicy::kLeastTokens);
+        std::move(engines), engine::RoutingPolicy::kLeastTokens, migration);
     router->set_trace(bench::trace());
     return router;
 }
@@ -106,18 +107,31 @@ main(int argc, char** argv)
                   {"deployment", "ttft_p50_ms", "tpot_p50_ms",
                    "completion_p99_s", "peak_throughput_tok_s"});
 
-    const std::vector<std::pair<std::string, parallel::Strategy>> systems = {
-        {"flat DP (16x 1-GPU)", parallel::Strategy::kDp},
-        {"DP of TP=8 (2 replicas)", parallel::Strategy::kTp},
-        {"DP of Shift (2 replicas)", parallel::Strategy::kShift},
+    struct System
+    {
+        std::string name;
+        parallel::Strategy strategy;
+        engine::MigrationOptions migration;
     };
+    engine::MigrationOptions migrate;
+    migrate.enabled = true;
+    migrate.min_token_imbalance = 4096;
+    const std::vector<System> systems = {
+        {"flat DP (16x 1-GPU)", parallel::Strategy::kDp, {}},
+        {"flat DP + migration (16x 1-GPU)", parallel::Strategy::kDp,
+         migrate},
+        {"DP of TP=8 (2 replicas)", parallel::Strategy::kTp, {}},
+        {"DP of Shift (2 replicas)", parallel::Strategy::kShift, {}},
+    };
+    std::vector<std::int64_t> migrations(systems.size(), 0);
     bench::run_sweep(systems.size(), [&](std::size_t i) {
-        const auto& [name, strategy] = systems[i];
+        const auto& [name, strategy, migration] = systems[i];
         bench::set_run_label(name);
-        auto router = two_nodes(strategy);
+        auto router = two_nodes(strategy, migration);
         const auto met = router->run_workload(reqs);
+        migrations[i] = router->migration_count();
         bench::record_run(name, met);
-        return bench::SweepCommit([&, &name = systems[i].first, met] {
+        return bench::SweepCommit([&, &name = systems[i].name, met] {
             table.add_row({name,
                            Table::fmt(to_ms(met.ttft().percentile(50))),
                            Table::fmt(to_ms(met.tpot().percentile(50)), 2),
@@ -132,10 +146,16 @@ main(int argc, char** argv)
         });
     });
     table.print();
+    std::printf("\nmigrations: %lld (flat DP + migration row)\n",
+                static_cast<long long>(migrations[1]));
     std::printf(
         "\nExpected: the single-node ordering survives scale-out — each\n"
         "Shift replica keeps SP-grade TTFT and TP-grade TPOT, so the\n"
         "2-replica Shift deployment dominates DP-of-TP while staying close\n"
-        "to flat DP's burst throughput.\n");
+        "to flat DP's burst throughput. Cross-replica migration re-routes\n"
+        "queued stragglers that least-tokens routing could not foresee at\n"
+        "arrival time, raising flat DP's burst throughput and median TPOT;\n"
+        "the moved requests restart at the back of their new queue, so p99\n"
+        "completion gives up about a percent in exchange.\n");
     return 0;
 }

@@ -8,6 +8,11 @@
  * latency-class requests ahead of batch-class requests. This bench mixes
  * a batch job with interactive traffic under Shift Parallelism and
  * compares flat FCFS against prioritized admission.
+ *
+ * Like every replay driver, this bench runs on the discrete-event cluster
+ * core (`sim::Cluster`) underneath `run_deployment`: arrivals are posted
+ * as events and the engine advances step by step on the shared timeline,
+ * bit-identical to the historical lockstep replay.
  */
 
 #include <cstdio>

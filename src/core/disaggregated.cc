@@ -1,7 +1,11 @@
 #include "core/disaggregated.h"
 
 #include <algorithm>
+#include <functional>
+#include <string>
 
+#include "hw/interconnect.h"
+#include "sim/cluster.h"
 #include "util/logging.h"
 
 namespace shiftpar::core {
@@ -38,6 +42,7 @@ engine::Metrics
 DisaggregatedSystem::run_workload(
     const std::vector<engine::RequestSpec>& workload)
 {
+    stats_ = {};
     auto make_engine = [&](const parallel::ParallelConfig& cfg,
                            const char* pool) {
         engine::EngineConfig ecfg;
@@ -45,6 +50,7 @@ DisaggregatedSystem::run_workload(
         ecfg.sched = opts_.sched;
         ecfg.perf = opts_.perf;
         ecfg.mem = opts_.mem;
+        ecfg.throughput_bin = opts_.throughput_bin;
         if (opts_.trace) {
             obs::EngineMeta meta;
             meta.label = std::string(pool) + " pool " + cfg.to_string();
@@ -56,80 +62,237 @@ DisaggregatedSystem::run_workload(
             node_, model_, ecfg,
             std::make_unique<engine::FixedPolicy>(cfg));
     };
-    auto prefill_engine = make_engine(prefill_cfg_, "prefill");
-    auto decode_engine = make_engine(decode_cfg_, "decode");
+    auto prefill = make_engine(prefill_cfg_, "prefill");
+    auto decode = make_engine(decode_cfg_, "decode");
 
-    // ---- Phase 1: prefill pool produces the first token -------------------
     std::vector<engine::RequestSpec> sorted = workload;
     std::stable_sort(sorted.begin(), sorted.end(),
                      [](const engine::RequestSpec& a,
                         const engine::RequestSpec& b) {
                          return a.arrival < b.arrival;
                      });
-    for (std::size_t i = 0; i < sorted.size(); ++i) {
-        engine::RequestSpec prefill_spec = sorted[i];
-        prefill_spec.output_tokens = 1;  // prefill emits the first token
-        prefill_engine->run_until(prefill_spec.arrival);
-        prefill_engine->submit(prefill_spec,
-                               static_cast<engine::RequestId>(i));
-    }
-    prefill_engine->drain();
+    const std::size_t n = sorted.size();
 
-    // Index prefill results by request id.
-    std::vector<engine::RequestRecord> prefill_recs(sorted.size());
-    for (const auto& rec : prefill_engine->metrics().requests())
-        prefill_recs[static_cast<std::size_t>(rec.id)] = rec;
+    // Admission budget: an arrival only enters the prefill pool when the
+    // decode pool has (future) room for its whole context, so KV never
+    // finishes prefill with nowhere to go.
+    const std::int64_t budget = opts_.max_inflight_decode_tokens > 0
+                                    ? opts_.max_inflight_decode_tokens
+                                    : decode->cache().token_capacity();
 
-    // ---- Phase 2: KV transfer + decode pool --------------------------------
-    // The decode pool's arrivals are the prefill completions plus the
-    // migration delay; the pools are independent resources so the decode
-    // schedule is computed after the fact without loss of fidelity.
-    struct Handoff
+    enum class Stage
     {
-        double ready;
-        std::size_t index;
+        kPending,    // arrived, stalled by the admission budget
+        kPrefill,    // in the prefill pool
+        kTransfer,   // KV handoff on the fabric
+        kDecode,     // in the decode pool
+        kDone,
+        kCancelled,
     };
-    std::vector<Handoff> handoffs;
-    for (std::size_t i = 0; i < sorted.size(); ++i) {
-        if (sorted[i].output_tokens <= 1)
-            continue;  // single-token requests finish on the prefill pool
-        const double done = prefill_recs[i].arrival +
-                            prefill_recs[i].completion;
-        handoffs.push_back(
-            {done + transfer_delay(sorted[i].prompt_tokens + 1), i});
-    }
-    std::stable_sort(handoffs.begin(), handoffs.end(),
-                     [](const Handoff& a, const Handoff& b) {
-                         return a.ready < b.ready;
-                     });
-    for (const auto& h : handoffs) {
-        engine::RequestSpec decode_spec = sorted[h.index];
-        decode_spec.arrival = h.ready;
-        decode_engine->run_until(h.ready);
-        decode_engine->submit_prefilled(
-            decode_spec, static_cast<engine::RequestId>(h.index));
-        if (opts_.trace) {
-            opts_.trace->on_instant(prefill_engine->trace_id(), h.ready,
-                                    "kv_handoff #" + std::to_string(h.index));
-        }
-    }
-    decode_engine->drain();
+    struct Tracked
+    {
+        Stage stage = Stage::kPending;
+        double transfer_start = 0.0;
+        double transfer_end = 0.0;  ///< scheduled handoff completion
+        double admit_ready = 0.0;   ///< when backpressure began stalling it
+    };
+    std::vector<Tracked> track(n);
 
-    std::vector<engine::RequestRecord> decode_recs(sorted.size());
-    std::vector<bool> has_decode(sorted.size(), false);
-    for (const auto& rec : decode_engine->metrics().requests()) {
+    hw::LinkChannel fabric(node_.link);
+    sim::Cluster cluster;
+    cluster.add(prefill.get());
+    cluster.add(decode.get());
+
+    std::int64_t committed = 0;
+    std::vector<std::size_t> stalled;  // FIFO via head index
+    std::size_t stalled_head = 0;
+
+    auto context_tokens = [&](std::size_t i) {
+        return sorted[i].prompt_tokens + sorted[i].output_tokens;
+    };
+
+    auto start_prefill = [&](std::size_t i, double t) {
+        track[i].stage = Stage::kPrefill;
+        committed += context_tokens(i);
+        engine::RequestSpec ps = sorted[i];
+        ps.output_tokens = 1;  // prefill emits the first token
+        prefill->advance_clock_to(t);
+        prefill->submit(ps, static_cast<engine::RequestId>(i));
+    };
+
+    // FIFO drain of stalled arrivals whenever budget frees. Head-of-line
+    // blocking is deliberate: admitting around a stalled request would
+    // starve large contexts under steady small-request load.
+    auto drain_admissions = [&](double t) {
+        while (stalled_head < stalled.size()) {
+            const std::size_t i = stalled[stalled_head];
+            if (track[i].stage == Stage::kCancelled) {
+                ++stalled_head;
+                continue;
+            }
+            if (committed + context_tokens(i) > budget)
+                break;
+            ++stalled_head;
+            stats_.stall_seconds += t - track[i].admit_ready;
+            start_prefill(i, t);
+        }
+    };
+
+    // Completion events carry the window end they were scheduled against;
+    // a fabric cancel can shift queued transfers earlier, in which case
+    // the stale event is dropped in favor of the reposted one.
+    std::function<void(std::size_t, double)> post_transfer_complete =
+        [&](std::size_t i, double end) {
+            cluster.post(end, [&, i, end] {
+                if (track[i].stage != Stage::kTransfer ||
+                    track[i].transfer_end != end)
+                    return;
+                track[i].stage = Stage::kDecode;
+                ++stats_.transfers;
+                stats_.link_busy_seconds += end - track[i].transfer_start;
+                engine::RequestSpec ds = sorted[i];
+                ds.arrival = end;
+                decode->advance_clock_to(end);
+                decode->submit_prefilled(ds,
+                                         static_cast<engine::RequestId>(i));
+                if (opts_.trace) {
+                    opts_.trace->on_instant(prefill->trace_id(), end,
+                                            "kv_handoff #" +
+                                                std::to_string(i));
+                }
+            });
+        };
+
+    prefill->set_on_finish([&](const engine::Request& r) {
+        const auto i = static_cast<std::size_t>(r.id);
+        const double t = prefill->now();
+        if (sorted[i].output_tokens <= 1) {
+            // Single-token requests finish on the prefill pool.
+            track[i].stage = Stage::kDone;
+            committed -= context_tokens(i);
+            cluster.post(t, [&, t] { drain_admissions(t); });
+            return;
+        }
+        const double bytes =
+            static_cast<double>(sorted[i].prompt_tokens + 1) *
+            model_.kv_bytes_per_token();
+        const auto win =
+            fabric.reserve(static_cast<std::int64_t>(i), t, bytes);
+        track[i].stage = Stage::kTransfer;
+        track[i].transfer_start = win.start;
+        track[i].transfer_end = win.end;
+        post_transfer_complete(i, win.end);
+    });
+
+    decode->set_on_finish([&](const engine::Request& r) {
+        const auto i = static_cast<std::size_t>(r.id);
+        const double t = decode->now();
+        track[i].stage = Stage::kDone;
+        committed -= context_tokens(i);
+        cluster.post(t, [&, t] { drain_admissions(t); });
+    });
+
+    for (std::size_t i = 0; i < n; ++i) {
+        if (context_tokens(i) > budget) {
+            fatal("request " + std::to_string(i) + "'s context (" +
+                  std::to_string(context_tokens(i)) +
+                  " tokens) exceeds the decode-pool admission budget (" +
+                  std::to_string(budget) + ")");
+        }
+        cluster.post(sorted[i].arrival, [&, i] {
+            const double t = sorted[i].arrival;
+            if (track[i].stage == Stage::kCancelled)
+                return;  // aborted before arriving
+            if (stalled_head < stalled.size() ||
+                committed + context_tokens(i) > budget) {
+                track[i].admit_ready = t;
+                stalled.push_back(i);
+                ++stats_.stalled_admissions;
+                return;
+            }
+            start_prefill(i, t);
+        });
+    }
+
+    for (const auto& [when, id] : cancels_) {
+        cluster.post(when, [&, when, id] {
+            const auto i = static_cast<std::size_t>(id);
+            if (i >= n || track[i].stage == Stage::kDone ||
+                track[i].stage == Stage::kCancelled)
+                return;
+            const Stage was = track[i].stage;
+            track[i].stage = Stage::kCancelled;
+            ++stats_.cancelled;
+            switch (was) {
+              case Stage::kPending:
+                // Nothing committed yet; drain skips the dead entry.
+                break;
+              case Stage::kPrefill:
+                prefill->cancel(id);
+                committed -= context_tokens(i);
+                break;
+              case Stage::kTransfer: {
+                // Release the fabric reservation; transfers queued behind
+                // shift earlier, so repost their completion events.
+                ++stats_.transfers_cancelled;
+                for (const std::int64_t shifted :
+                     fabric.cancel(static_cast<std::int64_t>(i), when)) {
+                    const auto j = static_cast<std::size_t>(shifted);
+                    const auto w = fabric.window(shifted);
+                    track[j].transfer_start = w.start;
+                    track[j].transfer_end = w.end;
+                    post_transfer_complete(j, w.end);
+                }
+                committed -= context_tokens(i);
+                break;
+              }
+              case Stage::kDecode:
+                decode->cancel(id);
+                committed -= context_tokens(i);
+                break;
+              default:
+                break;
+            }
+            if (was != Stage::kPending)
+                cluster.post(when, [&, when] { drain_admissions(when); });
+        });
+    }
+
+    cluster.run();
+    if (prefill->has_work() || decode->has_work())
+        fatal("disaggregated replay deadlocked: a pool still holds "
+              "unfinished requests its KV cache cannot admit");
+    for (std::size_t k = stalled_head; k < stalled.size(); ++k) {
+        if (track[stalled[k]].stage == Stage::kPending)
+            fatal("disaggregated replay deadlocked: request " +
+                  std::to_string(stalled[k]) +
+                  " never cleared the admission budget");
+    }
+
+    std::vector<engine::RequestRecord> prefill_recs(n);
+    std::vector<bool> has_prefill(n, false);
+    for (const auto& rec : prefill->metrics().requests()) {
+        prefill_recs[static_cast<std::size_t>(rec.id)] = rec;
+        has_prefill[static_cast<std::size_t>(rec.id)] = true;
+    }
+    std::vector<engine::RequestRecord> decode_recs(n);
+    std::vector<bool> has_decode(n, false);
+    for (const auto& rec : decode->metrics().requests()) {
         decode_recs[static_cast<std::size_t>(rec.id)] = rec;
         has_decode[static_cast<std::size_t>(rec.id)] = true;
     }
 
-    // ---- Combine ------------------------------------------------------------
-    engine::Metrics combined(1.0);
-    for (std::size_t i = 0; i < sorted.size(); ++i) {
+    engine::Metrics combined(opts_.throughput_bin);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (track[i].stage != Stage::kDone || !has_prefill[i])
+            continue;  // cancelled requests produce no record
         engine::RequestRecord rec;
         rec.id = static_cast<engine::RequestId>(i);
         rec.arrival = sorted[i].arrival;
         rec.prompt_tokens = sorted[i].prompt_tokens;
         rec.output_tokens = sorted[i].output_tokens;
+        // Prefill arrivals keep the client timestamp, so its TTFT/wait
+        // already include any admission stall.
         rec.ttft = prefill_recs[i].ttft;
         rec.wait = prefill_recs[i].wait;
         rec.preemptions = prefill_recs[i].preemptions;
@@ -149,9 +312,9 @@ DisaggregatedSystem::run_workload(
         combined.add_record(rec);
     }
     // Fold both pools' step telemetry for throughput/step accounting.
-    for (const auto& s : prefill_engine->metrics().steps())
+    for (const auto& s : prefill->metrics().steps())
         combined.on_step(s);
-    for (const auto& s : decode_engine->metrics().steps())
+    for (const auto& s : decode->metrics().steps())
         combined.on_step(s);
     return combined;
 }

@@ -11,10 +11,22 @@
  * prefill/decode interference but dedicates resources to each phase and
  * pays a per-request KV-transfer delay — the tradeoff the paper's related
  * work section describes.
+ *
+ * The replay is an *online* pipeline on the discrete-event cluster core:
+ * both pools advance on one timeline, each KV handoff is a fabric
+ * transfer queuing FIFO on a shared `hw::LinkChannel` (overlapping
+ * handoffs serialize), and admission to the prefill pool is gated by the
+ * decode pool's committed-context budget — a saturated decode pool
+ * back-pressures new prefills instead of letting finished-but-
+ * untransferable KV pile up. Client cancellations can land at any stage,
+ * including mid-transfer, where they release the link for the transfers
+ * queued behind.
  */
 
 #pragma once
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/deployment.h"
@@ -35,12 +47,47 @@ struct DisaggregatedOptions
     parallel::PerfOptions perf;
     parallel::MemoryOptions mem;
 
+    /** Throughput timeline bin width for both pools and the combined
+     *  metrics, seconds. */
+    double throughput_bin = 1.0;
+
+    /**
+     * Admission budget: total context tokens (prompt + output) of
+     * requests admitted to prefill and not yet finished (or cancelled).
+     * An arrival that would exceed the budget waits — decode-pool
+     * backpressure stalling prefill admission. 0 derives the budget from
+     * the decode pool's KV token capacity.
+     */
+    std::int64_t max_inflight_decode_tokens = 0;
+
     /**
      * Observability sink (borrowed, may be null). When set, the prefill
      * and decode pools register as separate engines on the bus; KV
      * handoffs appear as instant events on the prefill pool's track.
      */
     obs::TraceSink* trace = nullptr;
+};
+
+/** Pipeline counters of one `DisaggregatedSystem::run_workload`. */
+struct DisaggregatedStats
+{
+    /** KV handoffs delivered to the decode pool. */
+    std::int64_t transfers = 0;
+
+    /** Handoffs released mid-flight or while queued by a cancellation. */
+    std::int64_t transfers_cancelled = 0;
+
+    /** Arrivals delayed by the decode-pool admission budget. */
+    std::int64_t stalled_admissions = 0;
+
+    /** Total admission delay across stalled arrivals, seconds. */
+    double stall_seconds = 0.0;
+
+    /** Requests cancelled before completing. */
+    std::int64_t cancelled = 0;
+
+    /** Fabric occupancy of delivered handoffs, seconds. */
+    double link_busy_seconds = 0.0;
 };
 
 /** A prefill-pool + decode-pool deployment of one model on one node. */
@@ -52,15 +99,32 @@ class DisaggregatedSystem
                         DisaggregatedOptions opts = {});
 
     /**
-     * Replay a workload end to end: prefill pool -> KV transfer -> decode
-     * pool. Combined per-request records carry true TTFT (prefill pool),
-     * TPOT (decode pool), and completion; throughput counts both pools'
-     * tokens over the combined makespan.
+     * Replay a workload end to end on one event timeline: arrivals gate
+     * on the admission budget, prefill completions schedule fabric
+     * transfers, transfer completions feed the decode pool, and scheduled
+     * cancellations release whichever stage holds the request. Combined
+     * per-request records carry true TTFT (prefill pool, inclusive of
+     * admission stall), TPOT (decode pool), and completion; throughput
+     * counts both pools' tokens. Cancelled requests produce no record.
      */
     engine::Metrics run_workload(
         const std::vector<engine::RequestSpec>& workload);
 
-    /** KV-transfer delay for a context of `tokens` tokens, seconds. */
+    /**
+     * Schedule a client abort of request `id` (its position in the
+     * arrival-sorted workload) at time `t`, delivered during the next
+     * `run_workload`.
+     */
+    void schedule_cancel(double t, engine::RequestId id)
+    {
+        cancels_.emplace_back(t, id);
+    }
+
+    /** @return pipeline counters of the last `run_workload`. */
+    const DisaggregatedStats& stats() const { return stats_; }
+
+    /** KV-transfer delay for a context of `tokens` tokens on an idle
+     *  fabric, seconds (analytic; queueing adds on top during replay). */
     double transfer_delay(std::int64_t tokens) const;
 
     /** @return resolved prefill-pool configuration. */
@@ -81,6 +145,8 @@ class DisaggregatedSystem
     DisaggregatedOptions opts_;
     parallel::ParallelConfig prefill_cfg_;
     parallel::ParallelConfig decode_cfg_;
+    std::vector<std::pair<double, engine::RequestId>> cancels_;
+    DisaggregatedStats stats_;
 };
 
 } // namespace shiftpar::core

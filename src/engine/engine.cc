@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/logging.h"
 
@@ -35,7 +36,7 @@ Engine::Engine(const hw::Node& node, const model::ModelConfig& m,
 }
 
 void
-Engine::submit(const RequestSpec& spec, RequestId id)
+Engine::submit(const RequestSpec& spec, RequestId id, bool migrated_in)
 {
     SP_ASSERT(spec.prompt_tokens >= 1 && spec.output_tokens >= 1,
               "requests need at least one prompt and one output token");
@@ -51,6 +52,7 @@ Engine::submit(const RequestSpec& spec, RequestId id)
     req->id = id;
     req->spec = spec;
     req->prefill_target = spec.prompt_tokens;
+    req->migrated_in = migrated_in;
     scheduler_.enqueue(req.get());
     requests_.push_back(std::move(req));
     if (cfg_.trace) {
@@ -149,8 +151,11 @@ Engine::step()
 
     std::vector<Request*> finished;
     scheduler_.on_step_complete(now_, plan, &finished);
-    for (const Request* r : finished)
+    for (const Request* r : finished) {
         metrics_.on_request_finished(*r);
+        if (on_finish_)
+            on_finish_(*r);
+    }
 
     if (cfg_.trace) {
         obs::GaugeEvent g;
@@ -164,6 +169,46 @@ Engine::step()
         cfg_.trace->on_gauge(g);
     }
     return true;
+}
+
+double
+Engine::next_event_time() const
+{
+    if (!has_work())
+        return std::numeric_limits<double>::infinity();
+    if (scheduler_.num_running() > 0)
+        return now_;
+    const double next = scheduler_.earliest_waiting_arrival();
+    return next <= now_ ? now_ : next;
+}
+
+bool
+Engine::advance_to(double t)
+{
+    if (!has_work())
+        return false;
+    if (scheduler_.num_running() == 0) {
+        const double next = scheduler_.earliest_waiting_arrival();
+        if (next > now_) {
+            if (next > t || !std::isfinite(next))
+                return false;
+            now_ = next;  // skip idle time to the arrival
+            return true;
+        }
+    }
+    return step();
+}
+
+std::optional<std::pair<RequestSpec, RequestId>>
+Engine::steal_waiting(std::int64_t max_tokens)
+{
+    Request* r = scheduler_.steal_waiting(now_, max_tokens);
+    if (r == nullptr)
+        return std::nullopt;
+    // The Request object stays in requests_ (it owns the storage) but is
+    // out of every queue and will never finish here, so it produces no
+    // record on this engine.
+    return std::make_pair(r->spec, r->id);
 }
 
 void

@@ -14,7 +14,12 @@
 
 #pragma once
 
+#include <algorithm>
+#include <functional>
+#include <limits>
 #include <memory>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "engine/metrics.h"
@@ -24,6 +29,7 @@
 #include "obs/trace.h"
 #include "parallel/memory.h"
 #include "parallel/perf_model.h"
+#include "sim/component.h"
 
 namespace shiftpar::engine {
 
@@ -108,8 +114,17 @@ struct EngineConfig
     obs::EngineId trace_id = 0;
 };
 
-/** One serving engine over one rank group. */
-class Engine
+/**
+ * One serving engine over one rank group.
+ *
+ * An engine is a `sim::Component`: the cluster core advances it one
+ * scheduler iteration at a time, interleaved with other engines' steps
+ * and with client events (arrivals, KV handoffs, migrations) in global
+ * time order. The self-contained `run_until`/`drain` drive loop remains
+ * for single-engine callers and as the lockstep reference the sim-core
+ * equivalence test replays against.
+ */
+class Engine : public sim::Component
 {
   public:
     /**
@@ -119,8 +134,13 @@ class Engine
     Engine(const hw::Node& node, const model::ModelConfig& m,
            EngineConfig cfg, std::unique_ptr<ExecutionPolicy> policy);
 
-    /** Submit a request (arrival time may be in this engine's past). */
-    void submit(const RequestSpec& spec, RequestId id);
+    /**
+     * Submit a request (arrival time may be in this engine's past).
+     * `migrated_in` marks a request received through cross-replica
+     * migration; such requests are never stolen again (one hop each).
+     */
+    void submit(const RequestSpec& spec, RequestId id,
+                bool migrated_in = false);
 
     /**
      * Submit a request whose prompt was already prefilled elsewhere (a
@@ -142,6 +162,56 @@ class Engine
 
     /** Run until every submitted request has finished. */
     void drain();
+
+    /**
+     * sim::Component: earliest time this engine could act — its clock
+     * while a step is attemptable (something running, or an arrived
+     * request waiting), the earliest future arrival while it is idle
+     * until one, +inf when it has no work.
+     */
+    double next_event_time() const override;
+
+    /**
+     * sim::Component: make one unit of progress — execute a single step,
+     * or skip idle time to the next arrival when that lands within `t`.
+     *
+     * @return false when no progress is possible (no work, or every
+     * schedulable request is blocked on KV) — the cluster parks the
+     * engine until another event could unblock it.
+     */
+    bool advance_to(double t) override;
+
+    /**
+     * Advance the clock without doing work (never backwards). The cluster
+     * replay syncs every replica to each arrival instant exactly like the
+     * lockstep loop's trailing `now_ = max(now_, t)`, keeping the two
+     * replays bit-identical.
+     */
+    void advance_clock_to(double t) { now_ = std::max(now_, t); }
+
+    /**
+     * Remove and return the youngest waiting request that has made no
+     * progress (never scheduled, no KV, no prefix pin, arrival in this
+     * engine's past, not itself migrated in) and whose total context
+     * fits `max_tokens`, so a
+     * router can re-submit it on another replica. The request leaves
+     * this engine permanently and produces no record here.
+     *
+     * @return the spec and id, or nullopt when nothing is stealable.
+     */
+    std::optional<std::pair<RequestSpec, RequestId>> steal_waiting(
+        std::int64_t max_tokens =
+            std::numeric_limits<std::int64_t>::max());
+
+    /**
+     * Install a hook fired after each request completes (post-metrics,
+     * same step). The disaggregated pipeline uses it to schedule KV
+     * handoffs the moment prefill finishes. Null disables.
+     */
+    void set_on_finish(std::function<void(const Request&)> hook)
+    {
+        on_finish_ = std::move(hook);
+    }
 
     /** @return current simulated time, seconds. */
     double now() const { return now_; }
@@ -198,6 +268,7 @@ class Engine
     std::unique_ptr<ExecutionPolicy> policy_;
     Metrics metrics_;
     std::vector<std::unique_ptr<Request>> requests_;
+    std::function<void(const Request&)> on_finish_;
     double now_ = 0.0;
     std::int64_t cancelled_ = 0;
 };

@@ -58,6 +58,7 @@ enum class RequestState
     kDecode,     ///< prefill complete; generating output tokens
     kFinished,   ///< all output tokens produced
     kCancelled,  ///< aborted by the client before completion
+    kMigrated,   ///< moved to another replica before making progress
 };
 
 /** A live request tracked by an engine. */
@@ -86,6 +87,13 @@ struct Request
 
     /** True while this request pins its shared prefix-cache entry. */
     bool prefix_attached = false;
+
+    /**
+     * True when this request reached the engine through cross-replica
+     * migration. Migrated requests are never stolen again — one hop per
+     * request keeps the rebalancer from bouncing work between queues.
+     */
+    bool migrated_in = false;
 
     /** Prompt tokens served from the prefix cache on (re-)admission. */
     std::int64_t prefix_hit = 0;

@@ -2,13 +2,14 @@
 
 #include <algorithm>
 
+#include "sim/cluster.h"
 #include "util/logging.h"
 
 namespace shiftpar::engine {
 
 Router::Router(std::vector<std::unique_ptr<Engine>> engines,
-               RoutingPolicy policy)
-    : engines_(std::move(engines)), policy_(policy)
+               RoutingPolicy policy, MigrationOptions migration)
+    : engines_(std::move(engines)), policy_(policy), migration_(migration)
 {
     SP_ASSERT(!engines_.empty());
 }
@@ -61,6 +62,47 @@ Router::drain()
         e->drain();
 }
 
+void
+Router::rebalance(double t)
+{
+    if (engines_.size() < 2)
+        return;
+    std::size_t busiest = 0, idlest = 0;
+    std::int64_t max_load = engines_[0]->outstanding_tokens();
+    std::int64_t min_load = max_load;
+    for (std::size_t i = 1; i < engines_.size(); ++i) {
+        const std::int64_t load = engines_[i]->outstanding_tokens();
+        if (load > max_load) {
+            max_load = load;
+            busiest = i;
+        }
+        if (load < min_load) {
+            min_load = load;
+            idlest = i;
+        }
+    }
+    const std::int64_t gap = max_load - min_load;
+    if (gap < migration_.min_token_imbalance)
+        return;
+    // The size cap keeps the move imbalance-shrinking: a straggler bigger
+    // than the gap would just flip the roles and ping-pong.
+    const auto stolen = engines_[busiest]->steal_waiting(gap);
+    if (!stolen)
+        return;
+    const auto& [spec, id] = *stolen;
+    // The move happens at the cluster's current instant: the receiver may
+    // not act on the request before `t`, but must not burn the donor's
+    // step overshoot as idle time either.
+    engines_[idlest]->advance_clock_to(t);
+    engines_[idlest]->submit(spec, id, /*migrated_in=*/true);
+    ++migrations_;
+    if (trace_) {
+        trace_->on_request({engines_[idlest]->trace_id(), id,
+                            obs::RequestPhase::kMigrated, t,
+                            spec.prompt_tokens});
+    }
+}
+
 Metrics
 Router::run_workload(const std::vector<RequestSpec>& workload)
 {
@@ -69,12 +111,34 @@ Router::run_workload(const std::vector<RequestSpec>& workload)
                      [](const RequestSpec& a, const RequestSpec& b) {
                          return a.arrival < b.arrival;
                      });
-    RequestId id = 0;
-    for (const auto& spec : sorted) {
-        run_until(spec.arrival);
-        submit(spec, id++);
+
+    // Every replica is a component on one event timeline; each arrival is
+    // an event that syncs replica clocks to the arrival instant (the
+    // lockstep replay's trailing `now = max(now, t)`) and routes the
+    // request. The cluster interleaves arrivals and engine steps in
+    // global time order, so with migration disabled the per-engine step
+    // sequences — and therefore all records and metrics — are
+    // bit-identical to the lockstep loop (see test_sim_equivalence).
+    sim::Cluster cluster;
+    for (auto& e : engines_)
+        cluster.add(e.get());
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        const RequestSpec& spec = sorted[i];
+        cluster.post(spec.arrival, [this, &spec, i] {
+            for (auto& e : engines_)
+                e->advance_clock_to(spec.arrival);
+            submit(spec, static_cast<RequestId>(i));
+        });
     }
-    drain();
+    if (migration_.enabled)
+        cluster.set_progress_hook([this](double t) { rebalance(t); });
+    cluster.run();
+    for (auto& e : engines_) {
+        if (e->has_work()) {
+            fatal("cluster replay deadlocked: a replica still holds "
+                  "unfinished requests its KV cache cannot admit");
+        }
+    }
     return merged_metrics();
 }
 

@@ -4,9 +4,14 @@
  *
  * A `Router` owns one engine per replica. Single-engine deployments (TP,
  * SP, Shift) use a one-element router; DP deployments use one engine per
- * GPU. `run_workload` replays a trace — advancing every engine's clock to
- * each arrival, routing the request, then draining — which is exactly how
- * the paper's client-side benchmark drives the server.
+ * GPU. `run_workload` replays a trace on the discrete-event cluster core
+ * (`sim::Cluster`): arrivals are posted as events, every engine is a
+ * component stepped in global time order, and the result is bit-identical
+ * to the historical lockstep replay (advance everyone to each arrival,
+ * submit, drain) — which is exactly how the paper's client-side benchmark
+ * drives the server. The shared timeline additionally enables an optional
+ * cross-replica migration hook that re-routes queued stragglers from
+ * overloaded replicas to idle ones between events.
  */
 
 #pragma once
@@ -27,6 +32,23 @@ enum class RoutingPolicy
     kLeastTokens,
 };
 
+/**
+ * Cross-replica rebalancing policy (off by default; replay is then
+ * bit-identical to a router without the hook). After every cluster event,
+ * when the gap between the most- and least-loaded replica's outstanding
+ * tokens exceeds `min_token_imbalance`, one zero-progress waiting request
+ * is stolen from the back of the overloaded replica's queue and
+ * re-submitted to the least-loaded replica — the correction DP routing
+ * cannot make at arrival time because it cannot see the future.
+ */
+struct MigrationOptions
+{
+    bool enabled = false;
+
+    /** Outstanding-token gap that triggers a migration. */
+    std::int64_t min_token_imbalance = 8192;
+};
+
 /** Routes requests across replicas and replays workloads. */
 class Router
 {
@@ -36,9 +58,10 @@ class Router
      * @param policy Replica-selection policy.
      */
     Router(std::vector<std::unique_ptr<Engine>> engines,
-           RoutingPolicy policy = RoutingPolicy::kLeastTokens);
+           RoutingPolicy policy = RoutingPolicy::kLeastTokens,
+           MigrationOptions migration = {});
 
-    /** Advance all replicas to time `t`. */
+    /** Advance all replicas to time `t` (lockstep drive; see class doc). */
     void run_until(double t);
 
     /** Route and submit one request at its arrival time. */
@@ -48,12 +71,18 @@ class Router
     void drain();
 
     /**
-     * Replay a full workload: submit every request at its arrival time and
-     * drain. Request ids are assigned by position.
+     * Replay a full workload on the cluster core: arrivals, routing,
+     * engine steps, and (when enabled) migrations interleave as events on
+     * one clock. Request ids are assigned by position. Bit-identical to
+     * the lockstep replay (`run_until` each arrival, `submit`, `drain`)
+     * when migration is disabled.
      *
      * @return merged metrics across replicas.
      */
     Metrics run_workload(const std::vector<RequestSpec>& workload);
+
+    /** @return requests moved by the migration hook so far. */
+    std::int64_t migration_count() const { return migrations_; }
 
     /** @return merged metrics across replicas (after running). */
     Metrics merged_metrics() const;
@@ -76,9 +105,19 @@ class Router
     /** Pick the replica for the next request. */
     std::size_t select_replica();
 
+    /**
+     * Migration hook, run after every cluster event: move at most one
+     * queued straggler from the most- to the least-loaded replica when
+     * the imbalance warrants it (one per event keeps the policy
+     * convergent — each event gets one corrective move).
+     */
+    void rebalance(double t);
+
     std::vector<std::unique_ptr<Engine>> engines_;
     RoutingPolicy policy_;
+    MigrationOptions migration_;
     std::size_t next_rr_ = 0;
+    std::int64_t migrations_ = 0;
     obs::TraceSink* trace_ = nullptr;
 };
 

@@ -260,7 +260,8 @@ Scheduler::cancel(Request* r)
 {
     SP_ASSERT(r != nullptr);
     if (r->state == RequestState::kFinished ||
-        r->state == RequestState::kCancelled)
+        r->state == RequestState::kCancelled ||
+        r->state == RequestState::kMigrated)
         return false;
     if (r->state == RequestState::kWaiting) {
         const auto it = std::find(waiting_.begin(), waiting_.end(), r);
@@ -275,6 +276,30 @@ Scheduler::cancel(Request* r)
     detach_prefix_if_attached(r);
     r->state = RequestState::kCancelled;
     return true;
+}
+
+Request*
+Scheduler::steal_waiting(double now, std::int64_t max_tokens)
+{
+    for (auto it = waiting_.rbegin(); it != waiting_.rend(); ++it) {
+        Request* r = *it;
+        // Only zero-progress requests move: anything scheduled before
+        // (even if later preempted) or holding prefilled/prefix state has
+        // sunk work into this engine that migration would discard, and
+        // migrated-in prefilled requests (disaggregated decode) own KV
+        // that lives on this pool. Scanning from the back moves the
+        // youngest straggler: older requests keep their admission slot on
+        // the donor, and the young one restarts at zero cost elsewhere.
+        if (r->spec.arrival > now || r->first_scheduled >= 0.0 ||
+            r->prefilled > 0 || r->prefix_attached || r->migrated_in)
+            continue;
+        if (r->spec.prompt_tokens + r->spec.output_tokens > max_tokens)
+            continue;
+        waiting_.erase(std::next(it).base());
+        r->state = RequestState::kMigrated;
+        return r;
+    }
+    return nullptr;
 }
 
 void

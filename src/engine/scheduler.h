@@ -112,6 +112,19 @@ class Scheduler
     bool cancel(Request* r);
 
     /**
+     * Remove the youngest zero-progress waiting request (arrived by
+     * `now`, never scheduled, holding no KV or prefix state) whose total
+     * context is at most `max_tokens`, for cross-replica migration.
+     * Stealing from the back of the queue disturbs FCFS the least: the
+     * victim re-enters another replica's queue as if freshly routed
+     * there. The size cap lets the router refuse moves that would flip
+     * the imbalance rather than shrink it.
+     *
+     * @return the removed request (state set to kMigrated), or null.
+     */
+    Request* steal_waiting(double now, std::int64_t max_tokens);
+
+    /**
      * Apply the effects of a completed step: advance prefill progress,
      * emit tokens, finish requests (releasing their KV).
      *

@@ -8,6 +8,7 @@ phase_name(RequestPhase phase)
     switch (phase) {
       case RequestPhase::kSubmit:        return "submit";
       case RequestPhase::kRouted:        return "routed";
+      case RequestPhase::kMigrated:      return "migrated";
       case RequestPhase::kFirstSchedule: return "first_schedule";
       case RequestPhase::kPrefillChunk:  return "prefill_chunk";
       case RequestPhase::kPreempt:       return "preempt";

@@ -38,6 +38,7 @@ enum class RequestPhase
 {
     kSubmit,         ///< entered an engine's waiting queue
     kRouted,         ///< router picked a replica (DP deployments)
+    kMigrated,       ///< rebalanced to another replica before progress
     kFirstSchedule,  ///< first chunk scheduled (ends queueing delay)
     kPrefillChunk,   ///< one chunked-prefill piece scheduled
     kPreempt,        ///< recompute-preempted (KV released)

@@ -1,0 +1,85 @@
+#include "sim/cluster.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace shiftpar::sim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+void
+Cluster::add(Component* c)
+{
+    SP_ASSERT(c != nullptr);
+    components_.push_back(c);
+    stalled_.push_back(false);
+}
+
+void
+Cluster::post(double t, std::function<void()> fire)
+{
+    queue_.post(t, std::move(fire));
+}
+
+void
+Cluster::set_progress_hook(std::function<void(double)> hook)
+{
+    hook_ = std::move(hook);
+}
+
+bool
+Cluster::run()
+{
+    for (;;) {
+        // Earliest ready component (stalled ones wait for an unblocking
+        // event); registration order breaks ties.
+        Component* next_comp = nullptr;
+        std::size_t next_idx = 0;
+        double tc = kInf;
+        for (std::size_t i = 0; i < components_.size(); ++i) {
+            if (stalled_[i])
+                continue;
+            const double t = components_[i]->next_event_time();
+            if (t < tc) {
+                tc = t;
+                next_comp = components_[i];
+                next_idx = i;
+            }
+        }
+
+        const double te = queue_.next_time();
+        if (te == kInf && tc == kInf)
+            break;  // quiescent (possibly with stalled components)
+
+        if (te <= tc) {
+            // Events win ties: an arrival at t precedes a step starting
+            // at t, exactly as the lockstep replay submitted before
+            // stepping (determinism rule 2).
+            now_ = std::max(now_, te);
+            queue_.fire_next();
+        } else {
+            now_ = std::max(now_, tc);
+            if (!next_comp->advance_to(tc)) {
+                // Blocked (e.g. KV-full engine with nothing running):
+                // park it until any event or foreign progress could have
+                // changed its inputs.
+                stalled_[next_idx] = true;
+                continue;
+            }
+        }
+        // Anything that just happened may unblock a parked component
+        // (a routed arrival, a freed link, a migration); re-arm them all.
+        std::fill(stalled_.begin(), stalled_.end(), false);
+        if (hook_)
+            hook_(now_);
+    }
+    return std::none_of(stalled_.begin(), stalled_.end(),
+                        [](bool s) { return s; });
+}
+
+} // namespace shiftpar::sim

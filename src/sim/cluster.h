@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The discrete-event cluster loop: one clock for every engine, link, and
+ * client event in a deployment.
+ *
+ * Replay used to be bespoke per driver — the router lockstep loop, the
+ * two-phase disaggregated replay, hand-rolled bench drivers. `Cluster`
+ * replaces them with one core: components (engines, links) report when
+ * they can next act, clients post timed events (arrivals, KV handoffs,
+ * cancels, migrations), and the loop interleaves both in global time
+ * order. That shared timeline is what makes cross-engine interactions —
+ * transfer contention, decode-pool backpressure, straggler migration —
+ * expressible at all.
+ *
+ * Determinism rules (see DESIGN.md "sim core"):
+ *  1. Events at equal times fire in posting order (FIFO).
+ *  2. An event at time t fires before any component unit *starting* at t
+ *     (matches the lockstep replay, where `run_until(t)` only ran steps
+ *     starting strictly before the arrival it preceded).
+ *  3. Among components ready at the same instant, registration order wins.
+ *  4. Stalled components (declared by `advance_to` returning false) are
+ *     not re-polled until any event fires or any other component
+ *     progresses — re-attempts are deterministic, never time-driven.
+ */
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/component.h"
+#include "sim/event_queue.h"
+
+namespace shiftpar::sim {
+
+/** Owns the cluster clock; borrows components. */
+class Cluster
+{
+  public:
+    /** Register a component (borrowed; must outlive the cluster). */
+    void add(Component* c);
+
+    /** Schedule a client event (arrival, handoff completion, cancel...). */
+    void post(double t, std::function<void()> fire);
+
+    /**
+     * Install a hook run after every fired event and every successful
+     * component advance, at the current clock. Clients use it for
+     * policies that watch the whole cluster (e.g. the router's
+     * cross-replica migration). The hook may post events and mutate
+     * component state; it must be deterministic.
+     */
+    void set_progress_hook(std::function<void(double)> hook);
+
+    /**
+     * Run until no events are pending and every component is idle or
+     * stalled. Callers decide whether leftover stalled work is a deadlock
+     * (an engine with unfinished requests) or benign.
+     *
+     * @return true when every component ended idle (next_event_time ==
+     * +inf); false when at least one ended stalled.
+     */
+    bool run();
+
+    /** @return the cluster clock (last event/progress time), seconds. */
+    double now() const { return now_; }
+
+  private:
+    EventQueue queue_;
+    std::vector<Component*> components_;
+    std::vector<bool> stalled_;
+    std::function<void(double)> hook_;
+    double now_ = 0.0;
+};
+
+} // namespace shiftpar::sim

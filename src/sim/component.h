@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The `Component` contract of the discrete-event cluster core.
+ *
+ * A component is anything that owns its own simulated clock and does work
+ * in atomic units — an inference engine stepping its scheduler, a fabric
+ * link draining transfers. The cluster loop repeatedly asks every
+ * component when it could next act (`next_event_time`) and grants the
+ * earliest one a single unit of progress (`advance_to`), interleaving
+ * component work with queued events (arrivals, KV handoffs, cancels) in
+ * global time order.
+ */
+
+#pragma once
+
+namespace shiftpar::sim {
+
+/** One actor on the cluster timeline. */
+class Component
+{
+  public:
+    virtual ~Component() = default;
+
+    /**
+     * @return the earliest time this component could make progress:
+     *  - its current clock, when work is executable now;
+     *  - a future instant, when it is idle until a known event (e.g. the
+     *    earliest waiting arrival);
+     *  - +inf when it has nothing to do.
+     *
+     * Must be monotone between `advance_to` calls: the cluster trusts it
+     * to pick the next actor and to detect quiescence.
+     */
+    virtual double next_event_time() const = 0;
+
+    /**
+     * Perform at most ONE unit of progress, with clearance up to time `t`
+     * (`t >= next_event_time()`); the unit may overshoot `t` — units are
+     * atomic, exactly like an engine step that straddles an arrival.
+     *
+     * @return true when progress was made (a step executed, idle time
+     * skipped). Returning false declares the component *stalled*: it has
+     * work but cannot proceed until some other event changes its state
+     * (the cluster will not re-poll it until one fires). A component that
+     * returns true must have advanced its own clock or changed state —
+     * otherwise the cluster loop cannot terminate.
+     */
+    virtual bool advance_to(double t) = 0;
+};
+
+} // namespace shiftpar::sim

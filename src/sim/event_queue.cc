@@ -1,0 +1,35 @@
+#include "sim/event_queue.h"
+
+#include <limits>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace shiftpar::sim {
+
+void
+EventQueue::post(double t, std::function<void()> fire)
+{
+    SP_ASSERT(fire != nullptr);
+    heap_.push({t, next_seq_++, std::move(fire)});
+}
+
+double
+EventQueue::next_time() const
+{
+    return heap_.empty() ? std::numeric_limits<double>::infinity()
+                         : heap_.top().t;
+}
+
+void
+EventQueue::fire_next()
+{
+    SP_ASSERT(!heap_.empty());
+    // Move the closure out before popping: firing may post new events,
+    // which mutates the heap under us otherwise.
+    auto fire = std::move(const_cast<Event&>(heap_.top()).fire);
+    heap_.pop();
+    fire();
+}
+
+} // namespace shiftpar::sim

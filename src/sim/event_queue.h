@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Time-ordered event queue for the discrete-event cluster core.
+ *
+ * Events are (time, closure) pairs. Ties are FIFO: two events posted for
+ * the same instant fire in posting order, which is what makes replays
+ * deterministic — arrival events posted from a sorted workload fire in
+ * workload order even when arrivals coincide.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace shiftpar::sim {
+
+/** A min-heap of timed closures with FIFO tie-breaking. */
+class EventQueue
+{
+  public:
+    /** Schedule `fire` at time `t` (seconds on the cluster clock). */
+    void post(double t, std::function<void()> fire);
+
+    /** @return true when no events are pending. */
+    bool empty() const { return heap_.empty(); }
+
+    /** @return number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+    /**
+     * @return the earliest pending event time; +inf when empty (so callers
+     * can min() it against component ready times without a branch).
+     */
+    double next_time() const;
+
+    /**
+     * Pop and run the earliest pending event. The closure may post further
+     * events (they land back in this queue). Must not be called when
+     * `empty()`.
+     */
+    void fire_next();
+
+  private:
+    struct Event
+    {
+        double t;
+        std::uint64_t seq;  ///< posting order, breaks time ties FIFO
+        std::function<void()> fire;
+    };
+
+    struct Later
+    {
+        bool operator()(const Event& a, const Event& b) const
+        {
+            if (a.t != b.t)
+                return a.t > b.t;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    std::uint64_t next_seq_ = 0;
+};
+
+} // namespace shiftpar::sim

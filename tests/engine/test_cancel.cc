@@ -74,6 +74,65 @@ TEST(Cancel, OtherRequestsUnaffected)
     }
 }
 
+TEST(Cancel, MigratedAwayRequestIsRejectedWithoutCrashing)
+{
+    // Once a request is stolen for migration it belongs to another
+    // replica; a late client abort addressed to the old replica must be
+    // refused (the router delivers it to the new owner instead).
+    auto cfg = tp8_engine_config();
+    cfg.sched.max_running_seqs = 1;
+    auto e = make_engine(tiny_model(), cfg);
+    e->submit({0.0, 5000, 50}, 1);
+    e->submit({0.0, 5000, 50}, 2);  // queued, zero progress: stealable
+    const auto stolen = e->steal_waiting();
+    ASSERT_TRUE(stolen.has_value());
+    EXPECT_EQ(stolen->second, 2);
+    EXPECT_FALSE(e->cancel(2));
+    EXPECT_EQ(e->cancelled_count(), 0);
+    e->drain();
+    EXPECT_EQ(e->metrics().requests().size(), 1u);
+}
+
+TEST(Cancel, StealSkipsRequestsWithProgress)
+{
+    auto e = make_engine(tiny_model(), tp8_engine_config());
+    e->submit({0.0, 1000, 100}, 1);
+    e->run_until(0.05);  // request 1 is running: nothing stealable
+    EXPECT_FALSE(e->steal_waiting().has_value());
+    e->drain();
+    EXPECT_EQ(e->metrics().requests().size(), 1u);
+}
+
+TEST(Cancel, PrefilledRequestReleasesKvOnCancel)
+{
+    // A migrated-in request (disaggregated decode) admits its prompt KV
+    // without compute; cancelling it mid-decode must release that KV.
+    auto e = make_engine(tiny_model(), tp8_engine_config());
+    e->submit_prefilled({0.0, 4096, 64}, 1);
+    e->run_until(0.01);  // mid-decode
+    ASSERT_TRUE(e->has_work());
+    EXPECT_GT(e->cache().num_requests(), 0u);
+    EXPECT_TRUE(e->cancel(1));
+    EXPECT_EQ(e->cache().num_requests(), 0u);
+    EXPECT_FALSE(e->has_work());
+    EXPECT_EQ(e->metrics().requests().size(), 0u);
+}
+
+TEST(Cancel, WaitingPrefilledRequestCancelsCleanly)
+{
+    // Cancel lands between KV-handoff delivery and decode admission: the
+    // request is waiting with prefilled state and must cancel cleanly.
+    auto cfg = tp8_engine_config();
+    cfg.sched.max_running_seqs = 1;
+    auto e = make_engine(tiny_model(), cfg);
+    e->submit_prefilled({0.0, 4096, 64}, 1);
+    e->submit_prefilled({0.0, 4096, 64}, 2);  // queued behind request 1
+    EXPECT_TRUE(e->cancel(2));
+    e->drain();
+    EXPECT_EQ(e->metrics().requests().size(), 1u);
+    EXPECT_EQ(e->metrics().requests()[0].id, 1);
+}
+
 TEST(ComponentRemoval, ScalesMatchFig15Methodology)
 {
     // The Fig. 15 knobs: removing a component must subtract exactly that

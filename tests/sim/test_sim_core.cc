@@ -1,0 +1,219 @@
+/** @file Tests for the discrete-event cluster core (queue + component loop). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "sim/cluster.h"
+#include "sim/event_queue.h"
+
+namespace shiftpar::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.post(3.0, [&] { order.push_back(3); });
+    q.post(1.0, [&] { order.push_back(1); });
+    q.post(2.0, [&] { order.push_back(2); });
+    while (!q.empty())
+        q.fire_next();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFireInPostingOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        q.post(5.0, [&, i] { order.push_back(i); });
+    while (!q.empty())
+        q.fire_next();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EventQueue, NextTimeOfEmptyQueueIsInfinite)
+{
+    EventQueue q;
+    EXPECT_TRUE(std::isinf(q.next_time()));
+    q.post(2.5, [] {});
+    EXPECT_DOUBLE_EQ(q.next_time(), 2.5);
+}
+
+TEST(EventQueue, FiringMayPostNewEvents)
+{
+    EventQueue q;
+    std::vector<double> fired;
+    q.post(1.0, [&] {
+        fired.push_back(1.0);
+        q.post(2.0, [&] { fired.push_back(2.0); });
+    });
+    while (!q.empty())
+        q.fire_next();
+    EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+}
+
+/** A component that makes fixed-duration units of progress. */
+class TickingComponent : public Component
+{
+  public:
+    TickingComponent(double start, double quantum, int units,
+                     std::vector<std::string>* log, std::string name)
+        : t_(start), quantum_(quantum), left_(units), log_(log),
+          name_(std::move(name))
+    {
+    }
+
+    double next_event_time() const override
+    {
+        return left_ > 0 ? t_ : std::numeric_limits<double>::infinity();
+    }
+
+    bool advance_to(double) override
+    {
+        if (left_ <= 0)
+            return false;
+        t_ += quantum_;
+        --left_;
+        log_->push_back(name_ + "@" + std::to_string(t_));
+        return true;
+    }
+
+    double t() const { return t_; }
+
+  private:
+    double t_;
+    double quantum_;
+    int left_;
+    std::vector<std::string>* log_;
+    std::string name_;
+};
+
+TEST(Cluster, InterleavesComponentsInGlobalTimeOrder)
+{
+    std::vector<std::string> log;
+    TickingComponent a(0.0, 2.0, 3, &log, "a");  // acts at 0, 2, 4
+    TickingComponent b(1.0, 2.0, 3, &log, "b");  // acts at 1, 3, 5
+    Cluster cluster;
+    cluster.add(&a);
+    cluster.add(&b);
+    EXPECT_TRUE(cluster.run());
+    EXPECT_EQ(log, (std::vector<std::string>{
+                       "a@2.000000", "b@3.000000", "a@4.000000",
+                       "b@5.000000", "a@6.000000", "b@7.000000"}));
+}
+
+TEST(Cluster, RegistrationOrderBreaksComponentTies)
+{
+    std::vector<std::string> log;
+    TickingComponent a(0.0, 1.0, 2, &log, "a");
+    TickingComponent b(0.0, 1.0, 2, &log, "b");
+    Cluster cluster;
+    cluster.add(&a);
+    cluster.add(&b);
+    EXPECT_TRUE(cluster.run());
+    EXPECT_EQ(log[0].substr(0, 1), "a");
+    EXPECT_EQ(log[1].substr(0, 1), "b");
+}
+
+TEST(Cluster, EventAtTFiresBeforeComponentUnitStartingAtT)
+{
+    std::vector<std::string> log;
+    TickingComponent a(1.0, 1.0, 1, &log, "a");
+    Cluster cluster;
+    cluster.add(&a);
+    cluster.post(1.0, [&] { log.push_back("event@1"); });
+    EXPECT_TRUE(cluster.run());
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_EQ(log[0], "event@1");
+}
+
+/** A component that is blocked until an external flag flips. */
+class GatedComponent : public Component
+{
+  public:
+    explicit GatedComponent(std::vector<std::string>* log) : log_(log) {}
+
+    double next_event_time() const override
+    {
+        return done_ ? std::numeric_limits<double>::infinity() : 0.0;
+    }
+
+    bool advance_to(double) override
+    {
+        if (done_ || !open_)
+            return false;  // stalled until someone opens the gate
+        done_ = true;
+        log_->push_back("gated-ran");
+        return true;
+    }
+
+    void open() { open_ = true; }
+
+  private:
+    std::vector<std::string>* log_;
+    bool open_ = false;
+    bool done_ = false;
+};
+
+TEST(Cluster, EventUnblocksAStalledComponent)
+{
+    std::vector<std::string> log;
+    GatedComponent g(&log);
+    Cluster cluster;
+    cluster.add(&g);
+    cluster.post(4.0, [&] {
+        log.push_back("open@4");
+        g.open();
+    });
+    EXPECT_TRUE(cluster.run());
+    EXPECT_EQ(log, (std::vector<std::string>{"open@4", "gated-ran"}));
+}
+
+TEST(Cluster, ReportsPermanentlyStalledComponents)
+{
+    std::vector<std::string> log;
+    GatedComponent g(&log);  // never opened
+    Cluster cluster;
+    cluster.add(&g);
+    EXPECT_FALSE(cluster.run());
+    EXPECT_TRUE(log.empty());
+}
+
+TEST(Cluster, ProgressHookFiresAfterEveryEventAndUnit)
+{
+    std::vector<std::string> log;
+    TickingComponent a(0.0, 1.0, 2, &log, "a");
+    Cluster cluster;
+    cluster.add(&a);
+    cluster.post(0.5, [] {});
+    int hook_calls = 0;
+    cluster.set_progress_hook([&](double) { ++hook_calls; });
+    EXPECT_TRUE(cluster.run());
+    EXPECT_EQ(hook_calls, 3);  // one event + two component units
+}
+
+TEST(Cluster, ClockIsMonotoneAcrossEventsAndComponents)
+{
+    std::vector<std::string> log;
+    TickingComponent a(0.0, 3.0, 2, &log, "a");
+    Cluster cluster;
+    cluster.add(&a);
+    double last = -1.0;
+    bool monotone = true;
+    cluster.set_progress_hook([&](double t) {
+        if (t < last)
+            monotone = false;
+        last = t;
+    });
+    cluster.post(1.0, [] {});
+    cluster.post(4.0, [] {});
+    EXPECT_TRUE(cluster.run());
+    EXPECT_TRUE(monotone);
+}
+
+} // namespace
+} // namespace shiftpar::sim
