@@ -162,6 +162,7 @@ build(const Deployment& d, const ResolvedDeployment& r)
     auto router =
         std::make_unique<engine::Router>(std::move(engines), d.routing);
     router->set_trace(d.trace);
+    router->set_faults(d.faults, d.resilience);
     return router;
 }
 
@@ -182,7 +183,8 @@ run_deployment(const Deployment& d,
     // resolving is pure but not free (memory planning + threshold
     // auto-tuning), and sweep workers call this concurrently.
     const ResolvedDeployment r = resolve(d);
-    engine::Metrics m = build(d, r)->run_workload(workload);
+    auto router = build(d, r);
+    engine::Metrics m = router->run_workload(workload);
     if (report) {
         obs::RunDeploymentInfo info;
         info.description = r.describe();
@@ -190,7 +192,12 @@ run_deployment(const Deployment& d,
         info.tp = r.base.tp;
         info.replicas = r.replicas;
         info.shift_threshold = r.shift_threshold;
-        report->add_run(run_name, m, info);
+        // Fault counters are recorded only when the replay actually
+        // injected something, so fault-free reports stay byte-identical.
+        std::optional<fault::FaultStats> faults;
+        if (router->fault_stats().any())
+            faults = router->fault_stats();
+        report->add_run(run_name, m, info, {}, faults);
     }
     return m;
 }

@@ -78,6 +78,16 @@ struct Deployment
     std::optional<SpeculativeDecoder> spec_decode;
 
     /**
+     * Fault schedule replayed against the built router's engines during
+     * `run_workload` (robustness experiments). Empty = no fault machinery
+     * runs at all; results are bit-identical to a build without it.
+     */
+    fault::FaultSchedule faults;
+
+    /** Retry/backoff and load-shedding knobs used when `faults` is set. */
+    engine::ResilienceOptions resilience;
+
+    /**
      * Observability sink (borrowed, may be null). When set, `build`
      * registers every engine replica on the bus and all layers publish
      * lifecycle/step/gauge events to it. Null disables tracing;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <functional>
+#include <limits>
 #include <string>
+#include <unordered_map>
 
 #include "hw/interconnect.h"
 #include "sim/cluster.h"
@@ -95,10 +97,17 @@ DisaggregatedSystem::run_workload(
         double transfer_start = 0.0;
         double transfer_end = 0.0;  ///< scheduled handoff completion
         double admit_ready = 0.0;   ///< when backpressure began stalling it
+        std::int64_t fabric_id = -1;  ///< current fabric reservation
     };
     std::vector<Tracked> track(n);
 
     hw::LinkChannel fabric(node_.link);
+    // Fabric reservations get fresh ids (a handoff re-sent after a link
+    // outage must not collide with its aborted reservation); the map
+    // resolves a reservation back to its request.
+    std::int64_t next_fabric_id = 0;
+    std::unordered_map<std::int64_t, std::size_t> fabric_owner;
+    double link_down_until = 0.0;
     sim::Cluster cluster;
     cluster.add(prefill.get());
     cluster.add(decode.get());
@@ -163,6 +172,23 @@ DisaggregatedSystem::run_workload(
             });
         };
 
+    // Reserve the fabric for request `i`'s handoff no earlier than `t`
+    // (pushed past any link outage in force) and arm its completion.
+    auto start_transfer = [&](std::size_t i, double t) {
+        const double bytes =
+            static_cast<double>(sorted[i].prompt_tokens + 1) *
+            model_.kv_bytes_per_token();
+        const std::int64_t fid = next_fabric_id++;
+        const auto win =
+            fabric.reserve(fid, std::max(t, link_down_until), bytes);
+        fabric_owner[fid] = i;
+        track[i].fabric_id = fid;
+        track[i].stage = Stage::kTransfer;
+        track[i].transfer_start = win.start;
+        track[i].transfer_end = win.end;
+        post_transfer_complete(i, win.end);
+    };
+
     prefill->set_on_finish([&](const engine::Request& r) {
         const auto i = static_cast<std::size_t>(r.id);
         const double t = prefill->now();
@@ -173,15 +199,7 @@ DisaggregatedSystem::run_workload(
             cluster.post(t, [&, t] { drain_admissions(t); });
             return;
         }
-        const double bytes =
-            static_cast<double>(sorted[i].prompt_tokens + 1) *
-            model_.kv_bytes_per_token();
-        const auto win =
-            fabric.reserve(static_cast<std::int64_t>(i), t, bytes);
-        track[i].stage = Stage::kTransfer;
-        track[i].transfer_start = win.start;
-        track[i].transfer_end = win.end;
-        post_transfer_complete(i, win.end);
+        start_transfer(i, t);
     });
 
     decode->set_on_finish([&](const engine::Request& r) {
@@ -236,8 +254,8 @@ DisaggregatedSystem::run_workload(
                 // shift earlier, so repost their completion events.
                 ++stats_.transfers_cancelled;
                 for (const std::int64_t shifted :
-                     fabric.cancel(static_cast<std::int64_t>(i), when)) {
-                    const auto j = static_cast<std::size_t>(shifted);
+                     fabric.cancel(track[i].fabric_id, when)) {
+                    const std::size_t j = fabric_owner.at(shifted);
                     const auto w = fabric.window(shifted);
                     track[j].transfer_start = w.start;
                     track[j].transfer_end = w.end;
@@ -255,6 +273,50 @@ DisaggregatedSystem::run_workload(
             }
             if (was != Stage::kPending)
                 cluster.post(when, [&, when] { drain_admissions(when); });
+        });
+    }
+
+    for (const auto& [at, recover_at] : link_failures_) {
+        cluster.post(at, [&, at, recover_at] {
+            ++stats_.link_failures;
+            link_down_until = std::max(link_down_until, recover_at);
+            if (opts_.trace) {
+                obs::FaultEvent ev;
+                ev.engine = prefill->trace_id();
+                ev.kind = obs::FaultKind::kLinkDegrade;
+                ev.t = at;
+                opts_.trace->on_fault(ev);
+            }
+            // Every pending handoff — on the wire or queued — is aborted
+            // through the cancel path (partial KV is useless without its
+            // tail) and re-sent whole, FIFO by request index, once the
+            // link recovers.
+            for (std::size_t i = 0; i < n; ++i) {
+                if (track[i].stage != Stage::kTransfer)
+                    continue;
+                fabric.cancel(track[i].fabric_id, at);
+                // Invalidate the aborted handoff's pending completion
+                // event (NaN compares unequal to every window end).
+                track[i].transfer_end =
+                    std::numeric_limits<double>::quiet_NaN();
+                ++stats_.transfers_resent;
+                cluster.post(recover_at, [&, i, recover_at] {
+                    // A client abort during the outage wins; its cancel
+                    // against the dead reservation was already a no-op.
+                    if (track[i].stage != Stage::kTransfer)
+                        return;
+                    start_transfer(i, recover_at);
+                });
+            }
+            cluster.post(recover_at, [&, recover_at] {
+                if (opts_.trace) {
+                    obs::FaultEvent ev;
+                    ev.engine = prefill->trace_id();
+                    ev.kind = obs::FaultKind::kLinkRestore;
+                    ev.t = recover_at;
+                    opts_.trace->on_fault(ev);
+                }
+            });
         });
     }
 

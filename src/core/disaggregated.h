@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/deployment.h"
+#include "util/logging.h"
 
 namespace shiftpar::core {
 
@@ -88,6 +89,12 @@ struct DisaggregatedStats
 
     /** Fabric occupancy of delivered handoffs, seconds. */
     double link_busy_seconds = 0.0;
+
+    /** Injected link outages replayed. */
+    std::int64_t link_failures = 0;
+
+    /** Handoffs aborted by a link outage and re-sent after recovery. */
+    std::int64_t transfers_resent = 0;
 };
 
 /** A prefill-pool + decode-pool deployment of one model on one node. */
@@ -120,6 +127,21 @@ class DisaggregatedSystem
         cancels_.emplace_back(t, id);
     }
 
+    /**
+     * Schedule a fabric outage over [at, recover_at) for the next
+     * `run_workload` (fault injection). Handoffs on the wire when the
+     * link dies are aborted through the same cancel path client aborts
+     * use — transfers queued behind them shift accordingly — and are
+     * re-sent whole once the link recovers (partially transferred KV is
+     * useless without its tail). Prefills finishing during the outage
+     * queue their handoff for the recovery instant.
+     */
+    void schedule_link_failure(double at, double recover_at)
+    {
+        SP_ASSERT(recover_at > at && at >= 0.0);
+        link_failures_.emplace_back(at, recover_at);
+    }
+
     /** @return pipeline counters of the last `run_workload`. */
     const DisaggregatedStats& stats() const { return stats_; }
 
@@ -146,6 +168,7 @@ class DisaggregatedSystem
     parallel::ParallelConfig prefill_cfg_;
     parallel::ParallelConfig decode_cfg_;
     std::vector<std::pair<double, engine::RequestId>> cancels_;
+    std::vector<std::pair<double, double>> link_failures_;
     DisaggregatedStats stats_;
 };
 

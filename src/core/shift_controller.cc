@@ -21,6 +21,12 @@ ShiftController::attach_trace(obs::TraceSink* sink, obs::EngineId id,
     trace_ = sink;
     trace_id_ = id;
     trace_clock_ = clock;
+    // A controller can be re-attached (a new engine or a fresh run reusing
+    // the policy object): the flip detector must forget the previous
+    // stream's last mode, or the first decision here would be compared
+    // against another engine's history and emit a phantom mode switch.
+    last_shift_ = false;
+    have_last_ = false;
 }
 
 engine::ExecutionPolicy::Choice

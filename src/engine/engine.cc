@@ -38,6 +38,7 @@ Engine::Engine(const hw::Node& node, const model::ModelConfig& m,
 void
 Engine::submit(const RequestSpec& spec, RequestId id, bool migrated_in)
 {
+    SP_ASSERT(!failed_, "submit to a failed engine");
     SP_ASSERT(spec.prompt_tokens >= 1 && spec.output_tokens >= 1,
               "requests need at least one prompt and one output token");
     SP_ASSERT(spec.prefix_tokens >= 0 &&
@@ -103,6 +104,86 @@ Engine::cancel(RequestId id)
     return false;
 }
 
+std::vector<std::pair<RequestSpec, RequestId>>
+Engine::fail(double t)
+{
+    SP_ASSERT(!failed_, "engine failed twice without recovering");
+    failed_ = true;
+    now_ = std::max(now_, t);
+    slowdown_ = 1.0;
+    comm_multiplier_ = 1.0;
+
+    std::vector<Request*> dropped = scheduler_.fail_all();
+    std::vector<std::pair<RequestSpec, RequestId>> out;
+    out.reserve(dropped.size());
+    for (const Request* r : dropped)
+        out.emplace_back(r->spec, r->id);
+
+    // HBM dies with the rank group: idle prefix entries (live ones were
+    // just unpinned by the drop) are destroyed too, so a recovered engine
+    // restarts cold.
+    cache_.evict_idle_prefixes(std::numeric_limits<std::int64_t>::max());
+    SP_ASSERT(cache_.num_requests() == 0 && cache_.prefix_entry_count() == 0,
+              "failed engine still holds KV state");
+
+    if (cfg_.trace) {
+        obs::FaultEvent ev;
+        ev.engine = cfg_.trace_id;
+        ev.kind = obs::FaultKind::kFail;
+        ev.t = now_;
+        ev.dropped_requests = static_cast<std::int64_t>(out.size());
+        cfg_.trace->on_fault(ev);
+    }
+    return out;
+}
+
+void
+Engine::recover(double t)
+{
+    SP_ASSERT(failed_, "recover() on a healthy engine");
+    failed_ = false;
+    now_ = std::max(now_, t);
+    if (cfg_.trace) {
+        obs::FaultEvent ev;
+        ev.engine = cfg_.trace_id;
+        ev.kind = obs::FaultKind::kRecover;
+        ev.t = now_;
+        cfg_.trace->on_fault(ev);
+    }
+}
+
+void
+Engine::set_slowdown(double factor, double t)
+{
+    SP_ASSERT(factor >= 1.0);
+    slowdown_ = factor;
+    if (cfg_.trace) {
+        obs::FaultEvent ev;
+        ev.engine = cfg_.trace_id;
+        ev.kind = factor > 1.0 ? obs::FaultKind::kStraggleStart
+                               : obs::FaultKind::kStraggleEnd;
+        ev.t = t;
+        ev.magnitude = factor;
+        cfg_.trace->on_fault(ev);
+    }
+}
+
+void
+Engine::set_comm_multiplier(double factor, double t)
+{
+    SP_ASSERT(factor >= 1.0);
+    comm_multiplier_ = factor;
+    if (cfg_.trace) {
+        obs::FaultEvent ev;
+        ev.engine = cfg_.trace_id;
+        ev.kind = factor > 1.0 ? obs::FaultKind::kLinkDegrade
+                               : obs::FaultKind::kLinkRestore;
+        ev.t = t;
+        ev.magnitude = factor;
+        cfg_.trace->on_fault(ev);
+    }
+}
+
 bool
 Engine::step()
 {
@@ -122,8 +203,19 @@ Engine::step()
         cache_.assert_invariant_with(shift_layout_);
     }
 
-    const parallel::StepTiming timing =
+    parallel::StepTiming timing =
         perf_.step_time(plan.work(), choice.cfg, choice.sliced);
+    // Fault-injection multipliers. Guarded so an unfaulted run's timings
+    // are the exact same doubles — results stay bit-identical with the
+    // fault subsystem unused.
+    if (comm_multiplier_ != 1.0)
+        timing.comm *= comm_multiplier_;
+    if (slowdown_ != 1.0) {
+        timing.gemm *= slowdown_;
+        timing.attention *= slowdown_;
+        timing.comm *= slowdown_;
+        timing.overhead *= slowdown_;
+    }
 
     StepRecord rec;
     rec.start = now_;
@@ -174,7 +266,7 @@ Engine::step()
 double
 Engine::next_event_time() const
 {
-    if (!has_work())
+    if (failed_ || !has_work())
         return std::numeric_limits<double>::infinity();
     if (scheduler_.num_running() > 0)
         return now_;
@@ -185,7 +277,7 @@ Engine::next_event_time() const
 bool
 Engine::advance_to(double t)
 {
-    if (!has_work())
+    if (failed_ || !has_work())
         return false;
     if (scheduler_.num_running() == 0) {
         const double next = scheduler_.earliest_waiting_arrival();

@@ -251,6 +251,49 @@ class Engine : public sim::Component
     /** @return requests cancelled so far. */
     std::int64_t cancelled_count() const { return cancelled_; }
 
+    /**
+     * Fail-stop this engine at time `t` (fault injection): every live
+     * request is dropped with its KV state — running requests first
+     * (admission order) then waiting ones (queue order) — and the
+     * engine's HBM contents, including idle prefix-cache entries, are
+     * destroyed. Because the engine models a whole SP x TP rank group,
+     * losing any one rank takes the entire group down: TP-heavy
+     * deployments lose all their GPUs to one fault while DP deployments
+     * lose a single replica's share. A failed engine reports no events
+     * and makes no progress until `recover()`.
+     *
+     * @return the dropped requests' (spec, id) pairs in drop order, for a
+     * router to retry elsewhere. Finished requests are unaffected.
+     */
+    std::vector<std::pair<RequestSpec, RequestId>> fail(double t);
+
+    /**
+     * Rejoin the cluster at time `t` with an empty KV cache and healthy
+     * (1x) speed. Only valid on a failed engine.
+     */
+    void recover(double t);
+
+    /** @return true while fail-stopped. */
+    bool failed() const { return failed_; }
+
+    /**
+     * Straggler injection: scale every subsequent step's full timing by
+     * `factor` (> 1 slows; exactly 1 restores and is bit-identical to an
+     * unfaulted run). Publishes a straggle_start/straggle_end trace
+     * transition at time `t`.
+     */
+    void set_slowdown(double factor, double t);
+
+    /**
+     * Interconnect degradation: scale the communication component of
+     * every subsequent step by `factor` (1 restores, bit-identically).
+     * Publishes a link_degrade/link_restore trace transition at `t`.
+     */
+    void set_comm_multiplier(double factor, double t);
+
+    /** @return GPUs in this engine's rank group (SP x TP). */
+    int num_gpus() const { return cfg_.base.world(); }
+
     /** @return this engine's id on the trace bus (0 when untraced). */
     obs::EngineId trace_id() const { return cfg_.trace_id; }
 
@@ -271,6 +314,9 @@ class Engine : public sim::Component
     std::function<void(const Request&)> on_finish_;
     double now_ = 0.0;
     std::int64_t cancelled_ = 0;
+    bool failed_ = false;
+    double slowdown_ = 1.0;         ///< straggler factor (1 = healthy)
+    double comm_multiplier_ = 1.0;  ///< interconnect factor (1 = healthy)
 };
 
 } // namespace shiftpar::engine

@@ -59,6 +59,7 @@ enum class RequestState
     kFinished,   ///< all output tokens produced
     kCancelled,  ///< aborted by the client before completion
     kMigrated,   ///< moved to another replica before making progress
+    kLost,       ///< dropped by an engine failure (KV state destroyed)
 };
 
 /** A live request tracked by an engine. */

@@ -1,6 +1,8 @@
 #include "engine/router.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "sim/cluster.h"
 #include "util/logging.h"
@@ -24,18 +26,24 @@ Router::run_until(double t)
 std::size_t
 Router::select_replica()
 {
-    if (engines_.size() == 1)
-        return 0;
+    const std::size_t n = engines_.size();
     if (policy_ == RoutingPolicy::kRoundRobin) {
-        const std::size_t pick = next_rr_;
-        next_rr_ = (next_rr_ + 1) % engines_.size();
-        return pick;
+        for (std::size_t k = 0; k < n; ++k) {
+            const std::size_t pick = (next_rr_ + k) % n;
+            if (!engines_[pick]->failed()) {
+                next_rr_ = (pick + 1) % n;
+                return pick;
+            }
+        }
+        return n;
     }
-    std::size_t best = 0;
-    std::int64_t best_load = engines_[0]->outstanding_tokens();
-    for (std::size_t i = 1; i < engines_.size(); ++i) {
+    std::size_t best = n;
+    std::int64_t best_load = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (engines_[i]->failed())
+            continue;
         const std::int64_t load = engines_[i]->outstanding_tokens();
-        if (load < best_load) {
+        if (best == n || load < best_load) {
             best = i;
             best_load = load;
         }
@@ -44,15 +52,21 @@ Router::select_replica()
 }
 
 void
+Router::publish(obs::EngineId engine, RequestId id, obs::RequestPhase phase,
+                double t, std::int64_t tokens) const
+{
+    if (trace_)
+        trace_->on_request({engine, id, phase, t, tokens});
+}
+
+void
 Router::submit(const RequestSpec& spec, RequestId id)
 {
     const std::size_t pick = select_replica();
+    SP_ASSERT(pick < engines_.size(), "submit with every replica failed");
     engines_[pick]->submit(spec, id);
-    if (trace_) {
-        trace_->on_request({engines_[pick]->trace_id(), id,
-                            obs::RequestPhase::kRouted, spec.arrival,
-                            spec.prompt_tokens});
-    }
+    publish(engines_[pick]->trace_id(), id, obs::RequestPhase::kRouted,
+            spec.arrival, spec.prompt_tokens);
 }
 
 void
@@ -65,22 +79,26 @@ Router::drain()
 void
 Router::rebalance(double t)
 {
-    if (engines_.size() < 2)
-        return;
-    std::size_t busiest = 0, idlest = 0;
-    std::int64_t max_load = engines_[0]->outstanding_tokens();
-    std::int64_t min_load = max_load;
-    for (std::size_t i = 1; i < engines_.size(); ++i) {
+    // Failed replicas are invisible to the rebalancer: they can neither
+    // donate (their queues were dropped) nor receive work.
+    const std::size_t n = engines_.size();
+    std::size_t busiest = n, idlest = n;
+    std::int64_t max_load = 0, min_load = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (engines_[i]->failed())
+            continue;
         const std::int64_t load = engines_[i]->outstanding_tokens();
-        if (load > max_load) {
+        if (busiest == n || load > max_load) {
             max_load = load;
             busiest = i;
         }
-        if (load < min_load) {
+        if (idlest == n || load < min_load) {
             min_load = load;
             idlest = i;
         }
     }
+    if (busiest == n || busiest == idlest)
+        return;
     const std::int64_t gap = max_load - min_load;
     if (gap < migration_.min_token_imbalance)
         return;
@@ -103,6 +121,184 @@ Router::rebalance(double t)
     }
 }
 
+void
+Router::admit(const RequestSpec& spec, RequestId id, double t)
+{
+    if (should_shed(t)) {
+        ++fault_stats_.shed;
+        publish(engines_[0]->trace_id(), id, obs::RequestPhase::kShed, t,
+                spec.prompt_tokens);
+        return;
+    }
+    const std::size_t pick = select_replica();
+    if (pick == engines_.size()) {
+        // Every replica is down: treat the arrival like a dropped request
+        // — the client backs off and retries against the outage.
+        schedule_retry(spec, id, t);
+        return;
+    }
+    engines_[pick]->submit(spec, id);
+    publish(engines_[pick]->trace_id(), id, obs::RequestPhase::kRouted,
+            spec.arrival, spec.prompt_tokens);
+}
+
+bool
+Router::should_shed(double t) const
+{
+    (void)t;
+    if (resilience_.shed_watermark <= 0.0)
+        return false;
+    int total = 0, alive = 0;
+    for (const auto& e : engines_) {
+        total += e->num_gpus();
+        if (!e->failed())
+            alive += e->num_gpus();
+    }
+    if (alive == 0)
+        return false;  // full outage: the retry path owns this arrival
+    if (static_cast<double>(alive) >=
+        resilience_.shed_watermark * static_cast<double>(total))
+        return false;
+    if (resilience_.shed_ttft_slo <= 0.0 ||
+        resilience_.replica_tokens_per_s <= 0.0)
+        return true;  // degraded and no SLO estimate: shed everything
+    // SLO-aware guard: admit while the best surviving backlog would still
+    // be served within the TTFT budget.
+    std::int64_t best_backlog = std::numeric_limits<std::int64_t>::max();
+    for (const auto& e : engines_) {
+        if (!e->failed())
+            best_backlog = std::min(best_backlog, e->outstanding_tokens());
+    }
+    const double est_wait = static_cast<double>(best_backlog) /
+                            resilience_.replica_tokens_per_s;
+    return est_wait > resilience_.shed_ttft_slo;
+}
+
+void
+Router::schedule_retry(const RequestSpec& spec, RequestId id, double t)
+{
+    SP_ASSERT(active_cluster_ != nullptr,
+              "retries only run inside run_workload");
+    const int attempt = ++attempts_[id];
+    if (attempt > resilience_.max_retries) {
+        ++fault_stats_.lost;
+        publish(engines_[0]->trace_id(), id, obs::RequestPhase::kLost, t);
+        return;
+    }
+    ++fault_stats_.retries;
+    const double delay =
+        std::min(resilience_.backoff_base *
+                     std::pow(2.0, static_cast<double>(attempt - 1)),
+                 resilience_.backoff_cap);
+    const double when = t + delay;
+    publish(engines_[0]->trace_id(), id, obs::RequestPhase::kRetried, t,
+            attempt);
+    active_cluster_->post(when, [this, spec, id, when] {
+        for (auto& e : engines_)
+            e->advance_clock_to(when);
+        const std::size_t pick = select_replica();
+        if (pick == engines_.size()) {
+            schedule_retry(spec, id, when);  // outage persists: back off
+            return;
+        }
+        // The original arrival rides along in `spec`, so the retried
+        // request's TTFT includes the outage it sat through.
+        engines_[pick]->submit(spec, id);
+        publish(engines_[pick]->trace_id(), id, obs::RequestPhase::kRouted,
+                when, spec.prompt_tokens);
+    });
+}
+
+void
+Router::on_engine_failure(std::size_t idx, double t)
+{
+    Engine& victim = *engines_[idx];
+    SP_ASSERT(!victim.failed());
+    // Straggle/degrade restores aimed at the dead engine are obsolete —
+    // fail() resets its multipliers and recovery brings it back healthy.
+    for (const sim::EventId ev : pending_restores_[idx])
+        active_cluster_->cancel_event(ev);
+    pending_restores_[idx].clear();
+    ++fault_stats_.failures;
+    const auto dropped = victim.fail(t);
+    fault_stats_.dropped += static_cast<std::int64_t>(dropped.size());
+    for (const auto& [spec, id] : dropped)
+        schedule_retry(spec, id, t);
+}
+
+void
+Router::on_engine_recovery(std::size_t idx, double t)
+{
+    ++fault_stats_.recoveries;
+    engines_[idx]->recover(t);
+}
+
+void
+Router::arm_faults(sim::Cluster* cluster)
+{
+    std::vector<int> gpus;
+    gpus.reserve(engines_.size());
+    for (const auto& e : engines_)
+        gpus.push_back(e->num_gpus());
+
+    for (const fault::FaultEvent& ev : faults_.materialize(gpus)) {
+        switch (ev.kind) {
+          case fault::FaultKind::kFail:
+            cluster->post(ev.at, [this, ev] {
+                // Overlapping schedules (an explicit fail inside an MTBF
+                // outage): the first failure wins and keeps its recovery;
+                // a fail against an already-dead engine is dropped whole,
+                // pairing each applied failure with exactly one recovery.
+                if (engines_[ev.engine]->failed())
+                    return;
+                on_engine_failure(static_cast<std::size_t>(ev.engine),
+                                  ev.at);
+                if (std::isfinite(ev.recover_at)) {
+                    active_cluster_->post(ev.recover_at, [this, ev] {
+                        on_engine_recovery(
+                            static_cast<std::size_t>(ev.engine),
+                            ev.recover_at);
+                    });
+                }
+            });
+            break;
+          case fault::FaultKind::kStraggle:
+            cluster->post(ev.at, [this, ev] {
+                if (engines_[ev.engine]->failed())
+                    return;
+                ++fault_stats_.straggles;
+                engines_[ev.engine]->set_slowdown(ev.factor, ev.at);
+                pending_restores_[ev.engine].push_back(
+                    active_cluster_->post(ev.recover_at, [this, ev] {
+                        engines_[ev.engine]->set_slowdown(1.0,
+                                                          ev.recover_at);
+                    }));
+            });
+            break;
+          case fault::FaultKind::kDegrade:
+            cluster->post(ev.at, [this, ev] {
+                ++fault_stats_.degrades;
+                const std::size_t n = engines_.size();
+                for (std::size_t i = 0; i < n; ++i) {
+                    if (ev.engine >= 0 &&
+                        i != static_cast<std::size_t>(ev.engine))
+                        continue;
+                    if (engines_[i]->failed())
+                        continue;
+                    engines_[i]->set_comm_multiplier(ev.factor, ev.at);
+                    pending_restores_[i].push_back(
+                        active_cluster_->post(ev.recover_at, [this, i,
+                                                              ev] {
+                            engines_[i]->set_comm_multiplier(
+                                1.0, ev.recover_at);
+                        }));
+                }
+            });
+            break;
+        }
+    }
+}
+
 Metrics
 Router::run_workload(const std::vector<RequestSpec>& workload)
 {
@@ -120,19 +316,26 @@ Router::run_workload(const std::vector<RequestSpec>& workload)
     // sequences — and therefore all records and metrics — are
     // bit-identical to the lockstep loop (see test_sim_equivalence).
     sim::Cluster cluster;
+    active_cluster_ = &cluster;
+    fault_stats_ = {};
+    attempts_.clear();
+    pending_restores_.assign(engines_.size(), {});
     for (auto& e : engines_)
         cluster.add(e.get());
+    if (!faults_.empty())
+        arm_faults(&cluster);
     for (std::size_t i = 0; i < sorted.size(); ++i) {
         const RequestSpec& spec = sorted[i];
         cluster.post(spec.arrival, [this, &spec, i] {
             for (auto& e : engines_)
                 e->advance_clock_to(spec.arrival);
-            submit(spec, static_cast<RequestId>(i));
+            admit(spec, static_cast<RequestId>(i), spec.arrival);
         });
     }
     if (migration_.enabled)
         cluster.set_progress_hook([this](double t) { rebalance(t); });
     cluster.run();
+    active_cluster_ = nullptr;
     for (auto& e : engines_) {
         if (e->has_work()) {
             fatal("cluster replay deadlocked: a replica still holds "

@@ -17,9 +17,12 @@
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/engine.h"
+#include "fault/fault_schedule.h"
+#include "sim/cluster.h"
 
 namespace shiftpar::engine {
 
@@ -47,6 +50,48 @@ struct MigrationOptions
 
     /** Outstanding-token gap that triggers a migration. */
     std::int64_t min_token_imbalance = 8192;
+};
+
+/**
+ * Failure-recovery policy, active only when a fault schedule is set.
+ *
+ * When a replica fail-stops, its dropped requests are retried on a
+ * surviving replica after a capped exponential backoff (attempt n waits
+ * min(backoff_base * 2^(n-1), backoff_cap) seconds, modeling client
+ * retry loops); a request that exhausts `max_retries` is permanently
+ * lost. While the cluster is degraded below `shed_watermark` (surviving
+ * GPU fraction), new arrivals are load-shed — either all of them, or,
+ * when the SLO-aware knobs are set, only those whose estimated queueing
+ * wait (best surviving backlog / `replica_tokens_per_s`) exceeds
+ * `shed_ttft_slo` — so the survivors keep meeting the SLO instead of
+ * melting down under the full offered load.
+ */
+struct ResilienceOptions
+{
+    /** Retry attempts per request before it is declared lost. */
+    int max_retries = 3;
+
+    /** First-retry backoff, seconds. */
+    double backoff_base = 0.25;
+
+    /** Backoff ceiling, seconds. */
+    double backoff_cap = 4.0;
+
+    /**
+     * Shed new arrivals while surviving GPUs / total GPUs is below this
+     * fraction (0 disables shedding).
+     */
+    double shed_watermark = 0.0;
+
+    /**
+     * SLO-aware shedding: admit arrivals whose estimated wait stays
+     * within this TTFT bound, seconds. 0 sheds every arrival while
+     * degraded below the watermark.
+     */
+    double shed_ttft_slo = 0.0;
+
+    /** Serving rate per replica for the wait estimate, tokens/s. */
+    double replica_tokens_per_s = 0.0;
 };
 
 /** Routes requests across replicas and replays workloads. */
@@ -84,6 +129,25 @@ class Router
     /** @return requests moved by the migration hook so far. */
     std::int64_t migration_count() const { return migrations_; }
 
+    /**
+     * Install a fault-injection schedule and recovery policy for the next
+     * `run_workload` (the lockstep `run_until`/`submit`/`drain` path does
+     * not replay faults). The schedule is materialized against this
+     * router's replicas — rank addresses resolve to whole engines, so one
+     * lost rank stalls its entire SP x TP group — and every fault becomes
+     * an event on the replay's cluster timeline. With an empty schedule
+     * the replay is bit-identical to an unfaulted one.
+     */
+    void set_faults(fault::FaultSchedule schedule,
+                    ResilienceOptions resilience = {})
+    {
+        faults_ = std::move(schedule);
+        resilience_ = resilience;
+    }
+
+    /** @return fault/recovery counters from the last `run_workload`. */
+    const fault::FaultStats& fault_stats() const { return fault_stats_; }
+
     /** @return merged metrics across replicas (after running). */
     Metrics merged_metrics() const;
 
@@ -102,7 +166,11 @@ class Router
     void set_trace(obs::TraceSink* sink) { trace_ = sink; }
 
   private:
-    /** Pick the replica for the next request. */
+    /**
+     * Pick the replica for the next request, skipping failed ones.
+     *
+     * @return the replica index, or `size()` when every replica is down.
+     */
     std::size_t select_replica();
 
     /**
@@ -113,12 +181,51 @@ class Router
      */
     void rebalance(double t);
 
+    /**
+     * Route one request at time `t` during a cluster replay: shed when
+     * the degraded-mode guard says so, otherwise submit to the selected
+     * replica, falling into the retry path when every replica is down.
+     * Identical to `submit` when no faults are configured.
+     */
+    void admit(const RequestSpec& spec, RequestId id, double t);
+
+    /** Post the materialized fault schedule onto the replay timeline. */
+    void arm_faults(sim::Cluster* cluster);
+
+    /** Apply a fail-stop: drop state, cancel restores, schedule retries. */
+    void on_engine_failure(std::size_t idx, double t);
+
+    /** Rejoin a failed replica at `t`. */
+    void on_engine_recovery(std::size_t idx, double t);
+
+    /**
+     * Schedule a retry of a dropped request (or declare it lost once its
+     * attempts are exhausted). The retry fires after a capped exponential
+     * backoff and re-picks a surviving replica at fire time.
+     */
+    void schedule_retry(const RequestSpec& spec, RequestId id, double t);
+
+    /** @return true when the degraded-mode guard sheds this arrival. */
+    bool should_shed(double t) const;
+
+    /** Publish a request lifecycle event on the router's trace. */
+    void publish(obs::EngineId engine, RequestId id, obs::RequestPhase phase,
+                 double t, std::int64_t tokens = 0) const;
+
     std::vector<std::unique_ptr<Engine>> engines_;
     RoutingPolicy policy_;
     MigrationOptions migration_;
     std::size_t next_rr_ = 0;
     std::int64_t migrations_ = 0;
     obs::TraceSink* trace_ = nullptr;
+
+    fault::FaultSchedule faults_;
+    ResilienceOptions resilience_;
+    fault::FaultStats fault_stats_;
+    sim::Cluster* active_cluster_ = nullptr;  ///< replay-scoped borrow
+    std::unordered_map<RequestId, int> attempts_;  ///< retry counts
+    /** Pending straggle/degrade restore events, cancelled on fail-stop. */
+    std::vector<std::vector<sim::EventId>> pending_restores_;
 };
 
 } // namespace shiftpar::engine

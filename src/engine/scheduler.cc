@@ -278,6 +278,31 @@ Scheduler::cancel(Request* r)
     return true;
 }
 
+std::vector<Request*>
+Scheduler::fail_all()
+{
+    std::vector<Request*> dropped;
+    dropped.reserve(running_.size() + waiting_.size());
+    for (Request* r : running_) {
+        cache_->release(r->id);
+        detach_prefix_if_attached(r);
+        dropped.push_back(r);
+    }
+    running_.clear();
+    // Waiting requests can hold KV too: a schedule() pass attaches a
+    // prefix (and may fill it) before admission succeeds, so a request
+    // blocked at the admission gate keeps its attachment in the queue.
+    for (Request* r : waiting_) {
+        cache_->release(r->id);
+        detach_prefix_if_attached(r);
+        dropped.push_back(r);
+    }
+    waiting_.clear();
+    for (Request* r : dropped)
+        r->state = RequestState::kLost;
+    return dropped;
+}
+
 Request*
 Scheduler::steal_waiting(double now, std::int64_t max_tokens)
 {

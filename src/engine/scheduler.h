@@ -125,6 +125,17 @@ class Scheduler
     Request* steal_waiting(double now, std::int64_t max_tokens);
 
     /**
+     * Fail-stop: drop every live request (fault injection). Running
+     * requests (admission order) then waiting requests (queue order) are
+     * removed from their queues, their KV and prefix pins released, and
+     * their state set to kLost. The returned order is deterministic so a
+     * router can retry them reproducibly.
+     *
+     * @return the dropped requests, running first then waiting.
+     */
+    std::vector<Request*> fail_all();
+
+    /**
      * Apply the effects of a completed step: advance prefill progress,
      * emit tokens, finish requests (releasing their KV).
      *

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Fault-injection schedules for the discrete-event cluster core.
+ *
+ * A `FaultSchedule` is a declarative list of faults to inject into a
+ * deployment replay: fail-stop replica failures (with optional recovery),
+ * per-step straggler slowdowns, and interconnect degradation windows. It
+ * is parsed from a `--faults` command-line spec (or built
+ * programmatically) and *materialized* against a concrete deployment —
+ * resolving rank addresses to engine indices and expanding stochastic
+ * MTBF clauses into a seed-deterministic event list — so the same spec
+ * plus seed always replays the same faults, byte for byte, regardless of
+ * `--jobs` or host.
+ *
+ * Spec grammar (clauses separated by ';', keys by ','):
+ *
+ *   fail:engine=1,at=10[,recover=25]      fail-stop engine 1 at t=10s,
+ *                                         rejoin (empty KV) at t=25s
+ *   fail:rank=3,at=10                     address by GPU rank instead —
+ *                                         the engine owning rank 3 dies,
+ *                                         so one lost rank stalls a whole
+ *                                         TP x SP group while flat DP
+ *                                         loses a single replica
+ *   straggle:engine=0,at=5,until=15,slow=2.5
+ *                                         engine 0 runs every step 2.5x
+ *                                         slower during [5,15)
+ *   degrade:at=5,until=20,factor=4[,engine=i|rank=r]
+ *                                         interconnect 4x slower (comm
+ *                                         component of every step);
+ *                                         applies to all engines unless
+ *                                         addressed
+ *   mtbf:mean=60,mttr=5,duration=300[,seed=1]
+ *                                         stochastic fail/recover: each
+ *                                         engine independently fails with
+ *                                         exponential inter-failure times
+ *                                         (mean 60s) and recovers 5s
+ *                                         later, over [0,300)
+ *
+ * Malformed specs `fatal()` naming the offending token — a typo'd fault
+ * experiment must never run silently as a healthy-cluster replay.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace shiftpar::fault {
+
+/** What kind of fault one schedule entry injects. */
+enum class FaultKind
+{
+    kFail,      ///< fail-stop at `at`; optional recovery at `recover_at`
+    kStraggle,  ///< per-step slowdown by `factor` during [at, recover_at)
+    kDegrade,   ///< interconnect slowdown by `factor` during [at, recover_at)
+};
+
+/** One scheduled fault against one engine (or all, for kDegrade). */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::kFail;
+
+    /**
+     * Target engine index within the deployment; -1 when addressed by
+     * `rank` (resolved at materialization) or, for kDegrade only, when
+     * the fault applies to every engine.
+     */
+    int engine = -1;
+
+    /** Target GPU rank (resolved to the owning engine); -1 when unset. */
+    int rank = -1;
+
+    /** Fault start time, seconds. */
+    double at = 0.0;
+
+    /**
+     * Recovery/restore time, seconds; +inf for a permanent fail-stop.
+     * Always finite for kStraggle/kDegrade.
+     */
+    double recover_at = 0.0;
+
+    /** Slowdown factor (> 1) for kStraggle/kDegrade; unused for kFail. */
+    double factor = 1.0;
+};
+
+/** Stochastic fail/recover process expanded at materialization. */
+struct MtbfSpec
+{
+    double mean = 0.0;      ///< mean time between failures per engine, s
+    double mttr = 0.0;      ///< time to recovery after each failure, s
+    double duration = 0.0;  ///< failures generated over [0, duration)
+    std::uint64_t seed = 1; ///< RNG seed (per-engine streams derived)
+};
+
+/** A full fault-injection plan (explicit events + stochastic clauses). */
+struct FaultSchedule
+{
+    std::vector<FaultEvent> events;
+    std::vector<MtbfSpec> mtbf;
+
+    /** @return true when the schedule injects nothing. */
+    bool empty() const { return events.empty() && mtbf.empty(); }
+
+    /**
+     * Resolve the schedule against a deployment: map `rank` addresses to
+     * engine indices via `gpus_per_engine` (rank r belongs to the engine
+     * whose cumulative GPU range contains it) and expand every MTBF
+     * clause into explicit fail events with seed-deterministic times.
+     * fatal() on an engine index or rank outside the deployment.
+     *
+     * @param gpus_per_engine GPU count of each engine, in replica order.
+     * @return events sorted by (time, insertion order).
+     */
+    std::vector<FaultEvent> materialize(
+        const std::vector<int>& gpus_per_engine) const;
+};
+
+/**
+ * Parse a `--faults` spec (see file comment for the grammar). An empty
+ * spec returns an empty schedule; anything malformed — unknown clause or
+ * key, missing required key, unparsable or out-of-range value —
+ * `fatal()`s naming the offending token.
+ */
+FaultSchedule parse_fault_spec(const std::string& spec);
+
+/** Counters of one fault-injected replay (reported per run). */
+struct FaultStats
+{
+    std::int64_t failures = 0;    ///< fail-stop transitions applied
+    std::int64_t recoveries = 0;  ///< engines that rejoined
+    std::int64_t straggles = 0;   ///< straggle windows applied
+    std::int64_t degrades = 0;    ///< interconnect degradation windows
+    std::int64_t dropped = 0;     ///< in-flight requests dropped by fails
+    std::int64_t retries = 0;     ///< re-route attempts scheduled
+    std::int64_t lost = 0;        ///< requests dropped permanently
+    std::int64_t shed = 0;        ///< arrivals rejected while degraded
+
+    /** @return true when any counter is non-zero. */
+    bool any() const
+    {
+        return failures | recoveries | straggles | degrades | dropped |
+               retries | lost | shed;
+    }
+};
+
+} // namespace shiftpar::fault

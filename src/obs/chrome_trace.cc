@@ -15,6 +15,7 @@ namespace {
 constexpr int kTidSteps = 0;
 constexpr int kTidMode = 1;
 constexpr int kTidCache = 2;
+constexpr int kTidFault = 3;
 
 /** pid block reserved for the synthetic per-run "requests" processes. */
 constexpr int kRequestsPidBase = 10000;
@@ -81,7 +82,7 @@ ChromeTraceWriter::on_engine_meta(const EngineMeta& meta)
     Process p;
     p.pid = meta.engine;
     p.name = run_label_.empty() ? meta.label : run_label_ + "/" + meta.label;
-    p.threads = {"steps", "mode", "cache"};
+    p.threads = {"steps", "mode", "cache", "fault"};
     processes_.push_back(std::move(p));
 }
 
@@ -128,23 +129,51 @@ ChromeTraceWriter::on_request(const RequestEvent& ev)
     e.id = std::to_string(e.pid) + ":" + std::to_string(ev.request);
     switch (ev.phase) {
       case RequestPhase::kSubmit:
-        e.ph = 'b';
-        e.name = "req " + std::to_string(ev.request);
-        e.args_json = ArgsBuilder()
-                          .add("prompt_tokens", ev.tokens)
-                          .add("engine", static_cast<std::int64_t>(ev.engine))
-                          .str();
+        if (open_requests_.insert(e.id).second) {
+            e.ph = 'b';
+            e.name = "req " + std::to_string(ev.request);
+            e.args_json =
+                ArgsBuilder()
+                    .add("prompt_tokens", ev.tokens)
+                    .add("engine", static_cast<std::int64_t>(ev.engine))
+                    .str();
+        } else {
+            // Retry after a replica failure: the span is still open, so
+            // the re-entry renders as a marker inside it.
+            e.ph = 'n';
+            e.name = "resubmit";
+            e.args_json =
+                ArgsBuilder()
+                    .add("engine", static_cast<std::int64_t>(ev.engine))
+                    .str();
+        }
         break;
       case RequestPhase::kFinish:
         e.ph = 'e';
         e.name = "req " + std::to_string(ev.request);
         e.args_json =
             ArgsBuilder().add("output_tokens", ev.tokens).str();
+        open_requests_.erase(e.id);
         break;
       case RequestPhase::kCancel:
         e.ph = 'e';
         e.name = "req " + std::to_string(ev.request);
         e.args_json = ArgsBuilder().add("cancelled", true).str();
+        open_requests_.erase(e.id);
+        break;
+      case RequestPhase::kLost:
+        if (open_requests_.erase(e.id) > 0) {
+            // Retries exhausted on a request that had reached an engine:
+            // close its span like a cancellation.
+            e.ph = 'e';
+            e.name = "req " + std::to_string(ev.request);
+            e.args_json = ArgsBuilder().add("lost", true).str();
+        } else {
+            // Lost before any engine accepted it (full outage from the
+            // first attempt): no span to close, a bare marker suffices.
+            e.ph = 'n';
+            e.name = phase_name(ev.phase);
+        }
         break;
       default:
         e.ph = 'n';
@@ -222,6 +251,26 @@ ChromeTraceWriter::on_gauge(const GaugeEvent& ev)
             static_cast<double>(ev.running));
     counter(ev.engine, ev.t, "outstanding_tokens", "tokens",
             static_cast<double>(ev.outstanding_tokens));
+}
+
+void
+ChromeTraceWriter::on_fault(const FaultEvent& ev)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Event e;
+    e.ph = 'i';
+    e.pid = ev.engine;
+    e.tid = kTidFault;
+    e.ts = us(ev.t);
+    e.name = fault_kind_name(ev.kind);
+    e.cat = "fault";
+    ArgsBuilder args;
+    if (ev.magnitude != 0.0)
+        args.add("factor", ev.magnitude);
+    if (ev.dropped_requests != 0)
+        args.add("dropped_requests", ev.dropped_requests);
+    e.args_json = args.str();
+    events_.push_back(std::move(e));
 }
 
 void

@@ -6,14 +6,16 @@
  * `ui.perfetto.dev` and `chrome://tracing`:
  *
  *  - each engine becomes a *process* (pid = engine id) named from its
- *    `EngineMeta` label, with three threads: "steps" (complete events, one
+ *    `EngineMeta` label, with four threads: "steps" (complete events, one
  *    per iteration, named "base step"/"shift step" so the two modes color
- *    differently), "mode" (shift/unshift instants), and "cache" (instants
- *    such as prefix evictions);
+ *    differently), "mode" (shift/unshift instants), "cache" (instants
+ *    such as prefix evictions), and "fault" (fail/recover/degrade/straggle
+ *    transitions from injected faults);
  *  - counter tracks per engine: batched tokens, execution mode (0 = base,
  *    1 = shift), KV occupancy, queue depth, and outstanding tokens;
  *  - requests become async (nestable) spans on a dedicated "requests"
- *    process, begun at submit and ended at finish/cancel, with instant
+ *    process, begun at submit and ended at finish/cancel (or at loss,
+ *    when a faulted request exhausts its retries), with instant
  *    markers for first-schedule, prefill chunks, preemptions, resumes, and
  *    the first token — so a whole run's request lifecycles, including
  *    cross-engine migrations in disaggregated deployments, line up against
@@ -28,6 +30,7 @@
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "obs/trace.h"
@@ -66,6 +69,7 @@ class ChromeTraceWriter : public TraceSink
     void on_step(const StepEvent& e) override;
     void on_mode_switch(const ModeSwitchEvent& e) override;
     void on_gauge(const GaugeEvent& e) override;
+    void on_fault(const FaultEvent& e) override;
     void on_instant(EngineId engine, double t,
                     const std::string& name) override;
 
@@ -126,6 +130,14 @@ class ChromeTraceWriter : public TraceSink
     std::vector<Process> processes_;
     bool requests_process_made_ = false;
     int requests_pid_ = 0;
+
+    /**
+     * Async request spans currently open (by trace id). A retried request
+     * re-enters `Engine::submit`, which republishes kSubmit; rendering that
+     * as a second 'b' would corrupt the span nesting, so repeats become
+     * in-span markers and kLost closes the span like a cancellation.
+     */
+    std::unordered_set<std::string> open_requests_;
 };
 
 } // namespace shiftpar::obs

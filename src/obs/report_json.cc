@@ -13,7 +13,8 @@ ReportJson::ReportJson(std::string title) : title_(std::move(title)) {}
 void
 ReportJson::add_run(const std::string& name, const engine::Metrics& metrics,
                     const std::optional<RunDeploymentInfo>& deployment,
-                    const std::optional<engine::SloSpec>& slo)
+                    const std::optional<engine::SloSpec>& slo,
+                    const std::optional<fault::FaultStats>& faults)
 {
     Run run;
     run.name = name;
@@ -49,6 +50,7 @@ ReportJson::add_run(const std::string& name, const engine::Metrics& metrics,
         run.slo_attainment = metrics.slo_attainment(*slo);
         run.goodput = metrics.goodput(*slo);
     }
+    run.faults = faults;
     std::lock_guard<std::mutex> lock(mutex_);
     runs_.push_back(std::move(run));
 }
@@ -120,6 +122,18 @@ ReportJson::write(std::ostream& os) const
             w.null();
         }
         w.end_object();  // metrics
+        if (run.faults) {
+            w.key("faults").begin_object();
+            w.kv("failures", run.faults->failures);
+            w.kv("recoveries", run.faults->recoveries);
+            w.kv("straggles", run.faults->straggles);
+            w.kv("degrades", run.faults->degrades);
+            w.kv("dropped_requests", run.faults->dropped);
+            w.kv("retries", run.faults->retries);
+            w.kv("lost_requests", run.faults->lost);
+            w.kv("shed_requests", run.faults->shed);
+            w.end_object();
+        }
         w.end_object();  // run
     }
     w.end_array();

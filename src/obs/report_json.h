@@ -28,10 +28,17 @@
  *         "tpot_s":       {...}, "completion_s": {...}, "wait_s": {...},
  *         "slo": null | {"ttft_s":..,"tpot_s":..,"attainment":..,
  *                        "goodput_tok_s":..}
- *       }
+ *       },
+ *       "faults": {"failures": N, "recoveries": N, "straggles": N,
+ *                  "degrades": N, "dropped_requests": N, "retries": N,
+ *                  "lost_requests": N, "shed_requests": N}
  *     }, ...
  *   ]
  * }
+ *
+ * The "faults" key is emitted only for runs recorded with fault stats
+ * (still version 1: purely additive, absent for every pre-existing
+ * producer, so committed reports stay byte-identical).
  */
 
 #pragma once
@@ -44,6 +51,7 @@
 #include <vector>
 
 #include "engine/metrics.h"
+#include "fault/fault_schedule.h"
 
 namespace shiftpar::obs {
 
@@ -86,10 +94,12 @@ class ReportJson
      * @param metrics The run's merged metrics.
      * @param deployment Optional resolved-deployment facts.
      * @param slo Optional SLO to evaluate attainment/goodput against.
+     * @param faults Optional fault-replay counters (fault-injected runs).
      */
     void add_run(const std::string& name, const engine::Metrics& metrics,
                  const std::optional<RunDeploymentInfo>& deployment = {},
-                 const std::optional<engine::SloSpec>& slo = {});
+                 const std::optional<engine::SloSpec>& slo = {},
+                 const std::optional<fault::FaultStats>& faults = {});
 
     /**
      * Move every run of `other` to the end of this report, preserving
@@ -135,6 +145,7 @@ class ReportJson
         std::optional<engine::SloSpec> slo;
         double slo_attainment = 0.0;
         double goodput = 0.0;
+        std::optional<fault::FaultStats> faults;
     };
 
     mutable std::mutex mutex_;

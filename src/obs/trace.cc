@@ -16,6 +16,23 @@ phase_name(RequestPhase phase)
       case RequestPhase::kFirstToken:    return "first_token";
       case RequestPhase::kFinish:        return "finish";
       case RequestPhase::kCancel:        return "cancel";
+      case RequestPhase::kRetried:       return "retried";
+      case RequestPhase::kLost:          return "lost";
+      case RequestPhase::kShed:          return "shed";
+    }
+    return "?";
+}
+
+const char*
+fault_kind_name(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::kFail:          return "fail";
+      case FaultKind::kRecover:       return "recover";
+      case FaultKind::kLinkDegrade:   return "link_degrade";
+      case FaultKind::kLinkRestore:   return "link_restore";
+      case FaultKind::kStraggleStart: return "straggle_start";
+      case FaultKind::kStraggleEnd:   return "straggle_end";
     }
     return "?";
 }

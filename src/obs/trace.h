@@ -46,6 +46,9 @@ enum class RequestPhase
     kFirstToken,     ///< first output token produced (TTFT point)
     kFinish,         ///< all output tokens produced
     kCancel,         ///< client abort
+    kRetried,        ///< re-routed to a survivor after a replica failure
+    kLost,           ///< dropped permanently (retries exhausted)
+    kShed,           ///< rejected by the degraded-mode admission guard
 };
 
 /** @return a stable lowercase name for a phase ("submit", "preempt", ...). */
@@ -91,6 +94,36 @@ struct ModeSwitchEvent
     parallel::ParallelConfig to;
 };
 
+/** Kinds of injected-fault transitions on an engine or its links. */
+enum class FaultKind
+{
+    kFail,           ///< fail-stop: the engine drops all in-flight state
+    kRecover,        ///< the engine rejoins with an empty KV cache
+    kLinkDegrade,    ///< interconnect slowdown applied (magnitude = factor)
+    kLinkRestore,    ///< interconnect back to full speed
+    kStraggleStart,  ///< per-step slowdown applied (magnitude = factor)
+    kStraggleEnd,    ///< straggler back to full speed
+};
+
+/** @return a stable lowercase name for a fault kind ("fail", ...). */
+const char* fault_kind_name(FaultKind kind);
+
+/** One fault/recovery transition (published by the failing component). */
+struct FaultEvent
+{
+    EngineId engine = 0;
+    FaultKind kind = FaultKind::kFail;
+
+    /** Simulated time, seconds. */
+    double t = 0.0;
+
+    /** Slowdown factor for degrade/straggle transitions; 0 otherwise. */
+    double magnitude = 0.0;
+
+    /** In-flight requests dropped by a kFail transition; 0 otherwise. */
+    std::int64_t dropped_requests = 0;
+};
+
 /** Sampled engine gauges (taken after every step). */
 struct GaugeEvent
 {
@@ -132,6 +165,7 @@ class TraceSink
     virtual void on_step(const StepEvent&) {}
     virtual void on_mode_switch(const ModeSwitchEvent&) {}
     virtual void on_gauge(const GaugeEvent&) {}
+    virtual void on_fault(const FaultEvent&) {}
 
     /** Free-form point event (e.g. a prefix-cache eviction). */
     virtual void on_instant(EngineId, double /*t*/,

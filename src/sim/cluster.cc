@@ -20,10 +20,16 @@ Cluster::add(Component* c)
     stalled_.push_back(false);
 }
 
-void
+EventId
 Cluster::post(double t, std::function<void()> fire)
 {
-    queue_.post(t, std::move(fire));
+    return queue_.post(t, std::move(fire));
+}
+
+bool
+Cluster::cancel_event(EventId id)
+{
+    return queue_.cancel(id);
 }
 
 void

@@ -40,8 +40,21 @@ class Cluster
     /** Register a component (borrowed; must outlive the cluster). */
     void add(Component* c);
 
-    /** Schedule a client event (arrival, handoff completion, cancel...). */
-    void post(double t, std::function<void()> fire);
+    /**
+     * Schedule a client event (arrival, handoff completion, cancel...).
+     *
+     * @return a handle usable with `cancel_event`.
+     */
+    EventId post(double t, std::function<void()> fire);
+
+    /**
+     * Invalidate a pending event (see `EventQueue::cancel`). Used when the
+     * component an event targets has failed — e.g. a straggler-restore
+     * event superseded by a fail-stop.
+     *
+     * @return true when a pending event was actually cancelled.
+     */
+    bool cancel_event(EventId id);
 
     /**
      * Install a hook run after every fired event and every successful

@@ -7,16 +7,39 @@
 
 namespace shiftpar::sim {
 
-void
+EventId
 EventQueue::post(double t, std::function<void()> fire)
 {
     SP_ASSERT(fire != nullptr);
-    heap_.push({t, next_seq_++, std::move(fire)});
+    const EventId id = next_seq_++;
+    heap_.push({t, id, std::move(fire)});
+    pending_.insert(id);
+    return id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    // Only a still-pending, not-yet-cancelled event can die: ids that
+    // already fired (or were never posted) are absent from pending_, and
+    // a second cancel of the same id finds it gone too.
+    return pending_.erase(id) > 0;
+}
+
+void
+EventQueue::purge() const
+{
+    // Heap entries whose id left pending_ were cancelled; drop them so the
+    // top is always a live event. Surviving events keep their original
+    // (time, seq) order — cancellation never re-ranks them.
+    while (!heap_.empty() && !pending_.count(heap_.top().seq))
+        heap_.pop();
 }
 
 double
 EventQueue::next_time() const
 {
+    purge();
     return heap_.empty() ? std::numeric_limits<double>::infinity()
                          : heap_.top().t;
 }
@@ -24,10 +47,12 @@ EventQueue::next_time() const
 void
 EventQueue::fire_next()
 {
+    purge();
     SP_ASSERT(!heap_.empty());
     // Move the closure out before popping: firing may post new events,
     // which mutates the heap under us otherwise.
     auto fire = std::move(const_cast<Event&>(heap_.top()).fire);
+    pending_.erase(heap_.top().seq);
     heap_.pop();
     fire();
 }

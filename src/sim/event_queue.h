@@ -6,6 +6,13 @@
  * the same instant fire in posting order, which is what makes replays
  * deterministic — arrival events posted from a sorted workload fire in
  * workload order even when arrivals coincide.
+ *
+ * Events can be *cancelled* after posting (a failed component's pending
+ * recovery or restore events must not fire on state that no longer
+ * exists). Cancellation is lazy: the entry stays in the heap, marked dead,
+ * and is purged when it reaches the top — so cancelling never perturbs the
+ * heap order of surviving events, and FIFO tie-breaking among them is
+ * exactly what it would have been had the cancelled event never existed.
  */
 
 #pragma once
@@ -13,33 +20,50 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 namespace shiftpar::sim {
 
-/** A min-heap of timed closures with FIFO tie-breaking. */
+/** Handle identifying one posted event (unique per queue). */
+using EventId = std::uint64_t;
+
+/** A min-heap of timed closures with FIFO tie-breaking and cancellation. */
 class EventQueue
 {
   public:
-    /** Schedule `fire` at time `t` (seconds on the cluster clock). */
-    void post(double t, std::function<void()> fire);
-
-    /** @return true when no events are pending. */
-    bool empty() const { return heap_.empty(); }
-
-    /** @return number of pending events. */
-    std::size_t size() const { return heap_.size(); }
+    /**
+     * Schedule `fire` at time `t` (seconds on the cluster clock).
+     *
+     * @return a handle usable with `cancel`.
+     */
+    EventId post(double t, std::function<void()> fire);
 
     /**
-     * @return the earliest pending event time; +inf when empty (so callers
-     * can min() it against component ready times without a branch).
+     * Invalidate a pending event: it will never fire. No-op when `id` has
+     * already fired, was already cancelled, or was never posted.
+     *
+     * @return true when a pending event was actually cancelled.
+     */
+    bool cancel(EventId id);
+
+    /** @return true when no live (non-cancelled) events are pending. */
+    bool empty() const { return pending_.empty(); }
+
+    /** @return number of live (non-cancelled) pending events. */
+    std::size_t size() const { return pending_.size(); }
+
+    /**
+     * @return the earliest live pending event time; +inf when empty (so
+     * callers can min() it against component ready times without a
+     * branch).
      */
     double next_time() const;
 
     /**
-     * Pop and run the earliest pending event. The closure may post further
-     * events (they land back in this queue). Must not be called when
-     * `empty()`.
+     * Pop and run the earliest live pending event. The closure may post
+     * further events (they land back in this queue). Must not be called
+     * when `empty()`.
      */
     void fire_next();
 
@@ -47,7 +71,7 @@ class EventQueue
     struct Event
     {
         double t;
-        std::uint64_t seq;  ///< posting order, breaks time ties FIFO
+        EventId seq;  ///< posting order, breaks time ties FIFO
         std::function<void()> fire;
     };
 
@@ -61,8 +85,12 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> heap_;
-    std::uint64_t next_seq_ = 0;
+    /** Drop cancelled entries from the heap top. */
+    void purge() const;
+
+    mutable std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    std::unordered_set<EventId> pending_;  ///< posted, not fired/cancelled
+    EventId next_seq_ = 0;
 };
 
 } // namespace shiftpar::sim

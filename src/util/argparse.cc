@@ -1,5 +1,7 @@
 #include "util/argparse.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -74,17 +76,28 @@ ArgParser::set_value(const std::string& name, const std::string& value)
     if (it == flags_.end())
         fatal("unknown flag --" + name + "\n" + usage());
     // Validate typed values eagerly so errors point at the command line.
+    // Overflow is an error, not a silent clamp: a fault spec or sweep
+    // bound that saturates to LLONG_MAX/inf would run a very different
+    // experiment from the one the user typed.
     if (it->second.kind == Kind::kInt) {
+        errno = 0;
         char* end = nullptr;
         std::strtoll(value.c_str(), &end, 10);
         if (end == value.c_str() || *end != '\0')
             fatal("flag --" + name + " expects an integer, got '" + value +
                   "'");
+        if (errno == ERANGE)
+            fatal("flag --" + name + " value is out of range: '" + value +
+                  "'");
     } else if (it->second.kind == Kind::kDouble) {
+        errno = 0;
         char* end = nullptr;
-        std::strtod(value.c_str(), &end);
+        const double v = std::strtod(value.c_str(), &end);
         if (end == value.c_str() || *end != '\0')
             fatal("flag --" + name + " expects a number, got '" + value +
+                  "'");
+        if (errno == ERANGE || std::isinf(v))
+            fatal("flag --" + name + " value is out of range: '" + value +
                   "'");
     } else if (it->second.kind == Kind::kBool) {
         if (value != "true" && value != "false")

@@ -38,6 +38,36 @@ TEST(ShiftController, RequiresSpBase)
     EXPECT_DEATH(ShiftController({1, 8}, 100), "SP > 1");
 }
 
+TEST(ShiftController, ReattachForgetsTheFlipState)
+{
+    class SwitchCounter : public obs::TraceSink
+    {
+      public:
+        void on_mode_switch(const obs::ModeSwitchEvent&) override
+        {
+            ++switches;
+        }
+        int switches = 0;
+    };
+
+    ShiftController c({8, 1}, 256);
+    SwitchCounter sink;
+    double clock = 0.0;
+    c.attach_trace(&sink, 0, &clock);
+    c.choose(1);     // shift; no switch (first decision of the stream)
+    c.choose(1000);  // base: one flip
+    EXPECT_EQ(sink.switches, 1);
+
+    // Re-attach (a fresh run reusing the policy): the first decision must
+    // not be compared against the previous stream's last mode — its flip
+    // would be a phantom switch on the new stream.
+    c.attach_trace(&sink, 1, &clock);
+    c.choose(1);  // shift again, but the history is gone
+    EXPECT_EQ(sink.switches, 1);
+    c.choose(1000);  // real flip within the new stream still counts
+    EXPECT_EQ(sink.switches, 2);
+}
+
 TEST(ShiftController, AutoThresholdIsACrossover)
 {
     const parallel::PerfModel perf(test_node(), model::llama_70b());

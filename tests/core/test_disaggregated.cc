@@ -244,5 +244,49 @@ TEST(DisaggregatedOnline, CancelFreesTheAdmissionBudget)
     EXPECT_LT(met.requests()[0].wait, 1.5);
 }
 
+TEST(DisaggregatedOnline, LinkFailureAbortsAndResendsTheHandoff)
+{
+    using shiftpar::testing::tiny_model;
+    const std::vector<engine::RequestSpec> one = {{0.0, 2048, 16}};
+
+    DisaggregatedSystem base(tiny_model(), slow_fabric_node(), tiny_pools());
+    const auto healthy = base.run_workload(one);
+    ASSERT_EQ(healthy.requests().size(), 1u);
+    const double delta = base.transfer_delay(2049);
+    ASSERT_GT(delta, 1.0);
+    // Prefill ends well before t=1 and the handoff occupies the slow
+    // fabric for > 1 s, so an outage at t=1 lands mid-transfer.
+    ASSERT_LT(healthy.requests()[0].ttft, 1.0);
+
+    DisaggregatedSystem sys(tiny_model(), slow_fabric_node(), tiny_pools());
+    sys.schedule_link_failure(1.0, 3.0);
+    const auto met = sys.run_workload(one);
+
+    EXPECT_EQ(sys.stats().link_failures, 1);
+    EXPECT_EQ(sys.stats().transfers_resent, 1);
+    // Partial KV is useless: the handoff restarts whole after recovery,
+    // and the request still completes exactly once.
+    ASSERT_EQ(met.requests().size(), 1u);
+    EXPECT_DOUBLE_EQ(met.requests()[0].ttft, healthy.requests()[0].ttft);
+    EXPECT_GT(met.requests()[0].completion,
+              healthy.requests()[0].completion + 1.0);
+}
+
+TEST(DisaggregatedOnline, PrefillDuringOutageQueuesHandoffForRecovery)
+{
+    using shiftpar::testing::tiny_model;
+    DisaggregatedSystem sys(tiny_model(), slow_fabric_node(), tiny_pools());
+    // The link is down from the start; prefill finishes during the outage,
+    // so the handoff waits for the recovery instant (nothing to abort).
+    sys.schedule_link_failure(0.0, 10.0);
+    const auto met = sys.run_workload({{0.0, 2048, 16}});
+
+    EXPECT_EQ(sys.stats().link_failures, 1);
+    EXPECT_EQ(sys.stats().transfers_resent, 0);
+    EXPECT_EQ(sys.stats().transfers, 1);
+    ASSERT_EQ(met.requests().size(), 1u);
+    EXPECT_GT(met.requests()[0].completion, 10.0);
+}
+
 } // namespace
 } // namespace shiftpar::core

@@ -177,6 +177,44 @@ TEST(ChromeTrace, CancelEndsTheSpan)
     expect_spans_balanced(doc);
 }
 
+TEST(ChromeTrace, RetryAndLossKeepRequestSpansBalanced)
+{
+    obs::ChromeTraceWriter w;
+    const obs::EngineId a = w.register_engine({});
+
+    // Request 1: submitted, dropped by a replica failure, resubmitted on
+    // retry, then finishes. The second kSubmit must not open a second
+    // span — it renders as a "resubmit" marker inside the first.
+    w.on_request({a, 1, obs::RequestPhase::kSubmit, 0.0, 128});
+    w.on_request({a, 1, obs::RequestPhase::kRetried, 0.5, 1});
+    w.on_request({a, 1, obs::RequestPhase::kSubmit, 0.75, 128});
+    w.on_request({a, 1, obs::RequestPhase::kFinish, 2.0, 16});
+
+    // Request 2: submitted, dropped, retries exhausted — kLost ends the
+    // span like a cancellation.
+    w.on_request({a, 2, obs::RequestPhase::kSubmit, 0.0, 64});
+    w.on_request({a, 2, obs::RequestPhase::kRetried, 0.25, 1});
+    w.on_request({a, 2, obs::RequestPhase::kLost, 1.5, 0});
+
+    const auto doc = render(w);
+    expect_spans_balanced(doc);
+
+    int resubmits = 0;
+    bool lost_closed_a_span = false;
+    for (const auto& e : doc.at("traceEvents").arr()) {
+        const std::string ph = e.at("ph").str();
+        if (ph == "n" && e.at("name").str() == "resubmit")
+            ++resubmits;
+        if (ph == "e" && e.at("args").has("lost"))
+            lost_closed_a_span = true;
+    }
+    const auto counts = phase_counts(doc);
+    EXPECT_EQ(counts.at("b"), 2);
+    EXPECT_EQ(counts.at("e"), 2);
+    EXPECT_EQ(resubmits, 1);
+    EXPECT_TRUE(lost_closed_a_span);
+}
+
 TEST(ChromeTrace, DpDeploymentGetsOneTrackPerReplica)
 {
     obs::ChromeTraceWriter w;

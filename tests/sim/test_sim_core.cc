@@ -56,6 +56,91 @@ TEST(EventQueue, FiringMayPostNewEvents)
     EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
 }
 
+TEST(EventQueue, CancelledEventNeverFires)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.post(1.0, [&] { order.push_back(1); });
+    const EventId dead = q.post(2.0, [&] { order.push_back(2); });
+    q.post(3.0, [&] { order.push_back(3); });
+    EXPECT_TRUE(q.cancel(dead));
+    EXPECT_EQ(q.size(), 2u);
+    while (!q.empty())
+        q.fire_next();
+    EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, CancellationPreservesTieBreakOrder)
+{
+    // Events at one instant fire in posting order; cancelling one of them
+    // must not re-rank the survivors, and events posted *after* the
+    // cancellation still fire behind every earlier-posted survivor.
+    EventQueue q;
+    std::vector<int> order;
+    q.post(5.0, [&] { order.push_back(0); });
+    const EventId dead = q.post(5.0, [&] { order.push_back(1); });
+    q.post(5.0, [&] { order.push_back(2); });
+    EXPECT_TRUE(q.cancel(dead));
+    q.post(5.0, [&] { order.push_back(3); });
+    while (!q.empty())
+        q.fire_next();
+    EXPECT_EQ(order, (std::vector<int>{0, 2, 3}));
+}
+
+TEST(EventQueue, CancelOfFiredOrUnknownIdIsNoOp)
+{
+    EventQueue q;
+    int fired = 0;
+    const EventId id = q.post(1.0, [&] { ++fired; });
+    q.fire_next();
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(q.cancel(id));       // already fired
+    EXPECT_FALSE(q.cancel(id + 99));  // never posted
+    const EventId dead = q.post(2.0, [&] { ++fired; });
+    EXPECT_TRUE(q.cancel(dead));
+    EXPECT_FALSE(q.cancel(dead));     // double cancel
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextTimeSkipsCancelledHead)
+{
+    EventQueue q;
+    const EventId dead = q.post(1.0, [] {});
+    q.post(4.0, [] {});
+    EXPECT_DOUBLE_EQ(q.next_time(), 1.0);
+    EXPECT_TRUE(q.cancel(dead));
+    EXPECT_DOUBLE_EQ(q.next_time(), 4.0);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, CancelInsideAFiringClosure)
+{
+    EventQueue q;
+    std::vector<int> order;
+    EventId later{};
+    q.post(1.0, [&] {
+        order.push_back(1);
+        q.cancel(later);
+    });
+    later = q.post(2.0, [&] { order.push_back(2); });
+    q.post(3.0, [&] { order.push_back(3); });
+    while (!q.empty())
+        q.fire_next();
+    EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(Cluster, CancelEventForwardsToQueue)
+{
+    Cluster c;
+    std::vector<int> order;
+    c.post(1.0, [&] { order.push_back(1); });
+    const EventId dead = c.post(2.0, [&] { order.push_back(2); });
+    EXPECT_TRUE(c.cancel_event(dead));
+    EXPECT_FALSE(c.cancel_event(dead));
+    EXPECT_TRUE(c.run());
+    EXPECT_EQ(order, (std::vector<int>{1}));
+}
+
 /** A component that makes fixed-duration units of progress. */
 class TickingComponent : public Component
 {

@@ -132,6 +132,29 @@ TEST(ArgParser, PositionalArgumentRejected)
     EXPECT_DEATH(p.parse(a.argc(), a.argv()), "positional");
 }
 
+TEST(ArgParser, IntOverflowIsFatal)
+{
+    // Overflow must not clamp silently to LLONG_MAX: the experiment that
+    // runs would not be the one the user typed.
+    auto p = make_parser();
+    Argv a({"--count", "99999999999999999999"});
+    EXPECT_DEATH(p.parse(a.argc(), a.argv()), "out of range");
+}
+
+TEST(ArgParser, IntUnderflowIsFatal)
+{
+    auto p = make_parser();
+    Argv a({"--count", "-99999999999999999999"});
+    EXPECT_DEATH(p.parse(a.argc(), a.argv()), "out of range");
+}
+
+TEST(ArgParser, DoubleOverflowIsFatal)
+{
+    auto p = make_parser();
+    Argv a({"--rate", "1e999"});
+    EXPECT_DEATH(p.parse(a.argc(), a.argv()), "out of range");
+}
+
 TEST(ArgParser, WrongTypeAccessIsFatal)
 {
     auto p = make_parser();
