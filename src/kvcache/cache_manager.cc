@@ -100,9 +100,17 @@ CacheManager::evict_idle_prefixes(std::int64_t blocks)
     while (allocator_.num_free() < blocks) {
         PrefixKey victim = -1;
         std::uint64_t oldest = ~std::uint64_t{0};
+        // Victim selection is a total order over (last_use, key): two
+        // entries idle since the same tick tie-break on the smaller key,
+        // so the choice — and the eviction trace — never depends on hash
+        // iteration order.
+        // shiftlint-allow(unordered-emit): victim selection uses a total order over (last_use, key), independent of iteration order
         for (auto& [key, entry] : prefixes_) {
-            if (entry.refs == 0 && entry.last_use < oldest &&
-                entry.blocks.num_blocks() > 0) {
+            if (entry.refs != 0 || entry.blocks.num_blocks() == 0)
+                continue;
+            if (entry.last_use < oldest ||
+                (entry.last_use == oldest &&
+                 (victim < 0 || key < victim))) {
                 victim = key;
                 oldest = entry.last_use;
             }

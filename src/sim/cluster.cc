@@ -23,6 +23,8 @@ Cluster::add(Component* c)
 EventId
 Cluster::post(double t, std::function<void()> fire)
 {
+    SP_DEBUG_ASSERT(t >= now_, "event posted into the past: t=", t,
+                    " but cluster clock is ", now_);
     return queue_.post(t, std::move(fire));
 }
 
@@ -66,9 +68,15 @@ Cluster::run()
             // Events win ties: an arrival at t precedes a step starting
             // at t, exactly as the lockstep replay submitted before
             // stepping (determinism rule 2).
+            SP_DEBUG_ASSERT(te >= now_, "event time ", te,
+                            " behind the cluster clock ", now_);
             now_ = std::max(now_, te);
             queue_.fire_next();
         } else {
+            // tc may lag now_: a component parked before an event fired
+            // still reports its old ready time, meaning "ready now". The
+            // max() pins the clock; the progress hook never sees it move
+            // backwards (asserted by ClockIsMonotoneAcrossEventsAndComponents).
             now_ = std::max(now_, tc);
             if (!next_comp->advance_to(tc)) {
                 // Blocked (e.g. KV-full engine with nothing running):

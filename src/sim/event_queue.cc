@@ -1,5 +1,6 @@
 #include "sim/event_queue.h"
 
+#include <cmath>
 #include <limits>
 #include <utility>
 
@@ -11,9 +12,13 @@ EventId
 EventQueue::post(double t, std::function<void()> fire)
 {
     SP_ASSERT(fire != nullptr);
+    SP_DEBUG_ASSERT(std::isfinite(t) && t >= 0.0,
+                    "event time must be finite and non-negative, got ", t);
     const EventId id = next_seq_++;
     heap_.push({t, id, std::move(fire)});
-    pending_.insert(id);
+    const bool inserted = pending_.insert(id).second;
+    (void)inserted;
+    SP_DEBUG_ASSERT(inserted, "duplicate pending event id ", id);
     return id;
 }
 
@@ -49,6 +54,19 @@ EventQueue::fire_next()
 {
     purge();
     SP_ASSERT(!heap_.empty());
+#ifndef NDEBUG
+    // Pops must never regress in (time, seq): FIFO tie-breaking at equal
+    // times is what makes replays deterministic.
+    SP_DEBUG_ASSERT(!fired_any_ || heap_.top().t > last_fired_t_ ||
+                        (heap_.top().t == last_fired_t_ &&
+                         heap_.top().seq > last_fired_seq_),
+                    "event fire order regressed: (", heap_.top().t, ", ",
+                    heap_.top().seq, ") after (", last_fired_t_, ", ",
+                    last_fired_seq_, ")");
+    last_fired_t_ = heap_.top().t;
+    last_fired_seq_ = heap_.top().seq;
+    fired_any_ = true;
+#endif
     // Move the closure out before popping: firing may post new events,
     // which mutates the heap under us otherwise.
     auto fire = std::move(const_cast<Event&>(heap_.top()).fire);

@@ -91,6 +91,15 @@ class EventQueue
     mutable std::priority_queue<Event, std::vector<Event>, Later> heap_;
     std::unordered_set<EventId> pending_;  ///< posted, not fired/cancelled
     EventId next_seq_ = 0;
+
+#ifndef NDEBUG
+    // Key of the last event fired, so debug builds can assert that pops
+    // never regress in (time, seq) order — the property the determinism
+    // guard ultimately rests on.
+    double last_fired_t_ = 0.0;
+    EventId last_fired_seq_ = 0;
+    bool fired_any_ = false;
+#endif
 };
 
 } // namespace shiftpar::sim

@@ -73,3 +73,16 @@ concat(Args&&... args)
                 __LINE__, " ", ##__VA_ARGS__)); \
         } \
     } while (0)
+
+/**
+ * Debug-build assertion for hot-path invariants (per-pop event ordering,
+ * per-post causality). Compiled out under NDEBUG so Release replay loops
+ * pay nothing; the sanitizer CI job builds Debug to exercise these.
+ */
+#ifdef NDEBUG
+#define SP_DEBUG_ASSERT(...) \
+    do { \
+    } while (0)
+#else
+#define SP_DEBUG_ASSERT(...) SP_ASSERT(__VA_ARGS__)
+#endif

@@ -190,5 +190,64 @@ TEST(CacheManager, UtilizationTracksUsage)
     EXPECT_DOUBLE_EQ(c.utilization(), 0.5);
 }
 
+namespace {
+
+/** Records eviction instants so tests can pin the victim sequence. */
+struct EvictionLog : obs::TraceSink
+{
+    std::vector<std::string> instants;
+    void
+    on_instant(obs::EngineId, double, const std::string& name) override
+    {
+        instants.push_back(name);
+    }
+};
+
+/** Fill three evictable prefix entries (keys 7, 3, 5 in LRU order) into
+ *  `c`, optionally after `dummies` empty entries that perturb the
+ *  unordered_map's bucket layout without being evictable. */
+void
+stage_prefixes(CacheManager& c, int dummies)
+{
+    for (int i = 0; i < dummies; ++i)
+        c.attach_prefix(100 + i, 0);
+    for (const PrefixKey key : {7, 3, 5}) {
+        c.attach_prefix(key, 32);
+        EXPECT_TRUE(c.try_append_prefix(key, 32));
+        c.detach_prefix(key);
+    }
+}
+
+} // namespace
+
+// Regression guard for the shiftlint `unordered-emit` finding in
+// evict_idle_prefixes: victim selection iterates an unordered_map, so it
+// must be a total order over (last_use, key) — never hash-bucket order,
+// which varies with the map's insertion history. The two managers here
+// hold identical evictable entries in different bucket layouts and must
+// report byte-identical eviction traces.
+TEST(CacheManager, EvictionOrderIndependentOfHashLayout)
+{
+    const auto m = model::llama_70b();
+    const double clock = 0.0;
+
+    std::vector<std::vector<std::string>> traces;
+    for (const int dummies : {0, 29}) {
+        CacheManager c(160, KvLayout::base(m, {1, 8}), 16);
+        EvictionLog log;
+        c.set_trace(&log, 0, &clock);
+        stage_prefixes(c, dummies);
+        // 96 of 160 tokens are held by idle prefixes; admitting 160
+        // evicts all three, least recently used first.
+        EXPECT_TRUE(c.try_append(1, 160));
+        traces.push_back(log.instants);
+    }
+
+    const std::vector<std::string> expected = {
+        "prefix_evict #7", "prefix_evict #3", "prefix_evict #5"};
+    EXPECT_EQ(traces[0], expected);
+    EXPECT_EQ(traces[1], expected);
+}
+
 } // namespace
 } // namespace shiftpar::kvcache

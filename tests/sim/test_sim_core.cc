@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -299,6 +300,43 @@ TEST(Cluster, ClockIsMonotoneAcrossEventsAndComponents)
     EXPECT_TRUE(cluster.run());
     EXPECT_TRUE(monotone);
 }
+
+#ifndef NDEBUG
+
+// The debug-build invariants (SP_DEBUG_ASSERT) are compiled out under
+// NDEBUG, so these death tests only exist in Debug builds — which is the
+// configuration the sanitizer CI job runs.
+
+TEST(EventQueueDebugInvariants, RejectsNonFiniteOrNegativeTime)
+{
+    EventQueue q;
+    EXPECT_DEATH(q.post(-1.0, [] {}), "finite and non-negative");
+    EXPECT_DEATH(q.post(std::nan(""), [] {}), "finite and non-negative");
+    EXPECT_DEATH(q.post(std::numeric_limits<double>::infinity(), [] {}),
+                 "finite and non-negative");
+}
+
+TEST(EventQueueDebugInvariants, DetectsFireOrderRegression)
+{
+    // Posting behind an already-fired time is the only way pops can
+    // regress (seq is monotone); the next fire must trip the invariant.
+    EventQueue q;
+    q.post(5.0, [] {});
+    q.fire_next();
+    q.post(3.0, [] {});
+    EXPECT_DEATH(q.fire_next(), "fire order regressed");
+}
+
+TEST(ClusterDebugInvariants, RejectsPostIntoThePast)
+{
+    Cluster cluster;
+    cluster.post(2.0, [&] {
+        EXPECT_DEATH(cluster.post(1.0, [] {}), "posted into the past");
+    });
+    cluster.run();
+}
+
+#endif  // !NDEBUG
 
 } // namespace
 } // namespace shiftpar::sim

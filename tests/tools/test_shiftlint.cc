@@ -1,0 +1,425 @@
+/**
+ * @file
+ * Fixture suite for shiftlint: one known-bad snippet per check (expected
+ * finding), one suppressed variant (expected clean), plus driver-level
+ * coverage — SARIF schema shape, baseline round-trip, --fix application,
+ * and malformed/stale suppression handling. Snippets live as string
+ * literals, so scanning `tests/` with shiftlint itself stays clean (the
+ * lexer treats string contents as opaque).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/json_checker.h"
+#include "driver.h"
+
+namespace shiftpar::lint {
+namespace {
+
+/** Build an indexed corpus from (path, text) fixture pairs. */
+Corpus
+make_corpus(std::initializer_list<std::pair<const char*, const char*>>
+                files)
+{
+    Corpus corpus;
+    for (const auto& [path, text] : files)
+        corpus.files.push_back(lex_source(path, text));
+    corpus.build_index();
+    return corpus;
+}
+
+/** Run one named check over `corpus` (no suppressions/baseline). */
+std::vector<Finding>
+run_one(Corpus& corpus, const std::string& check)
+{
+    Options opts;
+    opts.checks = {check};
+    return run_checks(corpus, opts).findings;
+}
+
+// ---------------------------------------------------------------- lexer
+
+TEST(ShiftlintLexer, StringsCommentsAndPreprocessorAreOpaque)
+{
+    // rand() appears only in a string, a comment, and an #include-like
+    // directive: none of them are code.
+    auto corpus = make_corpus({{"a.cc", R"fix(
+#include <rand()>
+// rand() in a comment
+const char* s = "rand()";
+)fix"}});
+    EXPECT_TRUE(run_one(corpus, "nondet-source").empty());
+}
+
+TEST(ShiftlintLexer, TracksLineNumbers)
+{
+    auto corpus = make_corpus({{"a.cc", "\n\nint x = rand();\n"}});
+    const auto findings = run_one(corpus, "nondet-source");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].line, 3);
+    EXPECT_EQ(findings[0].check, "nondet-source");
+}
+
+// ------------------------------------------------------- nondet-source
+
+TEST(ShiftlintNondetSource, FlagsRngAndClockAndGetenv)
+{
+    auto corpus = make_corpus({{"src/core/x.cc", R"(
+int a() { return rand(); }
+std::random_device rd;
+auto t = std::chrono::system_clock::now();
+const char* e = getenv("X");
+std::map<Foo*, int> by_ptr;
+)"}});
+    const auto findings = run_one(corpus, "nondet-source");
+    EXPECT_EQ(findings.size(), 5u);
+}
+
+TEST(ShiftlintNondetSource, AllowsGetenvInUtil)
+{
+    auto corpus = make_corpus(
+        {{"src/util/logging.cc", "const char* e = getenv(\"L\");\n"}});
+    EXPECT_TRUE(run_one(corpus, "nondet-source").empty());
+}
+
+TEST(ShiftlintNondetSource, AllowsMemberFunctionsNamedLikeBanned)
+{
+    auto corpus = make_corpus({{"a.cc", R"(
+double t = histogram.time();
+auto c = obj->clock();
+std::map<int, Foo*> value_is_pointer_ok;
+)"}});
+    EXPECT_TRUE(run_one(corpus, "nondet-source").empty());
+}
+
+TEST(ShiftlintNondetSource, SuppressionSilencesWithReason)
+{
+    auto corpus = make_corpus({{"a.cc", R"(
+// shiftlint-allow(nondet-source): demo binary, not a simulation path
+int a() { return rand(); }
+)"}});
+    Options opts;
+    opts.checks = {"nondet-source"};
+    const auto result = run_checks(corpus, opts);
+    EXPECT_TRUE(result.findings.empty());
+    ASSERT_EQ(result.suppressed.size(), 1u);
+    EXPECT_EQ(result.suppressed[0].check, "nondet-source");
+}
+
+// ------------------------------------------------------ unordered-emit
+
+TEST(ShiftlintUnorderedEmit, FlagsIterationInEmittingFunction)
+{
+    auto corpus = make_corpus({{"src/x.cc", R"(
+void dump(Sink* sink, std::unordered_map<int, int>& m)
+{
+    for (const auto& [k, v] : m)
+        sink->on_instant(0, 0.0, "x");
+}
+)"}});
+    const auto findings = run_one(corpus, "unordered-emit");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("dump"), std::string::npos);
+}
+
+TEST(ShiftlintUnorderedEmit, MemberDeclaredInHeaderIteratedInCc)
+{
+    auto corpus = make_corpus(
+        {{"src/m.h", "struct M { std::unordered_map<long, long> "
+                     "tallies_; };\n"},
+         {"src/m.cc", R"(
+void M::report(CsvWriter& csv)
+{
+    for (const auto& [k, v] : tallies_)
+        csv.add_row({k, v});
+}
+)"}});
+    EXPECT_EQ(run_one(corpus, "unordered-emit").size(), 1u);
+}
+
+TEST(ShiftlintUnorderedEmit, CleanWhenNoSinkInFunction)
+{
+    auto corpus = make_corpus({{"src/x.cc", R"(
+long total(std::unordered_map<int, long>& m)
+{
+    long sum = 0;
+    for (const auto& [k, v] : m)
+        sum += v;   // order-independent reduction, no emission
+    return sum;
+}
+)"}});
+    EXPECT_TRUE(run_one(corpus, "unordered-emit").empty());
+}
+
+TEST(ShiftlintUnorderedEmit, SuppressedWithJustification)
+{
+    auto corpus = make_corpus({{"src/x.cc", R"(
+void dump(Sink* sink, std::unordered_map<int, int>& m)
+{
+    // shiftlint-allow(unordered-emit): selection below is a total order
+    for (const auto& [k, v] : m)
+        sink->on_instant(0, 0.0, "x");
+}
+)"}});
+    Options opts;
+    opts.checks = {"unordered-emit"};
+    const auto result = run_checks(corpus, opts);
+    EXPECT_TRUE(result.findings.empty());
+    EXPECT_EQ(result.suppressed.size(), 1u);
+}
+
+// -------------------------------------------------- trace-span-balance
+
+TEST(ShiftlintSpanBalance, BeginWithoutEndInTu)
+{
+    auto corpus = make_corpus({{"src/e.cc", R"(
+void straggle(Sink* s) { s->emit(FaultKind::kStraggleStart); }
+)"}});
+    const auto findings = run_one(corpus, "trace-span-balance");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("kStraggleEnd"),
+              std::string::npos);
+}
+
+TEST(ShiftlintSpanBalance, BalancedTuAndHeadersAreClean)
+{
+    auto corpus = make_corpus(
+        {{"src/e.cc", "void f(Sink* s) { s->emit(kStraggleStart); "
+                      "s->emit(kStraggleEnd); }\n"},
+         // Headers declare both enumerators; never flagged.
+         {"src/trace.h", "enum class K { kStraggleStart };\n"}});
+    EXPECT_TRUE(run_one(corpus, "trace-span-balance").empty());
+}
+
+TEST(ShiftlintSpanBalance, GenericBeginEndConvention)
+{
+    auto corpus = make_corpus(
+        {{"src/e.cc", "void f(Sink* s) { s->emit(kBeginTransfer); }\n"}});
+    const auto findings = run_one(corpus, "trace-span-balance");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("kEndTransfer"),
+              std::string::npos);
+}
+
+// --------------------------------------------- struct-serializer-drift
+
+TEST(ShiftlintStructDrift, NewFieldMissingFromWriter)
+{
+    auto corpus = make_corpus(
+        {{"src/fault/fault_schedule.h",
+          "struct FaultStats { long failures = 0; long brand_new = 0; "
+          "};\n"},
+         {"src/obs/report_json.cc", R"(
+void ReportJson::write()
+{
+    w.kv("failures", run.faults->failures);
+}
+)"}});
+    const auto findings = run_one(corpus, "struct-serializer-drift");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("brand_new"), std::string::npos);
+}
+
+TEST(ShiftlintStructDrift, DelegatedMergeCoversFields)
+{
+    // Metrics::merge delegates to add_record; one level of same-file
+    // call expansion must count the delegate's field accesses.
+    auto corpus = make_corpus(
+        {{"src/engine/metrics.h",
+          "class Metrics { long total_ = 0; long peak_ = 0; };\n"},
+         {"src/engine/metrics.cc", R"(
+void Metrics::add_record(long v) { total_ += v; peak_ = v; }
+void Metrics::merge(const Metrics& o) { add_record(o.total()); }
+)"}});
+    EXPECT_TRUE(run_one(corpus, "struct-serializer-drift").empty());
+}
+
+TEST(ShiftlintStructDrift, MergeMissingFieldFlagged)
+{
+    auto corpus = make_corpus(
+        {{"src/engine/metrics.h",
+          "class Metrics { long total_ = 0; long forgotten_ = 0; };\n"},
+         {"src/engine/metrics.cc",
+          "void Metrics::merge(const Metrics& o) { total_ += o.total_; "
+          "}\n"}});
+    const auto findings = run_one(corpus, "struct-serializer-drift");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("forgotten_"), std::string::npos);
+    EXPECT_NE(findings[0].message.find("aggregation"), std::string::npos);
+}
+
+// ----------------------------------------------------------- sim-contract
+
+TEST(ShiftlintSimContract, AdvanceToMutatingClusterFlagged)
+{
+    auto corpus = make_corpus({{"src/engine/e.cc", R"(
+bool Engine::advance_to(double t)
+{
+    cluster_->post(t + 1.0, [] {});
+    return true;
+}
+)"}});
+    const auto findings = run_one(corpus, "sim-contract");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("advance_to"), std::string::npos);
+}
+
+TEST(ShiftlintSimContract, AdvanceToReadingClockIsClean)
+{
+    auto corpus = make_corpus({{"src/engine/e.cc", R"(
+bool Engine::advance_to(double t)
+{
+    const double now = cluster_->now();
+    return now <= t;
+}
+)"}});
+    EXPECT_TRUE(run_one(corpus, "sim-contract").empty());
+}
+
+TEST(ShiftlintSimContract, PostCapturingIteratorFlagged)
+{
+    auto corpus = make_corpus({{"src/core/d.cc", R"(
+void schedule(Queue& q, std::map<long, long>& m)
+{
+    auto it = m.find(7);
+    q.post(1.0, [it] { consume(it->second); });
+}
+)"}});
+    const auto findings = run_one(corpus, "sim-contract");
+    ASSERT_GE(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("iterator"), std::string::npos);
+}
+
+TEST(ShiftlintSimContract, PostCapturingKeyIsClean)
+{
+    auto corpus = make_corpus({{"src/core/d.cc", R"(
+void schedule(Queue& q, std::map<long, long>& m)
+{
+    auto it = m.find(7);
+    const long key = it->first;
+    q.post(1.0, [key] { consume(key); });
+}
+)"}});
+    EXPECT_TRUE(run_one(corpus, "sim-contract").empty());
+}
+
+// ------------------------------------------------------ driver plumbing
+
+TEST(ShiftlintDriver, MalformedSuppressionIsAFinding)
+{
+    auto corpus = make_corpus({{"a.cc", R"(
+// shiftlint-allow(nondet-source) missing the reason colon
+int a() { return rand(); }
+)"}});
+    Options opts;
+    const auto result = run_checks(corpus, opts);
+    bool saw_bad = false;
+    for (const auto& f : result.findings)
+        saw_bad |= f.check == "bad-suppression";
+    EXPECT_TRUE(saw_bad);
+    // The rand() finding is NOT suppressed by a malformed comment.
+    bool saw_rand = false;
+    for (const auto& f : result.findings)
+        saw_rand |= f.check == "nondet-source";
+    EXPECT_TRUE(saw_rand);
+}
+
+TEST(ShiftlintDriver, StaleSuppressionReported)
+{
+    auto corpus = make_corpus({{"a.cc", R"(
+// shiftlint-allow(nondet-source): nothing here actually trips it
+int a() { return 4; }
+)"}});
+    Options opts;
+    const auto result = run_checks(corpus, opts);
+    EXPECT_TRUE(result.findings.empty());
+    ASSERT_EQ(result.stale_suppressions.size(), 1u);
+    EXPECT_NE(result.stale_suppressions[0].find("a.cc:2"),
+              std::string::npos);
+}
+
+TEST(ShiftlintDriver, FixRewritesSystemClockOnDisk)
+{
+    const std::string path =
+        ::testing::TempDir() + "/shiftlint_fix_probe.cc";
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << "auto t = std::chrono::system_clock::now();\n";
+    }
+    Corpus corpus = load_corpus({path});
+    Options opts;
+    opts.apply_fixes = true;
+    const auto result = run_checks(corpus, opts);
+    EXPECT_EQ(result.fixes_applied, 1);
+    EXPECT_TRUE(result.findings.empty());  // fixed == resolved
+
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_NE(ss.str().find("steady_clock"), std::string::npos);
+    EXPECT_EQ(ss.str().find("system_clock"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(ShiftlintDriver, BaselineRoundTripSilencesKnownFindings)
+{
+    const char* bad = "int a() { return rand(); }\n";
+    const std::string base_path =
+        ::testing::TempDir() + "/shiftlint_baseline_probe.txt";
+    {
+        auto corpus = make_corpus({{"a.cc", bad}});
+        Options opts;
+        const auto result = run_checks(corpus, opts);
+        ASSERT_EQ(result.findings.size(), 1u);
+        std::ofstream out(base_path, std::ios::trunc);
+        write_baseline(out, corpus, result);
+    }
+    {
+        auto corpus = make_corpus({{"a.cc", bad}});
+        Options opts;
+        opts.baseline_path = base_path;
+        const auto result = run_checks(corpus, opts);
+        EXPECT_TRUE(result.findings.empty());
+        EXPECT_EQ(result.baselined.size(), 1u);
+    }
+    std::remove(base_path.c_str());
+}
+
+// ------------------------------------------------------------- SARIF
+
+TEST(ShiftlintSarif, DocumentShapeAndResultFields)
+{
+    auto corpus = make_corpus({{"src/x.cc",
+                                "int a() { return rand(); }\n"}});
+    Options opts;
+    const auto result = run_checks(corpus, opts);
+    ASSERT_EQ(result.findings.size(), 1u);
+
+    std::ostringstream os;
+    write_sarif(os, result);
+    const auto doc = shiftpar::testing::parse_json(os.str());
+
+    EXPECT_EQ(doc.at("version").str(), "2.1.0");
+    const auto& runs = doc.at("runs").arr();
+    ASSERT_EQ(runs.size(), 1u);
+    const auto& driver = runs[0].at("tool").at("driver");
+    EXPECT_EQ(driver.at("name").str(), "shiftlint");
+    // Every registered check appears as a rule.
+    EXPECT_EQ(driver.at("rules").arr().size(), check_registry().size());
+
+    const auto& results = runs[0].at("results").arr();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].at("ruleId").str(), "nondet-source");
+    EXPECT_EQ(results[0].at("level").str(), "error");
+    const auto& loc =
+        results[0].at("locations").arr()[0].at("physicalLocation");
+    EXPECT_EQ(loc.at("artifactLocation").at("uri").str(), "src/x.cc");
+    EXPECT_EQ(loc.at("region").at("startLine").num(), 1.0);
+}
+
+} // namespace
+} // namespace shiftpar::lint

@@ -30,17 +30,23 @@ def read_csv(path):
 
 
 def read_report(path):
-    """Load one schema-versioned run report; None if not ours."""
+    """Load one schema-versioned run report.
+
+    A schema or version mismatch is a hard error: silently skipping a
+    report would let CI publish plots that are missing runs (or drawn
+    from misread fields) without anyone noticing.
+    """
     with open(path) as f:
         doc = json.load(f)
     if doc.get("schema") != REPORT_SCHEMA:
-        print(f"  skipping {os.path.basename(path)}: "
-              f"unknown schema {doc.get('schema')!r}")
-        return None
+        sys.exit(f"error: {os.path.basename(path)}: unknown schema "
+                 f"{doc.get('schema')!r} (expected {REPORT_SCHEMA!r}); "
+                 f"refusing to guess at its layout")
     if doc.get("version", 0) > REPORT_VERSION:
-        print(f"  skipping {os.path.basename(path)}: "
-              f"schema version {doc['version']} is newer than this tool")
-        return None
+        sys.exit(f"error: {os.path.basename(path)}: schema version "
+                 f"{doc['version']} is newer than this tool "
+                 f"(understands <= {REPORT_VERSION}); update "
+                 f"tools/plot_results.py alongside the report writer")
     return doc
 
 

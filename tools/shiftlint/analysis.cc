@@ -1,0 +1,309 @@
+#include "analysis.h"
+
+#include <unordered_set>
+
+namespace shiftpar::lint {
+
+namespace {
+
+const std::unordered_set<std::string> kControlKeywords = {
+    "if",     "for",    "while",  "switch",        "catch",
+    "return", "sizeof", "alignof", "decltype",     "noexcept",
+    "else",   "do",     "new",    "static_assert", "alignas",
+};
+
+const std::unordered_set<std::string> kNonFieldKeywords = {
+    "public",   "private", "protected", "using",  "typedef",
+    "friend",   "template", "static",   "const",  "constexpr",
+    "mutable",  "virtual",  "override", "final",  "struct",
+    "class",    "enum",     "operator", "return", "true",
+    "false",    "nullptr",  "default",  "delete", "void",
+    "bool",     "int",      "double",   "float",  "char",
+    "long",     "short",    "unsigned", "signed", "auto",
+};
+
+const std::unordered_set<std::string> kUnorderedTypes = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset",
+};
+
+/** Skip a balanced <...> starting at `i` (tokens[i] == "<").
+ *  @return index one past the closing '>', or size() when unbalanced. */
+std::size_t
+skip_angles(const std::vector<Token>& toks, std::size_t i)
+{
+    int depth = 0;
+    for (; i < toks.size(); ++i) {
+        const std::string& t = toks[i].text;
+        if (t == "<")
+            ++depth;
+        else if (t == "<<")
+            depth += 2;
+        else if (t == ">")
+            --depth;
+        else if (t == ">>")
+            depth -= 2;
+        else if (t == ";" || t == "{")
+            return toks.size();  // not a template argument list after all
+        if (depth <= 0)
+            return i + 1;
+    }
+    return toks.size();
+}
+
+/** Skip a balanced (...) starting at `i` (tokens[i] == "(").
+ *  @return index one past the closing ')', or size() when unbalanced. */
+std::size_t
+skip_parens(const std::vector<Token>& toks, std::size_t i)
+{
+    int depth = 0;
+    for (; i < toks.size(); ++i) {
+        if (toks[i].text == "(")
+            ++depth;
+        else if (toks[i].text == ")")
+            --depth;
+        if (depth == 0)
+            return i + 1;
+    }
+    return toks.size();
+}
+
+void
+scan_functions(SourceFile& f, std::vector<FunctionDef>& out)
+{
+    const auto& toks = f.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::kIdent || toks[i + 1].text != "(")
+            continue;
+        const std::string& name = toks[i].text;
+        if (kControlKeywords.count(name) || name == "operator")
+            continue;
+        // Member calls (`x.f(`, `x->f(`) are never definitions.
+        if (i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->"))
+            continue;
+
+        const std::size_t after_params = skip_parens(toks, i + 1);
+        if (after_params >= toks.size())
+            continue;
+
+        // Walk from the parameter list to the body '{', skipping
+        // cv-qualifiers, noexcept(...), trailing return types, and
+        // constructor initializer lists. Hitting ';', '=', or '}' first
+        // means declaration/expression, not a definition.
+        std::size_t j = after_params;
+        bool is_def = false;
+        while (j < toks.size()) {
+            const std::string& t = toks[j].text;
+            if (t == "{") {
+                is_def = true;
+                break;
+            }
+            if (t == ";" || t == "=" || t == "}")
+                break;
+            if (t == "(") {
+                j = skip_parens(toks, j);
+                continue;
+            }
+            ++j;
+        }
+        if (!is_def)
+            continue;
+
+        const std::size_t close = match_brace(toks, j);
+        if (close >= toks.size())
+            continue;
+
+        FunctionDef fn;
+        fn.file = &f;
+        fn.name = name;
+        fn.qualified = name;
+        if (i >= 2 && toks[i - 1].text == "::" &&
+            toks[i - 2].kind == TokKind::kIdent)
+            fn.qualified = toks[i - 2].text + "::" + name;
+        fn.body_begin = j;
+        fn.body_end = close;
+        fn.line = toks[i].line;
+        out.push_back(std::move(fn));
+        // Continue scanning inside the body: nested/member definitions
+        // are recognized by the same pattern.
+    }
+}
+
+void
+scan_structs(SourceFile& f, std::vector<StructDef>& out)
+{
+    const auto& toks = f.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        const std::string& kw = toks[i].text;
+        if (kw != "struct" && kw != "class")
+            continue;
+        if (i > 0 && toks[i - 1].text == "enum")
+            continue;  // enum class
+        if (toks[i + 1].kind != TokKind::kIdent)
+            continue;
+        const std::string& name = toks[i + 1].text;
+
+        // Find the body '{' (skipping "final" and base clauses); a ';'
+        // first means forward declaration.
+        std::size_t j = i + 2;
+        bool has_body = false;
+        while (j < toks.size()) {
+            const std::string& t = toks[j].text;
+            if (t == "{") {
+                has_body = true;
+                break;
+            }
+            if (t == ";" || t == ")" || t == "}" || t == "=")
+                break;
+            if (t == "<") {  // template base like Base<T>
+                j = skip_angles(toks, j);
+                continue;
+            }
+            ++j;
+        }
+        if (!has_body)
+            continue;
+        const std::size_t close = match_brace(toks, j);
+        if (close >= toks.size())
+            continue;
+
+        StructDef sd;
+        sd.file = &f;
+        sd.name = name;
+        sd.line = toks[i].line;
+
+        // Collect data members: walk depth-1 declaration chunks
+        // (';'-terminated), skipping nested braces (method bodies,
+        // nested types, brace initializers).
+        std::size_t k = j + 1;
+        std::vector<std::size_t> chunk;  // token indices at depth 1
+        bool chunk_is_callable = false;
+        int angle = 0;
+        int paren = 0;
+        while (k < close) {
+            const std::string& t = toks[k].text;
+            if (t == "{") {
+                k = match_brace(toks, k) + 1;
+                // A brace at declarator level is a method body or nested
+                // type; drop the pending chunk (no trailing ';' for
+                // function bodies).
+                continue;
+            }
+            if (t == "(" && angle == 0)
+                chunk_is_callable = true;
+            if (t == "<")
+                ++angle;
+            else if (t == ">")
+                angle = angle > 0 ? angle - 1 : 0;
+            else if (t == ">>")
+                angle = angle > 1 ? angle - 2 : 0;
+            else if (t == "(")
+                ++paren;
+            else if (t == ")")
+                paren = paren > 0 ? paren - 1 : 0;
+            if (t == ";" && angle == 0 && paren == 0) {
+                if (!chunk_is_callable) {
+                    // Identifiers directly followed by ';' '=' ',' '[':
+                    // the declarators of this member declaration.
+                    for (std::size_t c = 0; c < chunk.size(); ++c) {
+                        const Token& id = toks[chunk[c]];
+                        if (id.kind != TokKind::kIdent ||
+                            kNonFieldKeywords.count(id.text))
+                            continue;
+                        const std::string& next = toks[chunk[c] + 1].text;
+                        if (next == ";" || next == "=" || next == "," ||
+                            next == "[")
+                            sd.fields.push_back(id.text);
+                    }
+                }
+                chunk.clear();
+                chunk_is_callable = false;
+                ++k;
+                continue;
+            }
+            if (angle == 0 && paren == 0)
+                chunk.push_back(k);
+            ++k;
+        }
+        out.push_back(std::move(sd));
+    }
+}
+
+void
+scan_unordered_decls(const SourceFile& f, std::set<std::string>& names)
+{
+    const auto& toks = f.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::kIdent ||
+            !kUnorderedTypes.count(toks[i].text))
+            continue;
+        if (toks[i + 1].text != "<")
+            continue;
+        std::size_t j = skip_angles(toks, i + 1);
+        // Skip ref/pointer/cv tokens between the type and the name.
+        while (j < toks.size() &&
+               (toks[j].text == "&" || toks[j].text == "*" ||
+                toks[j].text == "const"))
+            ++j;
+        if (j < toks.size() && toks[j].kind == TokKind::kIdent &&
+            !kNonFieldKeywords.count(toks[j].text))
+            names.insert(toks[j].text);
+    }
+}
+
+} // namespace
+
+std::size_t
+match_brace(const std::vector<Token>& tokens, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < tokens.size(); ++i) {
+        if (tokens[i].text == "{")
+            ++depth;
+        else if (tokens[i].text == "}")
+            --depth;
+        if (depth == 0)
+            return i;
+    }
+    return tokens.size();
+}
+
+bool
+contains_token(const FunctionDef& fn, std::size_t i)
+{
+    return i > fn.body_begin && i < fn.body_end;
+}
+
+void
+Corpus::build_index()
+{
+    functions.clear();
+    structs.clear();
+    unordered_names.clear();
+    for (auto& f : files) {
+        scan_functions(f, functions);
+        scan_structs(f, structs);
+        scan_unordered_decls(f, unordered_names);
+    }
+}
+
+std::vector<const FunctionDef*>
+Corpus::find_functions(const std::string& name) const
+{
+    std::vector<const FunctionDef*> out;
+    for (const auto& fn : functions)
+        if (fn.name == name || fn.qualified == name)
+            out.push_back(&fn);
+    return out;
+}
+
+const StructDef*
+Corpus::find_struct(const std::string& name) const
+{
+    for (const auto& sd : structs)
+        if (sd.name == name)
+            return &sd;
+    return nullptr;
+}
+
+} // namespace shiftpar::lint

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * AST-lite source model shared by the shiftlint checks.
+ *
+ * `Corpus` owns every lexed file plus three derived indexes built by
+ * shape recognition over the token streams:
+ *
+ *  - function definitions (qualified name + body token range), found by
+ *    the `name ( ... ) ... {` pattern with control-flow keywords excluded;
+ *  - struct/class definitions with their *data member* names (methods,
+ *    nested types, and access labels are skipped) — the raw material of
+ *    the struct/serializer drift check;
+ *  - the set of identifiers declared anywhere in the corpus with an
+ *    `unordered_map`/`unordered_set` type, so iteration sites in a .cc can
+ *    be matched against members declared in the class header.
+ *
+ * The recognizers are heuristics, tuned to this repo's style; they fail
+ * *open* (an unrecognized construct produces no findings, never a crash).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace shiftpar::lint {
+
+/** One recognized function definition. */
+struct FunctionDef
+{
+    const SourceFile* file = nullptr;
+    std::string name;       ///< unqualified ("merge")
+    std::string qualified;  ///< "Metrics::merge" when defined out-of-line
+    std::size_t body_begin = 0;  ///< token index of the opening '{'
+    std::size_t body_end = 0;    ///< token index of the matching '}'
+    int line = 0;
+};
+
+/** One recognized struct/class definition with its data members. */
+struct StructDef
+{
+    const SourceFile* file = nullptr;
+    std::string name;
+    std::vector<std::string> fields;  ///< declaration order
+    int line = 0;
+};
+
+/** Every file under analysis plus the derived indexes. */
+struct Corpus
+{
+    std::vector<SourceFile> files;
+
+    std::vector<FunctionDef> functions;
+    std::vector<StructDef> structs;
+
+    /** Identifiers declared with an unordered container type anywhere. */
+    std::set<std::string> unordered_names;
+
+    /** Build the derived indexes; call once after `files` is final. */
+    void build_index();
+
+    /** @return every definition of a function named `name` (unqualified
+     *  match) or with exactly this qualified name. */
+    std::vector<const FunctionDef*> find_functions(
+        const std::string& name) const;
+
+    /** @return the first definition of struct `name`, or nullptr. */
+    const StructDef* find_struct(const std::string& name) const;
+};
+
+/** @return the token index of the brace matching `open` (a '{'), or
+ *  `tokens.size()` when unbalanced. */
+std::size_t match_brace(const std::vector<Token>& tokens, std::size_t open);
+
+/** @return true when token `i` of `f` lies inside `fn`'s body. */
+bool contains_token(const FunctionDef& fn, std::size_t i);
+
+} // namespace shiftpar::lint

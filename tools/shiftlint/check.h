@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The shiftlint check registry: findings, fixes, and the check interface.
+ *
+ * Each check enforces one determinism or accounting invariant of the
+ * simulator (see DESIGN.md §8). Checks run over a whole `Corpus` (not one
+ * file at a time) because several invariants are cross-file: an
+ * `unordered_map` member is declared in a header but iterated in the .cc,
+ * and struct/serializer drift pairs a struct definition with a writer
+ * function in another TU.
+ */
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis.h"
+
+namespace shiftpar::lint {
+
+/** A mechanical source edit attached to a finding (applied by --fix). */
+struct FixEdit
+{
+    std::size_t begin = 0;  ///< byte offset in the file text
+    std::size_t end = 0;    ///< one past the last replaced byte
+    std::string replacement;
+};
+
+/** One rule violation at one source location. */
+struct Finding
+{
+    std::string check;
+    std::string path;
+    int line = 0;
+    int col = 0;
+    std::string message;
+    std::optional<FixEdit> fix;
+};
+
+/** One registered rule. */
+class Check
+{
+  public:
+    virtual ~Check() = default;
+
+    /** Stable kebab-case rule id (used in suppressions and baselines). */
+    virtual const char* name() const = 0;
+
+    /** One-line description (shown by --list-checks and in SARIF). */
+    virtual const char* description() const = 0;
+
+    virtual void run(const Corpus& corpus,
+                     std::vector<Finding>& out) const = 0;
+};
+
+/** @return the built-in checks, in registration order. */
+const std::vector<std::unique_ptr<Check>>& check_registry();
+
+} // namespace shiftpar::lint

@@ -1,0 +1,633 @@
+/**
+ * @file
+ * The built-in shiftlint checks. Each corresponds to a bug class that has
+ * either occurred in this repo or would silently break the determinism
+ * guard (byte-identical regenerated CSVs) or the accounting invariant
+ * (submitted == completed + lost + shed) if introduced.
+ */
+
+#include "check.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+namespace shiftpar::lint {
+
+namespace {
+
+Finding
+make_finding(const char* check, const SourceFile& f, const Token& tok,
+             std::string message)
+{
+    Finding out;
+    out.check = check;
+    out.path = f.path;
+    out.line = tok.line;
+    out.col = tok.col;
+    out.message = std::move(message);
+    return out;
+}
+
+bool
+is_member_access(const std::vector<Token>& toks, std::size_t i)
+{
+    return i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->");
+}
+
+bool
+path_contains(const std::string& path, const std::string& part)
+{
+    return path.find(part) != std::string::npos;
+}
+
+/**
+ * Check 1: nondeterminism sources.
+ *
+ * The simulator's claims rest on replays being a pure function of
+ * (config, seed). Wall clocks, the libc RNG, environment lookups outside
+ * `util/`, and containers ordered by pointer value all leak host state
+ * into results. `system_clock`/`high_resolution_clock` get a mechanical
+ * --fix to `steady_clock` (the monotonic clock is fine for measuring
+ * host-side durations; it never feeds simulated time).
+ */
+class NondetSourceCheck final : public Check
+{
+  public:
+    const char*
+    name() const override
+    {
+        return "nondet-source";
+    }
+
+    const char*
+    description() const override
+    {
+        return "bans rand()/random_device/wall clocks/getenv (outside "
+               "util/) and pointer-keyed map/set keys";
+    }
+
+    void
+    run(const Corpus& corpus, std::vector<Finding>& out) const override
+    {
+        for (const auto& f : corpus.files) {
+            const auto& toks = f.tokens;
+            for (std::size_t i = 0; i < toks.size(); ++i) {
+                if (toks[i].kind != TokKind::kIdent)
+                    continue;
+                const std::string& t = toks[i].text;
+                const bool call_next =
+                    i + 1 < toks.size() && toks[i + 1].text == "(";
+
+                if ((t == "rand" || t == "srand") && call_next &&
+                    !is_member_access(toks, i)) {
+                    out.push_back(make_finding(
+                        name(), f, toks[i],
+                        t + "() draws from global libc state; use a "
+                            "seeded util::Rng stream instead"));
+                } else if (t == "random_device") {
+                    out.push_back(make_finding(
+                        name(), f, toks[i],
+                        "std::random_device is host entropy; derive "
+                        "streams from the run seed (util::Rng) instead"));
+                } else if (t == "system_clock" ||
+                           t == "high_resolution_clock") {
+                    auto fd = make_finding(
+                        name(), f, toks[i],
+                        "std::chrono::" + t +
+                            " reads the wall clock; use steady_clock for "
+                            "host-side durations (simulated time comes "
+                            "from the cluster clock)");
+                    fd.fix = FixEdit{toks[i].offset,
+                                     toks[i].offset + t.size(),
+                                     "steady_clock"};
+                    out.push_back(std::move(fd));
+                } else if ((t == "time" || t == "clock" ||
+                            t == "localtime" || t == "gmtime") &&
+                           call_next && !is_member_access(toks, i)) {
+                    out.push_back(make_finding(
+                        name(), f, toks[i],
+                        t + "() reads host time; results must be a pure "
+                            "function of (config, seed)"));
+                } else if (t == "getenv" &&
+                           !path_contains(f.path, "util/")) {
+                    out.push_back(make_finding(
+                        name(), f, toks[i],
+                        "getenv outside util/ lets the environment alter "
+                        "results; route host knobs through util (e.g. "
+                        "logging) or argparse"));
+                } else if ((t == "map" || t == "set" || t == "multimap" ||
+                            t == "multiset") &&
+                           i > 0 && toks[i - 1].text == "::" &&
+                           i + 1 < toks.size() &&
+                           toks[i + 1].text == "<") {
+                    if (pointer_key(toks, i + 1)) {
+                        out.push_back(make_finding(
+                            name(), f, toks[i],
+                            "std::" + t +
+                                " keyed on a pointer iterates in "
+                                "address order, which differs per run; "
+                                "key on a stable id instead"));
+                    }
+                }
+            }
+        }
+    }
+
+  private:
+    /** @return true when the first template argument after `open`
+     *  (tokens[open] == "<") contains a '*' at argument depth. */
+    static bool
+    pointer_key(const std::vector<Token>& toks, std::size_t open)
+    {
+        int depth = 0;
+        for (std::size_t i = open; i < toks.size(); ++i) {
+            const std::string& t = toks[i].text;
+            if (t == "<")
+                ++depth;
+            else if (t == ">")
+                --depth;
+            else if (t == ">>")
+                depth -= 2;
+            else if (t == ";" || t == "{")
+                return false;
+            if (depth <= 0)
+                return false;  // template list closed: single argument
+            if (depth == 1 && t == ",")
+                return false;  // end of the key argument
+            if (t == "*")
+                return true;
+        }
+        return false;
+    }
+};
+
+/**
+ * Check 2: iteration-order leaks into emitters.
+ *
+ * Iterating an unordered container is fine for order-independent
+ * reductions, but inside a function that also writes to a TraceSink,
+ * ReportJson, CSV, or histogram the iteration order can reach a committed
+ * artifact. This is the bug class the determinism guard exists to catch —
+ * shiftlint catches it before a sweep runs. Order-independent uses are
+ * annotated with `// shiftlint-allow(unordered-emit): <why>`.
+ */
+class UnorderedEmitCheck final : public Check
+{
+  public:
+    const char*
+    name() const override
+    {
+        return "unordered-emit";
+    }
+
+    const char*
+    description() const override
+    {
+        return "flags unordered_map/set iteration inside functions that "
+               "emit to trace/report/CSV/histogram sinks";
+    }
+
+    void
+    run(const Corpus& corpus, std::vector<Finding>& out) const override
+    {
+        static const std::unordered_set<std::string> kEmitIdents = {
+            "on_request", "on_step",  "on_mode_switch", "on_gauge",
+            "on_fault",   "on_instant", "add_run",      "add_row",
+            "CsvWriter",  "JsonWriter",
+        };
+
+        for (const auto& fn : corpus.functions) {
+            const auto& toks = fn.file->tokens;
+
+            bool emits = false;
+            for (std::size_t i = fn.body_begin; i <= fn.body_end; ++i)
+                if (toks[i].kind == TokKind::kIdent &&
+                    kEmitIdents.count(toks[i].text)) {
+                    emits = true;
+                    break;
+                }
+            if (!emits)
+                continue;
+
+            // Range-fors over a known-unordered range expression.
+            for (std::size_t i = fn.body_begin; i < fn.body_end; ++i) {
+                if (toks[i].text != "for" || toks[i + 1].text != "(")
+                    continue;
+                // Locate the ':' separating declaration from range.
+                int depth = 0;
+                std::size_t colon = 0, close = 0;
+                for (std::size_t j = i + 1; j <= fn.body_end; ++j) {
+                    if (toks[j].text == "(")
+                        ++depth;
+                    else if (toks[j].text == ")" && --depth == 0) {
+                        close = j;
+                        break;
+                    } else if (toks[j].text == ":" && depth == 1 &&
+                               colon == 0) {
+                        colon = j;
+                    }
+                }
+                if (colon == 0 || close == 0)
+                    continue;  // classic for loop
+                for (std::size_t j = colon + 1; j < close; ++j) {
+                    if (toks[j].kind != TokKind::kIdent)
+                        continue;
+                    if (corpus.unordered_names.count(toks[j].text) ||
+                        toks[j].text.rfind("unordered_", 0) == 0) {
+                        out.push_back(make_finding(
+                            name(), *fn.file, toks[i],
+                            "function '" + fn.qualified +
+                                "' iterates unordered container '" +
+                                toks[j].text +
+                                "' and emits to a sink; hash order can "
+                                "leak into reported output — iterate a "
+                                "sorted view or make the use provably "
+                                "order-independent"));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+};
+
+/**
+ * Check 3: trace-span balance.
+ *
+ * Paired trace emissions (straggle start/end, link degrade/restore, and
+ * any kBeginX/kEndX convention) must both be reachable in a TU that emits
+ * either one — a begin without its end renders as an unterminated span
+ * and breaks span-based analysis. (kFail/kRecover is deliberately not a
+ * pair: permanent fail-stop is a legal final state.)
+ */
+class TraceSpanBalanceCheck final : public Check
+{
+  public:
+    const char*
+    name() const override
+    {
+        return "trace-span-balance";
+    }
+
+    const char*
+    description() const override
+    {
+        return "paired trace emissions (k*Start/k*End, kBegin*/kEnd*) "
+               "must both appear in any TU emitting one of them";
+    }
+
+    void
+    run(const Corpus& corpus, std::vector<Finding>& out) const override
+    {
+        static const std::pair<const char*, const char*> kPairs[] = {
+            {"kStraggleStart", "kStraggleEnd"},
+            {"kLinkDegrade", "kLinkRestore"},
+        };
+
+        for (const auto& f : corpus.files) {
+            // Only implementation files: headers declare the enumerators
+            // (both halves, next to each other) without emitting.
+            const auto ends_with = [&](const char* suffix) {
+                const std::string s = suffix;
+                return f.path.size() >= s.size() &&
+                       f.path.compare(f.path.size() - s.size(), s.size(),
+                                      s) == 0;
+            };
+            if (!ends_with(".cc") && !ends_with(".cpp") &&
+                !ends_with(".cxx"))
+                continue;
+
+            std::map<std::string, const Token*> first_use;
+            std::set<std::string> present;
+            for (const auto& tok : f.tokens) {
+                if (tok.kind != TokKind::kIdent)
+                    continue;
+                if (present.insert(tok.text).second)
+                    first_use[tok.text] = &tok;
+            }
+
+            const auto require = [&](const std::string& begin,
+                                     const std::string& end) {
+                if (present.count(begin) && !present.count(end)) {
+                    out.push_back(make_finding(
+                        name(), f, *first_use[begin],
+                        "emits '" + begin + "' but never '" + end +
+                            "' in this TU; a begin without its end "
+                            "leaves an unterminated trace span on some "
+                            "control path"));
+                }
+            };
+
+            for (const auto& [b, e] : kPairs)
+                require(b, e);
+            // Generic convention: kBeginX pairs with kEndX.
+            for (const auto& id : present) {
+                if (id.rfind("kBegin", 0) == 0 && id.size() > 6)
+                    require(id, "kEnd" + id.substr(6));
+            }
+        }
+    }
+};
+
+/**
+ * Check 4: struct/serializer drift.
+ *
+ * The accounting structs are only trustworthy if every field survives
+ * both aggregation and serialization: a counter added to `FaultStats`
+ * but not to the report writer silently vanishes from every downstream
+ * analysis. Each watched struct's fields must appear in each of its
+ * coverage functions (one level of same-file call delegation is
+ * followed, so `Metrics::merge` delegating to `add_record`/`on_step`
+ * counts).
+ */
+class StructSerializerDriftCheck final : public Check
+{
+  public:
+    const char*
+    name() const override
+    {
+        return "struct-serializer-drift";
+    }
+
+    const char*
+    description() const override
+    {
+        return "every field of the accounting structs must appear in "
+               "their merge and serializer functions";
+    }
+
+    void
+    run(const Corpus& corpus, std::vector<Finding>& out) const override
+    {
+        struct Watch
+        {
+            const char* struct_name;
+            const char* file_hint;  ///< path substring of the definition
+            std::vector<const char*> functions;
+            bool underscore_fields_only;  ///< classes: data members only
+        };
+        static const Watch kWatched[] = {
+            {"FaultStats", "fault/fault_schedule.h",
+             {"ReportJson::write"}, false},
+            {"Run", "obs/report_json.h", {"ReportJson::write"}, false},
+            {"LatencySummary", "obs/report_json.h",
+             {"ReportJson::write"}, false},
+            {"Metrics", "engine/metrics.h", {"Metrics::merge"}, true},
+        };
+
+        for (const auto& w : kWatched) {
+            const StructDef* sd = nullptr;
+            for (const auto& cand : corpus.structs) {
+                if (cand.name == w.struct_name &&
+                    cand.file->path.find(w.file_hint) !=
+                        std::string::npos) {
+                    sd = &cand;
+                    break;
+                }
+            }
+            if (sd == nullptr)
+                continue;  // struct not in the scanned set
+            for (const char* fname : w.functions) {
+                const auto fns = corpus.find_functions(fname);
+                if (fns.empty())
+                    continue;  // writer not in the scanned set
+                std::set<std::string> covered;
+                for (const auto* fn : fns)
+                    collect_idents(corpus, *fn, covered, 1);
+                for (const auto& field : sd->fields) {
+                    if (w.underscore_fields_only &&
+                        (field.empty() || field.back() != '_'))
+                        continue;
+                    if (covered.count(field))
+                        continue;
+                    Finding fd;
+                    fd.check = name();
+                    fd.path = sd->file->path;
+                    fd.line = sd->line;
+                    fd.col = 1;
+                    fd.message = "field '" + field + "' of " +
+                                 w.struct_name +
+                                 " never appears in " + fname +
+                                 " (or its direct callees): the field "
+                                 "is dropped on " +
+                                 (std::string(fname).find("merge") !=
+                                          std::string::npos
+                                      ? "aggregation"
+                                      : "serialization");
+                    out.push_back(std::move(fd));
+                }
+            }
+        }
+    }
+
+  private:
+    /** Collect identifiers in `fn`'s body, following same-file calls
+     *  `depth` more levels (handles merge-by-delegation). */
+    static void
+    collect_idents(const Corpus& corpus, const FunctionDef& fn,
+                   std::set<std::string>& out, int depth)
+    {
+        const auto& toks = fn.file->tokens;
+        for (std::size_t i = fn.body_begin; i <= fn.body_end; ++i) {
+            if (toks[i].kind != TokKind::kIdent)
+                continue;
+            out.insert(toks[i].text);
+            if (depth > 0 && i + 1 <= fn.body_end &&
+                toks[i + 1].text == "(") {
+                for (const auto& callee : corpus.functions) {
+                    if (callee.file == fn.file &&
+                        callee.name == toks[i].text &&
+                        callee.body_begin != fn.body_begin)
+                        collect_idents(corpus, callee, out, depth - 1);
+                }
+            }
+        }
+    }
+};
+
+/**
+ * Check 5: sim-core contract.
+ *
+ * (a) `Component::advance_to` runs *inside* the cluster loop; mutating
+ * the cluster from there (posting/cancelling events, registering
+ * components, installing hooks) re-enters the queue mid-decision and
+ * breaks determinism rule 4. State changes belong in posted events or
+ * the progress hook.
+ *
+ * (b) Closures given to `post()` fire after arbitrary intervening
+ * mutation; a captured container iterator is invalidated by then.
+ * Capture keys/ids and re-look-up at fire time.
+ */
+class SimContractCheck final : public Check
+{
+  public:
+    const char*
+    name() const override
+    {
+        return "sim-contract";
+    }
+
+    const char*
+    description() const override
+    {
+        return "advance_to must not mutate the Cluster; post() closures "
+               "must not capture container iterators";
+    }
+
+    void
+    run(const Corpus& corpus, std::vector<Finding>& out) const override
+    {
+        static const std::unordered_set<std::string> kClusterMutators = {
+            "post", "cancel_event", "add", "set_progress_hook", "run",
+        };
+        static const std::unordered_set<std::string> kIterSources = {
+            "begin", "end",  "rbegin", "rend",        "cbegin",
+            "cend",  "find", "lower_bound", "upper_bound",
+        };
+
+        for (const auto& fn : corpus.functions) {
+            const auto& toks = fn.file->tokens;
+
+            // (a) Cluster mutation from advance_to.
+            if (fn.name == "advance_to") {
+                for (std::size_t i = fn.body_begin; i + 2 < fn.body_end;
+                     ++i) {
+                    const std::string& t = toks[i].text;
+                    const bool cluster_ref =
+                        toks[i].kind == TokKind::kIdent &&
+                        (t == "cluster" || t == "cluster_");
+                    if (!cluster_ref)
+                        continue;
+                    if (toks[i + 1].text != "." &&
+                        toks[i + 1].text != "->")
+                        continue;
+                    if (kClusterMutators.count(toks[i + 2].text)) {
+                        out.push_back(make_finding(
+                            name(), *fn.file, toks[i],
+                            "'" + fn.qualified + "' calls " + t +
+                                (toks[i + 1].text == "." ? "." : "->") +
+                                toks[i + 2].text +
+                                "() during advance_to: components must "
+                                "not mutate the cluster mid-grant (post "
+                                "from an event or the progress hook)"));
+                    }
+                }
+            }
+
+            // (b) Iterators captured by post() closures.
+            std::set<std::string> iter_vars;
+            for (std::size_t i = fn.body_begin; i + 2 < fn.body_end;
+                 ++i) {
+                // `<ident> = ... .find( | .begin( | ...` before the next
+                // ';' marks <ident> as an iterator variable.
+                if (toks[i].kind != TokKind::kIdent ||
+                    toks[i + 1].text != "=")
+                    continue;
+                for (std::size_t j = i + 2;
+                     j + 1 < fn.body_end && toks[j].text != ";"; ++j) {
+                    if ((toks[j].text == "." || toks[j].text == "->") &&
+                        toks[j + 1].kind == TokKind::kIdent &&
+                        kIterSources.count(toks[j + 1].text) &&
+                        j + 2 < fn.body_end &&
+                        toks[j + 2].text == "(") {
+                        iter_vars.insert(toks[i].text);
+                        break;
+                    }
+                }
+            }
+            if (iter_vars.empty())
+                continue;
+            for (std::size_t i = fn.body_begin; i + 1 < fn.body_end;
+                 ++i) {
+                if (toks[i].kind != TokKind::kIdent ||
+                    toks[i].text != "post" || toks[i + 1].text != "(")
+                    continue;
+                // Scan the argument list for lambdas; flag iterator
+                // variables inside their capture list or body.
+                int depth = 0;
+                std::size_t j = i + 1;
+                for (; j <= fn.body_end; ++j) {
+                    if (toks[j].text == "(")
+                        ++depth;
+                    else if (toks[j].text == ")" && --depth == 0)
+                        break;
+                    else if (toks[j].text == "[" && depth >= 1) {
+                        const std::size_t lam_end =
+                            lambda_extent(toks, j, fn.body_end);
+                        for (std::size_t k = j; k < lam_end; ++k) {
+                            if (toks[k].kind == TokKind::kIdent &&
+                                iter_vars.count(toks[k].text)) {
+                                out.push_back(make_finding(
+                                    name(), *fn.file, toks[k],
+                                    "closure passed to post() uses "
+                                    "iterator '" + toks[k].text +
+                                        "'; the event fires after "
+                                        "arbitrary mutation — capture a "
+                                        "key/id and re-look-up at fire "
+                                        "time"));
+                            }
+                        }
+                        j = lam_end;
+                    }
+                }
+            }
+        }
+    }
+
+  private:
+    /** @return one past the end of a lambda starting at `open` ('['). */
+    static std::size_t
+    lambda_extent(const std::vector<Token>& toks, std::size_t open,
+                  std::size_t limit)
+    {
+        // capture list [...]
+        std::size_t j = open;
+        int sq = 0;
+        for (; j <= limit; ++j) {
+            if (toks[j].text == "[")
+                ++sq;
+            else if (toks[j].text == "]" && --sq == 0)
+                break;
+        }
+        ++j;
+        if (j <= limit && toks[j].text == "(") {  // parameter list
+            int p = 0;
+            for (; j <= limit; ++j) {
+                if (toks[j].text == "(")
+                    ++p;
+                else if (toks[j].text == ")" && --p == 0)
+                    break;
+            }
+            ++j;
+        }
+        while (j <= limit && toks[j].text != "{" && toks[j].text != ")" &&
+               toks[j].text != ",")
+            ++j;  // mutable / noexcept / -> type
+        if (j <= limit && toks[j].text == "{") {
+            const std::size_t close = match_brace(toks, j);
+            return close >= limit ? limit : close + 1;
+        }
+        return j;  // not a lambda body after all (e.g. subscript)
+    }
+};
+
+} // namespace
+
+const std::vector<std::unique_ptr<Check>>&
+check_registry()
+{
+    static const auto* checks = [] {
+        auto* v = new std::vector<std::unique_ptr<Check>>();
+        v->push_back(std::make_unique<NondetSourceCheck>());
+        v->push_back(std::make_unique<UnorderedEmitCheck>());
+        v->push_back(std::make_unique<TraceSpanBalanceCheck>());
+        v->push_back(std::make_unique<StructSerializerDriftCheck>());
+        v->push_back(std::make_unique<SimContractCheck>());
+        return v;
+    }();
+    return *checks;
+}
+
+} // namespace shiftpar::lint

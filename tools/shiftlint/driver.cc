@@ -1,0 +1,361 @@
+#include "driver.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace shiftpar::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool
+is_source(const fs::path& p)
+{
+    const auto ext = p.extension().string();
+    return ext == ".cc" || ext == ".h" || ext == ".cpp" ||
+           ext == ".cxx" || ext == ".hpp";
+}
+
+/** FNV-1a 64-bit, used for position-independent baseline keys. */
+std::uint64_t
+fnv1a(const std::string& s)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (const unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[17];
+    for (int i = 15; i >= 0; --i, v >>= 4)
+        buf[i] = "0123456789abcdef"[v & 0xf];
+    buf[16] = '\0';
+    return buf;
+}
+
+/** Position-independent identity of a finding: the check, the file, and
+ *  the trimmed text of the flagged line (survives reformat-above). */
+std::string
+baseline_key(const Corpus& corpus, const Finding& f)
+{
+    std::string line_text;
+    for (const auto& file : corpus.files) {
+        if (file.path == f.path) {
+            line_text = file.line_text(f.line);
+            break;
+        }
+    }
+    return f.check + " " + f.path + " " +
+           hex64(fnv1a(f.check + "|" + f.path + "|" + line_text));
+}
+
+std::set<std::string>
+load_baseline(const std::string& path)
+{
+    std::set<std::string> keys;
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open baseline file '" + path + "'");
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto hash_pos = line.find('#');
+        if (hash_pos != std::string::npos)
+            line = line.substr(0, hash_pos);
+        std::istringstream ls(line);
+        std::string check, file, hash;
+        if (ls >> check >> file >> hash)
+            keys.insert(check + " " + file + " " + hash);
+    }
+    return keys;
+}
+
+void
+apply_fixes(Corpus& corpus, std::vector<Finding>& findings,
+            RunResult& result)
+{
+    std::map<std::string, std::vector<const FixEdit*>> by_file;
+    for (const auto& f : findings)
+        if (f.fix)
+            by_file[f.path].push_back(&*f.fix);
+
+    for (auto& [path, edits] : by_file) {
+        SourceFile* file = nullptr;
+        for (auto& sf : corpus.files)
+            if (sf.path == path)
+                file = &sf;
+        if (file == nullptr)
+            continue;
+        // Apply back-to-front so earlier offsets stay valid; skip
+        // overlapping edits (first one wins).
+        std::sort(edits.begin(), edits.end(),
+                  [](const FixEdit* a, const FixEdit* b) {
+                      return a->begin > b->begin;
+                  });
+        std::size_t last_begin = file->text.size() + 1;
+        for (const FixEdit* e : edits) {
+            if (e->end > last_begin)
+                continue;
+            file->text.replace(e->begin, e->end - e->begin,
+                               e->replacement);
+            last_begin = e->begin;
+            ++result.fixes_applied;
+        }
+        std::ofstream out(path, std::ios::trunc);
+        if (!out)
+            fatal("cannot rewrite '" + path + "' with fixes");
+        out << file->text;
+    }
+
+    // Fixed findings are resolved, not actionable.
+    findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                  [](const Finding& f) {
+                                      return f.fix.has_value();
+                                  }),
+                   findings.end());
+}
+
+} // namespace
+
+std::vector<std::string>
+collect_sources(const std::vector<std::string>& paths)
+{
+    std::vector<std::string> out;
+    for (const auto& p : paths) {
+        if (fs::is_directory(p)) {
+            for (const auto& e : fs::recursive_directory_iterator(p))
+                if (e.is_regular_file() && is_source(e.path()))
+                    out.push_back(e.path().generic_string());
+        } else if (fs::is_regular_file(p)) {
+            out.push_back(p);
+        } else {
+            fatal("no such file or directory: '" + p + "'");
+        }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+Corpus
+load_corpus(const std::vector<std::string>& paths)
+{
+    Corpus corpus;
+    for (const auto& path : paths) {
+        std::ifstream in(path, std::ios::binary);
+        if (!in)
+            fatal("cannot read '" + path + "'");
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        corpus.files.push_back(lex_source(path, ss.str()));
+    }
+    corpus.build_index();
+    return corpus;
+}
+
+RunResult
+run_checks(Corpus& corpus, const Options& opts)
+{
+    RunResult result;
+
+    std::vector<Finding> raw;
+    for (const auto& check : check_registry()) {
+        if (!opts.checks.empty() &&
+            std::find(opts.checks.begin(), opts.checks.end(),
+                      check->name()) == opts.checks.end())
+            continue;
+        check->run(corpus, raw);
+    }
+
+    // Malformed allow-comments are findings themselves: a suppression
+    // without a reason hides a violation with no audit trail.
+    for (const auto& file : corpus.files) {
+        for (const int line : file.malformed_suppressions) {
+            Finding f;
+            f.check = "bad-suppression";
+            f.path = file.path;
+            f.line = line;
+            f.col = 1;
+            f.message =
+                "malformed shiftlint-allow comment: expected "
+                "`// shiftlint-allow(<check>): <reason>`";
+            raw.push_back(std::move(f));
+        }
+    }
+
+    const std::set<std::string> baseline =
+        opts.baseline_path.empty() ? std::set<std::string>{}
+                                   : load_baseline(opts.baseline_path);
+
+    for (auto& f : raw) {
+        const Suppression* matched = nullptr;
+        for (const auto& file : corpus.files) {
+            if (file.path != f.path)
+                continue;
+            for (const auto& s : file.suppressions) {
+                if ((s.line == f.line || s.line == f.line - 1) &&
+                    (s.check == f.check || s.check == "*")) {
+                    matched = &s;
+                    break;
+                }
+            }
+        }
+        if (matched != nullptr) {
+            matched->used = true;
+            result.suppressed.push_back(std::move(f));
+        } else if (!baseline.empty() &&
+                   baseline.count(baseline_key(corpus, f))) {
+            result.baselined.push_back(std::move(f));
+        } else {
+            result.findings.push_back(std::move(f));
+        }
+    }
+
+    for (const auto& file : corpus.files)
+        for (const auto& s : file.suppressions)
+            if (!s.used)
+                result.stale_suppressions.push_back(
+                    file.path + ":" + std::to_string(s.line) +
+                    ": unused shiftlint-allow(" + s.check + ")");
+
+    std::sort(result.findings.begin(), result.findings.end(),
+              [](const Finding& a, const Finding& b) {
+                  return std::tie(a.path, a.line, a.col, a.check) <
+                         std::tie(b.path, b.line, b.col, b.check);
+              });
+
+    if (opts.apply_fixes)
+        apply_fixes(corpus, result.findings, result);
+
+    return result;
+}
+
+void
+write_human(std::ostream& os, const RunResult& result)
+{
+    for (const auto& f : result.findings) {
+        os << f.path << ":" << f.line << ":" << f.col << ": [" << f.check
+           << "] " << f.message;
+        if (f.fix)
+            os << " (fixable with --fix)";
+        os << "\n";
+    }
+    for (const auto& s : result.stale_suppressions)
+        os << "warning: " << s << "\n";
+    os << "shiftlint: " << result.findings.size() << " finding(s), "
+       << result.suppressed.size() << " suppressed, "
+       << result.baselined.size() << " baselined";
+    if (result.fixes_applied > 0)
+        os << ", " << result.fixes_applied << " fix(es) applied";
+    os << "\n";
+}
+
+void
+write_sarif(std::ostream& os, const RunResult& result)
+{
+    util::JsonWriter w(os, /*pretty=*/true);
+    w.begin_object();
+    w.kv("$schema",
+         "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+         "Schemata/sarif-schema-2.1.0.json");
+    w.kv("version", "2.1.0");
+    w.key("runs").begin_array();
+    w.begin_object();
+    w.key("tool").begin_object();
+    w.key("driver").begin_object();
+    w.kv("name", "shiftlint");
+    w.kv("informationUri",
+         "https://github.com/shiftpar/shiftpar/tree/main/tools/shiftlint");
+    w.key("rules").begin_array();
+    for (const auto& check : check_registry()) {
+        w.begin_object();
+        w.kv("id", check->name());
+        w.key("shortDescription").begin_object();
+        w.kv("text", check->description());
+        w.end_object();
+        w.end_object();
+    }
+    w.end_array();  // rules
+    w.end_object(); // driver
+    w.end_object(); // tool
+    w.key("results").begin_array();
+    for (const auto& f : result.findings) {
+        w.begin_object();
+        w.kv("ruleId", f.check);
+        w.kv("level", "error");
+        w.key("message").begin_object();
+        w.kv("text", f.message);
+        w.end_object();
+        w.key("locations").begin_array();
+        w.begin_object();
+        w.key("physicalLocation").begin_object();
+        w.key("artifactLocation").begin_object();
+        w.kv("uri", f.path);
+        w.end_object();
+        w.key("region").begin_object();
+        w.kv("startLine", f.line);
+        w.kv("startColumn", f.col);
+        w.end_object();
+        w.end_object();  // physicalLocation
+        w.end_object();  // location
+        w.end_array();   // locations
+        w.end_object();  // result
+    }
+    w.end_array();  // results
+    w.end_object(); // run
+    w.end_array();  // runs
+    w.end_object();
+    os << "\n";
+}
+
+void
+write_baseline(std::ostream& os, const Corpus& corpus,
+               const RunResult& result)
+{
+    os << "# shiftlint baseline — accepted findings, one per line:\n"
+       << "# <check> <path> <line-content-hash>  # <flagged line>\n"
+       << "# Regenerate with `shiftlint --write-baseline <file>`; every\n"
+       << "# entry needs a justification in the PR that adds it.\n";
+    std::vector<std::string> lines;
+    for (const auto& f : result.findings) {
+        std::string text;
+        for (const auto& file : corpus.files)
+            if (file.path == f.path)
+                text = file.line_text(f.line);
+        if (text.size() > 60)
+            text = text.substr(0, 57) + "...";
+        lines.push_back(baseline_key(corpus, f) + "  # " + text);
+    }
+    // Also keep already-baselined findings: regeneration must not drop
+    // entries that still fire.
+    for (const auto& f : result.baselined) {
+        std::string text;
+        for (const auto& file : corpus.files)
+            if (file.path == f.path)
+                text = file.line_text(f.line);
+        if (text.size() > 60)
+            text = text.substr(0, 57) + "...";
+        lines.push_back(baseline_key(corpus, f) + "  # " + text);
+    }
+    std::sort(lines.begin(), lines.end());
+    lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+    for (const auto& l : lines)
+        os << l << "\n";
+}
+
+} // namespace shiftpar::lint

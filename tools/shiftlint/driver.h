@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The shiftlint driver: file collection, check execution, suppression and
+ * baseline filtering, fix application, and output rendering.
+ *
+ * Split from `main.cc` so the fixture tests (tests/tools) can run checks
+ * over in-memory snippets and assert on the classified results without
+ * spawning the binary.
+ */
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "check.h"
+
+namespace shiftpar::lint {
+
+/** Driver configuration (mirrors the CLI flags). */
+struct Options
+{
+    /** Check names to run; empty = all registered checks. */
+    std::vector<std::string> checks;
+
+    /** Baseline file to filter against; empty = no baseline. */
+    std::string baseline_path;
+
+    /** Apply mechanical fixes in place. */
+    bool apply_fixes = false;
+};
+
+/** Classified results of one lint run. */
+struct RunResult
+{
+    std::vector<Finding> findings;    ///< actionable (fail the run)
+    std::vector<Finding> suppressed;  ///< matched an inline allow-comment
+    std::vector<Finding> baselined;   ///< matched the baseline file
+
+    /** Inline allow-comments that matched no finding (stale). */
+    std::vector<std::string> stale_suppressions;
+
+    /** Number of fix edits applied (when Options::apply_fixes). */
+    int fixes_applied = 0;
+
+    bool clean() const { return findings.empty(); }
+};
+
+/**
+ * Recursively collect `.cc`/`.h` files under each path (a path may also
+ * name a single file). Results are sorted for deterministic output.
+ */
+std::vector<std::string> collect_sources(
+    const std::vector<std::string>& paths);
+
+/** Lex `paths` from disk into a corpus. fatal() on unreadable files. */
+Corpus load_corpus(const std::vector<std::string>& paths);
+
+/** Run the selected checks and classify findings. Fix application edits
+ *  the *in-memory* corpus text and rewrites the on-disk files. */
+RunResult run_checks(Corpus& corpus, const Options& opts);
+
+/** Render human-readable findings (one line each) plus a summary. */
+void write_human(std::ostream& os, const RunResult& result);
+
+/** Render SARIF 2.1.0 for CI code-scanning upload. */
+void write_sarif(std::ostream& os, const RunResult& result);
+
+/** Serialize `result`'s actionable findings as baseline entries. */
+void write_baseline(std::ostream& os, const Corpus& corpus,
+                    const RunResult& result);
+
+} // namespace shiftpar::lint

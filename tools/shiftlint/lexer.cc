@@ -1,0 +1,260 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace shiftpar::lint {
+
+namespace {
+
+bool
+ident_start(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+ident_char(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Multi-character punctuation, longest first within each head. */
+const char* const kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=", "^=", "##",
+};
+
+/** Parse a `shiftlint-allow(...)` annotation out of a comment body. */
+void
+parse_suppression(const std::string& comment, int line, SourceFile& out)
+{
+    const std::string tag = "shiftlint-allow(";
+    const auto pos = comment.find(tag);
+    if (pos == std::string::npos)
+        return;
+    const auto open = pos + tag.size();
+    const auto close = comment.find(')', open);
+    if (close == std::string::npos) {
+        out.malformed_suppressions.push_back(line);
+        return;
+    }
+    Suppression s;
+    s.line = line;
+    s.check = comment.substr(open, close - open);
+    // Trim the check name.
+    while (!s.check.empty() && std::isspace(
+               static_cast<unsigned char>(s.check.front())))
+        s.check.erase(s.check.begin());
+    while (!s.check.empty() && std::isspace(
+               static_cast<unsigned char>(s.check.back())))
+        s.check.pop_back();
+    // A reason is mandatory: "): reason".
+    auto rest = comment.substr(close + 1);
+    const auto colon = rest.find(':');
+    std::string reason =
+        colon == std::string::npos ? "" : rest.substr(colon + 1);
+    while (!reason.empty() &&
+           std::isspace(static_cast<unsigned char>(reason.front())))
+        reason.erase(reason.begin());
+    if (s.check.empty() || reason.empty()) {
+        out.malformed_suppressions.push_back(line);
+        return;
+    }
+    s.reason = reason;
+    out.suppressions.push_back(std::move(s));
+}
+
+} // namespace
+
+std::string
+SourceFile::line_text(int line) const
+{
+    int cur = 1;
+    std::size_t start = 0;
+    while (cur < line) {
+        const auto nl = text.find('\n', start);
+        if (nl == std::string::npos)
+            return "";
+        start = nl + 1;
+        ++cur;
+    }
+    auto end = text.find('\n', start);
+    if (end == std::string::npos)
+        end = text.size();
+    auto s = text.substr(start, end - start);
+    const auto a = s.find_first_not_of(" \t\r");
+    if (a == std::string::npos)
+        return "";
+    const auto b = s.find_last_not_of(" \t\r");
+    return s.substr(a, b - a + 1);
+}
+
+SourceFile
+lex_source(std::string path, std::string text)
+{
+    SourceFile out;
+    out.path = std::move(path);
+    out.text = std::move(text);
+    const std::string& s = out.text;
+
+    std::size_t i = 0;
+    int line = 1;
+    int col = 1;
+    bool line_has_token = false;
+
+    const auto advance = [&](std::size_t n) {
+        for (std::size_t k = 0; k < n && i < s.size(); ++k, ++i) {
+            if (s[i] == '\n') {
+                ++line;
+                col = 1;
+                line_has_token = false;
+            } else {
+                ++col;
+            }
+        }
+    };
+
+    while (i < s.size()) {
+        const char c = s[i];
+
+        // Whitespace.
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            advance(1);
+            continue;
+        }
+
+        // Line comment (suppression annotations live here).
+        if (c == '/' && i + 1 < s.size() && s[i + 1] == '/') {
+            auto end = s.find('\n', i);
+            if (end == std::string::npos)
+                end = s.size();
+            parse_suppression(s.substr(i, end - i), line, out);
+            advance(end - i);
+            continue;
+        }
+
+        // Block comment.
+        if (c == '/' && i + 1 < s.size() && s[i + 1] == '*') {
+            const int start_line = line;
+            auto end = s.find("*/", i + 2);
+            if (end == std::string::npos)
+                end = s.size();
+            else
+                end += 2;
+            parse_suppression(s.substr(i, end - i), start_line, out);
+            advance(end - i);
+            continue;
+        }
+
+        // Preprocessor directive: skip to end of line, honoring
+        // backslash continuations (only when '#' starts the line).
+        if (c == '#' && !line_has_token) {
+            std::size_t j = i;
+            while (j < s.size()) {
+                const auto nl = s.find('\n', j);
+                if (nl == std::string::npos) {
+                    j = s.size();
+                    break;
+                }
+                // Continued line?
+                std::size_t back = nl;
+                while (back > j && (s[back - 1] == '\r'))
+                    --back;
+                if (back > j && s[back - 1] == '\\') {
+                    j = nl + 1;
+                    continue;
+                }
+                j = nl;
+                break;
+            }
+            advance(j - i);
+            continue;
+        }
+
+        Token tok;
+        tok.line = line;
+        tok.col = col;
+        tok.offset = i;
+        line_has_token = true;
+
+        // Raw string literal.
+        if (c == 'R' && i + 1 < s.size() && s[i + 1] == '"') {
+            const auto paren = s.find('(', i + 2);
+            if (paren != std::string::npos) {
+                const std::string delim = s.substr(i + 2, paren - (i + 2));
+                const std::string closer = ")" + delim + "\"";
+                auto end = s.find(closer, paren + 1);
+                end = end == std::string::npos ? s.size()
+                                               : end + closer.size();
+                tok.kind = TokKind::kString;
+                tok.text = s.substr(i, end - i);
+                out.tokens.push_back(tok);
+                advance(end - i);
+                continue;
+            }
+        }
+
+        // String / char literal.
+        if (c == '"' || c == '\'') {
+            std::size_t j = i + 1;
+            while (j < s.size() && s[j] != c) {
+                if (s[j] == '\\')
+                    ++j;
+                if (j < s.size())
+                    ++j;
+            }
+            if (j < s.size())
+                ++j;  // closing quote
+            tok.kind = c == '"' ? TokKind::kString : TokKind::kChar;
+            tok.text = s.substr(i, j - i);
+            out.tokens.push_back(tok);
+            advance(j - i);
+            continue;
+        }
+
+        // Identifier / keyword.
+        if (ident_start(c)) {
+            std::size_t j = i + 1;
+            while (j < s.size() && ident_char(s[j]))
+                ++j;
+            tok.kind = TokKind::kIdent;
+            tok.text = s.substr(i, j - i);
+            out.tokens.push_back(tok);
+            advance(j - i);
+            continue;
+        }
+
+        // Number (incl. hex, separators, float exponents).
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i + 1;
+            while (j < s.size() &&
+                   (ident_char(s[j]) || s[j] == '.' || s[j] == '\'' ||
+                    ((s[j] == '+' || s[j] == '-') &&
+                     (s[j - 1] == 'e' || s[j - 1] == 'E' ||
+                      s[j - 1] == 'p' || s[j - 1] == 'P'))))
+                ++j;
+            tok.kind = TokKind::kNumber;
+            tok.text = s.substr(i, j - i);
+            out.tokens.push_back(tok);
+            advance(j - i);
+            continue;
+        }
+
+        // Punctuation: longest known multi-char operator, else one char.
+        tok.kind = TokKind::kPunct;
+        tok.text = std::string(1, c);
+        for (const char* p : kPuncts) {
+            const std::size_t n = std::string(p).size();
+            if (s.compare(i, n, p) == 0) {
+                tok.text = p;
+                break;
+            }
+        }
+        out.tokens.push_back(tok);
+        advance(tok.text.size());
+    }
+    return out;
+}
+
+} // namespace shiftpar::lint

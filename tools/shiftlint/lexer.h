@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Token-level C++ lexer for shiftlint.
+ *
+ * Deliberately not a compiler front end: shiftlint's checks operate on
+ * token streams plus a little shape recognition (function bodies, struct
+ * fields, declarations), which is enough to enforce the repo's determinism
+ * conventions without a libclang dependency. The lexer understands
+ * comments (collected separately, so suppression annotations can be
+ * matched to findings), string/char literals including raw strings (their
+ * contents are opaque — banned identifiers inside a string are not
+ * findings), and preprocessor directives (skipped wholesale, so `#include
+ * <unordered_map>` never looks like a declaration).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace shiftpar::lint {
+
+/** Lexical class of one token. */
+enum class TokKind
+{
+    kIdent,   ///< identifier or keyword
+    kNumber,  ///< numeric literal
+    kString,  ///< string literal (text is the full lexeme, quotes included)
+    kChar,    ///< character literal
+    kPunct,   ///< operator/punctuation (multi-char ops are one token)
+};
+
+/** One lexed token with its source position. */
+struct Token
+{
+    TokKind kind = TokKind::kPunct;
+    std::string text;
+    int line = 0;            ///< 1-based
+    int col = 0;             ///< 1-based
+    std::size_t offset = 0;  ///< byte offset of the first character
+};
+
+/**
+ * A `// shiftlint-allow(<check>): reason` annotation. Suppresses findings
+ * of `check` on the same line or the next line. `check` may be `*`.
+ */
+struct Suppression
+{
+    int line = 0;
+    std::string check;
+    std::string reason;
+    mutable bool used = false;  ///< set when a finding matched it
+};
+
+/** A lexed source file (from disk or an in-memory fixture). */
+struct SourceFile
+{
+    std::string path;  ///< as given by the caller (repo-relative in CI)
+    std::string text;
+    std::vector<Token> tokens;
+    std::vector<Suppression> suppressions;
+
+    /** Lines of `shiftlint-allow` comments missing the `: reason` part. */
+    std::vector<int> malformed_suppressions;
+
+    /** @return the trimmed source text of 1-based line `line`. */
+    std::string line_text(int line) const;
+};
+
+/** Lex `text` into tokens and suppression annotations. */
+SourceFile lex_source(std::string path, std::string text);
+
+} // namespace shiftpar::lint

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * shiftlint CLI — the determinism & invariant static-analysis pass.
+ *
+ * Usage:
+ *   shiftlint [options] [paths...]          (default paths: src bench tests)
+ *
+ * Options:
+ *   --fix                  apply mechanical fixes in place
+ *   --format human|sarif   output format (default human)
+ *   --baseline FILE        filter findings against a committed baseline
+ *   --write-baseline FILE  write the current findings as a new baseline
+ *   --check NAME           run only NAME (repeatable)
+ *   --list-checks          print the registry and exit
+ *
+ * Exit status: 0 clean (or everything suppressed/baselined), 1 findings,
+ * 2 usage error. Run from the repository root so baseline paths match.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "driver.h"
+#include "util/logging.h"
+
+namespace {
+
+int
+usage(const char* argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " [--fix] [--format human|sarif] [--baseline FILE]\n"
+                 "       [--write-baseline FILE] [--check NAME]... "
+                 "[--list-checks] [paths...]\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace shiftpar::lint;
+
+    Options opts;
+    std::string format = "human";
+    std::string write_baseline_path;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                shiftpar::fatal("missing value for " + arg);
+            return argv[++i];
+        };
+        if (arg == "--fix") {
+            opts.apply_fixes = true;
+        } else if (arg == "--format") {
+            format = next();
+            if (format != "human" && format != "sarif")
+                return usage(argv[0]);
+        } else if (arg == "--baseline") {
+            opts.baseline_path = next();
+        } else if (arg == "--write-baseline") {
+            write_baseline_path = next();
+        } else if (arg == "--check") {
+            opts.checks.push_back(next());
+        } else if (arg == "--list-checks") {
+            for (const auto& c : check_registry())
+                std::cout << c->name() << ": " << c->description()
+                          << "\n";
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(argv[0]);
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty())
+        paths = {"src", "bench", "tests"};
+
+    Corpus corpus = load_corpus(collect_sources(paths));
+    const RunResult result = run_checks(corpus, opts);
+
+    if (!write_baseline_path.empty()) {
+        std::ofstream out(write_baseline_path, std::ios::trunc);
+        if (!out)
+            shiftpar::fatal("cannot write baseline '" +
+                            write_baseline_path + "'");
+        write_baseline(out, corpus, result);
+        std::cout << "wrote " << write_baseline_path << " ("
+                  << result.findings.size() + result.baselined.size()
+                  << " entries)\n";
+        return 0;
+    }
+
+    if (format == "sarif")
+        write_sarif(std::cout, result);
+    else
+        write_human(std::cout, result);
+    return result.clean() ? 0 : 1;
+}
