@@ -4,9 +4,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 
+#include "obs/metrics_registry.h"
+#include "sim/profiler.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace shiftpar::bench {
@@ -23,6 +28,8 @@ struct ObsState
     bool report_enabled = true;
     bool report_path_forced = false;
     int jobs = util::ThreadPool::default_concurrency();
+    bool profile = false;
+    std::string metrics_path;
 };
 
 /** Per-thread report override installed by the sweep runner. */
@@ -62,12 +69,62 @@ flush_outputs()
         std::printf("\ntrace: wrote %s (%zu events)\n", o.trace_path.c_str(),
                     o.trace->num_events());
     }
+    // The self-observability registry rides along in the run report (and
+    // the optional exposition file); an empty registry leaves both outputs
+    // byte-identical to the pre-registry era.
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+    if (o.report_enabled && !registry.empty())
+        o.report.set_metrics(registry.snapshot());
     if (o.report_enabled && o.report.num_runs() > 0 &&
         !o.report_path.empty()) {
         o.report.write_file(o.report_path);
         std::printf("report: wrote %s (%zu runs)\n", o.report_path.c_str(),
                     o.report.num_runs());
     }
+    if (!o.metrics_path.empty()) {
+        const auto parent =
+            std::filesystem::path(o.metrics_path).parent_path();
+        if (!parent.empty()) {
+            std::error_code ec;
+            std::filesystem::create_directories(parent, ec);
+        }
+        std::ofstream os(o.metrics_path);
+        if (!os) {
+            fatal("cannot open metrics output file '" + o.metrics_path +
+                  "'");
+        }
+        registry.write_prometheus(os);
+        std::printf("metrics: wrote %s\n", o.metrics_path.c_str());
+    }
+}
+
+/** Fold one run's cluster profile into this thread's metrics registry. */
+void
+record_profile(const sim::ClusterProfile& prof)
+{
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::current();
+    reg.counter_add("shiftpar_sim_events_fired_total", prof.events_fired);
+    for (const auto& [kind, s] : prof.components) {
+        reg.counter_add("shiftpar_sim_component_advances_total", s.advances,
+                        {{"kind", kind}});
+        reg.counter_add("shiftpar_sim_component_stalls_total", s.stalls,
+                        {{"kind", kind}});
+        reg.observe("shiftpar_sim_component_wall_seconds", s.wall_s,
+                    {{"kind", kind}});
+    }
+    reg.observe("shiftpar_sim_run_wall_seconds", prof.run_wall_s);
+    reg.observe("shiftpar_sim_event_wall_seconds", prof.event_wall_s);
+    reg.observe("shiftpar_sim_events_per_second", prof.events_per_sec());
+    reg.gauge_max("shiftpar_sim_queue_depth_high_water",
+                  static_cast<double>(prof.queue_high_water));
+    reg.counter_add("shiftpar_sim_heap_ops_total", prof.heap_pushes,
+                    {{"op", "push"}});
+    reg.counter_add("shiftpar_sim_heap_ops_total", prof.heap_pops,
+                    {{"op", "pop"}});
+    reg.counter_add("shiftpar_sim_heap_ops_total", prof.heap_cancels,
+                    {{"op", "cancel"}});
+    reg.gauge_max("shiftpar_process_peak_rss_bytes",
+                  static_cast<double>(util::peak_rss_bytes()));
 }
 
 } // namespace
@@ -90,12 +147,22 @@ init(int argc, char** argv)
             o.jobs = std::atoi(argv[++i]);
             if (o.jobs < 1)
                 fatal("--jobs requires a positive worker count");
+        } else if (std::strcmp(arg, "--profile") == 0) {
+            o.profile = true;
+        } else if (std::strcmp(arg, "--metrics-out") == 0 && i + 1 < argc) {
+            o.metrics_path = argv[++i];
         } else {
             fatal(std::string("unknown argument '") + arg +
                   "' (expected --trace <path>, --report <path>, "
-                  "--no-report, --jobs <n>)");
+                  "--no-report, --jobs <n>, --profile, "
+                  "--metrics-out <path>)");
         }
     }
+    // Construct the global registry (and obs_state above) before
+    // registering the atexit flush: statics are destroyed in reverse
+    // construction/registration order, so anything flush_outputs touches
+    // must already exist here or it would be torn down first.
+    obs::MetricsRegistry::global();
     std::atexit(flush_outputs);
 }
 
@@ -109,6 +176,12 @@ int
 jobs()
 {
     return obs_state().jobs;
+}
+
+bool
+profile_enabled()
+{
+    return obs_state().profile;
 }
 
 obs::ReportJson&
@@ -174,11 +247,16 @@ run_deployment_named(const std::string& name, const core::Deployment& d,
         o.trace->set_run_label(name);
         traced.trace = o.trace.get();
     }
+    sim::ClusterProfile prof;
+    if (o.profile)
+        traced.profile = &prof;
     RunResult result;
     result.name = name;
     result.resolved = core::resolve(traced);
     result.metrics =
         core::build(traced, result.resolved)->run_workload(workload);
+    if (o.profile)
+        record_profile(prof);
     if (o.report_enabled) {
         obs::RunDeploymentInfo info;
         info.description = result.resolved.describe();

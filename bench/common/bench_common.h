@@ -35,9 +35,16 @@ namespace shiftpar::bench {
  *   --jobs <n>       parallel sweep workers for `run_sweep` (default:
  *                    hardware concurrency; results are byte-identical for
  *                    any value — see common/sweep.h)
+ *   --profile        attach the sim-core self-profiler to every
+ *                    deployment run and fold its attribution into the
+ *                    self-observability metrics (report `metrics`
+ *                    section / --metrics-out)
+ *   --metrics-out <path>  write the process's metrics registry as a
+ *                    Prometheus-style text exposition at exit
  *
- * Both outputs are flushed at process exit. Tracing is off unless
- * `--trace` is given; metrics are bit-identical either way.
+ * All outputs are flushed at process exit. Tracing and profiling are off
+ * unless their flags are given; simulation results are bit-identical
+ * either way.
  */
 void init(int argc, char** argv);
 
@@ -46,6 +53,9 @@ obs::TraceSink* trace();
 
 /** Parsed `--jobs` value (defaults to hardware concurrency). */
 int jobs();
+
+/** @return whether `--profile` was given. */
+bool profile_enabled();
 
 /**
  * Shared run report that `run_deployment_named` records into. On a sweep

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/bench_common.h"
+#include "obs/metrics_registry.h"
 #include "util/thread_pool.h"
 
 namespace shiftpar::bench {
@@ -26,11 +27,24 @@ run_sweep(std::size_t n, const SweepPointFn& point)
 {
     if (n == 0)
         return;
+    // Points record self-observability metrics into per-point buffers
+    // that fold into the caller's registry in index order — on BOTH
+    // paths. Folding (not direct recording) is what keeps histogram
+    // float sums byte-identical at any --jobs N: the sequential path
+    // must perform the same merge operations in the same order as the
+    // parallel one, or the two would differ in the last ulp.
+    obs::MetricsRegistry& parent = obs::MetricsRegistry::current();
     if (effective_jobs(n) <= 1) {
         // Sequential reference path: compute and commit inline. The
         // parallel path below must be byte-identical to this one.
         for (std::size_t i = 0; i < n; ++i) {
-            if (SweepCommit commit = point(i))
+            obs::MetricsRegistry buffer;
+            obs::MetricsRegistry* prev =
+                obs::MetricsRegistry::set_thread_override(&buffer);
+            SweepCommit commit = point(i);
+            obs::MetricsRegistry::set_thread_override(prev);
+            parent.merge_from(buffer);
+            if (commit)
                 commit();
         }
         return;
@@ -38,7 +52,8 @@ run_sweep(std::size_t n, const SweepPointFn& point)
 
     struct Slot
     {
-        obs::ReportJson buffer;  ///< point-local report records
+        obs::ReportJson buffer;           ///< point-local report records
+        obs::MetricsRegistry metrics;     ///< point-local metric records
         SweepCommit commit;
         bool ready = false;
     };
@@ -50,7 +65,10 @@ run_sweep(std::size_t n, const SweepPointFn& point)
     for (std::size_t i = 0; i < n; ++i) {
         pool.submit([&, i] {
             detail::set_thread_report(&slots[i].buffer);
+            obs::MetricsRegistry* prev =
+                obs::MetricsRegistry::set_thread_override(&slots[i].metrics);
             SweepCommit commit = point(i);
+            obs::MetricsRegistry::set_thread_override(prev);
             detail::set_thread_report(nullptr);
             {
                 std::lock_guard<std::mutex> lock(mutex);
@@ -70,6 +88,7 @@ run_sweep(std::size_t n, const SweepPointFn& point)
         }
         if (detail::report_enabled())
             report().merge_from(std::move(slots[i].buffer));
+        parent.merge_from(slots[i].metrics);
         if (slots[i].commit)
             slots[i].commit();
     }

@@ -162,6 +162,7 @@ build(const Deployment& d, const ResolvedDeployment& r)
     auto router =
         std::make_unique<engine::Router>(std::move(engines), d.routing);
     router->set_trace(d.trace);
+    router->set_profile(d.profile);
     router->set_faults(d.faults, d.resilience);
     return router;
 }

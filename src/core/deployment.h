@@ -94,6 +94,15 @@ struct Deployment
      * simulation results are bit-identical either way.
      */
     obs::TraceSink* trace = nullptr;
+
+    /**
+     * Cluster self-profiling accumulator (borrowed, may be null). When
+     * set, the replay cluster attributes host wall time per component
+     * kind and folds heap/queue stats into it (`--profile` in the bench
+     * harness). Like `trace`, it only observes: simulation results are
+     * bit-identical either way.
+     */
+    sim::ClusterProfile* profile = nullptr;
 };
 
 /** The concrete plan a deployment resolves to. */

@@ -57,7 +57,7 @@ Engine::submit(const RequestSpec& spec, RequestId id, bool migrated_in)
     scheduler_.enqueue(req.get());
     requests_.push_back(std::move(req));
     if (cfg_.trace) {
-        cfg_.trace->on_request({cfg_.trace_id, id,
+        cfg_.trace->publish_request({cfg_.trace_id, id,
                                 obs::RequestPhase::kSubmit, spec.arrival,
                                 spec.prompt_tokens});
     }
@@ -80,7 +80,7 @@ Engine::submit_prefilled(const RequestSpec& spec, RequestId id,
     scheduler_.enqueue(req.get());
     requests_.push_back(std::move(req));
     if (cfg_.trace) {
-        cfg_.trace->on_request({cfg_.trace_id, id,
+        cfg_.trace->publish_request({cfg_.trace_id, id,
                                 obs::RequestPhase::kSubmit, spec.arrival,
                                 spec.prompt_tokens});
     }
@@ -96,7 +96,7 @@ Engine::cancel(RequestId id)
             return false;
         ++cancelled_;
         if (cfg_.trace) {
-            cfg_.trace->on_request(
+            cfg_.trace->publish_request(
                 {cfg_.trace_id, id, obs::RequestPhase::kCancel, now_, 0});
         }
         return true;

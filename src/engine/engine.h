@@ -163,6 +163,10 @@ class Engine : public sim::Component
     /** Run until every submitted request has finished. */
     void drain();
 
+    /** sim::Component: the profiler attributes this engine's wall time
+     *  under "engine". */
+    const char* kind() const override { return "engine"; }
+
     /**
      * sim::Component: earliest time this engine could act — its clock
      * while a step is attemptable (something running, or an arrived

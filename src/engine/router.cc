@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics_registry.h"
 #include "sim/cluster.h"
 #include "util/logging.h"
 
@@ -56,7 +57,7 @@ Router::publish(obs::EngineId engine, RequestId id, obs::RequestPhase phase,
                 double t, std::int64_t tokens) const
 {
     if (trace_)
-        trace_->on_request({engine, id, phase, t, tokens});
+        trace_->publish_request({engine, id, phase, t, tokens});
 }
 
 void
@@ -115,9 +116,9 @@ Router::rebalance(double t)
     engines_[idlest]->submit(spec, id, /*migrated_in=*/true);
     ++migrations_;
     if (trace_) {
-        trace_->on_request({engines_[idlest]->trace_id(), id,
-                            obs::RequestPhase::kMigrated, t,
-                            spec.prompt_tokens});
+        trace_->publish_request({engines_[idlest]->trace_id(), id,
+                                 obs::RequestPhase::kMigrated, t,
+                                 spec.prompt_tokens});
     }
 }
 
@@ -126,6 +127,8 @@ Router::admit(const RequestSpec& spec, RequestId id, double t)
 {
     if (should_shed(t)) {
         ++fault_stats_.shed;
+        obs::MetricsRegistry::current().counter_add(
+            "shiftpar_fault_requests_total", 1, {{"outcome", "shed"}});
         publish(engines_[0]->trace_id(), id, obs::RequestPhase::kShed, t,
                 spec.prompt_tokens);
         return;
@@ -182,10 +185,14 @@ Router::schedule_retry(const RequestSpec& spec, RequestId id, double t)
     const int attempt = ++attempts_[id];
     if (attempt > resilience_.max_retries) {
         ++fault_stats_.lost;
+        obs::MetricsRegistry::current().counter_add(
+            "shiftpar_fault_requests_total", 1, {{"outcome", "lost"}});
         publish(engines_[0]->trace_id(), id, obs::RequestPhase::kLost, t);
         return;
     }
     ++fault_stats_.retries;
+    obs::MetricsRegistry::current().counter_add(
+        "shiftpar_fault_requests_total", 1, {{"outcome", "retried"}});
     const double delay =
         std::min(resilience_.backoff_base *
                      std::pow(2.0, static_cast<double>(attempt - 1)),
@@ -220,8 +227,16 @@ Router::on_engine_failure(std::size_t idx, double t)
         active_cluster_->cancel_event(ev);
     pending_restores_[idx].clear();
     ++fault_stats_.failures;
+    obs::MetricsRegistry::current().counter_add(
+        "shiftpar_fault_transitions_total", 1, {{"kind", "failure"}});
     const auto dropped = victim.fail(t);
     fault_stats_.dropped += static_cast<std::int64_t>(dropped.size());
+    if (!dropped.empty()) {
+        obs::MetricsRegistry::current().counter_add(
+            "shiftpar_fault_requests_total",
+            static_cast<std::int64_t>(dropped.size()),
+            {{"outcome", "dropped"}});
+    }
     for (const auto& [spec, id] : dropped)
         schedule_retry(spec, id, t);
 }
@@ -230,6 +245,8 @@ void
 Router::on_engine_recovery(std::size_t idx, double t)
 {
     ++fault_stats_.recoveries;
+    obs::MetricsRegistry::current().counter_add(
+        "shiftpar_fault_transitions_total", 1, {{"kind", "recovery"}});
     engines_[idx]->recover(t);
 }
 
@@ -267,6 +284,9 @@ Router::arm_faults(sim::Cluster* cluster)
                 if (engines_[ev.engine]->failed())
                     return;
                 ++fault_stats_.straggles;
+                obs::MetricsRegistry::current().counter_add(
+                    "shiftpar_fault_transitions_total", 1,
+                    {{"kind", "straggle"}});
                 engines_[ev.engine]->set_slowdown(ev.factor, ev.at);
                 pending_restores_[ev.engine].push_back(
                     active_cluster_->post(ev.recover_at, [this, ev] {
@@ -278,6 +298,9 @@ Router::arm_faults(sim::Cluster* cluster)
           case fault::FaultKind::kDegrade:
             cluster->post(ev.at, [this, ev] {
                 ++fault_stats_.degrades;
+                obs::MetricsRegistry::current().counter_add(
+                    "shiftpar_fault_transitions_total", 1,
+                    {{"kind", "degrade"}});
                 const std::size_t n = engines_.size();
                 for (std::size_t i = 0; i < n; ++i) {
                     if (ev.engine >= 0 &&
@@ -316,6 +339,7 @@ Router::run_workload(const std::vector<RequestSpec>& workload)
     // sequences — and therefore all records and metrics — are
     // bit-identical to the lockstep loop (see test_sim_equivalence).
     sim::Cluster cluster;
+    cluster.set_profile(profile_);
     active_cluster_ = &cluster;
     fault_stats_ = {};
     attempts_.clear();

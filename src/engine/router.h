@@ -165,6 +165,13 @@ class Router
      */
     void set_trace(obs::TraceSink* sink) { trace_ = sink; }
 
+    /**
+     * Attach a self-profiling accumulator (borrowed, may be null) to the
+     * cluster the next `run_workload` builds. Profiling observes host
+     * time only; simulation results are bit-identical either way.
+     */
+    void set_profile(sim::ClusterProfile* profile) { profile_ = profile; }
+
   private:
     /**
      * Pick the replica for the next request, skipping failed ones.
@@ -218,6 +225,7 @@ class Router
     std::size_t next_rr_ = 0;
     std::int64_t migrations_ = 0;
     obs::TraceSink* trace_ = nullptr;
+    sim::ClusterProfile* profile_ = nullptr;
 
     fault::FaultSchedule faults_;
     ResilienceOptions resilience_;

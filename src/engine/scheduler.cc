@@ -38,7 +38,7 @@ Scheduler::publish(const Request* r, obs::RequestPhase phase, double t,
                    std::int64_t tokens) const
 {
     if (trace_)
-        trace_->on_request({trace_id_, r->id, phase, t, tokens});
+        trace_->publish_request({trace_id_, r->id, phase, t, tokens});
 }
 
 void

@@ -127,52 +127,68 @@ ChromeTraceWriter::on_request(const RequestEvent& ev)
     // own requests process, so overlapping simulated timelines of
     // consecutive runs cannot corrupt each other's span nesting.
     e.id = std::to_string(e.pid) + ":" + std::to_string(ev.request);
+    // Causal span index stamped by publish_request; < 0 on events
+    // delivered via a direct on_request (legacy tests, hand-built sinks).
+    const auto with_span = [&](ArgsBuilder& args) -> ArgsBuilder& {
+        if (ev.span >= 0)
+            args.add("span", ev.span);
+        return args;
+    };
     switch (ev.phase) {
       case RequestPhase::kSubmit:
         if (open_requests_.insert(e.id).second) {
             e.ph = 'b';
             e.name = "req " + std::to_string(ev.request);
-            e.args_json =
-                ArgsBuilder()
-                    .add("prompt_tokens", ev.tokens)
-                    .add("engine", static_cast<std::int64_t>(ev.engine))
-                    .str();
+            ArgsBuilder args;
+            args.add("prompt_tokens", ev.tokens)
+                .add("engine", static_cast<std::int64_t>(ev.engine));
+            e.args_json = with_span(args).str();
         } else {
             // Retry after a replica failure: the span is still open, so
             // the re-entry renders as a marker inside it.
             e.ph = 'n';
             e.name = "resubmit";
-            e.args_json =
-                ArgsBuilder()
-                    .add("engine", static_cast<std::int64_t>(ev.engine))
-                    .str();
+            ArgsBuilder args;
+            args.add("engine", static_cast<std::int64_t>(ev.engine));
+            e.args_json = with_span(args).str();
         }
         break;
-      case RequestPhase::kFinish:
+      case RequestPhase::kFinish: {
         e.ph = 'e';
         e.name = "req " + std::to_string(ev.request);
-        e.args_json =
-            ArgsBuilder().add("output_tokens", ev.tokens).str();
+        ArgsBuilder args;
+        args.add("output_tokens", ev.tokens);
+        e.args_json = with_span(args).str();
         open_requests_.erase(e.id);
         break;
-      case RequestPhase::kCancel:
+      }
+      case RequestPhase::kCancel: {
         e.ph = 'e';
         e.name = "req " + std::to_string(ev.request);
-        e.args_json = ArgsBuilder().add("cancelled", true).str();
+        ArgsBuilder args;
+        args.add("cancelled", true);
+        e.args_json = with_span(args).str();
         open_requests_.erase(e.id);
         break;
+      }
       case RequestPhase::kLost:
         if (open_requests_.erase(e.id) > 0) {
             // Retries exhausted on a request that had reached an engine:
             // close its span like a cancellation.
             e.ph = 'e';
             e.name = "req " + std::to_string(ev.request);
-            e.args_json = ArgsBuilder().add("lost", true).str();
+            ArgsBuilder args;
+            args.add("lost", true);
+            e.args_json = with_span(args).str();
         } else {
             // Lost before any engine accepted it (full outage from the
             // first attempt): no span to close, a bare marker suffices.
             e.ph = 'n';
             e.name = phase_name(ev.phase);
+            if (ev.span >= 0) {
+                ArgsBuilder args;
+                e.args_json = with_span(args).str();
+            }
         }
         break;
       default:
@@ -183,7 +199,7 @@ ChromeTraceWriter::on_request(const RequestEvent& ev)
             args.add("engine", static_cast<std::int64_t>(ev.engine));
             if (ev.tokens > 0)
                 args.add("tokens", ev.tokens);
-            e.args_json = args.str();
+            e.args_json = with_span(args).str();
         }
         break;
     }

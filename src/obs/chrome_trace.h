@@ -51,20 +51,6 @@ class ChromeTraceWriter : public TraceSink
   public:
     ChromeTraceWriter() = default;
 
-    /**
-     * Label prefix applied to engines registered from now on (e.g. the
-     * strategy name when several deployments share one trace).
-     */
-    void
-    set_run_label(const std::string& label)
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        run_label_ = label;
-        // Each run gets a fresh "requests" process so async ids from
-        // overlapping simulated timelines never collide.
-        requests_process_made_ = false;
-    }
-
     void on_request(const RequestEvent& e) override;
     void on_step(const StepEvent& e) override;
     void on_mode_switch(const ModeSwitchEvent& e) override;
@@ -89,6 +75,21 @@ class ChromeTraceWriter : public TraceSink
 
   protected:
     void on_engine_meta(const EngineMeta& meta) override;
+
+    /**
+     * Label prefix applied to engines registered from now on (e.g. the
+     * strategy name when several deployments share one trace). Reached
+     * through the base `set_run_label`, which resets span counters first.
+     */
+    void
+    on_run_label(const std::string& label) override
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        run_label_ = label;
+        // Each run gets a fresh "requests" process so async ids from
+        // overlapping simulated timelines never collide.
+        requests_process_made_ = false;
+    }
 
   private:
     /** One pre-rendered trace event (args already JSON-encoded). */

@@ -65,6 +65,16 @@ ReportJson::merge_from(ReportJson&& other)
 }
 
 void
+ReportJson::set_metrics(MetricsSnapshot snapshot)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (snapshot.empty())
+        metrics_.reset();
+    else
+        metrics_ = std::move(snapshot);
+}
+
+void
 ReportJson::write(std::ostream& os) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -137,6 +147,47 @@ ReportJson::write(std::ostream& os) const
         w.end_object();  // run
     }
     w.end_array();
+    if (metrics_) {
+        const auto labels = [&](const MetricLabels& ls) {
+            w.key("labels").begin_object();
+            for (const auto& [k, v] : ls)
+                w.kv(k, v);
+            w.end_object();
+        };
+        w.key("metrics").begin_object();
+        w.kv("version", kMetricsSchemaVersion);
+        w.key("counters").begin_array();
+        for (const auto& c : metrics_->counters) {
+            w.begin_object();
+            w.kv("name", c.name);
+            labels(c.labels);
+            w.kv("value", c.value);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("gauges").begin_array();
+        for (const auto& g : metrics_->gauges) {
+            w.begin_object();
+            w.kv("name", g.name);
+            labels(g.labels);
+            w.kv("value", g.value);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("histograms").begin_array();
+        for (const auto& h : metrics_->histograms) {
+            w.begin_object();
+            w.kv("name", h.name);
+            labels(h.labels);
+            w.kv("count", h.count);
+            w.kv("sum", h.sum).kv("mean", h.mean);
+            w.kv("min", h.min).kv("max", h.max);
+            w.kv("p50", h.p50).kv("p90", h.p90).kv("p99", h.p99);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();  // metrics
+    }
     w.end_object();
     os << "\n";
 }

@@ -39,6 +39,19 @@
  * The "faults" key is emitted only for runs recorded with fault stats
  * (still version 1: purely additive, absent for every pre-existing
  * producer, so committed reports stay byte-identical).
+ *
+ * A top-level "metrics" key (the process self-observability snapshot from
+ * `obs::MetricsRegistry`, own "version" inside) follows the same additive
+ * rule: emitted only when `set_metrics` attached a non-empty snapshot.
+ *
+ *   "metrics": {
+ *     "version": 1,
+ *     "counters":   [{"name": "...", "labels": {...}, "value": N}, ...],
+ *     "gauges":     [{"name": "...", "labels": {...}, "value": V}, ...],
+ *     "histograms": [{"name": "...", "labels": {...}, "count": N,
+ *                     "sum":..,"mean":..,"min":..,"max":..,
+ *                     "p50":..,"p90":..,"p99":..}, ...]
+ *   }
  */
 
 #pragma once
@@ -52,6 +65,7 @@
 
 #include "engine/metrics.h"
 #include "fault/fault_schedule.h"
+#include "obs/metrics_registry.h"
 
 namespace shiftpar::obs {
 
@@ -103,9 +117,18 @@ class ReportJson
 
     /**
      * Move every run of `other` to the end of this report, preserving
-     * their order. `other` is left empty; its title is ignored.
+     * their order. `other` is left empty; its title is ignored (as is its
+     * metrics snapshot — the process-wide registry is snapshotted once by
+     * whoever owns the shared report).
      */
     void merge_from(ReportJson&& other);
+
+    /**
+     * Attach the self-observability snapshot rendered as the top-level
+     * "metrics" section. Empty snapshots are dropped, keeping the document
+     * byte-identical to reports written before this section existed.
+     */
+    void set_metrics(MetricsSnapshot snapshot);
 
     /** @return number of accumulated runs. */
     std::size_t
@@ -151,6 +174,7 @@ class ReportJson
     mutable std::mutex mutex_;
     std::string title_;
     std::vector<Run> runs_;
+    std::optional<MetricsSnapshot> metrics_;
 };
 
 } // namespace shiftpar::obs

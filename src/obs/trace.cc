@@ -46,4 +46,27 @@ TraceSink::register_engine(EngineMeta meta)
     return meta.engine;
 }
 
+void
+TraceSink::publish_request(RequestEvent ev)
+{
+    {
+        std::lock_guard<std::mutex> lock(span_mutex_);
+        ev.span = next_span_[ev.request]++;
+    }
+    on_request(ev);
+}
+
+void
+TraceSink::set_run_label(const std::string& label)
+{
+    {
+        // Request ids restart at 0 per run, so span chains do too —
+        // without the reset, run 2's request 0 would continue run 1's
+        // numbering and the chains would interleave.
+        std::lock_guard<std::mutex> lock(span_mutex_);
+        next_span_.clear();
+    }
+    on_run_label(label);
+}
+
 } // namespace shiftpar::obs

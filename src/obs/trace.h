@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "parallel/config.h"
 #include "parallel/perf_model.h"
@@ -67,6 +68,16 @@ struct RequestEvent
     /** Phase payload: chunk tokens (kPrefillChunk), prompt tokens
      *  (kSubmit), output tokens (kFinish); 0 otherwise. */
     std::int64_t tokens = 0;
+
+    /**
+     * Causal span index within this request's lifecycle: 0 for the
+     * request's first event, incrementing per event, so a consumer can
+     * rebuild the arrival → admit → prefill → decode → complete chain
+     * (including retry/migrate detours) without trusting timestamps to
+     * break ties. Stamped by `TraceSink::publish_request`; -1 marks an
+     * event delivered without stamping (direct `on_request` calls).
+     */
+    std::int64_t span = -1;
 };
 
 /** One engine iteration (the per-step telemetry of Figs. 7/15). */
@@ -161,6 +172,23 @@ class TraceSink
      */
     EngineId register_engine(EngineMeta meta);
 
+    /**
+     * Deliver a request lifecycle event with its causal `span` stamped:
+     * the request's events number 0, 1, 2, ... in publication order,
+     * forming the per-request span chain `tools/tracestat` rebuilds.
+     * Producers (Engine/Scheduler/Router/fault paths) publish through
+     * this; `on_request` remains the consumer callback. Thread-safe for
+     * the same reason `register_engine` is.
+     */
+    void publish_request(RequestEvent ev);
+
+    /**
+     * Start a new logically separate run: resets the per-request span
+     * counters (request ids restart per run) and forwards the label to
+     * `on_run_label` for sinks that group output by run.
+     */
+    void set_run_label(const std::string& label);
+
     virtual void on_request(const RequestEvent&) {}
     virtual void on_step(const StepEvent&) {}
     virtual void on_mode_switch(const ModeSwitchEvent&) {}
@@ -177,9 +205,15 @@ class TraceSink
     /** Registration callback for subclasses (id already assigned). */
     virtual void on_engine_meta(const EngineMeta&) {}
 
+    /** Run-label callback for subclasses (spans already reset). */
+    virtual void on_run_label(const std::string&) {}
+
   private:
     std::mutex register_mutex_;
     EngineId next_engine_ = 0;
+
+    std::mutex span_mutex_;
+    std::unordered_map<RequestId, std::int64_t> next_span_;
 };
 
 } // namespace shiftpar::obs

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace shiftpar::sim {
 
@@ -43,6 +44,8 @@ Cluster::set_progress_hook(std::function<void(double)> hook)
 bool
 Cluster::run()
 {
+    util::Stopwatch run_watch;
+
     for (;;) {
         // Earliest ready component (stalled ones wait for an unblocking
         // event); registration order breaks ties.
@@ -71,14 +74,34 @@ Cluster::run()
             SP_DEBUG_ASSERT(te >= now_, "event time ", te,
                             " behind the cluster clock ", now_);
             now_ = std::max(now_, te);
-            queue_.fire_next();
+            if (profile_) {
+                util::Stopwatch watch;
+                queue_.fire_next();
+                profile_->event_wall_s += watch.elapsed_s();
+                ++profile_->events_fired;
+            } else {
+                queue_.fire_next();
+            }
         } else {
             // tc may lag now_: a component parked before an event fired
             // still reports its old ready time, meaning "ready now". The
             // max() pins the clock; the progress hook never sees it move
             // backwards (asserted by ClockIsMonotoneAcrossEventsAndComponents).
             now_ = std::max(now_, tc);
-            if (!next_comp->advance_to(tc)) {
+            bool progressed;
+            if (profile_) {
+                util::Stopwatch watch;
+                progressed = next_comp->advance_to(tc);
+                auto& stats = profile_->components[next_comp->kind()];
+                stats.wall_s += watch.elapsed_s();
+                if (progressed)
+                    ++stats.advances;
+                else
+                    ++stats.stalls;
+            } else {
+                progressed = next_comp->advance_to(tc);
+            }
+            if (!progressed) {
                 // Blocked (e.g. KV-full engine with nothing running):
                 // park it until any event or foreign progress could have
                 // changed its inputs.
@@ -91,6 +114,19 @@ Cluster::run()
         std::fill(stalled_.begin(), stalled_.end(), false);
         if (hook_)
             hook_(now_);
+    }
+    if (profile_) {
+        profile_->run_wall_s += run_watch.elapsed_s();
+        // Fold heap-op deltas since the last fold, so posts made before
+        // run() count toward this run but a second run() on the same
+        // cluster never double-counts them.
+        const EventQueue::Stats& heap = queue_.stats();
+        profile_->heap_pushes += heap.pushes - heap_folded_.pushes;
+        profile_->heap_pops += heap.pops - heap_folded_.pops;
+        profile_->heap_cancels += heap.cancels - heap_folded_.cancels;
+        profile_->queue_high_water =
+            std::max(profile_->queue_high_water, heap.high_water);
+        heap_folded_ = heap;
     }
     return std::none_of(stalled_.begin(), stalled_.end(),
                         [](bool s) { return s; });

@@ -30,6 +30,7 @@
 
 #include "sim/component.h"
 #include "sim/event_queue.h"
+#include "sim/profiler.h"
 
 namespace shiftpar::sim {
 
@@ -66,6 +67,15 @@ class Cluster
     void set_progress_hook(std::function<void(double)> hook);
 
     /**
+     * Attach a self-profiling accumulator (borrowed; null detaches).
+     * While attached, `run()` attributes host wall time per component
+     * kind, counts fired events, and folds in the event queue's heap-op
+     * stats when it returns. Profiling never touches simulation state:
+     * results are bit-identical with or without it.
+     */
+    void set_profile(ClusterProfile* profile) { profile_ = profile; }
+
+    /**
      * Run until no events are pending and every component is idle or
      * stalled. Callers decide whether leftover stalled work is a deadlock
      * (an engine with unfinished requests) or benign.
@@ -83,6 +93,8 @@ class Cluster
     std::vector<Component*> components_;
     std::vector<bool> stalled_;
     std::function<void(double)> hook_;
+    ClusterProfile* profile_ = nullptr;  ///< borrowed; null = off
+    EventQueue::Stats heap_folded_;      ///< heap stats already attributed
     double now_ = 0.0;
 };
 

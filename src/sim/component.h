@@ -22,6 +22,14 @@ class Component
     virtual ~Component() = default;
 
     /**
+     * @return a static string naming this component's kind ("engine",
+     * "link", ...), the key the cluster self-profiler attributes wall
+     * time under. Purely descriptive — never consulted by the loop's
+     * scheduling decisions.
+     */
+    virtual const char* kind() const { return "component"; }
+
+    /**
      * @return the earliest time this component could make progress:
      *  - its current clock, when work is executable now;
      *  - a future instant, when it is idle until a known event (e.g. the

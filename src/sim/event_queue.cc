@@ -19,6 +19,10 @@ EventQueue::post(double t, std::function<void()> fire)
     const bool inserted = pending_.insert(id).second;
     (void)inserted;
     SP_DEBUG_ASSERT(inserted, "duplicate pending event id ", id);
+    ++stats_.pushes;
+    const auto depth = static_cast<std::int64_t>(pending_.size());
+    if (depth > stats_.high_water)
+        stats_.high_water = depth;
     return id;
 }
 
@@ -28,7 +32,10 @@ EventQueue::cancel(EventId id)
     // Only a still-pending, not-yet-cancelled event can die: ids that
     // already fired (or were never posted) are absent from pending_, and
     // a second cancel of the same id finds it gone too.
-    return pending_.erase(id) > 0;
+    const bool cancelled = pending_.erase(id) > 0;
+    if (cancelled)
+        ++stats_.cancels;
+    return cancelled;
 }
 
 void
@@ -37,8 +44,10 @@ EventQueue::purge() const
     // Heap entries whose id left pending_ were cancelled; drop them so the
     // top is always a live event. Surviving events keep their original
     // (time, seq) order — cancellation never re-ranks them.
-    while (!heap_.empty() && !pending_.count(heap_.top().seq))
+    while (!heap_.empty() && !pending_.count(heap_.top().seq)) {
         heap_.pop();
+        ++stats_.pops;
+    }
 }
 
 double
@@ -72,6 +81,7 @@ EventQueue::fire_next()
     auto fire = std::move(const_cast<Event&>(heap_.top()).fire);
     pending_.erase(heap_.top().seq);
     heap_.pop();
+    ++stats_.pops;
     fire();
 }
 

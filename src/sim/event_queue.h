@@ -67,6 +67,22 @@ class EventQueue
      */
     void fire_next();
 
+    /**
+     * Lifetime heap-op counters, kept unconditionally (integer increments
+     * on paths that already touch the heap; unmeasurable next to the heap
+     * ops themselves). The cluster profiler folds them into its report.
+     */
+    struct Stats
+    {
+        std::int64_t pushes = 0;      ///< events posted
+        std::int64_t pops = 0;        ///< heap removals (incl. purged)
+        std::int64_t cancels = 0;     ///< successful lazy cancellations
+        std::int64_t high_water = 0;  ///< max live pending events
+    };
+
+    /** @return the lifetime heap-op counters. */
+    const Stats& stats() const { return stats_; }
+
   private:
     struct Event
     {
@@ -91,6 +107,7 @@ class EventQueue
     mutable std::priority_queue<Event, std::vector<Event>, Later> heap_;
     std::unordered_set<EventId> pending_;  ///< posted, not fired/cancelled
     EventId next_seq_ = 0;
+    mutable Stats stats_;  ///< mutable: purge() pops from const queries
 
 #ifndef NDEBUG
     // Key of the last event fired, so debug builds can assert that pops

@@ -1,0 +1,232 @@
+#include "util/json_parse.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace shiftpar::util {
+namespace {
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string& text) : s_(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = value();
+        skip_ws();
+        if (pos_ != s_.size())
+            fail("trailing characters after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string& why) const
+    {
+        throw std::runtime_error("JSON error at offset " +
+                                 std::to_string(pos_) + ": " + why);
+    }
+
+    void
+    skip_ws()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= s_.size())
+            fail("unexpected end of input");
+        return s_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', got '" + peek() + "'");
+        ++pos_;
+    }
+
+    bool
+    consume_literal(const char* lit)
+    {
+        const std::size_t n = std::string(lit).size();
+        if (s_.compare(pos_, n, lit) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    value()
+    {
+        skip_ws();
+        switch (peek()) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return JsonValue{string()};
+          case 't':
+            if (consume_literal("true"))
+                return JsonValue{true};
+            fail("bad literal");
+          case 'f':
+            if (consume_literal("false"))
+                return JsonValue{false};
+            fail("bad literal");
+          case 'n':
+            if (consume_literal("null"))
+                return JsonValue{nullptr};
+            fail("bad literal");
+          default: return JsonValue{number()};
+        }
+    }
+
+    JsonValue
+    object()
+    {
+        expect('{');
+        JsonObject out;
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return JsonValue{out};
+        }
+        while (true) {
+            skip_ws();
+            std::string k = string();
+            skip_ws();
+            expect(':');
+            out[k] = value();
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return JsonValue{out};
+        }
+    }
+
+    JsonValue
+    array()
+    {
+        expect('[');
+        JsonArray out;
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return JsonValue{out};
+        }
+        while (true) {
+            out.push_back(value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return JsonValue{out};
+        }
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= s_.size())
+                fail("unterminated string");
+            const char c = s_[pos_++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= s_.size())
+                fail("dangling escape");
+            const char esc = s_[pos_++];
+            switch (esc) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                if (pos_ + 4 > s_.size())
+                    fail("short \\u escape");
+                for (int i = 0; i < 4; ++i) {
+                    if (!std::isxdigit(
+                            static_cast<unsigned char>(s_[pos_ + i])))
+                        fail("bad \\u escape");
+                }
+                // Decoded codepoint is irrelevant to every consumer in this
+                // tree (no emitter writes non-ASCII); keep the escape
+                // verbatim so content assertions can match it.
+                out += "\\u" + s_.substr(pos_, 4);
+                pos_ += 4;
+                break;
+              }
+              default: fail("bad escape character");
+            }
+        }
+    }
+
+    double
+    number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        auto digits = [&] {
+            std::size_t n = 0;
+            while (pos_ < s_.size() &&
+                   std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+                ++pos_;
+                ++n;
+            }
+            return n;
+        };
+        if (digits() == 0)
+            fail("bad number");
+        if (pos_ < s_.size() && s_[pos_] == '.') {
+            ++pos_;
+            if (digits() == 0)
+                fail("bad fraction");
+        }
+        if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-'))
+                ++pos_;
+            if (digits() == 0)
+                fail("bad exponent");
+        }
+        return std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
+    }
+
+    const std::string& s_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+JsonValue
+parse_json(const std::string& text)
+{
+    return JsonParser(text).parse();
+}
+
+} // namespace shiftpar::util

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser.
+ *
+ * Started life as a test-only well-formedness checker for the observability
+ * outputs; promoted into `util/` once production tools needed to *read*
+ * those documents too (`tools/tracestat` consumes Chrome traces,
+ * `bench_sim_core` appends to its own trajectory file). Objects parse into
+ * `std::map`, so iteration order is deterministic by construction — exactly
+ * what the determinism discipline requires of anything that later feeds an
+ * ordered emitter. Throws std::runtime_error on any syntax violation, so
+ * "parses without throwing" doubles as a well-formedness check.
+ */
+
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace shiftpar::util {
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+/** A parsed JSON term. */
+struct JsonValue
+{
+    std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+                 JsonObject>
+        v = nullptr;
+
+    bool is_null() const { return std::holds_alternative<std::nullptr_t>(v); }
+    bool is_object() const { return std::holds_alternative<JsonObject>(v); }
+    bool is_array() const { return std::holds_alternative<JsonArray>(v); }
+    bool is_string() const { return std::holds_alternative<std::string>(v); }
+    bool is_number() const { return std::holds_alternative<double>(v); }
+
+    const JsonObject& obj() const { return std::get<JsonObject>(v); }
+    const JsonArray& arr() const { return std::get<JsonArray>(v); }
+    const std::string& str() const { return std::get<std::string>(v); }
+    double num() const { return std::get<double>(v); }
+    bool boolean() const { return std::get<bool>(v); }
+
+    bool has(const std::string& k) const
+    {
+        return is_object() && obj().count(k) > 0;
+    }
+
+    const JsonValue& at(const std::string& k) const
+    {
+        auto it = obj().find(k);
+        if (it == obj().end())
+            throw std::runtime_error("missing key: " + k);
+        return it->second;
+    }
+};
+
+/** Parse `text`; throws std::runtime_error on malformed JSON. */
+JsonValue parse_json(const std::string& text);
+
+} // namespace shiftpar::util

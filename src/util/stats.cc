@@ -87,30 +87,6 @@ Summary::ensure_sorted() const
     }
 }
 
-Histogram::Histogram(double lo, double hi, std::size_t num_bins)
-    : lo_(lo), hi_(hi), counts_(num_bins, 0)
-{
-    SP_ASSERT(hi > lo && num_bins >= 1);
-}
-
-void
-Histogram::add(double value)
-{
-    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
-    auto idx = static_cast<std::ptrdiff_t>(std::floor((value - lo_) / width));
-    idx = std::clamp<std::ptrdiff_t>(
-        idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-    ++counts_[static_cast<std::size_t>(idx)];
-    ++total_;
-}
-
-double
-Histogram::bin_lo(std::size_t i) const
-{
-    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
-    return lo_ + width * static_cast<double>(i);
-}
-
 TimeSeries::TimeSeries(double bin_seconds)
     : bin_seconds_(bin_seconds)
 {

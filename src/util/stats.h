@@ -2,12 +2,16 @@
  * @file
  * Statistical accumulators used for experiment reporting.
  *
- * Three tools cover every figure in the paper:
+ * Two tools cover the exact-sample figures in the paper:
  *  - `Summary`: exact sample store with mean/percentile queries (TTFT, TPOT,
  *    completion-time distributions — Fig. 11).
- *  - `Histogram`: fixed-bin counts for distribution plots (Fig. 8).
  *  - `TimeSeries`: time-binned accumulation for throughput/arrival timelines
  *    (Fig. 7, Fig. 9, Fig. 10).
+ *
+ * Bucketed distributions live in `util::Histogram` (util/histogram.h), the
+ * log-bucketed quantile sketch — the single histogram implementation in the
+ * tree. A fixed-width-bin `Histogram` used to live here too; it had no
+ * production users and was folded away.
  */
 
 #pragma once
@@ -73,39 +77,6 @@ class Summary
     mutable std::vector<double> sorted_;
     mutable bool sorted_valid_ = true;
     double sum_ = 0.0;
-};
-
-/** Fixed-width-bin histogram over [lo, hi); out-of-range samples clamp. */
-class Histogram
-{
-  public:
-    /**
-     * @param lo Inclusive lower bound of the first bin.
-     * @param hi Exclusive upper bound of the last bin.
-     * @param num_bins Number of equal-width bins (>= 1).
-     */
-    Histogram(double lo, double hi, std::size_t num_bins);
-
-    /** Count one sample (clamped into the outermost bins). */
-    void add(double value);
-
-    /** @return count in bin `i`. */
-    std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
-
-    /** @return the inclusive lower edge of bin `i`. */
-    double bin_lo(std::size_t i) const;
-
-    /** @return number of bins. */
-    std::size_t num_bins() const { return counts_.size(); }
-
-    /** @return total samples counted. */
-    std::size_t total() const { return total_; }
-
-  private:
-    double lo_;
-    double hi_;
-    std::vector<std::size_t> counts_;
-    std::size_t total_ = 0;
 };
 
 /**

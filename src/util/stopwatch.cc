@@ -1,0 +1,28 @@
+#include "util/stopwatch.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace shiftpar::util {
+
+std::uint64_t
+peak_rss_bytes()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+#if defined(__APPLE__)
+    // macOS reports ru_maxrss in bytes.
+    return static_cast<std::uint64_t>(ru.ru_maxrss);
+#else
+    // Linux reports ru_maxrss in kilobytes.
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024u;
+#endif
+#else
+    return 0;
+#endif
+}
+
+} // namespace shiftpar::util

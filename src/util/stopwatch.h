@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Wall-clock measurement helpers for self-profiling.
+ *
+ * Simulated time is the repo's currency everywhere else; these helpers are
+ * the one sanctioned window onto *host* time, used only to attribute where
+ * the simulator itself spends its cycles (events/sec trajectories, the
+ * `--profile` breakdown). They live in `util/` deliberately: shiftlint bans
+ * nondeterministic sources outside this directory, and profiling results
+ * must never feed back into simulation state.
+ */
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace shiftpar::util {
+
+/** Monotonic wall-clock stopwatch (steady_clock; immune to NTP slews). */
+class Stopwatch
+{
+  public:
+    /** Starts running on construction. */
+    Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+    /** Restart from zero. */
+    void reset() { start_ = std::chrono::steady_clock::now(); }
+
+    /** @return seconds elapsed since construction or the last reset(). */
+    double elapsed_s() const
+    {
+        const auto d = std::chrono::steady_clock::now() - start_;
+        return std::chrono::duration<double>(d).count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * @return the process's peak resident set size in bytes, or 0 when the
+ *         platform offers no way to ask (reads ru_maxrss via getrusage).
+ */
+std::uint64_t peak_rss_bytes();
+
+} // namespace shiftpar::util

@@ -1,283 +1,21 @@
 /**
  * @file
- * Minimal recursive-descent JSON parser for validating the observability
- * outputs (Chrome traces, run reports) in tests. Throws std::runtime_error
- * on any syntax violation, so "parses without throwing" doubles as a
- * well-formedness check.
+ * Test-facing alias for the JSON parser.
+ *
+ * The parser itself was promoted to `util/json_parse.h` once production
+ * tools (tracestat, bench_sim_core) needed it; this header keeps the
+ * historical `shiftpar::testing` spelling working for the test suite.
  */
 
 #pragma once
 
-#include <cctype>
-#include <cstdlib>
-#include <map>
-#include <stdexcept>
-#include <string>
-#include <variant>
-#include <vector>
+#include "util/json_parse.h"
 
 namespace shiftpar::testing {
 
-struct JsonValue;
-using JsonArray = std::vector<JsonValue>;
-using JsonObject = std::map<std::string, JsonValue>;
-
-/** A parsed JSON term. */
-struct JsonValue
-{
-    std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
-                 JsonObject>
-        v = nullptr;
-
-    bool is_null() const { return std::holds_alternative<std::nullptr_t>(v); }
-    bool is_object() const { return std::holds_alternative<JsonObject>(v); }
-    bool is_array() const { return std::holds_alternative<JsonArray>(v); }
-    bool is_string() const { return std::holds_alternative<std::string>(v); }
-    bool is_number() const { return std::holds_alternative<double>(v); }
-
-    const JsonObject& obj() const { return std::get<JsonObject>(v); }
-    const JsonArray& arr() const { return std::get<JsonArray>(v); }
-    const std::string& str() const { return std::get<std::string>(v); }
-    double num() const { return std::get<double>(v); }
-    bool boolean() const { return std::get<bool>(v); }
-
-    bool has(const std::string& k) const
-    {
-        return is_object() && obj().count(k) > 0;
-    }
-
-    const JsonValue& at(const std::string& k) const
-    {
-        auto it = obj().find(k);
-        if (it == obj().end())
-            throw std::runtime_error("missing key: " + k);
-        return it->second;
-    }
-};
-
-namespace detail {
-
-class JsonParser
-{
-  public:
-    explicit JsonParser(const std::string& text) : s_(text) {}
-
-    JsonValue
-    parse()
-    {
-        JsonValue v = value();
-        skip_ws();
-        if (pos_ != s_.size())
-            fail("trailing characters after document");
-        return v;
-    }
-
-  private:
-    [[noreturn]] void
-    fail(const std::string& why) const
-    {
-        throw std::runtime_error("JSON error at offset " +
-                                 std::to_string(pos_) + ": " + why);
-    }
-
-    void
-    skip_ws()
-    {
-        while (pos_ < s_.size() &&
-               std::isspace(static_cast<unsigned char>(s_[pos_])))
-            ++pos_;
-    }
-
-    char
-    peek()
-    {
-        if (pos_ >= s_.size())
-            fail("unexpected end of input");
-        return s_[pos_];
-    }
-
-    void
-    expect(char c)
-    {
-        if (peek() != c)
-            fail(std::string("expected '") + c + "', got '" + peek() + "'");
-        ++pos_;
-    }
-
-    bool
-    consume_literal(const char* lit)
-    {
-        const std::size_t n = std::string(lit).size();
-        if (s_.compare(pos_, n, lit) == 0) {
-            pos_ += n;
-            return true;
-        }
-        return false;
-    }
-
-    JsonValue
-    value()
-    {
-        skip_ws();
-        switch (peek()) {
-          case '{': return object();
-          case '[': return array();
-          case '"': return JsonValue{string()};
-          case 't':
-            if (consume_literal("true"))
-                return JsonValue{true};
-            fail("bad literal");
-          case 'f':
-            if (consume_literal("false"))
-                return JsonValue{false};
-            fail("bad literal");
-          case 'n':
-            if (consume_literal("null"))
-                return JsonValue{nullptr};
-            fail("bad literal");
-          default: return JsonValue{number()};
-        }
-    }
-
-    JsonValue
-    object()
-    {
-        expect('{');
-        JsonObject out;
-        skip_ws();
-        if (peek() == '}') {
-            ++pos_;
-            return JsonValue{out};
-        }
-        while (true) {
-            skip_ws();
-            std::string k = string();
-            skip_ws();
-            expect(':');
-            out[k] = value();
-            skip_ws();
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            expect('}');
-            return JsonValue{out};
-        }
-    }
-
-    JsonValue
-    array()
-    {
-        expect('[');
-        JsonArray out;
-        skip_ws();
-        if (peek() == ']') {
-            ++pos_;
-            return JsonValue{out};
-        }
-        while (true) {
-            out.push_back(value());
-            skip_ws();
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            expect(']');
-            return JsonValue{out};
-        }
-    }
-
-    std::string
-    string()
-    {
-        expect('"');
-        std::string out;
-        while (true) {
-            if (pos_ >= s_.size())
-                fail("unterminated string");
-            const char c = s_[pos_++];
-            if (c == '"')
-                return out;
-            if (static_cast<unsigned char>(c) < 0x20)
-                fail("raw control character in string");
-            if (c != '\\') {
-                out.push_back(c);
-                continue;
-            }
-            if (pos_ >= s_.size())
-                fail("dangling escape");
-            const char esc = s_[pos_++];
-            switch (esc) {
-              case '"': out.push_back('"'); break;
-              case '\\': out.push_back('\\'); break;
-              case '/': out.push_back('/'); break;
-              case 'b': out.push_back('\b'); break;
-              case 'f': out.push_back('\f'); break;
-              case 'n': out.push_back('\n'); break;
-              case 'r': out.push_back('\r'); break;
-              case 't': out.push_back('\t'); break;
-              case 'u': {
-                if (pos_ + 4 > s_.size())
-                    fail("short \\u escape");
-                for (int i = 0; i < 4; ++i) {
-                    if (!std::isxdigit(
-                            static_cast<unsigned char>(s_[pos_ + i])))
-                        fail("bad \\u escape");
-                }
-                // Decoded codepoint is irrelevant to the tests; keep the
-                // escape verbatim so content assertions can match it.
-                out += "\\u" + s_.substr(pos_, 4);
-                pos_ += 4;
-                break;
-              }
-              default: fail("bad escape character");
-            }
-        }
-    }
-
-    double
-    number()
-    {
-        const std::size_t start = pos_;
-        if (peek() == '-')
-            ++pos_;
-        auto digits = [&] {
-            std::size_t n = 0;
-            while (pos_ < s_.size() &&
-                   std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
-                ++pos_;
-                ++n;
-            }
-            return n;
-        };
-        if (digits() == 0)
-            fail("bad number");
-        if (pos_ < s_.size() && s_[pos_] == '.') {
-            ++pos_;
-            if (digits() == 0)
-                fail("bad fraction");
-        }
-        if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
-            ++pos_;
-            if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-'))
-                ++pos_;
-            if (digits() == 0)
-                fail("bad exponent");
-        }
-        return std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
-    }
-
-    const std::string& s_;
-    std::size_t pos_ = 0;
-};
-
-} // namespace detail
-
-/** Parse `text`; throws std::runtime_error on malformed JSON. */
-inline JsonValue
-parse_json(const std::string& text)
-{
-    return detail::JsonParser(text).parse();
-}
+using util::JsonArray;
+using util::JsonObject;
+using util::JsonValue;
+using util::parse_json;
 
 } // namespace shiftpar::testing

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the sim-core self-profiler: attribution counters are exact on
+ * a synthetic cluster, heap stats fold without double-counting, merge
+ * composes runs, and — the contract that matters — profiling never
+ * changes simulation results: a profiled deployment replay is
+ * bit-identical to an unprofiled one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/deployment.h"
+#include "model/presets.h"
+#include "sim/cluster.h"
+#include "sim/profiler.h"
+#include "util/rng.h"
+#include "workload/arrival.h"
+#include "workload/synthetic.h"
+
+namespace shiftpar {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Fixed-cost work consumer (mirrors bench_sim_core's synthetic engine). */
+class ToyEngine final : public sim::Component
+{
+  public:
+    const char* kind() const override { return "toy_engine"; }
+
+    double
+    next_event_time() const override
+    {
+        return pending_ > 0 ? now_ : kInf;
+    }
+
+    bool
+    advance_to(double t) override
+    {
+        now_ = std::max(now_, t) + 1e-3;
+        --pending_;
+        ++advances;
+        return true;
+    }
+
+    void enqueue(int units) { pending_ += units; }
+
+    int advances = 0;
+
+  private:
+    double now_ = 0.0;
+    int pending_ = 0;
+};
+
+TEST(ClusterProfiler, CountsEventsAdvancesAndHeapOps)
+{
+    sim::Cluster cluster;
+    sim::ClusterProfile prof;
+    cluster.set_profile(&prof);
+
+    ToyEngine a, b;
+    cluster.add(&a);
+    cluster.add(&b);
+
+    for (int i = 0; i < 10; ++i) {
+        cluster.post(0.01 * i, [&a] { a.enqueue(2); });
+        cluster.post(0.01 * i, [&b] { b.enqueue(1); });
+    }
+    const sim::EventId decoy = cluster.post(99.0, [] {});
+    cluster.cancel_event(decoy);
+
+    EXPECT_TRUE(cluster.run());
+
+    EXPECT_EQ(prof.events_fired, 20);
+    ASSERT_EQ(prof.components.count("toy_engine"), 1u);
+    const auto& k = prof.components.at("toy_engine");
+    EXPECT_EQ(k.advances, 30);  // 10 * (2 + 1)
+    EXPECT_EQ(k.advances, a.advances + b.advances);
+    EXPECT_EQ(k.stalls, 0);
+    EXPECT_EQ(prof.units(), 50);
+
+    EXPECT_EQ(prof.heap_pushes, 21);   // 20 fired + 1 cancelled
+    EXPECT_EQ(prof.heap_pops, 21);
+    EXPECT_EQ(prof.heap_cancels, 1);
+    EXPECT_GT(prof.queue_high_water, 0);
+    EXPECT_GE(prof.run_wall_s, 0.0);
+    EXPECT_GE(prof.event_wall_s, 0.0);
+}
+
+TEST(ClusterProfiler, SecondRunDoesNotDoubleCountHeapOps)
+{
+    sim::Cluster cluster;
+    sim::ClusterProfile prof;
+    cluster.set_profile(&prof);
+    ToyEngine a;
+    cluster.add(&a);
+
+    cluster.post(0.0, [&a] { a.enqueue(1); });
+    cluster.run();
+    EXPECT_EQ(prof.heap_pushes, 1);
+
+    cluster.post(cluster.now(), [&a] { a.enqueue(1); });
+    cluster.run();
+    EXPECT_EQ(prof.heap_pushes, 2);  // +1, not re-counting run 1's push
+    EXPECT_EQ(prof.events_fired, 2);
+}
+
+TEST(ClusterProfiler, MergeSumsCountsAndMaxesHighWater)
+{
+    sim::ClusterProfile a, b;
+    a.events_fired = 3;
+    a.queue_high_water = 5;
+    a.components["engine"].advances = 2;
+    a.run_wall_s = 0.25;
+    b.events_fired = 4;
+    b.queue_high_water = 2;
+    b.components["engine"].advances = 1;
+    b.components["link"].stalls = 6;
+    b.run_wall_s = 0.75;
+
+    a.merge(b);
+    EXPECT_EQ(a.events_fired, 7);
+    EXPECT_EQ(a.queue_high_water, 5);
+    EXPECT_EQ(a.components["engine"].advances, 3);
+    EXPECT_EQ(a.components["link"].stalls, 6);
+    EXPECT_DOUBLE_EQ(a.run_wall_s, 1.0);
+    EXPECT_EQ(a.units(), 10);
+    EXPECT_DOUBLE_EQ(a.events_per_sec(), 7.0);
+}
+
+/** Full-precision fingerprint of a replay (any drift flips a byte). */
+std::string
+fingerprint(const engine::Metrics& met)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%.17g|%.17g|%.17g|%lld|%zu",
+                  met.completion().sum(), met.ttft().percentile(99),
+                  met.tpot().mean(),
+                  static_cast<long long>(met.total_tokens()),
+                  met.requests().size());
+    return buf;
+}
+
+TEST(ClusterProfiler, ProfiledReplayIsBitIdenticalToUnprofiled)
+{
+    const auto replay = [](sim::ClusterProfile* prof) {
+        core::Deployment d;
+        d.model = model::qwen_32b();
+        d.strategy = parallel::Strategy::kShift;
+        d.profile = prof;
+        Rng rng(2024);
+        const auto reqs = workload::make_requests(
+            workload::poisson_arrivals(rng, 3.0, 10.0), rng,
+            workload::lognormal_size(1200.0, 0.5, 100.0, 0.4));
+        return fingerprint(core::run_deployment(d, reqs));
+    };
+
+    sim::ClusterProfile prof;
+    const std::string with_profile = replay(&prof);
+    const std::string without_profile = replay(nullptr);
+    EXPECT_EQ(with_profile, without_profile);
+
+    // And the profile actually observed the replay.
+    EXPECT_GT(prof.events_fired, 0);
+    ASSERT_EQ(prof.components.count("engine"), 1u);
+    EXPECT_GT(prof.components.at("engine").advances, 0);
+    EXPECT_GT(prof.heap_pushes, 0);
+    EXPECT_GT(prof.queue_high_water, 0);
+}
+
+} // namespace
+} // namespace shiftpar

@@ -1,4 +1,4 @@
-/** @file Unit tests for Summary / Histogram / TimeSeries accumulators. */
+/** @file Unit tests for Summary / TimeSeries accumulators. */
 
 #include <gtest/gtest.h>
 
@@ -83,21 +83,6 @@ TEST(Summary, ClearResets)
     s.clear();
     EXPECT_EQ(s.count(), 0u);
     EXPECT_DOUBLE_EQ(s.sum(), 0.0);
-}
-
-TEST(Histogram, BinsAndClamping)
-{
-    Histogram h(0.0, 10.0, 5);
-    h.add(0.5);    // bin 0
-    h.add(9.99);   // bin 4
-    h.add(-3.0);   // clamps to bin 0
-    h.add(25.0);   // clamps to bin 4
-    h.add(4.0);    // bin 2
-    EXPECT_EQ(h.total(), 5u);
-    EXPECT_EQ(h.bin_count(0), 2u);
-    EXPECT_EQ(h.bin_count(2), 1u);
-    EXPECT_EQ(h.bin_count(4), 2u);
-    EXPECT_DOUBLE_EQ(h.bin_lo(2), 4.0);
 }
 
 TEST(TimeSeries, AccumulatesIntoBins)

@@ -21,6 +21,9 @@ from collections import defaultdict
 
 REPORT_SCHEMA = "shiftpar.run_report"
 REPORT_VERSION = 1
+SIMCORE_SCHEMA = "shiftpar.bench_simcore"
+SIMCORE_VERSION = 1
+SIMCORE_FILE = "BENCH_simcore.json"
 
 
 def read_csv(path):
@@ -48,6 +51,67 @@ def read_report(path):
                  f"(understands <= {REPORT_VERSION}); update "
                  f"tools/plot_results.py alongside the report writer")
     return doc
+
+
+def read_simcore(path):
+    """Load the sim-core throughput trajectory (bench_sim_core output).
+
+    Same hard-fail policy as read_report: an unrecognized schema means the
+    writer and this tool have drifted apart, and the fix is to update them
+    together, not to plot whatever fields happen to parse.
+    """
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != SIMCORE_SCHEMA:
+        sys.exit(f"error: {os.path.basename(path)}: unknown schema "
+                 f"{doc.get('schema')!r} (expected {SIMCORE_SCHEMA!r}); "
+                 f"refusing to guess at its layout")
+    if doc.get("version", 0) > SIMCORE_VERSION:
+        sys.exit(f"error: {os.path.basename(path)}: schema version "
+                 f"{doc['version']} is newer than this tool "
+                 f"(understands <= {SIMCORE_VERSION}); update "
+                 f"tools/plot_results.py alongside bench_sim_core")
+    return doc
+
+
+def summarize_simcore(doc):
+    lines = ["sim-core trajectory:"]
+    for entry in doc.get("entries", []):
+        for cfg in entry.get("configs", []):
+            lines.append(
+                f"  {entry['label']}: {cfg['engines']} engines x "
+                f"{cfg['requests']} requests -> "
+                f"{cfg['events_per_sec'] / 1e6:.2f} Munits/s")
+    return "\n".join(lines)
+
+
+def plot_simcore(plt, doc, out):
+    """Events-per-second trajectory: one line per (engines, requests)
+    config, one x position per labelled entry, in file (= submission)
+    order. This is the ROADMAP's "events/sec trajectory over PRs" chart.
+    """
+    entries = doc.get("entries", [])
+    if not entries:
+        return False
+    labels = [e["label"] for e in entries]
+    series = defaultdict(dict)  # (engines, requests) -> {entry idx: rate}
+    for i, entry in enumerate(entries):
+        for cfg in entry.get("configs", []):
+            key = (cfg["engines"], cfg["requests"])
+            series[key][i] = cfg["events_per_sec"] / 1e6
+    for key in sorted(series):
+        pts = series[key]
+        xs = sorted(pts)
+        plt.plot(xs, [pts[x] for x in xs], marker="o",
+                 label=f"{key[0]} engines, {key[1]} reqs")
+    plt.xticks(range(len(labels)), labels, rotation=30, ha="right")
+    plt.xlabel("bench label (submission order)")
+    plt.ylabel("sim-core throughput (M units/s)")
+    plt.title("Sim-core event-loop throughput trajectory")
+    plt.legend()
+    plt.savefig(out, dpi=150, bbox_inches="tight")
+    plt.clf()
+    return True
 
 
 def summarize_report(doc):
@@ -169,7 +233,10 @@ def main():
     csvs = sorted(f for f in os.listdir(args.results) if f.endswith(".csv"))
     reports = sorted(f for f in os.listdir(args.results)
                      if f.endswith(".report.json"))
-    if not csvs and not reports:
+    simcore_path = os.path.join(args.results, SIMCORE_FILE)
+    simcore = read_simcore(simcore_path) \
+        if os.path.exists(simcore_path) else None
+    if not csvs and not reports and simcore is None:
         sys.exit(f"no CSVs or reports in '{args.results}'")
 
     try:
@@ -186,6 +253,8 @@ def main():
             doc = read_report(os.path.join(args.results, name))
             if doc is not None:
                 print(summarize_report(doc))
+        if simcore is not None:
+            print(summarize_simcore(simcore))
         return
 
     os.makedirs(args.out, exist_ok=True)
@@ -206,6 +275,11 @@ def main():
         out = os.path.join(args.out,
                            name.replace(".report.json", ".report.png"))
         if plot_report(plt, doc, out):
+            print(f"wrote {out}")
+    if simcore is not None:
+        print(summarize_simcore(simcore))
+        out = os.path.join(args.out, "BENCH_simcore.png")
+        if plot_simcore(plt, simcore, out):
             print(f"wrote {out}")
     print("done")
 

@@ -193,9 +193,12 @@ class UnorderedEmitCheck final : public Check
     run(const Corpus& corpus, std::vector<Finding>& out) const override
     {
         static const std::unordered_set<std::string> kEmitIdents = {
-            "on_request", "on_step",  "on_mode_switch", "on_gauge",
-            "on_fault",   "on_instant", "add_run",      "add_row",
-            "CsvWriter",  "JsonWriter",
+            "on_request",      "on_step",        "on_mode_switch",
+            "on_gauge",        "on_fault",       "on_instant",
+            "add_run",         "add_row",        "CsvWriter",
+            "JsonWriter",      "counter_add",    "gauge_set",
+            "gauge_max",       "observe",        "write_prometheus",
+            "publish_request", "set_metrics",
         };
 
         for (const auto& fn : corpus.functions) {

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * `tracestat <trace.json> [--csv <path>]` — per-request latency breakdown
+ * from a Chrome trace written by the bench harness's `--trace` flag.
+ *
+ * Prints the stage table / queueing split / p99 critical-path report to
+ * stdout; `--csv` additionally writes one row per request for external
+ * plotting. Exits 1 on unreadable or non-trace input.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "tracestat.h"
+#include "util/logging.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace shiftpar;
+
+    std::string trace_path;
+    std::string csv_path;
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        if (std::strcmp(arg, "--csv") == 0 && i + 1 < argc) {
+            csv_path = argv[++i];
+        } else if (arg[0] == '-') {
+            fatal(std::string("unknown argument '") + arg +
+                  "' (usage: tracestat <trace.json> [--csv <path>])");
+        } else if (trace_path.empty()) {
+            trace_path = arg;
+        } else {
+            fatal("more than one trace file given");
+        }
+    }
+    if (trace_path.empty())
+        fatal("usage: tracestat <trace.json> [--csv <path>]");
+
+    tools::TraceStats stats;
+    try {
+        stats = tools::analyze_trace_file(trace_path);
+    } catch (const std::exception& e) {
+        fatal(e.what());
+    }
+
+    tools::print_report(stats, std::cout);
+    if (!csv_path.empty()) {
+        const auto parent = std::filesystem::path(csv_path).parent_path();
+        if (!parent.empty()) {
+            std::error_code ec;
+            std::filesystem::create_directories(parent, ec);
+        }
+        std::ofstream os(csv_path);
+        if (!os)
+            fatal("cannot open csv output '" + csv_path + "'");
+        tools::write_csv(stats, os);
+        std::printf("csv: wrote %s (%zu requests)\n", csv_path.c_str(),
+                    stats.requests.size());
+    }
+    return 0;
+}

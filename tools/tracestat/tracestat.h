@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Trace-to-latency-breakdown analysis (the read side of the span chain).
+ *
+ * `ChromeTraceWriter` renders every request as an async span with causal
+ * markers (submit → first_schedule → prefill chunks → first_token →
+ * finish, plus preempt/migrate/retry/shed/lost detours) and every engine's
+ * shift/unshift transitions as mode instants. This library rebuilds
+ * per-request timelines from such a trace and derives the paper's fig. 15
+ * style breakdown without rerunning the simulation:
+ *
+ *  - per-stage latency (queue / prefill / decode / total) distributions,
+ *  - the queueing-vs-service split,
+ *  - decode seconds spent in shift mode (mode-instant interval overlap),
+ *  - disruption counts (preemptions, migrations, retries, sheds, losses),
+ *  - p99 critical-path attribution: the stage shares of the requests at
+ *    or above the p99 completion time.
+ *
+ * Split from the `tracestat` binary so tests can drive it over committed
+ * golden traces.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/json_parse.h"
+
+namespace shiftpar::tools {
+
+/** One request's reconstructed lifecycle. */
+struct RequestTimeline
+{
+    int process = 0;           ///< synthetic "requests" pid (one per run)
+    std::int64_t request = 0;  ///< request id within the run
+
+    /** Engine that produced the first token (-1 when none did). */
+    int engine = -1;
+
+    /** Stage boundary times, simulated seconds (-1 = never reached). */
+    double submit = -1.0;
+    double first_schedule = -1.0;
+    double first_token = -1.0;
+    double finish = -1.0;  ///< finish/cancel/lost close time
+
+    std::int64_t prompt_tokens = 0;
+    std::int64_t output_tokens = 0;
+
+    int prefill_chunks = 0;
+    int preempts = 0;
+    int migrations = 0;
+    int retries = 0;    ///< router re-routes after a replica failure
+    int resubmits = 0;  ///< re-entries into an engine queue after a retry
+
+    bool finished = false;
+    bool cancelled = false;
+    bool lost = false;
+    bool shed = false;
+
+    /** Decode seconds spent under the shifted (SP=1) config. */
+    double decode_shift_s = 0.0;
+
+    /** Waiting before the first chunk was scheduled (0 if never admitted). */
+    double queue_s() const;
+
+    /** First chunk scheduled → first output token (0 if never reached). */
+    double prefill_s() const;
+
+    /** First output token → completion (0 if never reached). */
+    double decode_s() const;
+
+    /** Submit → completion; < 0 when the request never completed. */
+    double total_s() const;
+
+    /** "finished" / "cancelled" / "lost" / "shed" / "open". */
+    const char* outcome() const;
+};
+
+/** Distribution of one stage across completed requests. */
+struct StageStats
+{
+    std::string name;
+    std::size_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+};
+
+/** Everything `analyze_trace` derives from one trace document. */
+struct TraceStats
+{
+    /** All requests, ordered by (process, request id). */
+    std::vector<RequestTimeline> requests;
+
+    std::size_t completed = 0;
+    std::size_t cancelled = 0;
+    std::size_t lost = 0;
+    std::size_t shed = 0;
+    std::size_t open = 0;
+
+    std::int64_t preempts = 0;
+    std::int64_t migrations = 0;
+    std::int64_t retries = 0;
+    std::int64_t resubmits = 0;
+
+    /** queue / prefill / decode / total over completed requests. */
+    std::vector<StageStats> stages;
+
+    /** Mean queue share of total latency across completed requests. */
+    double queueing_fraction = 0.0;
+
+    /** Shift-mode share of all completed decode seconds. */
+    double decode_shift_fraction = 0.0;
+
+    /** p99 completion time and the critical-path stage shares of the
+     *  requests at/above it. */
+    double p99_total_s = 0.0;
+    std::size_t p99_requests = 0;
+    double p99_queue_share = 0.0;
+    double p99_prefill_share = 0.0;
+    double p99_decode_share = 0.0;
+};
+
+/**
+ * Rebuild per-request timelines and the stage breakdown from a parsed
+ * Chrome trace. Throws std::runtime_error when the document is not a
+ * trace produced by `ChromeTraceWriter` (missing traceEvents, malformed
+ * request ids).
+ */
+TraceStats analyze_trace(const util::JsonValue& root);
+
+/** Read + parse + analyze; throws std::runtime_error on any failure. */
+TraceStats analyze_trace_file(const std::string& path);
+
+/** Human-readable report (aligned tables, one screen). */
+void print_report(const TraceStats& stats, std::ostream& os);
+
+/** Per-request CSV (one row per request, header first). */
+void write_csv(const TraceStats& stats, std::ostream& os);
+
+} // namespace shiftpar::tools
