@@ -68,7 +68,12 @@ class ToyEngine final : public sim::Component
         return true;
     }
 
-    void enqueue(int units) { pending_ += units; }
+    void
+    enqueue(int units)
+    {
+        pending_ += units;
+        notify_ready_changed();  // mutated from an event closure
+    }
 
   private:
     double now_ = 0.0;
@@ -294,12 +299,15 @@ main(int argc, char** argv)
         }
     }
 
+    // --short keeps the 64-engine point: it is the scaling-cliff config
+    // the bench-smoke CI job gates on against the committed trajectory.
     const std::vector<Config> configs =
-        short_run ? std::vector<Config>{{4, 2048}}
+        short_run ? std::vector<Config>{{4, 2048}, {64, 16384}}
                   : std::vector<Config>{{8, 16384},
                                         {64, 16384},
                                         {8, 65536},
-                                        {64, 65536}};
+                                        {64, 65536},
+                                        {256, 65536}};
 
     std::printf("sim-core microbench (label '%s')\n", label.c_str());
     std::printf("%8s %9s %13s %13s %10s %12s\n", "engines", "requests",

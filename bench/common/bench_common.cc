@@ -123,6 +123,14 @@ record_profile(const sim::ClusterProfile& prof)
                     {{"op", "pop"}});
     reg.counter_add("shiftpar_sim_heap_ops_total", prof.heap_cancels,
                     {{"op", "cancel"}});
+    reg.counter_add("shiftpar_sim_ready_ops_total", prof.ready_pushes,
+                    {{"op", "push"}});
+    reg.counter_add("shiftpar_sim_ready_ops_total", prof.ready_pops,
+                    {{"op", "pop"}});
+    reg.counter_add("shiftpar_sim_ready_ops_total", prof.ready_skips,
+                    {{"op", "skip"}});
+    reg.counter_add("shiftpar_sim_ready_ops_total", prof.ready_rebuilds,
+                    {{"op", "rebuild"}});
     reg.gauge_max("shiftpar_process_peak_rss_bytes",
                   static_cast<double>(util::peak_rss_bytes()));
 }

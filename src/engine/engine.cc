@@ -61,6 +61,7 @@ Engine::submit(const RequestSpec& spec, RequestId id, bool migrated_in)
                                 obs::RequestPhase::kSubmit, spec.arrival,
                                 spec.prompt_tokens});
     }
+    notify_ready_changed();
 }
 
 void
@@ -84,6 +85,7 @@ Engine::submit_prefilled(const RequestSpec& spec, RequestId id,
                                 obs::RequestPhase::kSubmit, spec.arrival,
                                 spec.prompt_tokens});
     }
+    notify_ready_changed();
 }
 
 bool
@@ -99,6 +101,7 @@ Engine::cancel(RequestId id)
             cfg_.trace->publish_request(
                 {cfg_.trace_id, id, obs::RequestPhase::kCancel, now_, 0});
         }
+        notify_ready_changed();  // may have been the engine's last work
         return true;
     }
     return false;
@@ -134,6 +137,7 @@ Engine::fail(double t)
         ev.dropped_requests = static_cast<std::int64_t>(out.size());
         cfg_.trace->on_fault(ev);
     }
+    notify_ready_changed();  // failed: no events until recover()
     return out;
 }
 
@@ -150,6 +154,7 @@ Engine::recover(double t)
         ev.t = now_;
         cfg_.trace->on_fault(ev);
     }
+    notify_ready_changed();
 }
 
 void
@@ -300,6 +305,7 @@ Engine::steal_waiting(std::int64_t max_tokens)
     // The Request object stays in requests_ (it owns the storage) but is
     // out of every queue and will never finish here, so it produces no
     // record on this engine.
+    notify_ready_changed();  // may have been the engine's last work
     return std::make_pair(r->spec, r->id);
 }
 

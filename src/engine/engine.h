@@ -189,9 +189,17 @@ class Engine : public sim::Component
      * Advance the clock without doing work (never backwards). The cluster
      * replay syncs every replica to each arrival instant exactly like the
      * lockstep loop's trailing `now_ = max(now_, t)`, keeping the two
-     * replays bit-identical.
+     * replays bit-identical. Moving the clock can promote a
+     * future-arrival wait into "ready now", so the ready cache is
+     * notified.
      */
-    void advance_clock_to(double t) { now_ = std::max(now_, t); }
+    void advance_clock_to(double t)
+    {
+        if (t > now_) {
+            now_ = t;
+            notify_ready_changed();
+        }
+    }
 
     /**
      * Remove and return the youngest waiting request that has made no

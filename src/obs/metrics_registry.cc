@@ -189,8 +189,19 @@ MetricsRegistry::write_prometheus(std::ostream& os) const
 MetricsRegistry&
 MetricsRegistry::global()
 {
-    static MetricsRegistry registry;
-    return registry;
+    // Leaky singleton, deliberately: the registry is reached from atexit
+    // handlers (bench_common's --metrics-out flush) and other statics
+    // whose destruction order against a function-local static is
+    // unknowable. A function-local `static MetricsRegistry` would be
+    // destroyed in reverse construction order and any later access — an
+    // atexit handler registered before the first global() call, a static
+    // destructor in another TU — would touch a dead object. The heap
+    // instance is immortal (and stays LSan-reachable through this
+    // pointer), so registry access is valid at any point in process
+    // teardown. Pinned by tests/obs/test_metrics_registry.cc's
+    // atexit-handler regression test.
+    static MetricsRegistry* registry = new MetricsRegistry();
+    return *registry;
 }
 
 MetricsRegistry&

@@ -9,17 +9,46 @@
  * earliest one a single unit of progress (`advance_to`), interleaving
  * component work with queued events (arrivals, KV handoffs, cancels) in
  * global time order.
+ *
+ * Ready-change contract: the cluster does not re-poll every component per
+ * unit of progress — it caches each component's ready time in an indexed
+ * heap (see `Cluster::notify_ready`). The cluster itself refreshes the
+ * cache around the `advance_to` calls it makes and whenever it wakes a
+ * stalled component, so a component whose ready time only changes when it
+ * advances needs nothing. Any *other* mutation that can change
+ * `next_event_time` — work submitted from an event closure, a fail-stop,
+ * a stolen request, an external clock sync — must call
+ * `notify_ready_changed()` (or `Cluster::notify_ready`) before the
+ * mutating call returns. Debug builds re-poll every component each
+ * iteration and abort on a stale cache, so a missed notification cannot
+ * silently change replay results.
  */
 
 #pragma once
 
+#include <cstddef>
+
 namespace shiftpar::sim {
+
+class Cluster;
 
 /** One actor on the cluster timeline. */
 class Component
 {
   public:
-    virtual ~Component() = default;
+    Component() = default;
+
+    /**
+     * Registration is identity-bound, not value-bound: a copy starts
+     * unregistered, and assignment leaves the target's registration
+     * alone. (Copying a registered component into a cluster-owned role
+     * requires a fresh `Cluster::add`.)
+     */
+    Component(const Component&) {}
+    Component& operator=(const Component&) { return *this; }
+
+    /** Unregisters from the owning cluster, if any (see cluster.cc). */
+    virtual ~Component();
 
     /**
      * @return a static string naming this component's kind ("engine",
@@ -36,8 +65,9 @@ class Component
      *    earliest waiting arrival);
      *  - +inf when it has nothing to do.
      *
-     * Must be monotone between `advance_to` calls: the cluster trusts it
-     * to pick the next actor and to detect quiescence.
+     * Must be a pure function of component state (identical consecutive
+     * calls return identical values): the cluster caches it to pick the
+     * next actor and to detect quiescence.
      */
     virtual double next_event_time() const = 0;
 
@@ -54,6 +84,23 @@ class Component
      * otherwise the cluster loop cannot terminate.
      */
     virtual bool advance_to(double t) = 0;
+
+  protected:
+    /**
+     * Publish that this component's `next_event_time` may have changed
+     * (see the ready-change contract above). No-op when the component is
+     * not registered with a cluster, so components that also run
+     * standalone (an engine under `run_until`/`drain`) call it
+     * unconditionally. Must not be called from inside this component's
+     * own `advance_to` — the cluster refreshes the advanced component
+     * itself (enforced by shiftlint's sim-contract check).
+     */
+    void notify_ready_changed();
+
+  private:
+    friend class Cluster;
+    Cluster* cluster_ = nullptr;        ///< owner (null when unregistered)
+    std::size_t registration_index_ = 0;
 };
 
 } // namespace shiftpar::sim

@@ -1,5 +1,6 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <utility>
@@ -8,79 +9,191 @@
 
 namespace shiftpar::sim {
 
+namespace {
+
+// Chunk pulled from the top band when the bottom drains: an eighth of the
+// backlog, floored so tiny queues pull everything at once and capped so a
+// million-event backlog never sorts more than a cache-friendly slice.
+constexpr std::size_t kMinChunk = 64;
+constexpr std::size_t kMaxChunk = 4096;
+
+} // namespace
+
+EventQueue::EventQueue()
+{
+    // -inf threshold: until the first pull, every post lands in the top
+    // band (no sorted inserts while a workload's arrivals stream in).
+    threshold_ = {-std::numeric_limits<double>::infinity(), 0, 0};
+}
+
+std::uint32_t
+EventQueue::alloc_node()
+{
+    if (free_head_ != kNil) {
+        const std::uint32_t idx = free_head_;
+        free_head_ = arena_[idx].next_free;
+        return idx;
+    }
+    SP_ASSERT(arena_.size() < kNil);
+    arena_.emplace_back();
+    return static_cast<std::uint32_t>(arena_.size() - 1);
+}
+
+void
+EventQueue::free_node(std::uint32_t idx) const
+{
+    Node& n = arena_[idx];
+    n.fire = nullptr;
+    n.state = NodeState::kFree;
+    ++n.gen;  // stale any EventId still naming this slot
+    n.next_free = free_head_;
+    free_head_ = idx;
+}
+
 EventId
 EventQueue::post(double t, std::function<void()> fire)
 {
     SP_ASSERT(fire != nullptr);
     SP_DEBUG_ASSERT(std::isfinite(t) && t >= 0.0,
                     "event time must be finite and non-negative, got ", t);
-    const EventId id = next_seq_++;
-    heap_.push({t, id, std::move(fire)});
-    const bool inserted = pending_.insert(id).second;
-    (void)inserted;
-    SP_DEBUG_ASSERT(inserted, "duplicate pending event id ", id);
+    const std::uint32_t idx = alloc_node();
+    Node& n = arena_[idx];
+    SP_DEBUG_ASSERT(n.state == NodeState::kFree,
+                    "allocated event node ", idx, " not free");
+    n.fire = std::move(fire);
+    n.state = NodeState::kPending;
+    const Key key{t, next_seq_++, idx};
+    if (key_less(key, threshold_)) {
+        // Near future: sorted insert into the (small) bottom band. The
+        // band is descending, so lower_bound with the reversed comparator
+        // finds the slot that keeps the back the minimum.
+        const auto pos = std::lower_bound(
+            bottom_.begin(), bottom_.end(), key,
+            [](const Key& a, const Key& b) { return key_less(b, a); });
+        bottom_.insert(pos, key);
+    } else {
+        top_.push_back(key);
+    }
+    ++live_;
     ++stats_.pushes;
-    const auto depth = static_cast<std::int64_t>(pending_.size());
+    const auto depth = static_cast<std::int64_t>(live_);
     if (depth > stats_.high_water)
         stats_.high_water = depth;
-    return id;
+    return (static_cast<EventId>(n.gen) << 32) | idx;
 }
 
 bool
 EventQueue::cancel(EventId id)
 {
-    // Only a still-pending, not-yet-cancelled event can die: ids that
-    // already fired (or were never posted) are absent from pending_, and
-    // a second cancel of the same id finds it gone too.
-    const bool cancelled = pending_.erase(id) > 0;
-    if (cancelled)
-        ++stats_.cancels;
-    return cancelled;
+    // Only a still-pending, not-yet-cancelled event can die: a fired or
+    // purged event's slot has a bumped generation (or was recycled into a
+    // different id), and a second cancel finds the state already flipped.
+    const auto idx = static_cast<std::uint32_t>(id & 0xffffffffu);
+    const auto gen = static_cast<std::uint32_t>(id >> 32);
+    if (idx >= arena_.size())
+        return false;
+    Node& n = arena_[idx];
+    if (n.gen != gen || n.state != NodeState::kPending)
+        return false;
+    n.state = NodeState::kCancelled;
+    n.fire = nullptr;  // release captures now, not at purge
+    SP_ASSERT(live_ > 0);
+    --live_;
+    ++stats_.cancels;
+    return true;
 }
 
 void
-EventQueue::purge() const
+EventQueue::pull_chunk() const
 {
-    // Heap entries whose id left pending_ were cancelled; drop them so the
-    // top is always a live event. Surviving events keep their original
-    // (time, seq) order — cancellation never re-ranks them.
-    while (!heap_.empty() && !pending_.count(heap_.top().seq)) {
-        heap_.pop();
-        ++stats_.pops;
+    SP_ASSERT(bottom_.empty() && !top_.empty());
+    const std::size_t chunk =
+        std::clamp(top_.size() / 8, kMinChunk, kMaxChunk);
+    const std::size_t k = std::min(top_.size(), chunk);
+    if (k < top_.size()) {
+        // Partition the k smallest keys to the front; the element at [k]
+        // becomes the smallest key left behind, i.e. the new threshold.
+        // Keys are unique, so the selected *set* (and therefore the fire
+        // order) is deterministic even though nth_element's permutation
+        // is not.
+        std::nth_element(top_.begin(),
+                         top_.begin() + static_cast<std::ptrdiff_t>(k),
+                         top_.end(), key_less);
+        threshold_ = top_[k];
+    }
+    std::sort(top_.begin(), top_.begin() + static_cast<std::ptrdiff_t>(k),
+              [](const Key& a, const Key& b) { return key_less(b, a); });
+    bottom_.assign(top_.begin(),
+                   top_.begin() + static_cast<std::ptrdiff_t>(k));
+    top_.erase(top_.begin(), top_.begin() + static_cast<std::ptrdiff_t>(k));
+    if (top_.empty()) {
+        // Top drained: split at the largest pulled key. Uniqueness makes
+        // "key >= threshold goes top" strict in practice, so the bands
+        // never interleave.
+        threshold_ = bottom_.front();
+    }
+}
+
+void
+EventQueue::ensure_front() const
+{
+    for (;;) {
+        if (bottom_.empty()) {
+            if (top_.empty())
+                return;
+            pull_chunk();
+        }
+        const std::uint32_t idx = bottom_.back().node;
+        const Node& n = arena_[idx];
+        if (n.state == NodeState::kCancelled) {
+            // Lazy purge on reaching the front, exactly like the old
+            // heap-top purge: surviving events keep their original
+            // (time, seq) order.
+            free_node(idx);
+            bottom_.pop_back();
+            ++stats_.pops;
+            continue;
+        }
+        SP_DEBUG_ASSERT(n.state == NodeState::kPending,
+                        "freed event node ", idx, " still enqueued");
+        return;
     }
 }
 
 double
 EventQueue::next_time() const
 {
-    purge();
-    return heap_.empty() ? std::numeric_limits<double>::infinity()
-                         : heap_.top().t;
+    ensure_front();
+    return bottom_.empty() ? std::numeric_limits<double>::infinity()
+                           : bottom_.back().t;
 }
 
 void
 EventQueue::fire_next()
 {
-    purge();
-    SP_ASSERT(!heap_.empty());
+    ensure_front();
+    SP_ASSERT(!bottom_.empty());
+    const Key key = bottom_.back();
 #ifndef NDEBUG
     // Pops must never regress in (time, seq): FIFO tie-breaking at equal
     // times is what makes replays deterministic.
-    SP_DEBUG_ASSERT(!fired_any_ || heap_.top().t > last_fired_t_ ||
-                        (heap_.top().t == last_fired_t_ &&
-                         heap_.top().seq > last_fired_seq_),
-                    "event fire order regressed: (", heap_.top().t, ", ",
-                    heap_.top().seq, ") after (", last_fired_t_, ", ",
-                    last_fired_seq_, ")");
-    last_fired_t_ = heap_.top().t;
-    last_fired_seq_ = heap_.top().seq;
+    SP_DEBUG_ASSERT(!fired_any_ || key.t > last_fired_t_ ||
+                        (key.t == last_fired_t_ &&
+                         key.seq > last_fired_seq_),
+                    "event fire order regressed: (", key.t, ", ", key.seq,
+                    ") after (", last_fired_t_, ", ", last_fired_seq_, ")");
+    last_fired_t_ = key.t;
+    last_fired_seq_ = key.seq;
     fired_any_ = true;
 #endif
-    // Move the closure out before popping: firing may post new events,
-    // which mutates the heap under us otherwise.
-    auto fire = std::move(const_cast<Event&>(heap_.top()).fire);
-    pending_.erase(heap_.top().seq);
-    heap_.pop();
+    // Detach the closure and retire the entry *before* firing: the
+    // closure may post new events, growing the arena and bands under any
+    // reference we could otherwise still hold.
+    auto fire = std::move(arena_[key.node].fire);
+    free_node(key.node);
+    bottom_.pop_back();
+    SP_ASSERT(live_ > 0);
+    --live_;
     ++stats_.pops;
     fire();
 }

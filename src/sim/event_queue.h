@@ -9,29 +9,48 @@
  *
  * Events can be *cancelled* after posting (a failed component's pending
  * recovery or restore events must not fire on state that no longer
- * exists). Cancellation is lazy: the entry stays in the heap, marked dead,
- * and is purged when it reaches the top — so cancelling never perturbs the
- * heap order of surviving events, and FIFO tie-breaking among them is
+ * exists). Cancellation is lazy: the entry stays in its band, marked dead,
+ * and is purged when it reaches the front — so cancelling never perturbs
+ * the order of surviving events, and FIFO tie-breaking among them is
  * exactly what it would have been had the cancelled event never existed.
+ *
+ * Layout: a two-band calendar queue over an intrusive free-list arena.
+ * Event nodes (closure + bookkeeping) live in a slab recycled through a
+ * free list, so posting allocates nothing once the slab has grown and a
+ * handle lookup is an index, not a hash probe. Keys `(time, seq)` are
+ * split into a small *bottom* band kept sorted (the near future; the
+ * minimum pops off its back) and an unsorted *top* band (everything
+ * beyond `threshold_`); when the bottom drains, a chunk of the smallest
+ * top keys is selected and sorted in. Keys are unique (seq is monotone),
+ * so chunk selection is a deterministic set and the fire order is a pure
+ * function of the post/cancel sequence — same guarantee the old binary
+ * heap gave, without its per-post hash-set insert or the `std::function`
+ * shuffling of every sift.
  */
 
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 namespace shiftpar::sim {
 
-/** Handle identifying one posted event (unique per queue). */
+/**
+ * Handle identifying one posted event. Encodes an arena slot plus a
+ * generation tag, so a handle kept across its event's firing (or
+ * cancellation) is recognised as dead in O(1) — never confused with a
+ * later event recycled into the same slot.
+ */
 using EventId = std::uint64_t;
 
-/** A min-heap of timed closures with FIFO tie-breaking and cancellation. */
+/** A calendar queue of timed closures with FIFO tie-breaking and
+ *  cancellation. */
 class EventQueue
 {
   public:
+    EventQueue();
+
     /**
      * Schedule `fire` at time `t` (seconds on the cluster clock).
      *
@@ -48,10 +67,10 @@ class EventQueue
     bool cancel(EventId id);
 
     /** @return true when no live (non-cancelled) events are pending. */
-    bool empty() const { return pending_.empty(); }
+    bool empty() const { return live_ == 0; }
 
     /** @return number of live (non-cancelled) pending events. */
-    std::size_t size() const { return pending_.size(); }
+    std::size_t size() const { return live_; }
 
     /**
      * @return the earliest live pending event time; +inf when empty (so
@@ -68,53 +87,85 @@ class EventQueue
     void fire_next();
 
     /**
-     * Lifetime heap-op counters, kept unconditionally (integer increments
-     * on paths that already touch the heap; unmeasurable next to the heap
-     * ops themselves). The cluster profiler folds them into its report.
+     * Lifetime queue-op counters, kept unconditionally (integer
+     * increments on paths that already touch the bands; unmeasurable next
+     * to the band ops themselves). The cluster profiler folds them into
+     * its report. `pops` counts front removals — fired events plus
+     * cancelled entries purged on reaching the front — matching the old
+     * binary-heap accounting exactly.
      */
     struct Stats
     {
         std::int64_t pushes = 0;      ///< events posted
-        std::int64_t pops = 0;        ///< heap removals (incl. purged)
+        std::int64_t pops = 0;        ///< front removals (incl. purged)
         std::int64_t cancels = 0;     ///< successful lazy cancellations
         std::int64_t high_water = 0;  ///< max live pending events
     };
 
-    /** @return the lifetime heap-op counters. */
+    /** @return the lifetime queue-op counters. */
     const Stats& stats() const { return stats_; }
 
   private:
-    struct Event
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+
+    enum class NodeState : std::uint8_t { kFree, kPending, kCancelled };
+
+    /** Arena slot: closure + liveness for one posted event. */
+    struct Node
+    {
+        std::function<void()> fire;
+        std::uint32_t gen = 0;  ///< bumped on free; stales old EventIds
+        NodeState state = NodeState::kFree;
+        std::uint32_t next_free = kNil;
+    };
+
+    /** Ordering key: total order because `seq` is unique. */
+    struct Key
     {
         double t;
-        EventId seq;  ///< posting order, breaks time ties FIFO
-        std::function<void()> fire;
+        std::uint64_t seq;  ///< posting order, breaks time ties FIFO
+        std::uint32_t node;
     };
 
-    struct Later
+    static bool key_less(const Key& a, const Key& b)
     {
-        bool operator()(const Event& a, const Event& b) const
-        {
-            if (a.t != b.t)
-                return a.t > b.t;
-            return a.seq > b.seq;
-        }
-    };
+        if (a.t != b.t)
+            return a.t < b.t;
+        return a.seq < b.seq;
+    }
 
-    /** Drop cancelled entries from the heap top. */
-    void purge() const;
+    std::uint32_t alloc_node();
+    void free_node(std::uint32_t idx) const;
 
-    mutable std::priority_queue<Event, std::vector<Event>, Later> heap_;
-    std::unordered_set<EventId> pending_;  ///< posted, not fired/cancelled
-    EventId next_seq_ = 0;
-    mutable Stats stats_;  ///< mutable: purge() pops from const queries
+    /**
+     * Establish "bottom back is the earliest live event": pull chunks
+     * from the top band while the bottom is empty, purging cancelled
+     * entries as they surface. Leaves both bands empty when nothing
+     * (live or dead) remains.
+     */
+    void ensure_front() const;
+
+    /** Move the smallest chunk of top keys into the (empty) bottom. */
+    void pull_chunk() const;
+
+    // next_time() stays const (callers min() it inside const queries) but
+    // purges dead entries and rebalances bands, like the old heap's lazy
+    // purge — hence the mutable internals.
+    mutable std::vector<Node> arena_;
+    mutable std::uint32_t free_head_ = kNil;
+    mutable std::vector<Key> bottom_;  ///< sorted descending; min at back
+    mutable std::vector<Key> top_;     ///< unsorted; all keys >= threshold_
+    mutable Key threshold_;            ///< band split; see constructor
+    std::uint64_t next_seq_ = 0;
+    std::size_t live_ = 0;  ///< posted, not fired/cancelled
+    mutable Stats stats_;
 
 #ifndef NDEBUG
     // Key of the last event fired, so debug builds can assert that pops
     // never regress in (time, seq) order — the property the determinism
     // guard ultimately rests on.
     double last_fired_t_ = 0.0;
-    EventId last_fired_seq_ = 0;
+    std::uint64_t last_fired_seq_ = 0;
     bool fired_any_ = false;
 #endif
 };

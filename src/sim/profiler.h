@@ -45,6 +45,12 @@ struct ClusterProfile
     std::int64_t heap_pops = 0;         ///< heap removals (incl. cancelled)
     std::int64_t heap_cancels = 0;      ///< lazy cancellations requested
 
+    // Ready-heap traffic (the indexed structure picking the next actor).
+    std::int64_t ready_pushes = 0;    ///< entries (re)published
+    std::int64_t ready_pops = 0;      ///< live entries consumed
+    std::int64_t ready_skips = 0;     ///< stale entries discarded lazily
+    std::int64_t ready_rebuilds = 0;  ///< full rebuilds (run starts, compactions)
+
     /** Events per host second over the whole run (0 when unmeasurable). */
     double
     events_per_sec() const
@@ -83,6 +89,10 @@ struct ClusterProfile
         heap_pushes += other.heap_pushes;
         heap_pops += other.heap_pops;
         heap_cancels += other.heap_cancels;
+        ready_pushes += other.ready_pushes;
+        ready_pops += other.ready_pops;
+        ready_skips += other.ready_skips;
+        ready_rebuilds += other.ready_rebuilds;
     }
 };
 

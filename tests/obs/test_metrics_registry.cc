@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 #include <thread>
 
@@ -224,6 +225,41 @@ TEST(MetricsRegistry, EmptySnapshotLeavesReportUnchanged)
     with.write(a);
     without.write(b);
     EXPECT_EQ(a.str(), b.str());
+}
+
+// ---------------------------------------------------------------------------
+// Destruction-order safety of the global registry
+// ---------------------------------------------------------------------------
+
+/** Exercised during process teardown, after main() has returned. */
+void
+touch_registry_at_exit()
+{
+    // bench_common registers an atexit flush that reads the registry; any
+    // later-registered handler (or static destructor in another TU) may
+    // run after a function-local `static MetricsRegistry` would have been
+    // destroyed. The leaky heap singleton makes this always valid.
+    MetricsRegistry::global().counter_add("teardown_touch");
+    if (MetricsRegistry::global().snapshot().counters.empty())
+        std::abort();  // lost the write: the registry died before us
+}
+
+TEST(MetricsRegistryTeardownDeathTest, AtexitHandlerMayUseGlobalRegistry)
+{
+    // The hazardous ordering: the handler registers BEFORE the first
+    // global() call, so with a function-local static the registry would be
+    // constructed after (and thus destroyed before) the handler runs —
+    // a use-after-destruction that crashes or trips ASan at exit(0).
+    // "threadsafe" re-executes the test binary for the child, so the
+    // child's registration order is exactly as written here.
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_EXIT(
+        {
+            std::atexit(touch_registry_at_exit);
+            MetricsRegistry::global().counter_add("main_touch");
+            std::exit(0);
+        },
+        testing::ExitedWithCode(0), "");
 }
 
 } // namespace

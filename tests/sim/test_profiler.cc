@@ -48,7 +48,12 @@ class ToyEngine final : public sim::Component
         return true;
     }
 
-    void enqueue(int units) { pending_ += units; }
+    void
+    enqueue(int units)
+    {
+        pending_ += units;
+        notify_ready_changed();  // mutated from an event closure
+    }
 
     int advances = 0;
 

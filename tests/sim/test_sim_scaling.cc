@@ -1,0 +1,468 @@
+/**
+ * @file
+ * Tests for the sim-core scaling structures: the calendar event queue
+ * (differential against a reference (time, seq) binary heap, arena
+ * reallocation safety under self-posting closures) and the indexed ready
+ * heap (notify contract, targeted wake, compaction, Debug stale-cache
+ * detection, cluster detach on destruction).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/cluster.h"
+#include "sim/event_queue.h"
+#include "sim/profiler.h"
+#include "util/rng.h"
+
+namespace shiftpar::sim {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ---------------------------------------------------------------------------
+// Calendar queue
+// ---------------------------------------------------------------------------
+
+TEST(CalendarQueue, SelfPostingClosureSurvivesArenaReallocation)
+{
+    // The firing closure posts enough events to force the node arena and
+    // both bands to reallocate while the original event is mid-fire. The
+    // queue must detach the closure and retire its node *before* running
+    // it — keeping a reference into the storage would be a use-after-free
+    // the ASan job catches.
+    EventQueue q;
+    int fired = 0;
+    q.post(0.0, [&] {
+        for (int i = 0; i < 4096; ++i)
+            q.post(1.0 + 1e-6 * i, [&] { ++fired; });
+    });
+    while (!q.empty())
+        q.fire_next();
+    EXPECT_EQ(fired, 4096);
+}
+
+TEST(CalendarQueue, CascadedSelfPostingKeepsFifoOrder)
+{
+    // Each fired event posts the next at the same instant: FIFO
+    // tie-breaking must hold even while the bands are being repopulated
+    // from inside fire_next().
+    EventQueue q;
+    std::vector<int> order;
+    std::function<void(int)> chain = [&](int depth) {
+        order.push_back(depth);
+        if (depth < 100)
+            q.post(1.0, [&chain, depth] { chain(depth + 1); });
+    };
+    q.post(1.0, [&chain] { chain(0); });
+    while (!q.empty())
+        q.fire_next();
+    ASSERT_EQ(order.size(), 101u);
+    for (int i = 0; i <= 100; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+/**
+ * The retired implementation, kept as the differential oracle: a binary
+ * heap of (time, seq) with a pending-id set and lazy purge at the heap
+ * top. Semantically authoritative for fire order and for every Stats
+ * counter.
+ */
+class ReferenceQueue
+{
+  public:
+    std::uint64_t
+    post(double t, int label)
+    {
+        const std::uint64_t id = next_seq_++;
+        heap_.push({t, id, label});
+        pending_.insert(id);
+        ++stats_.pushes;
+        const auto depth = static_cast<std::int64_t>(pending_.size());
+        if (depth > stats_.high_water)
+            stats_.high_water = depth;
+        return id;
+    }
+
+    bool
+    cancel(std::uint64_t id)
+    {
+        const bool cancelled = pending_.erase(id) > 0;
+        if (cancelled)
+            ++stats_.cancels;
+        return cancelled;
+    }
+
+    bool empty() const { return pending_.empty(); }
+
+    std::size_t size() const { return pending_.size(); }
+
+    double
+    next_time()
+    {
+        purge();
+        return heap_.empty() ? kInf : heap_.top().t;
+    }
+
+    int
+    fire_next()
+    {
+        purge();
+        const int label = heap_.top().label;
+        pending_.erase(heap_.top().seq);
+        heap_.pop();
+        ++stats_.pops;
+        return label;
+    }
+
+    const EventQueue::Stats& stats() const { return stats_; }
+
+  private:
+    struct Event
+    {
+        double t;
+        std::uint64_t seq;
+        int label;
+    };
+    struct Later
+    {
+        bool operator()(const Event& a, const Event& b) const
+        {
+            if (a.t != b.t)
+                return a.t > b.t;
+            return a.seq > b.seq;
+        }
+    };
+
+    void
+    purge()
+    {
+        while (!heap_.empty() && !pending_.count(heap_.top().seq)) {
+            heap_.pop();
+            ++stats_.pops;
+        }
+    }
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    std::unordered_set<std::uint64_t> pending_;
+    std::uint64_t next_seq_ = 0;
+    EventQueue::Stats stats_;
+};
+
+/**
+ * Seeded interleaving of post/cancel/fire against the reference heap:
+ * identical fire order, identical next_time at every step, identical
+ * Stats at the end. Times are quantized so ties are common, and never
+ * precede the last fired instant (posting into the fired past is a
+ * separate Debug invariant with its own death test).
+ */
+void
+run_differential(std::uint64_t seed, int ops)
+{
+    Rng rng(seed);
+    EventQueue q;
+    ReferenceQueue ref;
+    std::vector<int> order_new, order_ref;
+    std::vector<std::pair<EventId, std::uint64_t>> handles;
+    double floor_t = 0.0;
+    int next_label = 0;
+
+    const auto post_one = [&] {
+        const double t =
+            floor_t + 0.25 * static_cast<double>(rng.uniform_int(0, 7));
+        const int label = next_label++;
+        const EventId id =
+            q.post(t, [&order_new, label] { order_new.push_back(label); });
+        handles.emplace_back(id, ref.post(t, label));
+    };
+
+    for (int op = 0; op < ops; ++op) {
+        const double r = rng.uniform();
+        if (r < 0.45 || q.empty()) {
+            post_one();
+        } else if (r < 0.65 && !handles.empty()) {
+            // Cancel a random handle — possibly one that already fired or
+            // was already cancelled; the outcomes must agree either way.
+            const auto pick = static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(handles.size()) - 1));
+            EXPECT_EQ(q.cancel(handles[pick].first),
+                      ref.cancel(handles[pick].second));
+        } else if (!q.empty()) {
+            ASSERT_DOUBLE_EQ(q.next_time(), ref.next_time());
+            floor_t = q.next_time();
+            q.fire_next();
+            order_ref.push_back(ref.fire_next());
+        }
+        ASSERT_EQ(q.size(), ref.size());
+        ASSERT_EQ(q.empty(), ref.empty());
+    }
+    while (!q.empty()) {
+        ASSERT_DOUBLE_EQ(q.next_time(), ref.next_time());
+        q.fire_next();
+        order_ref.push_back(ref.fire_next());
+    }
+    // A final query purges every cancelled straggler from both, making
+    // the pop totals exact: every push is eventually popped or purged.
+    EXPECT_DOUBLE_EQ(q.next_time(), ref.next_time());
+
+    EXPECT_EQ(order_new, order_ref);
+    const EventQueue::Stats& a = q.stats();
+    const EventQueue::Stats& b = ref.stats();
+    EXPECT_EQ(a.pushes, b.pushes);
+    EXPECT_EQ(a.pops, b.pops);
+    EXPECT_EQ(a.cancels, b.cancels);
+    EXPECT_EQ(a.high_water, b.high_water);
+    EXPECT_EQ(a.pops, a.pushes);  // drained: nothing left un-accounted
+}
+
+TEST(CalendarQueue, DifferentialAgainstReferenceHeap)
+{
+    // Several seeds, enough ops to cross multiple chunk pulls and band
+    // compactions at every mix of ties, cancels, and replays.
+    for (const std::uint64_t seed : {11ull, 2026ull, 987654321ull})
+        run_differential(seed, 20000);
+}
+
+TEST(CalendarQueue, DifferentialWithHeavyCancellation)
+{
+    // Mostly-cancelled workload: long cancelled runs must purge in the
+    // same places (and count the same pops) as the reference heap.
+    Rng rng(77);
+    EventQueue q;
+    ReferenceQueue ref;
+    std::vector<int> order_new, order_ref;
+    std::vector<std::pair<EventId, std::uint64_t>> handles;
+    for (int i = 0; i < 5000; ++i) {
+        const double t = 0.5 * static_cast<double>(rng.uniform_int(0, 99));
+        handles.emplace_back(
+            q.post(t, [&order_new, i] { order_new.push_back(i); }),
+            ref.post(t, i));
+    }
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+        if (i % 10 != 3) {  // cancel 90%
+            EXPECT_EQ(q.cancel(handles[i].first),
+                      ref.cancel(handles[i].second));
+        }
+    }
+    while (!q.empty()) {
+        ASSERT_DOUBLE_EQ(q.next_time(), ref.next_time());
+        q.fire_next();
+        order_ref.push_back(ref.fire_next());
+    }
+    EXPECT_DOUBLE_EQ(q.next_time(), ref.next_time());
+    EXPECT_EQ(order_new, order_ref);
+    EXPECT_EQ(q.stats().pops, ref.stats().pops);
+    EXPECT_EQ(q.stats().high_water, ref.stats().high_water);
+}
+
+// ---------------------------------------------------------------------------
+// Ready heap
+// ---------------------------------------------------------------------------
+
+/** Work whose ready time is set externally (with or without notifying). */
+class SettableComponent final : public Component
+{
+  public:
+    const char* kind() const override { return "settable"; }
+
+    double next_event_time() const override { return ready_; }
+
+    bool
+    advance_to(double t) override
+    {
+        ran_at_.push_back(t);
+        ready_ = kInf;
+        return true;
+    }
+
+    void
+    set_ready(double t)
+    {
+        ready_ = t;
+        notify_ready_changed();
+    }
+
+    /** The contract violation the Debug oracle must catch. */
+    void set_ready_silently(double t) { ready_ = t; }
+
+    const std::vector<double>& ran_at() const { return ran_at_; }
+
+  private:
+    double ready_ = kInf;
+    std::vector<double> ran_at_;
+};
+
+TEST(ReadyHeap, NotifyFromEventClosureSchedulesWork)
+{
+    Cluster cluster;
+    SettableComponent s;
+    cluster.add(&s);
+    cluster.post(1.0, [&] { s.set_ready(3.0); });
+    EXPECT_TRUE(cluster.run());
+    ASSERT_EQ(s.ran_at().size(), 1u);
+    EXPECT_DOUBLE_EQ(s.ran_at()[0], 3.0);
+    EXPECT_DOUBLE_EQ(cluster.now(), 3.0);
+}
+
+TEST(ReadyHeap, RepeatedNotifiesKeepOnlyTheLastTime)
+{
+    // A notify storm (many republished times between advances) must leave
+    // exactly one effective entry and still run the component once, at
+    // the final time — with the heap compacted, not grown without bound.
+    Cluster cluster;
+    ClusterProfile prof;
+    cluster.set_profile(&prof);
+    SettableComponent s;
+    cluster.add(&s);
+    cluster.post(1.0, [&] {
+        for (int k = 0; k < 10000; ++k)
+            s.set_ready(2.0 + 1e-4 * k);
+    });
+    EXPECT_TRUE(cluster.run());
+    ASSERT_EQ(s.ran_at().size(), 1u);
+    EXPECT_DOUBLE_EQ(s.ran_at()[0], 2.0 + 1e-4 * 9999);
+    EXPECT_GE(prof.ready_pushes, 10000);
+    // Initial rebuild plus at least one compaction of the stale storm.
+    EXPECT_GE(prof.ready_rebuilds, 2);
+    EXPECT_GT(prof.ready_skips + prof.ready_rebuilds, 1);
+}
+
+TEST(ReadyHeap, NotifyWithUnchangedTimeIsCheapNoOp)
+{
+    Cluster cluster;
+    ClusterProfile prof;
+    cluster.set_profile(&prof);
+    SettableComponent s;
+    cluster.add(&s);
+    cluster.post(1.0, [&] {
+        s.set_ready(5.0);
+        for (int k = 0; k < 1000; ++k)
+            s.set_ready(5.0);  // published time already right
+    });
+    EXPECT_TRUE(cluster.run());
+    ASSERT_EQ(s.ran_at().size(), 1u);
+    // One entry from the first set_ready; the republished duplicates
+    // early-out (1 initial rebuild, no compactions, no skipped entries).
+    EXPECT_LE(prof.ready_pushes, 2);
+    EXPECT_EQ(prof.ready_rebuilds, 1);
+}
+
+TEST(ReadyHeap, DestroyedClusterDetachesComponents)
+{
+    SettableComponent s;
+    {
+        Cluster dying;
+        dying.add(&s);
+    }
+    s.set_ready(1.0);  // cluster gone: must be a safe no-op
+    Cluster cluster;
+    cluster.add(&s);  // re-register: notifications route here now
+    cluster.post(1.5, [&] { s.set_ready(2.0); });
+    EXPECT_TRUE(cluster.run());
+    ASSERT_EQ(s.ran_at().size(), 2u);  // the pre-registered 1.0, then 2.0
+    EXPECT_DOUBLE_EQ(s.ran_at()[0], 1.0);
+    EXPECT_DOUBLE_EQ(s.ran_at()[1], 2.0);
+}
+
+TEST(ReadyHeap, ReregistrationRoutesNotifiesToTheNewCluster)
+{
+    SettableComponent s;
+    Cluster first;
+    first.add(&s);
+    Cluster second;
+    second.add(&s);  // ownership moves; `first` must not see notifies
+    s.set_ready(4.0);
+    EXPECT_TRUE(first.run());   // no components it still owns are ready
+    EXPECT_TRUE(second.run());  // runs the work
+    ASSERT_EQ(s.ran_at().size(), 1u);
+    EXPECT_DOUBLE_EQ(s.ran_at()[0], 4.0);
+}
+
+/** Stalls until opened, tracking how often it was polled. */
+class CountingGate final : public Component
+{
+  public:
+    const char* kind() const override { return "gate"; }
+
+    double next_event_time() const override { return done_ ? kInf : 0.0; }
+
+    bool
+    advance_to(double) override
+    {
+        ++attempts_;
+        if (!open_)
+            return false;
+        done_ = true;
+        return true;
+    }
+
+    void
+    open()
+    {
+        open_ = true;
+        notify_ready_changed();
+    }
+
+    int attempts() const { return attempts_; }
+
+  private:
+    bool open_ = false;
+    bool done_ = false;
+    int attempts_ = 0;
+};
+
+TEST(ReadyHeap, ParkedComponentIsNotRepolledPerEvent)
+{
+    // Rule 4 says a stalled component is re-polled after any event; the
+    // targeted wake keeps that contract (one attempt per event) without
+    // rescanning the fleet. The gate parks once, then each of the three
+    // events wakes it for exactly one more attempt; the opening notify
+    // lets the last attempt succeed.
+    Cluster cluster;
+    CountingGate gate;
+    cluster.add(&gate);
+    cluster.post(1.0, [] {});
+    cluster.post(2.0, [] {});
+    cluster.post(3.0, [&] { gate.open(); });
+    EXPECT_TRUE(cluster.run());
+    // initial park + wake after events 1 and 2 (park again) + the
+    // post-open attempt that succeeds.
+    EXPECT_EQ(gate.attempts(), 4);
+}
+
+#ifndef NDEBUG
+
+// Debug builds re-poll the whole fleet each iteration (the old O(n) scan,
+// demoted to an oracle) and abort when the indexed cache diverges — the
+// failure mode of a mutation that skipped notify_ready_changed().
+
+TEST(ReadyHeapDebugInvariants, DetectsSilentReadyTimeChange)
+{
+    Cluster cluster;
+    SettableComponent s;
+    cluster.add(&s);
+    cluster.post(0.5, [&] { s.set_ready(5.0); });  // published: 5.0
+    cluster.post(1.0, [&] { s.set_ready_silently(2.0); });  // the bug
+    EXPECT_DEATH(cluster.run(), "ready cache stale");
+}
+
+TEST(ReadyHeapDebugInvariants, DetectsSilentWakeFromIdle)
+{
+    Cluster cluster;
+    SettableComponent s;  // idle: published as no entry
+    cluster.add(&s);
+    cluster.post(1.0, [&] { s.set_ready_silently(2.0); });  // the bug
+    EXPECT_DEATH(cluster.run(), "ready cache stale");
+}
+
+#endif  // !NDEBUG
+
+} // namespace
+} // namespace shiftpar::sim

@@ -268,6 +268,48 @@ bool Engine::advance_to(double t)
     EXPECT_NE(findings[0].message.find("advance_to"), std::string::npos);
 }
 
+TEST(ShiftlintSimContract, AdvanceToNotifyingReadyChangeFlagged)
+{
+    auto corpus = make_corpus({{"src/engine/e.cc", R"(
+bool Engine::advance_to(double t)
+{
+    now_ = t;
+    notify_ready_changed();
+    return true;
+}
+)"}});
+    const auto findings = run_one(corpus, "sim-contract");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("notify_ready_changed"),
+              std::string::npos);
+}
+
+TEST(ShiftlintSimContract, AdvanceToPokingReadyIndexFlagged)
+{
+    auto corpus = make_corpus({{"src/engine/e.cc", R"(
+bool Engine::advance_to(double t)
+{
+    cluster_->notify_ready(this);
+    return true;
+}
+)"}});
+    const auto findings = run_one(corpus, "sim-contract");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("notify_ready"), std::string::npos);
+}
+
+TEST(ShiftlintSimContract, NotifyOutsideAdvanceToIsClean)
+{
+    auto corpus = make_corpus({{"src/engine/e.cc", R"(
+void Engine::submit(Request r)
+{
+    waiting_.push_back(r);
+    notify_ready_changed();
+}
+)"}});
+    EXPECT_TRUE(run_one(corpus, "sim-contract").empty());
+}
+
 TEST(ShiftlintSimContract, AdvanceToReadingClockIsClean)
 {
     auto corpus = make_corpus({{"src/engine/e.cc", R"(

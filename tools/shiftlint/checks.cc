@@ -455,9 +455,11 @@ class StructSerializerDriftCheck final : public Check
  *
  * (a) `Component::advance_to` runs *inside* the cluster loop; mutating
  * the cluster from there (posting/cancelling events, registering
- * components, installing hooks) re-enters the queue mid-decision and
- * breaks determinism rule 4. State changes belong in posted events or
- * the progress hook.
+ * components, installing hooks, or poking the ready index via
+ * `notify_ready` / `notify_ready_changed`) re-enters the queue
+ * mid-decision and breaks determinism rule 4. State changes belong in
+ * posted events or the progress hook; the loop republishes the advanced
+ * component's ready time itself.
  *
  * (b) Closures given to `post()` fire after arbitrary intervening
  * mutation; a captured container iterator is invalidated by then.
@@ -483,7 +485,8 @@ class SimContractCheck final : public Check
     run(const Corpus& corpus, std::vector<Finding>& out) const override
     {
         static const std::unordered_set<std::string> kClusterMutators = {
-            "post", "cancel_event", "add", "set_progress_hook", "run",
+            "post", "cancel_event",   "add",
+            "run",  "set_progress_hook", "notify_ready",
         };
         static const std::unordered_set<std::string> kIterSources = {
             "begin", "end",  "rbegin", "rend",        "cbegin",
@@ -498,9 +501,28 @@ class SimContractCheck final : public Check
                 for (std::size_t i = fn.body_begin; i + 2 < fn.body_end;
                      ++i) {
                     const std::string& t = toks[i].text;
-                    const bool cluster_ref =
-                        toks[i].kind == TokKind::kIdent &&
-                        (t == "cluster" || t == "cluster_");
+                    if (toks[i].kind != TokKind::kIdent)
+                        continue;
+                    // Self-notification from inside the grant: the loop
+                    // republishes the component's new time itself after
+                    // advance_to returns; notifying mid-grant re-enters
+                    // the ready index while its entry is detached.
+                    if (t == "notify_ready_changed" &&
+                        toks[i + 1].text == "(" &&
+                        (i == fn.body_begin ||
+                         (toks[i - 1].text != "." &&
+                          toks[i - 1].text != "->" &&
+                          toks[i - 1].text != "::"))) {
+                        out.push_back(make_finding(
+                            name(), *fn.file, toks[i],
+                            "'" + fn.qualified + "' calls "
+                            "notify_ready_changed() during advance_to: "
+                            "the cluster republishes the component's "
+                            "ready time after the grant returns"));
+                        continue;
+                    }
+                    const bool cluster_ref = t == "cluster" ||
+                                             t == "cluster_";
                     if (!cluster_ref)
                         continue;
                     if (toks[i + 1].text != "." &&
