@@ -30,6 +30,12 @@ struct ObsState
     int jobs = util::ThreadPool::default_concurrency();
     bool profile = false;
     std::string metrics_path;
+
+    /** `--cost-model` / `--kernel-coeffs` selection; applied to every
+     *  deployment the binary runs only when a flag was given, so default
+     *  invocations construct deployments exactly as before. */
+    parallel::CostModelSpec cost;
+    bool cost_forced = false;
 };
 
 /** Per-thread report override installed by the sweep runner. */
@@ -159,11 +165,20 @@ init(int argc, char** argv)
             o.profile = true;
         } else if (std::strcmp(arg, "--metrics-out") == 0 && i + 1 < argc) {
             o.metrics_path = argv[++i];
+        } else if (std::strcmp(arg, "--cost-model") == 0 && i + 1 < argc) {
+            o.cost.kind = model::parse_cost_model_kind(argv[++i]);
+            o.cost_forced = true;
+        } else if (std::strcmp(arg, "--kernel-coeffs") == 0 &&
+                   i + 1 < argc) {
+            o.cost.coeffs = hw::load_calibrated_coeffs(argv[++i]);
+            o.cost.kind = model::CostModelKind::kKernel;
+            o.cost_forced = true;
         } else {
             fatal(std::string("unknown argument '") + arg +
                   "' (expected --trace <path>, --report <path>, "
                   "--no-report, --jobs <n>, --profile, "
-                  "--metrics-out <path>)");
+                  "--metrics-out <path>, --cost-model <roofline|kernel>, "
+                  "--kernel-coeffs <path>)");
         }
     }
     // Construct the global registry (and obs_state above) before
@@ -233,6 +248,9 @@ standard_deployment(const model::ModelConfig& model,
     d.model = model;
     d.node = hw::h200_node();
     d.strategy = strategy;
+    const ObsState& o = obs_state();
+    if (o.cost_forced)
+        d.cost = o.cost;
     return d;
 }
 
@@ -251,6 +269,8 @@ run_deployment_named(const std::string& name, const core::Deployment& d,
 {
     ObsState& o = obs_state();
     core::Deployment traced = d;
+    if (o.cost_forced)
+        traced.cost = o.cost;
     if (o.trace) {
         o.trace->set_run_label(name);
         traced.trace = o.trace.get();
@@ -272,6 +292,10 @@ run_deployment_named(const std::string& name, const core::Deployment& d,
         info.tp = result.resolved.base.tp;
         info.replicas = result.resolved.replicas;
         info.shift_threshold = result.resolved.shift_threshold;
+        if (result.resolved.cost_kind != model::CostModelKind::kRoofline) {
+            info.cost_model =
+                model::cost_model_kind_name(result.resolved.cost_kind);
+        }
         report().add_run(name, result.metrics, info);
     }
     return result;

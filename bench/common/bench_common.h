@@ -41,6 +41,12 @@ namespace shiftpar::bench {
  *                    section / --metrics-out)
  *   --metrics-out <path>  write the process's metrics registry as a
  *                    Prometheus-style text exposition at exit
+ *   --cost-model <roofline|kernel>  step-cost model for every deployment
+ *                    the binary runs (default: roofline, bit-identical to
+ *                    the pre-interface engine)
+ *   --kernel-coeffs <path>  load per-kernel coefficients from a
+ *                    `tools/calibrate` report (implies --cost-model
+ *                    kernel; default: derived from the node's hardware)
  *
  * All outputs are flushed at process exit. Tracing and profiling are off
  * unless their flags are given; simulation results are bit-identical

@@ -49,6 +49,10 @@ ResolvedDeployment::describe() const
     os << replicas << " engine(s) x " << base.to_string();
     if (shift_threshold > 0)
         os << ", shift threshold " << shift_threshold << " tokens";
+    // Mentioned only off the default so existing run descriptions (and the
+    // reports pinned against them) keep their exact bytes.
+    if (cost_kind != model::CostModelKind::kRoofline)
+        os << ", cost model " << model::cost_model_kind_name(cost_kind);
     os << ", " << parallel::describe(memory);
     return os.str();
 }
@@ -59,6 +63,7 @@ resolve(const Deployment& d)
     ResolvedDeployment r;
     r.sched = d.sched;
     r.perf = d.perf;
+    r.cost_kind = d.cost.kind;
     if (d.swiftkv)
         d.swiftkv->apply(&r.perf);
     if (d.spec_decode)
@@ -111,9 +116,13 @@ resolve(const Deployment& d)
         if (d.shift_threshold >= 0) {
             r.shift_threshold = d.shift_threshold;
         } else {
-            const parallel::PerfModel perf(d.node, d.model, r.perf);
+            // The threshold crossover is found under the same cost model
+            // the engines will run with; the default spec constructs the
+            // roofline model with the exact pre-interface arguments.
+            const auto cost =
+                parallel::make_cost_model(d.cost, d.node, d.model, r.perf);
             r.shift_threshold =
-                ShiftController::auto_threshold(perf, r.base);
+                ShiftController::auto_threshold(*cost, r.base);
         }
     }
     return r;
@@ -133,6 +142,10 @@ build(const Deployment& d, const ResolvedDeployment& r)
     ecfg.sched = r.sched;
     ecfg.perf = r.perf;
     ecfg.mem = d.mem;
+    ecfg.cost = d.cost;
+    // Kernel-share telemetry piggybacks on the profiling opt-in: metrics
+    // are pure observation, but only profiled runs pay for them.
+    ecfg.cost_metrics = d.profile != nullptr;
     ecfg.weights = d.weights;
     ecfg.with_shift_model = r.with_shift_model;
     ecfg.block_size = d.block_size;
@@ -193,6 +206,10 @@ run_deployment(const Deployment& d,
         info.tp = r.base.tp;
         info.replicas = r.replicas;
         info.shift_threshold = r.shift_threshold;
+        // Recorded only off the default; the writer skips the empty
+        // string, so roofline reports keep their exact bytes.
+        if (r.cost_kind != model::CostModelKind::kRoofline)
+            info.cost_model = model::cost_model_kind_name(r.cost_kind);
         // Fault counters are recorded only when the replay actually
         // injected something, so fault-free reports stay byte-identical.
         std::optional<fault::FaultStats> faults;

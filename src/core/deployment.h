@@ -33,6 +33,7 @@
 #include "model/model_config.h"
 #include "obs/report_json.h"
 #include "obs/trace.h"
+#include "parallel/cost_model_factory.h"
 #include "parallel/strategy.h"
 
 namespace shiftpar::core {
@@ -62,6 +63,15 @@ struct Deployment
     engine::SchedulerOptions sched;
     parallel::PerfOptions perf;
     parallel::MemoryOptions mem;
+
+    /**
+     * Step-cost model selection (`--cost-model` / `--kernel-coeffs` in the
+     * bench harness). The default roofline spec reproduces the
+     * pre-interface engine bit-identically; the kernel spec prices each
+     * step from the per-kernel decomposition instead.
+     */
+    parallel::CostModelSpec cost;
+
     engine::RoutingPolicy routing = engine::RoutingPolicy::kLeastTokens;
 
     /** KV block size, tokens. */
@@ -126,6 +136,9 @@ struct ResolvedDeployment
     /** Scheduler/perf options with features applied. */
     engine::SchedulerOptions sched;
     parallel::PerfOptions perf;
+
+    /** Which cost-model implementation steps are priced with. */
+    model::CostModelKind cost_kind = model::CostModelKind::kRoofline;
 
     /** One-line human-readable summary. */
     std::string describe() const;

@@ -49,14 +49,14 @@ ShiftController::choose(std::int64_t batched_tokens) const
 }
 
 std::int64_t
-ShiftController::auto_threshold(const parallel::PerfModel& perf,
+ShiftController::auto_threshold(const model::CostModel& cost,
                                 const parallel::ParallelConfig& base,
                                 std::int64_t context, std::int64_t max_batch)
 {
     const parallel::ParallelConfig shift = base.shift_config();
     const auto base_wins = [&](std::int64_t n) {
-        return perf.decode_step_time(n, context, base) <=
-               perf.decode_step_time(n, context, shift);
+        return cost.decode_step_time(n, context, base) <=
+               cost.decode_step_time(n, context, shift);
     };
     if (base_wins(1))
         return 0;  // base never loses: always run the base config

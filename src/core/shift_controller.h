@@ -61,12 +61,12 @@ class ShiftController : public engine::ExecutionPolicy
      * base-config decode step is no slower than a shift-config step (the
      * crossover of the two step-time curves), found by bisection.
      *
-     * @param perf The engine's performance model.
+     * @param cost The engine's step-cost model (any implementation).
      * @param base The base configuration.
      * @param context Representative per-sequence context length.
      * @param max_batch Search upper bound.
      */
-    static std::int64_t auto_threshold(const parallel::PerfModel& perf,
+    static std::int64_t auto_threshold(const model::CostModel& cost,
                                        const parallel::ParallelConfig& base,
                                        std::int64_t context = 2048,
                                        std::int64_t max_batch = 65536);

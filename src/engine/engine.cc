@@ -4,13 +4,15 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics_registry.h"
 #include "util/logging.h"
 
 namespace shiftpar::engine {
 
 Engine::Engine(const hw::Node& node, const model::ModelConfig& m,
                EngineConfig cfg, std::unique_ptr<ExecutionPolicy> policy)
-    : model_(m), cfg_(cfg), perf_(node, m, cfg.perf),
+    : model_(m), cfg_(cfg),
+      cost_model_(parallel::make_cost_model(cfg.cost, node, m, cfg.perf)),
       mem_plan_(parallel::plan_memory(m, node.gpu, cfg.base,
                                       cfg.with_shift_model, cfg.weights,
                                       cfg.mem)),
@@ -189,6 +191,23 @@ Engine::set_comm_multiplier(double factor, double t)
     }
 }
 
+void
+Engine::record_cost_metrics(
+    const parallel::StepTiming& timing,
+    const std::vector<parallel::KernelCost>& breakdown) const
+{
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::current();
+    reg.counter_add("shiftpar_costmodel_evals_total", 1,
+                    {{"model", cost_model_->name()}});
+    const double total = timing.total();
+    if (total <= 0.0)
+        return;
+    for (const parallel::KernelCost& k : breakdown) {
+        reg.observe("shiftpar_costmodel_kernel_share", k.seconds / total,
+                    {{"kernel", k.kernel}});
+    }
+}
+
 bool
 Engine::step()
 {
@@ -208,8 +227,12 @@ Engine::step()
         cache_.assert_invariant_with(shift_layout_);
     }
 
-    parallel::StepTiming timing =
-        perf_.step_time(plan.work(), choice.cfg, choice.sliced);
+    std::vector<parallel::KernelCost> breakdown;
+    parallel::StepTiming timing = cost_model_->evaluate(
+        plan.work(), choice.cfg, choice.sliced,
+        cfg_.cost_metrics ? &breakdown : nullptr);
+    if (cfg_.cost_metrics)
+        record_cost_metrics(timing, breakdown);
     // Fault-injection multipliers. Guarded so an unfaulted run's timings
     // are the exact same doubles — results stay bit-identical with the
     // fault subsystem unused.

@@ -27,6 +27,7 @@
 #include "engine/scheduler.h"
 #include "kvcache/cache_manager.h"
 #include "obs/trace.h"
+#include "parallel/cost_model_factory.h"
 #include "parallel/memory.h"
 #include "parallel/perf_model.h"
 #include "sim/component.h"
@@ -88,6 +89,17 @@ struct EngineConfig
     SchedulerOptions sched;
     parallel::PerfOptions perf;
     parallel::MemoryOptions mem;
+
+    /** Which step-cost model prices each iteration (default: roofline). */
+    parallel::CostModelSpec cost;
+
+    /**
+     * Record cost-model telemetry (evaluation counter, per-kernel
+     * time-share histograms) into `obs::MetricsRegistry::current()`. Off
+     * by default; with it off the engine never touches the registry, so
+     * default runs' reports stay byte-identical.
+     */
+    bool cost_metrics = false;
 
     /** Weight-handling strategy for shift mode (Section 3.3.2). */
     parallel::WeightStrategy weights =
@@ -313,9 +325,14 @@ class Engine : public sim::Component
     /** Execute one iteration; @return false when nothing was schedulable. */
     bool step();
 
+    /** Record the eval counter + kernel-share histograms for one step. */
+    void record_cost_metrics(
+        const parallel::StepTiming& timing,
+        const std::vector<parallel::KernelCost>& breakdown) const;
+
     model::ModelConfig model_;
     EngineConfig cfg_;
-    parallel::PerfModel perf_;
+    std::unique_ptr<const model::CostModel> cost_model_;
     parallel::MemoryPlan mem_plan_;
     kvcache::CacheManager cache_;
     kvcache::KvLayout shift_layout_;

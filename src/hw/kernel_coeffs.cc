@@ -1,0 +1,107 @@
+#include "hw/kernel_coeffs.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "hw/presets.h"
+#include "util/json_parse.h"
+#include "util/logging.h"
+
+namespace shiftpar::hw {
+
+KernelCoeffs
+derive_kernel_coeffs(const GpuSpec& gpu, const LinkSpec& link)
+{
+    SP_ASSERT(gpu.hbm_bw > 0.0 && link.bw > 0.0,
+              "kernel coefficients need usable device and link bandwidth");
+    KernelCoeffs c;
+    c.hardware = gpu.name;
+    // FP8 GEMMs dominate serving; attention runs at the FP16 rate on the
+    // (typically FP16) KV cache. Norms are bandwidth-bound: no FLOP term.
+    c.gemm.alpha = gpu.kernel_overhead;
+    c.gemm.beta = 1.0 / gpu.effective_gemm_flops(1.0);
+    c.gemm.gamma = 1.0 / gpu.effective_bw();
+    c.attention.alpha = gpu.kernel_overhead;
+    c.attention.beta = 1.0 / gpu.effective_attn_flops(2.0);
+    c.attention.gamma = 1.0 / gpu.effective_bw();
+    c.norm.alpha = gpu.kernel_overhead;
+    c.norm.beta = 0.0;
+    c.norm.gamma = 1.0 / gpu.effective_bw();
+    c.collective.alpha = link.latency;
+    c.collective.beta = 0.0;
+    c.collective.gamma = 1.0 / link.effective_bw();
+    return c;
+}
+
+KernelCoeffs
+kernel_coeffs_preset(const std::string& name)
+{
+    if (name == "h200")
+        return derive_kernel_coeffs(h200(), nvswitch());
+    if (name == "h100")
+        return derive_kernel_coeffs(h100(), nvswitch());
+    if (name == "b200")
+        return derive_kernel_coeffs(b200(), nvswitch());
+    if (name == "a100")
+        return derive_kernel_coeffs(a100(), nvswitch());
+    fatal("unknown kernel-coefficient preset '" + name +
+          "' (expected h200|h100|b200|a100)");
+}
+
+KernelCoeffs
+load_calibrated_coeffs(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open calibration report '" + path + "'");
+    std::stringstream buf;
+    buf << in.rdbuf();
+
+    util::JsonValue doc;
+    try {
+        doc = util::parse_json(buf.str());
+    } catch (const std::exception& e) {
+        fatal("calibration report '" + path + "' is not valid JSON: " +
+              e.what());
+    }
+    if (!doc.is_object() || !doc.has("schema") ||
+        doc.at("schema").str() != "shiftpar.calibration" ||
+        doc.at("version").num() != 1.0) {
+        fatal("calibration report '" + path +
+              "' is not a shiftpar.calibration v1 document");
+    }
+
+    KernelCoeffs c;
+    c.hardware = doc.has("hardware") ? doc.at("hardware").str() : "";
+    bool seen_gemm = false, seen_attn = false, seen_norm = false,
+         seen_coll = false;
+    for (const util::JsonValue& fit : doc.at("kernels").arr()) {
+        KernelCoeff k;
+        k.alpha = fit.at("alpha").num();
+        k.beta = fit.at("beta").num();
+        k.gamma = fit.at("gamma").num();
+        const std::string& klass = fit.at("class").str();
+        if (klass == "gemm") {
+            c.gemm = k;
+            seen_gemm = true;
+        } else if (klass == "attention") {
+            c.attention = k;
+            seen_attn = true;
+        } else if (klass == "norm") {
+            c.norm = k;
+            seen_norm = true;
+        } else if (klass == "collective") {
+            c.collective = k;
+            seen_coll = true;
+        }
+        // Unknown classes are ignored: additive schema evolution.
+    }
+    if (!(seen_gemm && seen_attn && seen_norm && seen_coll)) {
+        fatal("calibration report '" + path +
+              "' is missing kernel classes (need gemm, attention, norm, "
+              "collective)");
+    }
+    return c;
+}
+
+} // namespace shiftpar::hw

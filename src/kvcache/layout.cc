@@ -71,8 +71,8 @@ switch_cost_bytes(const model::ModelConfig& m, const KvLayout& from,
     if (from.invariant_with(to))
         return 0.0;
     const double per_head_bytes =
-        static_cast<double>(cached_tokens) * 2.0 * m.head_dim *
-        model::dtype_bytes(m.kv_dtype);
+        static_cast<double>(cached_tokens) *
+        model::kv_head_bytes_per_token(m.head_dim, m.kv_dtype);
 
     if (from.placement != to.placement) {
         // DP <-> head-sharded: the entire cache must be resharded across

@@ -1,0 +1,78 @@
+#include "model/cost_model.h"
+
+#include "util/logging.h"
+
+namespace shiftpar::model {
+
+std::int64_t
+BatchWork::total_new_tokens() const
+{
+    std::int64_t total = 0;
+    for (const auto& c : chunks)
+        total += c.new_tokens;
+    return total;
+}
+
+BatchWork
+BatchWork::prefill(std::int64_t prompt_tokens)
+{
+    BatchWork w;
+    w.chunks.push_back({prompt_tokens, 0, true});
+    return w;
+}
+
+BatchWork
+BatchWork::decode(std::int64_t batch, std::int64_t context)
+{
+    BatchWork w;
+    w.chunks.reserve(static_cast<std::size_t>(batch));
+    for (std::int64_t i = 0; i < batch; ++i)
+        w.chunks.push_back({1, context, false});
+    return w;
+}
+
+StepTiming&
+StepTiming::operator+=(const StepTiming& o)
+{
+    gemm += o.gemm;
+    attention += o.attention;
+    comm += o.comm;
+    overhead += o.overhead;
+    return *this;
+}
+
+const char*
+cost_model_kind_name(CostModelKind kind)
+{
+    switch (kind) {
+      case CostModelKind::kRoofline: return "roofline";
+      case CostModelKind::kKernel:   return "kernel";
+    }
+    return "?";
+}
+
+CostModelKind
+parse_cost_model_kind(const std::string& s)
+{
+    if (s == "roofline")
+        return CostModelKind::kRoofline;
+    if (s == "kernel")
+        return CostModelKind::kKernel;
+    fatal("unknown cost model '" + s + "' (expected roofline|kernel)");
+}
+
+double
+CostModel::prefill_time(std::int64_t prompt_tokens,
+                        const parallel::ParallelConfig& cfg) const
+{
+    return evaluate(BatchWork::prefill(prompt_tokens), cfg).total();
+}
+
+double
+CostModel::decode_step_time(std::int64_t batch, std::int64_t context,
+                            const parallel::ParallelConfig& cfg) const
+{
+    return evaluate(BatchWork::decode(batch, context), cfg).total();
+}
+
+} // namespace shiftpar::model

@@ -26,6 +26,19 @@ dtype_bytes(DType t)
     return 2.0;
 }
 
+/**
+ * KV-cache bytes one token occupies in ONE head's K and V entries (the
+ * factor 2 is K+V, not a dtype width). This is the shared unit between the
+ * capacity accounting (`ModelConfig::kv_bytes_per_token_layer`, all KV
+ * heads) and the migration costing (`kvcache::switch_cost_bytes`, per
+ * moved head) — one definition so the two can never drift.
+ */
+inline constexpr double
+kv_head_bytes_per_token(int head_dim, DType kv_dtype)
+{
+    return 2.0 * head_dim * dtype_bytes(kv_dtype);
+}
+
 /** @return short printable name. */
 inline constexpr const char*
 dtype_name(DType t)

@@ -106,8 +106,8 @@ double
 layer_activation_bytes(const ModelConfig& m, double n)
 {
     // Rough per-layer activation traffic: read+write of the hidden stream
-    // around each of the four GEMM regions, at 2 bytes (BF16 activations).
-    return 8.0 * n * m.hidden_size * 2.0;
+    // around each of the four GEMM regions, at BF16 activation width.
+    return 8.0 * n * m.hidden_size * dtype_bytes(DType::kBf16);
 }
 
 } // namespace shiftpar::model

@@ -90,7 +90,7 @@ ModelConfig::expert_weight_fraction() const
 double
 ModelConfig::kv_bytes_per_token_layer() const
 {
-    return 2.0 * kv_heads * head_dim * dtype_bytes(kv_dtype);
+    return kv_heads * kv_head_bytes_per_token(head_dim, kv_dtype);
 }
 
 double

@@ -95,6 +95,8 @@ ReportJson::write(std::ostream& os) const
             w.kv("tp", run.deployment->tp);
             w.kv("replicas", run.deployment->replicas);
             w.kv("shift_threshold", run.deployment->shift_threshold);
+            if (!run.deployment->cost_model.empty())
+                w.kv("cost_model", run.deployment->cost_model);
             w.end_object();
         } else {
             w.null();

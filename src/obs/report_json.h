@@ -83,6 +83,13 @@ struct RunDeploymentInfo
     int tp = 0;
     int replicas = 0;
     std::int64_t shift_threshold = 0;
+
+    /**
+     * Non-default cost model the run was priced with ("kernel"); empty for
+     * the roofline default and then omitted from the document, so existing
+     * reports keep their exact bytes.
+     */
+    std::string cost_model;
 };
 
 /**

@@ -1,0 +1,25 @@
+#include "parallel/cost_model_factory.h"
+
+#include "parallel/kernel_cost_model.h"
+#include "util/logging.h"
+
+namespace shiftpar::parallel {
+
+std::unique_ptr<const model::CostModel>
+make_cost_model(const CostModelSpec& spec, const hw::Node& node,
+                const model::ModelConfig& m, const PerfOptions& opts)
+{
+    switch (spec.kind) {
+        case model::CostModelKind::kRoofline:
+            return std::make_unique<PerfModel>(node, m, opts);
+        case model::CostModelKind::kKernel: {
+            const hw::KernelCoeffs coeffs =
+                spec.coeffs ? *spec.coeffs
+                            : hw::derive_kernel_coeffs(node.gpu, node.link);
+            return std::make_unique<KernelCostModel>(node, m, coeffs, opts);
+        }
+    }
+    fatal("unhandled cost model kind");
+}
+
+} // namespace shiftpar::parallel

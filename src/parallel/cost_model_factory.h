@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Cost-model selection, one struct from flag to engine.
+ *
+ * `CostModelSpec` is what `--cost-model` / `--kernel-coeffs` parse into; it
+ * travels through `core::Deployment` and `engine::EngineConfig` unchanged,
+ * and `make_cost_model` turns it into the concrete implementation at the
+ * point where the (node, model) pair is known. The default spec builds the
+ * roofline `PerfModel` with exactly the arguments the pre-interface engine
+ * used, so default deployments stay bit-identical.
+ */
+
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "hw/kernel_coeffs.h"
+#include "hw/topology.h"
+#include "model/cost_model.h"
+#include "model/model_config.h"
+#include "parallel/perf_model.h"
+
+namespace shiftpar::parallel {
+
+/** Which step-cost implementation to build, plus its configuration. */
+struct CostModelSpec
+{
+    model::CostModelKind kind = model::CostModelKind::kRoofline;
+
+    /**
+     * Per-kernel coefficients for the kernel model (ignored by roofline).
+     * Unset means "derive from the node's GPU and link specs".
+     */
+    std::optional<hw::KernelCoeffs> coeffs;
+};
+
+/**
+ * Build the cost model a spec describes for one (node, model) pair.
+ *
+ * @param opts The engine-overhead/ablation knobs, applied identically by
+ *        every implementation.
+ */
+std::unique_ptr<const model::CostModel>
+make_cost_model(const CostModelSpec& spec, const hw::Node& node,
+                const model::ModelConfig& m, const PerfOptions& opts);
+
+} // namespace shiftpar::parallel

@@ -7,43 +7,6 @@
 
 namespace shiftpar::parallel {
 
-std::int64_t
-BatchWork::total_new_tokens() const
-{
-    std::int64_t total = 0;
-    for (const auto& c : chunks)
-        total += c.new_tokens;
-    return total;
-}
-
-BatchWork
-BatchWork::prefill(std::int64_t prompt_tokens)
-{
-    BatchWork w;
-    w.chunks.push_back({prompt_tokens, 0, true});
-    return w;
-}
-
-BatchWork
-BatchWork::decode(std::int64_t batch, std::int64_t context)
-{
-    BatchWork w;
-    w.chunks.reserve(static_cast<std::size_t>(batch));
-    for (std::int64_t i = 0; i < batch; ++i)
-        w.chunks.push_back({1, context, false});
-    return w;
-}
-
-StepTiming&
-StepTiming::operator+=(const StepTiming& o)
-{
-    gemm += o.gemm;
-    attention += o.attention;
-    comm += o.comm;
-    overhead += o.overhead;
-    return *this;
-}
-
 PerfModel::PerfModel(hw::Node node, model::ModelConfig m, PerfOptions opts)
     : node_(std::move(node)), model_(std::move(m)), opts_(opts),
       coll_(node_.link)
@@ -52,8 +15,9 @@ PerfModel::PerfModel(hw::Node node, model::ModelConfig m, PerfOptions opts)
 }
 
 StepTiming
-PerfModel::step_time(const BatchWork& work, const ParallelConfig& cfg,
-                     bool sliced_weights) const
+PerfModel::evaluate(const BatchWork& work, const ParallelConfig& cfg,
+                    bool sliced_weights,
+                    std::vector<KernelCost>* breakdown) const
 {
     validate_config_or_die(model_, cfg);
     SP_ASSERT(cfg.world() <= node_.num_gpus,
@@ -71,9 +35,26 @@ PerfModel::step_time(const BatchWork& work, const ParallelConfig& cfg,
                      opts_.step_overhead_per_rank * (g - 1);
     }
 
+    // Report the four aggregates as pseudo-kernels; the roofline model has
+    // no finer granularity. Deferred to one exit path so every early
+    // return stays covered.
+    const auto fill_breakdown = [&](const StepTiming& timing) {
+        if (breakdown == nullptr)
+            return;
+        breakdown->push_back({"gemm", "gemm", 1.0, 0.0, 0.0, timing.gemm});
+        breakdown->push_back(
+            {"attention", "attention", 1.0, 0.0, 0.0, timing.attention});
+        breakdown->push_back(
+            {"comm", "collective", 1.0, 0.0, 0.0, timing.comm});
+        breakdown->push_back(
+            {"overhead", "overhead", 1.0, 0.0, 0.0, timing.overhead});
+    };
+
     const std::int64_t n_raw = work.total_new_tokens();
-    if (n_raw == 0)
+    if (n_raw == 0) {
+        fill_breakdown(t);
         return t;
+    }
 
     // Section 3.2.1 load balancing: pad the batch to a multiple of SP so
     // every rank receives the same number of sequence rows.
@@ -193,21 +174,8 @@ PerfModel::step_time(const BatchWork& work, const ParallelConfig& cfg,
                       static_cast<double>(n) * m.hidden_size * act_b,
                       cfg.sp);
     }
+    fill_breakdown(t);
     return t;
-}
-
-double
-PerfModel::prefill_time(std::int64_t prompt_tokens,
-                        const ParallelConfig& cfg) const
-{
-    return step_time(BatchWork::prefill(prompt_tokens), cfg).total();
-}
-
-double
-PerfModel::decode_step_time(std::int64_t batch, std::int64_t context,
-                            const ParallelConfig& cfg) const
-{
-    return step_time(BatchWork::decode(batch, context), cfg).total();
 }
 
 } // namespace shiftpar::parallel

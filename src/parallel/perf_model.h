@@ -8,6 +8,12 @@
  * Figure 15 components: GEMM compute, attention, communication, and engine
  * (vLLM-equivalent) overhead.
  *
+ * `PerfModel` is the default `model::CostModel` implementation (the
+ * roofline aggregate); see `parallel/kernel_cost_model.h` for the
+ * kernel-decomposed alternative. The batch/timing vocabulary lives in
+ * `model/cost_model.h` and is re-exported here so pre-interface code keeps
+ * compiling against `parallel::BatchWork` / `parallel::StepTiming`.
+ *
  * Strategy-distinguishing behaviour captured here:
  *  - TP shards weights (1/TP reads) but pays two all-reduces of the full
  *    `n x d` embedding per layer — comm volume independent of TP degree
@@ -28,6 +34,7 @@
 #include <vector>
 
 #include "hw/topology.h"
+#include "model/cost_model.h"
 #include "model/flops.h"
 #include "model/model_config.h"
 #include "parallel/config.h"
@@ -35,52 +42,13 @@
 
 namespace shiftpar::parallel {
 
-/** One request's contribution to a step: new tokens after cached context. */
-struct SeqChunk
-{
-    /** Tokens processed this step (prefill chunk size, or 1 for decode). */
-    std::int64_t new_tokens = 0;
-
-    /** Tokens already in the KV cache for this sequence. */
-    std::int64_t past = 0;
-
-    /** True for prefill chunks (SwiftKV applies only to these). */
-    bool is_prefill = false;
-};
-
-/** The work one engine iteration performs. */
-struct BatchWork
-{
-    std::vector<SeqChunk> chunks;
-
-    /** @return sum of new tokens across chunks (the Alg. 2 batch size). */
-    std::int64_t total_new_tokens() const;
-
-    /** @return number of sequences in the batch. */
-    std::int64_t num_seqs() const
-    {
-        return static_cast<std::int64_t>(chunks.size());
-    }
-
-    /** Convenience: a pure-prefill batch of one request. */
-    static BatchWork prefill(std::int64_t prompt_tokens);
-
-    /** Convenience: a decode batch of `batch` sequences at `context` each. */
-    static BatchWork decode(std::int64_t batch, std::int64_t context);
-};
-
-/** Step time decomposed into the Figure 15 cost components (seconds). */
-struct StepTiming
-{
-    double gemm = 0.0;       ///< dense/expert GEMM compute + weight reads
-    double attention = 0.0;  ///< attention kernels + KV cache traffic
-    double comm = 0.0;       ///< collective communication
-    double overhead = 0.0;   ///< engine (scheduler/launch) overhead
-
-    double total() const { return gemm + attention + comm + overhead; }
-
-    StepTiming& operator+=(const StepTiming& o);
-};
+// Source-compatibility aliases: these types predate the CostModel
+// interface and every layer refers to them under parallel::.
+using model::BatchWork;
+using model::CostModel;
+using model::KernelCost;
+using model::SeqChunk;
+using model::StepTiming;
 
 /** Engine-overhead and ablation knobs. */
 struct PerfOptions
@@ -125,34 +93,34 @@ struct PerfOptions
 };
 
 /**
- * Evaluates step timings for one engine group on one node.
+ * The roofline step-cost model (default `model::CostModel`).
  *
  * Construct once per (node, model) pair and query with any valid
  * configuration; the model is stateless across calls.
  */
-class PerfModel
+class PerfModel : public model::CostModel
 {
   public:
     PerfModel(hw::Node node, model::ModelConfig m, PerfOptions opts = {});
 
+    const char* name() const override { return "roofline"; }
+
     /**
-     * Time one engine iteration.
-     *
-     * @param work The batch composition.
-     * @param cfg The execution configuration for this step.
-     * @param sliced_weights True when this is a shift-mode step executed
-     *        via on-the-fly slicing (adds the transpose penalty).
+     * Time one engine iteration (see `model::CostModel::evaluate`). The
+     * optional breakdown reports the four roofline aggregates as
+     * pseudo-kernels — this model has no finer granularity.
      */
+    StepTiming evaluate(const BatchWork& work, const ParallelConfig& cfg,
+                        bool sliced_weights = false,
+                        std::vector<KernelCost>* breakdown =
+                            nullptr) const override;
+
+    /** Pre-interface name for `evaluate` (kept for callers and tests). */
     StepTiming step_time(const BatchWork& work, const ParallelConfig& cfg,
-                         bool sliced_weights = false) const;
-
-    /** Shorthand: full (unchunked) prefill of one prompt. */
-    double prefill_time(std::int64_t prompt_tokens,
-                        const ParallelConfig& cfg) const;
-
-    /** Shorthand: one decode step of `batch` seqs at `context` tokens. */
-    double decode_step_time(std::int64_t batch, std::int64_t context,
-                            const ParallelConfig& cfg) const;
+                         bool sliced_weights = false) const
+    {
+        return evaluate(work, cfg, sliced_weights);
+    }
 
     const model::ModelConfig& model() const { return model_; }
     const hw::Node& node() const { return node_; }

@@ -100,6 +100,23 @@ TEST(KvLayoutTest, DpAndTpAreNotInvariant)
     EXPECT_GT(switch_cost_bytes(m, dp, tp, 10000), 0.0);
 }
 
+TEST(KvLayoutTest, PlacementSwitchCostUsesSharedKvHeadUnit)
+{
+    // Cross-check of the deduplicated dtype sizing: a full reshard moves
+    // every head's cache slice, priced in the same kv_head_bytes_per_token
+    // unit that capacity accounting uses.
+    const auto m = model::llama_70b();
+    const std::int64_t cached = 10000;
+    const double cost = switch_cost_bytes(m, KvLayout::dp(m, 8),
+                                          KvLayout::naive_tp(m, 8), cached);
+    EXPECT_DOUBLE_EQ(
+        cost, static_cast<double>(m.kv_heads) *
+                  static_cast<double>(cached) *
+                  model::kv_head_bytes_per_token(m.head_dim, m.kv_dtype));
+    EXPECT_DOUBLE_EQ(cost, static_cast<double>(cached) *
+                               m.kv_bytes_per_token_layer());
+}
+
 TEST(KvLayoutTest, InvariantSwitchIsFree)
 {
     const auto m = model::llama_70b();

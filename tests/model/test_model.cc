@@ -89,6 +89,31 @@ TEST(ModelConfig, KvBytesPerToken)
     EXPECT_DOUBLE_EQ(m.kv_bytes_per_token(), 4096.0 * 80);
 }
 
+TEST(ModelConfig, KvHeadBytesHelperIsTheSharedUnit)
+{
+    // kv_head_bytes_per_token is the single source of truth for KV sizing:
+    // capacity accounting (kv_bytes_per_token_layer) and migration costing
+    // (kvcache::switch_cost_bytes) must both decompose into it exactly.
+    const ModelConfig m = llama_70b();
+    EXPECT_DOUBLE_EQ(kv_head_bytes_per_token(m.head_dim, m.kv_dtype),
+                     2.0 * m.head_dim * dtype_bytes(m.kv_dtype));
+    EXPECT_DOUBLE_EQ(m.kv_bytes_per_token_layer(),
+                     m.kv_heads *
+                         kv_head_bytes_per_token(m.head_dim, m.kv_dtype));
+    // And per dtype: FP8 KV heads are half the FP16 ones.
+    EXPECT_DOUBLE_EQ(kv_head_bytes_per_token(128, DType::kFp8),
+                     kv_head_bytes_per_token(128, DType::kFp16) / 2.0);
+}
+
+TEST(Flops, ActivationBytesUseBf16Width)
+{
+    // layer_activation_bytes routes through the shared dtype table rather
+    // than a hard-coded byte count.
+    const ModelConfig m = llama_70b();
+    EXPECT_DOUBLE_EQ(layer_activation_bytes(m, 3.0),
+                     8.0 * 3.0 * m.hidden_size * dtype_bytes(DType::kBf16));
+}
+
 TEST(ModelConfig, Fp8KvHalvesCacheFootprint)
 {
     ModelConfig m = qwen_32b();

@@ -252,6 +252,46 @@ TEST(ShiftlintStructDrift, MergeMissingFieldFlagged)
     EXPECT_NE(findings[0].message.find("aggregation"), std::string::npos);
 }
 
+TEST(ShiftlintStructDrift, CalibrationReportFieldMissingFromWriter)
+{
+    // The calibration-report structs are watched against their JSON
+    // serializer: a field added to CalibrationReport but never written
+    // would silently vanish from the shiftpar.calibration document.
+    auto corpus = make_corpus(
+        {{"tools/calibrate/calibrate.h",
+          "struct CalibrationReport { long total_samples = 0; "
+          "double shiny_new_stat = 0.0; };\n"},
+         {"tools/calibrate/calibrate.cc", R"(
+void write_calibration_report(const CalibrationReport& report,
+                              std::ostream& os)
+{
+    w.kv("total_samples", report.total_samples);
+}
+)"}});
+    const auto findings = run_one(corpus, "struct-serializer-drift");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("shiny_new_stat"),
+              std::string::npos);
+}
+
+TEST(ShiftlintStructDrift, KernelClassFitFullyWrittenIsClean)
+{
+    auto corpus = make_corpus(
+        {{"tools/calibrate/calibrate.h",
+          "struct KernelClassFit { long samples = 0; double alpha = 0.0; "
+          "double r2 = 0.0; };\n"},
+         {"tools/calibrate/calibrate.cc", R"(
+void write_calibration_report(const CalibrationReport& report,
+                              std::ostream& os)
+{
+    w.kv("samples", fit.samples);
+    w.kv("alpha", fit.alpha);
+    w.kv("r2", fit.r2);
+}
+)"}});
+    EXPECT_TRUE(run_one(corpus, "struct-serializer-drift").empty());
+}
+
 // ----------------------------------------------------------- sim-contract
 
 TEST(ShiftlintSimContract, AdvanceToMutatingClusterFlagged)

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Kernel-coefficient calibration: fit the `KernelCostModel`'s per-class
+ * linear coefficients to a profile of measured kernel times.
+ *
+ * The input is a CSV of per-kernel samples — `kernel,class,count,flops,
+ * bytes,seconds` rows, the exact shape the cost model's own breakdowns
+ * carry — from an external profiler (nsys/torch-profiler exports massaged
+ * into this schema) or from `synthesize_profile` (a `KernelCostModel` with
+ * known coefficients evaluated over a deployment grid, for testing the
+ * fitter end to end). Per class, ordinary least squares over the features
+ * `(count, flops, bytes)` recovers `(alpha, beta, gamma)` in
+ * `t = alpha*count + beta*flops + gamma*bytes`; degenerate feature columns
+ * (all zero, or collinear to numerical rank) are dropped and their
+ * coefficients pinned to 0. The result is a schema-versioned JSON report
+ * (`shiftpar.calibration` v1) that `hw::load_calibrated_coeffs` — and so
+ * `--kernel-coeffs` — consumes directly.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "hw/kernel_coeffs.h"
+
+namespace shiftpar::calibrate {
+
+/** One profiled kernel invocation (or fused row) with its features. */
+struct ProfileSample
+{
+    std::string kernel;
+    std::string klass;
+    double count = 0.0;
+    double flops = 0.0;
+    double bytes = 0.0;
+    double seconds = 0.0;
+};
+
+/** Parse a profile CSV; fatal() on a malformed header or row. */
+std::vector<ProfileSample> read_profile_csv(const std::string& path);
+
+/** Write samples as a profile CSV (creates the parent directory). */
+void write_profile_csv(const std::string& path,
+                       const std::vector<ProfileSample>& samples);
+
+/**
+ * Generate a synthetic profile: a `KernelCostModel` with `coeffs` is
+ * evaluated over a fixed grid of (SP, TP) configurations and
+ * prefill/decode/mixed batches, and every breakdown row becomes a sample.
+ * With `noise_frac` > 0 each sample's seconds is scaled by a uniform
+ * factor in [1-noise, 1+noise] drawn from `seed` (deterministic).
+ */
+std::vector<ProfileSample> synthesize_profile(const hw::KernelCoeffs& coeffs,
+                                              double noise_frac,
+                                              std::uint64_t seed);
+
+/** Per-class least-squares result. */
+struct KernelClassFit
+{
+    std::string klass;
+    std::int64_t samples = 0;
+    double alpha = 0.0;
+    double beta = 0.0;
+    double gamma = 0.0;
+
+    /** Coefficient of determination of the class fit. */
+    double r2 = 0.0;
+
+    /** Relative |residual| percentiles across the class's samples. */
+    double resid_p50 = 0.0;
+    double resid_p90 = 0.0;
+    double resid_p99 = 0.0;
+};
+
+/** The full calibration result (serialized as shiftpar.calibration v1). */
+struct CalibrationReport
+{
+    /** Hardware label carried into `hw::KernelCoeffs::hardware`. */
+    std::string hardware;
+
+    /** Where the samples came from ("synthetic" or the CSV path). */
+    std::string source;
+
+    std::int64_t total_samples = 0;
+
+    /** Pooled R² across every sample under its class fit. */
+    double overall_r2 = 0.0;
+
+    /** One fit per class present in the profile, in sorted class order. */
+    std::vector<KernelClassFit> fits;
+};
+
+/** Fit every class present in `samples`; fatal() when `samples` is empty. */
+CalibrationReport fit_profile(const std::vector<ProfileSample>& samples,
+                              const std::string& hardware,
+                              const std::string& source);
+
+/**
+ * Serialize as a `shiftpar.calibration` v1 JSON document — the format
+ * `hw::load_calibrated_coeffs` and `tools/plot_results.py` validate.
+ */
+void write_calibration_report(const CalibrationReport& report,
+                              std::ostream& os);
+
+} // namespace shiftpar::calibrate

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * `calibrate` driver: synthesize and/or fit kernel profiles.
+ *
+ * Typical flows:
+ *
+ *   # CI smoke: fit a synthetic profile from the h200 preset and verify
+ *   # the fitter recovers it.
+ *   calibrate --synthetic /tmp/prof.csv --out /tmp/cal.json --check-r2 0.99
+ *
+ *   # Fit an external profile and use it in a bench run.
+ *   calibrate --fit profile.csv --hardware h100 --out cal.json
+ *   bench_fig01_headline --kernel-coeffs cal.json
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "calibrate.h"
+#include "hw/kernel_coeffs.h"
+#include "util/argparse.h"
+#include "util/logging.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace shiftpar;
+
+    ArgParser args(
+        "Fit KernelCostModel per-class coefficients to a kernel-profile "
+        "CSV (kernel,class,count,flops,bytes,seconds rows), emitting a "
+        "shiftpar.calibration v1 JSON report consumable by "
+        "--kernel-coeffs.");
+    args.add_string("synthetic", "",
+                    "write a synthetic profile CSV here (generated from "
+                    "the --hardware preset coefficients) and fit it");
+    args.add_string("fit", "",
+                    "profile CSV to fit (defaults to the --synthetic "
+                    "path when that is given)");
+    args.add_string("out", "", "calibration JSON output path");
+    args.add_string("hardware", "h200",
+                    "hardware preset for synthesis and report labeling "
+                    "(h200|h100|b200|a100)");
+    args.add_double("noise", 0.0,
+                    "multiplicative noise amplitude on synthetic sample "
+                    "times, in [0, 1)");
+    args.add_int("seed", 42, "noise RNG seed");
+    args.add_double("check-r2", 0.0,
+                    "exit nonzero when the overall R² falls below this");
+    if (!args.parse(argc, argv))
+        return 0;
+
+    const std::string synthetic = args.get_string("synthetic");
+    std::string fit_path = args.get_string("fit");
+    std::string source = fit_path;
+    if (!synthetic.empty()) {
+        const auto samples = calibrate::synthesize_profile(
+            hw::kernel_coeffs_preset(args.get_string("hardware")),
+            args.get_double("noise"),
+            static_cast<std::uint64_t>(args.get_int("seed")));
+        calibrate::write_profile_csv(synthetic, samples);
+        std::printf("synthetic: wrote %s (%zu samples)\n",
+                    synthetic.c_str(), samples.size());
+        if (fit_path.empty()) {
+            fit_path = synthetic;
+            source = "synthetic";
+        }
+    }
+    if (fit_path.empty())
+        fatal("nothing to do: give --fit <csv> and/or --synthetic <csv>");
+
+    const auto samples = calibrate::read_profile_csv(fit_path);
+    const calibrate::CalibrationReport report =
+        calibrate::fit_profile(samples, args.get_string("hardware"),
+                               source);
+
+    std::printf("fit: %lld samples from %s\n",
+                static_cast<long long>(report.total_samples),
+                fit_path.c_str());
+    std::printf("%-12s %8s %14s %14s %14s %10s\n", "class", "samples",
+                "alpha", "beta", "gamma", "r2");
+    for (const calibrate::KernelClassFit& f : report.fits) {
+        std::printf("%-12s %8lld %14.6e %14.6e %14.6e %10.6f\n",
+                    f.klass.c_str(), static_cast<long long>(f.samples),
+                    f.alpha, f.beta, f.gamma, f.r2);
+    }
+    std::printf("overall r2: %.6f\n", report.overall_r2);
+
+    const std::string out = args.get_string("out");
+    if (!out.empty()) {
+        const auto parent = std::filesystem::path(out).parent_path();
+        if (!parent.empty()) {
+            std::error_code ec;
+            std::filesystem::create_directories(parent, ec);
+        }
+        std::ofstream os(out);
+        if (!os)
+            fatal("cannot open calibration output '" + out + "'");
+        calibrate::write_calibration_report(report, os);
+        std::printf("calibration: wrote %s\n", out.c_str());
+    }
+
+    const double min_r2 = args.get_double("check-r2");
+    if (min_r2 > 0.0 && report.overall_r2 < min_r2) {
+        std::fprintf(stderr,
+                     "FAIL: overall r2 %.6f below required %.6f\n",
+                     report.overall_r2, min_r2);
+        return 1;
+    }
+    return 0;
+}

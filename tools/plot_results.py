@@ -24,6 +24,8 @@ REPORT_VERSION = 1
 SIMCORE_SCHEMA = "shiftpar.bench_simcore"
 SIMCORE_VERSION = 1
 SIMCORE_FILE = "BENCH_simcore.json"
+CALIB_SCHEMA = "shiftpar.calibration"
+CALIB_VERSION = 1
 
 
 def read_csv(path):
@@ -72,6 +74,112 @@ def read_simcore(path):
                  f"(understands <= {SIMCORE_VERSION}); update "
                  f"tools/plot_results.py alongside bench_sim_core")
     return doc
+
+
+def read_calibration(path):
+    """Load and validate one tools/calibrate coefficient report.
+
+    Same hard-fail policy as read_report: the calibrate binary and this
+    tool must move together. A missing field means the writer changed
+    shape without a version bump — fail loudly rather than plot garbage.
+    """
+    with open(path) as f:
+        doc = json.load(f)
+    name = os.path.basename(path)
+    if doc.get("schema") != CALIB_SCHEMA:
+        sys.exit(f"error: {name}: unknown schema {doc.get('schema')!r} "
+                 f"(expected {CALIB_SCHEMA!r}); refusing to guess at "
+                 "its layout")
+    if doc.get("version", 0) > CALIB_VERSION:
+        sys.exit(f"error: {name}: schema version {doc['version']} is "
+                 f"newer than this tool (understands <= {CALIB_VERSION}); "
+                 "update tools/plot_results.py alongside tools/calibrate")
+    for field in ("hardware", "source", "total_samples", "overall_r2",
+                  "kernels"):
+        if field not in doc:
+            sys.exit(f"error: {name}: calibration report is missing "
+                     f"required field {field!r}")
+    for fit in doc["kernels"]:
+        for field in ("class", "alpha", "beta", "gamma", "samples", "r2",
+                      "residuals"):
+            if field not in fit:
+                sys.exit(f"error: {name}: kernel fit entry is missing "
+                         f"required field {field!r}")
+        for pct in ("p50", "p90", "p99"):
+            if pct not in fit["residuals"]:
+                sys.exit(f"error: {name}: kernel fit "
+                         f"{fit['class']!r} residuals missing {pct!r}")
+    return doc
+
+
+def find_calibrations(results_dir, names):
+    """Return the subset of JSON files that are calibration reports.
+
+    Stray JSON that doesn't carry a "schema" key (or carries a different
+    one handled elsewhere) is skipped; anything that claims to be a
+    calibration report gets the full validation in read_calibration.
+    """
+    found = []
+    for name in names:
+        path = os.path.join(results_dir, name)
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, ValueError):
+            continue
+        if isinstance(doc, dict) and doc.get("schema") == CALIB_SCHEMA:
+            found.append(name)
+    return found
+
+
+def summarize_calibration(doc):
+    lines = [f"calibration: {doc['hardware']} ({doc['source']}, "
+             f"{doc['total_samples']} samples, "
+             f"overall r2={doc['overall_r2']:.6f})"]
+    for fit in doc["kernels"]:
+        res = fit["residuals"]
+        lines.append(
+            f"  {fit['class']}: alpha={fit['alpha']:.3e} "
+            f"beta={fit['beta']:.3e} gamma={fit['gamma']:.3e} "
+            f"r2={fit['r2']:.4f} resid p50={res['p50']:.1e} "
+            f"p99={res['p99']:.1e} ({fit['samples']} samples)")
+    return "\n".join(lines)
+
+
+def plot_calibration(plt, doc, out):
+    """Per-kernel-class fit quality: R^2 bars plus relative-residual
+    percentiles on a twin log axis. A class whose bar dips below the
+    0.99 line is the one to re-profile.
+    """
+    fits = doc["kernels"]
+    if not fits:
+        return False
+    names = [f["class"] for f in fits]
+    r2 = [f["r2"] for f in fits]
+    p50 = [f["residuals"]["p50"] for f in fits]
+    p99 = [f["residuals"]["p99"] for f in fits]
+    xs = range(len(fits))
+
+    fig, ax = plt.subplots(figsize=(max(6, 1.2 * len(fits)), 4))
+    ax.bar(xs, r2, width=0.6, color="tab:blue", alpha=0.7, label="R^2")
+    ax.axhline(0.99, color="tab:gray", linestyle=":", linewidth=0.8)
+    ax.set_ylim(0.0, 1.05)
+    ax.set_ylabel("fit R^2")
+    ax.set_xticks(list(xs))
+    ax.set_xticklabels(names, rotation=30, ha="right", fontsize=8)
+    if any(p99):
+        ax2 = ax.twinx()
+        ax2.plot(xs, p50, "o-", color="tab:orange", label="|resid| p50")
+        ax2.plot(xs, p99, "s--", color="tab:red", label="|resid| p99")
+        ax2.set_yscale("log")
+        ax2.set_ylabel("relative residual")
+        ax2.legend(loc="upper right", fontsize=8)
+    ax.legend(loc="upper left", fontsize=8)
+    ax.set_title(f"Kernel cost calibration: {doc['hardware']} "
+                 f"({doc['source']})")
+    fig.savefig(out, dpi=150, bbox_inches="tight")
+    plt.close(fig)
+    return True
 
 
 def summarize_simcore(doc):
@@ -233,10 +341,15 @@ def main():
     csvs = sorted(f for f in os.listdir(args.results) if f.endswith(".csv"))
     reports = sorted(f for f in os.listdir(args.results)
                      if f.endswith(".report.json"))
+    other_json = sorted(f for f in os.listdir(args.results)
+                        if f.endswith(".json")
+                        and not f.endswith(".report.json")
+                        and f != SIMCORE_FILE)
+    calibrations = find_calibrations(args.results, other_json)
     simcore_path = os.path.join(args.results, SIMCORE_FILE)
     simcore = read_simcore(simcore_path) \
         if os.path.exists(simcore_path) else None
-    if not csvs and not reports and simcore is None:
+    if not csvs and not reports and not calibrations and simcore is None:
         sys.exit(f"no CSVs or reports in '{args.results}'")
 
     try:
@@ -253,6 +366,9 @@ def main():
             doc = read_report(os.path.join(args.results, name))
             if doc is not None:
                 print(summarize_report(doc))
+        for name in calibrations:
+            print(summarize_calibration(
+                read_calibration(os.path.join(args.results, name))))
         if simcore is not None:
             print(summarize_simcore(simcore))
         return
@@ -275,6 +391,12 @@ def main():
         out = os.path.join(args.out,
                            name.replace(".report.json", ".report.png"))
         if plot_report(plt, doc, out):
+            print(f"wrote {out}")
+    for name in calibrations:
+        doc = read_calibration(os.path.join(args.results, name))
+        print(summarize_calibration(doc))
+        out = os.path.join(args.out, name.replace(".json", ".png"))
+        if plot_calibration(plt, doc, out):
             print(f"wrote {out}")
     if simcore is not None:
         print(summarize_simcore(simcore))

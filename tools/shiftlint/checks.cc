@@ -378,6 +378,10 @@ class StructSerializerDriftCheck final : public Check
             {"LatencySummary", "obs/report_json.h",
              {"ReportJson::write"}, false},
             {"Metrics", "engine/metrics.h", {"Metrics::merge"}, true},
+            {"KernelClassFit", "calibrate/calibrate.h",
+             {"write_calibration_report"}, false},
+            {"CalibrationReport", "calibrate/calibrate.h",
+             {"write_calibration_report"}, false},
         };
 
         for (const auto& w : kWatched) {
