@@ -177,6 +177,8 @@ build(const Deployment& d, const ResolvedDeployment& r)
     router->set_trace(d.trace);
     router->set_profile(d.profile);
     router->set_faults(d.faults, d.resilience);
+    router->set_overload(d.overload);
+    router->set_cancellations(d.cancellations);
     return router;
 }
 
@@ -215,7 +217,12 @@ run_deployment(const Deployment& d,
         std::optional<fault::FaultStats> faults;
         if (router->fault_stats().any())
             faults = router->fault_stats();
-        report->add_run(run_name, m, info, {}, faults);
+        // Same rule for lifecycle counters: absent unless the run had
+        // deadlines, cancels, hedges, breaker activity, or drains.
+        std::optional<engine::OverloadStats> overload;
+        if (router->overload_stats().any())
+            overload = router->overload_stats();
+        report->add_run(run_name, m, info, {}, faults, overload);
     }
     return m;
 }

@@ -98,6 +98,21 @@ struct Deployment
     engine::ResilienceOptions resilience;
 
     /**
+     * Request-lifecycle robustness knobs (hedged retries, circuit
+     * breakers). Default-constructed = every feature off; the lifecycle
+     * machinery stays cold and results are bit-identical to a build
+     * without it.
+     */
+    engine::OverloadOptions overload;
+
+    /**
+     * Client cancellation stream replayed during `run_workload`
+     * (`workload::cancel_stream` derives one deterministically). Indices
+     * address positions in the arrival-sorted workload.
+     */
+    std::vector<engine::CancelEvent> cancellations;
+
+    /**
      * Observability sink (borrowed, may be null). When set, `build`
      * registers every engine replica on the bus and all layers publish
      * lifecycle/step/gauge events to it. Null disables tracing;

@@ -197,9 +197,10 @@ DisaggregatedSystem::run_workload(
             track[i].stage = Stage::kDone;
             committed -= context_tokens(i);
             cluster.post(t, [&, t] { drain_admissions(t); });
-            return;
+            return true;
         }
         start_transfer(i, t);
+        return true;
     });
 
     decode->set_on_finish([&](const engine::Request& r) {
@@ -208,6 +209,7 @@ DisaggregatedSystem::run_workload(
         track[i].stage = Stage::kDone;
         committed -= context_tokens(i);
         cluster.post(t, [&, t] { drain_admissions(t); });
+        return true;
     });
 
     for (std::size_t i = 0; i < n; ++i) {

@@ -41,6 +41,7 @@ void
 Engine::submit(const RequestSpec& spec, RequestId id, bool migrated_in)
 {
     SP_ASSERT(!failed_, "submit to a failed engine");
+    SP_ASSERT(!draining_, "submit to a draining engine");
     SP_ASSERT(spec.prompt_tokens >= 1 && spec.output_tokens >= 1,
               "requests need at least one prompt and one output token");
     SP_ASSERT(spec.prefix_tokens >= 0 &&
@@ -96,8 +97,11 @@ Engine::cancel(RequestId id)
     for (auto& req : requests_) {
         if (req->id != id)
             continue;
+        // Keep scanning past dead copies: a request dropped here (lost,
+        // migrated out) and later re-routed back leaves its old object
+        // in requests_ ahead of the live one.
         if (!scheduler_.cancel(req.get()))
-            return false;
+            continue;
         ++cancelled_;
         if (cfg_.trace) {
             cfg_.trace->publish_request(
@@ -109,11 +113,65 @@ Engine::cancel(RequestId id)
     return false;
 }
 
+bool
+Engine::queued_unscheduled(RequestId id) const
+{
+    for (const auto& req : requests_) {
+        // Scan every copy: a dead one (lost, migrated out) may precede a
+        // live re-routed one with the same id.
+        if (req->id == id && req->state == RequestState::kWaiting &&
+            req->first_scheduled < 0.0)
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::pair<RequestSpec, RequestId>>
+Engine::start_drain(double t)
+{
+    SP_ASSERT(!failed_, "start_drain on a failed engine");
+    SP_ASSERT(!draining_, "start_drain on an already-draining engine");
+    draining_ = true;
+    now_ = std::max(now_, t);
+    std::vector<Request*> handed = scheduler_.drain_waiting();
+    std::vector<std::pair<RequestSpec, RequestId>> out;
+    out.reserve(handed.size());
+    for (const Request* r : handed)
+        out.emplace_back(r->spec, r->id);
+    if (cfg_.trace) {
+        obs::FaultEvent ev;
+        ev.engine = cfg_.trace_id;
+        ev.kind = obs::FaultKind::kDrainStart;
+        ev.t = now_;
+        ev.dropped_requests = static_cast<std::int64_t>(out.size());
+        cfg_.trace->on_fault(ev);
+    }
+    notify_ready_changed();  // the hand-back may have emptied the queue
+    return out;
+}
+
+void
+Engine::resume_admission(double t)
+{
+    SP_ASSERT(draining_, "resume_admission on a non-draining engine");
+    draining_ = false;
+    now_ = std::max(now_, t);
+    if (cfg_.trace) {
+        obs::FaultEvent ev;
+        ev.engine = cfg_.trace_id;
+        ev.kind = obs::FaultKind::kDrainEnd;
+        ev.t = now_;
+        cfg_.trace->on_fault(ev);
+    }
+    notify_ready_changed();
+}
+
 std::vector<std::pair<RequestSpec, RequestId>>
 Engine::fail(double t)
 {
     SP_ASSERT(!failed_, "engine failed twice without recovering");
     failed_ = true;
+    draining_ = false;  // fail-stop trumps a drain in progress
     now_ = std::max(now_, t);
     slowdown_ = 1.0;
     comm_multiplier_ = 1.0;
@@ -209,11 +267,29 @@ Engine::record_cost_metrics(
 }
 
 bool
+Engine::expire_now()
+{
+    const std::vector<Request*> expired = scheduler_.expire_due(now_);
+    if (expired.empty())
+        return false;
+    expired_ += static_cast<std::int64_t>(expired.size());
+    for (const Request* r : expired) {
+        if (on_expire_)
+            on_expire_(r->id, now_);
+    }
+    notify_ready_changed();  // may have been the engine's last work
+    return true;
+}
+
+bool
 Engine::step()
 {
+    // Deadline expiry precedes scheduling so a past-deadline request
+    // never takes another token of compute; eviction alone is progress.
+    const bool expired = expire_now();
     BatchPlan plan = scheduler_.schedule(now_);
     if (plan.empty())
-        return false;
+        return expired;
 
     const std::int64_t batched = plan.batched_tokens();
     const ExecutionPolicy::Choice choice = policy_->choose(batched);
@@ -272,9 +348,9 @@ Engine::step()
     std::vector<Request*> finished;
     scheduler_.on_step_complete(now_, plan, &finished);
     for (const Request* r : finished) {
+        if (on_finish_ && !on_finish_(*r))
+            continue;  // duplicate copy of an already-settled request
         metrics_.on_request_finished(*r);
-        if (on_finish_)
-            on_finish_(*r);
     }
 
     if (cfg_.trace) {
@@ -298,7 +374,10 @@ Engine::next_event_time() const
         return std::numeric_limits<double>::infinity();
     if (scheduler_.num_running() > 0)
         return now_;
-    const double next = scheduler_.earliest_waiting_arrival();
+    // A pending deadline wakes an otherwise-idle engine so expiry fires
+    // at the right instant (earliest_deadline() is +inf without one).
+    const double next = std::min(scheduler_.earliest_waiting_arrival(),
+                                 scheduler_.earliest_deadline());
     return next <= now_ ? now_ : next;
 }
 
@@ -310,13 +389,26 @@ Engine::advance_to(double t)
     if (scheduler_.num_running() == 0) {
         const double next = scheduler_.earliest_waiting_arrival();
         if (next > now_) {
-            if (next > t || !std::isfinite(next))
+            const double wake =
+                std::min(next, scheduler_.earliest_deadline());
+            if (wake > t || !std::isfinite(wake))
                 return false;
-            now_ = next;  // skip idle time to the arrival
+            now_ = wake;  // skip idle time to the arrival or deadline
+            if (wake < next)
+                expire_now();
             return true;
         }
     }
-    return step();
+    if (step())
+        return true;
+    // Nothing schedulable (KV-blocked), but a queued deadline may still
+    // pass inside the window: jump to it and expire, which is progress.
+    const double d = scheduler_.earliest_deadline();
+    if (d > now_ && d <= t && std::isfinite(d)) {
+        now_ = d;
+        return expire_now();
+    }
+    return false;
 }
 
 std::optional<std::pair<RequestSpec, RequestId>>
@@ -340,7 +432,10 @@ Engine::run_until(double t)
             continue;
         // Nothing schedulable right now: either every waiting request is
         // in the future (skip idle time) or the cache is stuck (yield).
-        const double next = scheduler_.earliest_waiting_arrival();
+        // A pending deadline also ends the idle skip so expiry fires on
+        // time (earliest_deadline() is +inf without one).
+        const double next = std::min(scheduler_.earliest_waiting_arrival(),
+                                     scheduler_.earliest_deadline());
         if (next > now_ && next <= t) {
             now_ = next;
             continue;
@@ -356,9 +451,10 @@ Engine::drain()
     while (has_work()) {
         if (step())
             continue;
-        const double next = scheduler_.earliest_waiting_arrival();
+        const double next = std::min(scheduler_.earliest_waiting_arrival(),
+                                     scheduler_.earliest_deadline());
         if (next > now_ && std::isfinite(next)) {
-            now_ = next;  // idle until the next arrival
+            now_ = next;  // idle until the next arrival or deadline
             continue;
         }
         fatal("engine deadlocked with " +

@@ -228,13 +228,27 @@ class Engine : public sim::Component
             std::numeric_limits<std::int64_t>::max());
 
     /**
-     * Install a hook fired after each request completes (post-metrics,
-     * same step). The disaggregated pipeline uses it to schedule KV
-     * handoffs the moment prefill finishes. Null disables.
+     * Install a hook fired as each request completes, before the request
+     * is recorded into this engine's metrics. Returning false suppresses
+     * the metrics record (step/throughput accounting is unaffected) —
+     * the router uses this to keep a losing hedge copy that finished
+     * before its cancel event from double-reporting its logical request.
+     * The disaggregated pipeline uses the hook to schedule KV handoffs
+     * the moment prefill finishes. Null disables (always record).
      */
-    void set_on_finish(std::function<void(const Request&)> hook)
+    void set_on_finish(std::function<bool(const Request&)> hook)
     {
         on_finish_ = std::move(hook);
+    }
+
+    /**
+     * Install a hook fired when a request is evicted past its completion
+     * deadline (after the scheduler released its state). The router uses
+     * it to settle the request's lifecycle outcome. Null disables.
+     */
+    void set_on_expire(std::function<void(RequestId, double)> hook)
+    {
+        on_expire_ = std::move(hook);
     }
 
     /** @return current simulated time, seconds. */
@@ -274,6 +288,38 @@ class Engine : public sim::Component
 
     /** @return requests cancelled so far. */
     std::int64_t cancelled_count() const { return cancelled_; }
+
+    /** @return requests evicted past their deadline so far. */
+    std::int64_t expired_count() const { return expired_; }
+
+    /**
+     * @return true when `id` is live here, still queued, and has never
+     * been scheduled — i.e. zero sunk work, the precondition a router
+     * checks before duplicating the request onto another replica (hedged
+     * retry) so the two copies never both burn compute.
+     */
+    bool queued_unscheduled(RequestId id) const;
+
+    /**
+     * Begin a graceful drain at time `t`: admission stops (`submit`
+     * asserts), every still-waiting request is handed back for the
+     * caller to re-route, and running requests continue to completion
+     * here. Publishes a `drain_start` fault transition. Invalid on a
+     * failed or already-draining engine.
+     *
+     * @return the handed-back (spec, id) pairs in queue order.
+     */
+    std::vector<std::pair<RequestSpec, RequestId>> start_drain(double t);
+
+    /**
+     * End a drain at time `t`: the engine admits new work again.
+     * Publishes a `drain_end` fault transition. Only valid while
+     * draining.
+     */
+    void resume_admission(double t);
+
+    /** @return true while draining (admission closed). */
+    bool draining() const { return draining_; }
 
     /**
      * Fail-stop this engine at time `t` (fault injection): every live
@@ -325,6 +371,12 @@ class Engine : public sim::Component
     /** Execute one iteration; @return false when nothing was schedulable. */
     bool step();
 
+    /**
+     * Evict deadline-passed requests at the current clock; fires
+     * `on_expire_` per eviction. @return true when anything expired.
+     */
+    bool expire_now();
+
     /** Record the eval counter + kernel-share histograms for one step. */
     void record_cost_metrics(
         const parallel::StepTiming& timing,
@@ -340,10 +392,13 @@ class Engine : public sim::Component
     std::unique_ptr<ExecutionPolicy> policy_;
     Metrics metrics_;
     std::vector<std::unique_ptr<Request>> requests_;
-    std::function<void(const Request&)> on_finish_;
+    std::function<bool(const Request&)> on_finish_;
+    std::function<void(RequestId, double)> on_expire_;
     double now_ = 0.0;
     std::int64_t cancelled_ = 0;
+    std::int64_t expired_ = 0;
     bool failed_ = false;
+    bool draining_ = false;  ///< graceful drain: admission closed
     double slowdown_ = 1.0;         ///< straggler factor (1 = healthy)
     double comm_multiplier_ = 1.0;  ///< interconnect factor (1 = healthy)
 };

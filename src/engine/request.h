@@ -48,6 +48,14 @@ struct RequestSpec
      * deployment.
      */
     int priority = 0;
+
+    /**
+     * Completion deadline, absolute seconds on the experiment clock
+     * (0 = none). A request that has not finished by its deadline is
+     * evicted by the scheduler (KV released, state `kExpired`) instead of
+     * burning further tokens on an answer the client stopped waiting for.
+     */
+    double deadline = 0.0;
 };
 
 /** Lifecycle state of a request inside an engine. */
@@ -60,6 +68,7 @@ enum class RequestState
     kCancelled,  ///< aborted by the client before completion
     kMigrated,   ///< moved to another replica before making progress
     kLost,       ///< dropped by an engine failure (KV state destroyed)
+    kExpired,    ///< evicted past its completion deadline
 };
 
 /** A live request tracked by an engine. */

@@ -28,28 +28,43 @@ std::size_t
 Router::select_replica()
 {
     const std::size_t n = engines_.size();
-    if (policy_ == RoutingPolicy::kRoundRobin) {
-        for (std::size_t k = 0; k < n; ++k) {
-            const std::size_t pick = (next_rr_ + k) % n;
-            if (!engines_[pick]->failed()) {
-                next_rr_ = (pick + 1) % n;
-                return pick;
+    // Pass 0 skips draining and breaker-excluded replicas; when that
+    // leaves nothing admissible, pass 1 re-admits the breaker-excluded
+    // ones — degraded service beats losing the request. Failed and
+    // draining replicas stay out in both passes (they cannot accept
+    // work). With the overload features off this reduces exactly to the
+    // original skip-failed scan.
+    for (int pass = 0; pass < 2; ++pass) {
+        const auto usable = [&](std::size_t i) {
+            if (engines_[i]->failed() || engines_[i]->draining())
+                return false;
+            return pass == 1 || !breaker_excludes(i);
+        };
+        if (policy_ == RoutingPolicy::kRoundRobin) {
+            for (std::size_t k = 0; k < n; ++k) {
+                const std::size_t pick = (next_rr_ + k) % n;
+                if (usable(pick)) {
+                    next_rr_ = (pick + 1) % n;
+                    return pick;
+                }
+            }
+            continue;
+        }
+        std::size_t best = n;
+        std::int64_t best_load = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!usable(i))
+                continue;
+            const std::int64_t load = engines_[i]->outstanding_tokens();
+            if (best == n || load < best_load) {
+                best = i;
+                best_load = load;
             }
         }
-        return n;
+        if (best < n)
+            return best;
     }
-    std::size_t best = n;
-    std::int64_t best_load = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-        if (engines_[i]->failed())
-            continue;
-        const std::int64_t load = engines_[i]->outstanding_tokens();
-        if (best == n || load < best_load) {
-            best = i;
-            best_load = load;
-        }
-    }
-    return best;
+    return n;
 }
 
 void
@@ -131,8 +146,15 @@ Router::admit(const RequestSpec& spec, RequestId id, double t)
             "shiftpar_fault_requests_total", 1, {{"outcome", "shed"}});
         publish(engines_[0]->trace_id(), id, obs::RequestPhase::kShed, t,
                 spec.prompt_tokens);
+        if (lifecycle_active_) {
+            flights_[static_cast<std::size_t>(id)].outcome =
+                FlightOutcome::kShed;
+            count_outcome("shed");
+        }
         return;
     }
+    if (overload_.breaker.enabled)
+        update_breakers(t);
     const std::size_t pick = select_replica();
     if (pick == engines_.size()) {
         // Every replica is down: treat the arrival like a dropped request
@@ -141,8 +163,16 @@ Router::admit(const RequestSpec& spec, RequestId id, double t)
         return;
     }
     engines_[pick]->submit(spec, id);
+    note_submit(pick, id);
     publish(engines_[pick]->trace_id(), id, obs::RequestPhase::kRouted,
             spec.arrival, spec.prompt_tokens);
+    if (lifecycle_active_ && overload_.hedge_delay > 0.0 &&
+        engines_.size() > 1) {
+        const double when = t + overload_.hedge_delay;
+        active_cluster_->post(when, [this, spec, id, when] {
+            maybe_hedge(spec, id, when);
+        });
+    }
 }
 
 bool
@@ -182,12 +212,41 @@ Router::schedule_retry(const RequestSpec& spec, RequestId id, double t)
 {
     SP_ASSERT(active_cluster_ != nullptr,
               "retries only run inside run_workload");
+    if (lifecycle_active_) {
+        const RequestId logical = logical_request_id(id);
+        Flight& f = flights_[static_cast<std::size_t>(logical)];
+        const bool clone = is_hedge_clone(id);
+        if (clone)
+            f.clone_live = false;
+        else
+            f.primary_live = false;
+        clear_breaker_probe(id);
+        if (f.outcome != FlightOutcome::kInFlight)
+            return;  // settled while this copy was being dropped
+        const bool other_lives = clone ? f.primary_live : f.clone_live;
+        if (f.hedged && other_lives) {
+            // One hedge copy dropped but its sibling lives on: the
+            // sibling carries the flight, no retry needed.
+            ++overload_stats_.hedge_losses;
+            count_outcome("hedge_lost");
+            publish(engines_[0]->trace_id(), id,
+                    obs::RequestPhase::kHedgeLost, t);
+            return;
+        }
+        // Every copy is gone: the retry targets the logical request.
+        id = logical;
+    }
     const int attempt = ++attempts_[id];
     if (attempt > resilience_.max_retries) {
         ++fault_stats_.lost;
         obs::MetricsRegistry::current().counter_add(
             "shiftpar_fault_requests_total", 1, {{"outcome", "lost"}});
         publish(engines_[0]->trace_id(), id, obs::RequestPhase::kLost, t);
+        if (lifecycle_active_) {
+            flights_[static_cast<std::size_t>(id)].outcome =
+                FlightOutcome::kLost;
+            count_outcome("lost");
+        }
         return;
     }
     ++fault_stats_.retries;
@@ -201,8 +260,14 @@ Router::schedule_retry(const RequestSpec& spec, RequestId id, double t)
     publish(engines_[0]->trace_id(), id, obs::RequestPhase::kRetried, t,
             attempt);
     active_cluster_->post(when, [this, spec, id, when] {
+        if (lifecycle_active_ &&
+            flights_[static_cast<std::size_t>(id)].outcome !=
+                FlightOutcome::kInFlight)
+            return;  // cancelled/expired while waiting out the backoff
         for (auto& e : engines_)
             e->advance_clock_to(when);
+        if (overload_.breaker.enabled)
+            update_breakers(when);
         const std::size_t pick = select_replica();
         if (pick == engines_.size()) {
             schedule_retry(spec, id, when);  // outage persists: back off
@@ -211,6 +276,7 @@ Router::schedule_retry(const RequestSpec& spec, RequestId id, double t)
         // The original arrival rides along in `spec`, so the retried
         // request's TTFT includes the outage it sat through.
         engines_[pick]->submit(spec, id);
+        note_submit(pick, id);
         publish(engines_[pick]->trace_id(), id, obs::RequestPhase::kRouted,
                 when, spec.prompt_tokens);
     });
@@ -226,6 +292,10 @@ Router::on_engine_failure(std::size_t idx, double t)
     for (const sim::EventId ev : pending_restores_[idx])
         active_cluster_->cancel_event(ev);
     pending_restores_[idx].clear();
+    // The breaker's history died with the replica: recovery starts it
+    // closed with fresh statistics (a cold rejoin is not a straggler).
+    if (!breakers_.empty())
+        breakers_[idx] = {};
     ++fault_stats_.failures;
     obs::MetricsRegistry::current().counter_add(
         "shiftpar_fault_transitions_total", 1, {{"kind", "failure"}});
@@ -295,6 +365,49 @@ Router::arm_faults(sim::Cluster* cluster)
                     }));
             });
             break;
+          case fault::FaultKind::kDrain:
+            cluster->post(ev.at, [this, ev] {
+                const auto idx = static_cast<std::size_t>(ev.engine);
+                if (engines_[idx]->failed() || engines_[idx]->draining())
+                    return;
+                ++overload_stats_.drains;
+                obs::MetricsRegistry::current().counter_add(
+                    "shiftpar_fault_transitions_total", 1,
+                    {{"kind", "drain"}});
+                const auto handed = engines_[idx]->start_drain(ev.at);
+                overload_stats_.drained +=
+                    static_cast<std::int64_t>(handed.size());
+                for (const auto& [spec, id] : handed) {
+                    // Each handed-back request re-routes like a migration:
+                    // it keeps its id and arrival, so its TTFT accrues
+                    // the detour.
+                    const std::size_t pick = select_replica();
+                    if (pick == engines_.size()) {
+                        schedule_retry(spec, id, ev.at);
+                        continue;
+                    }
+                    engines_[pick]->advance_clock_to(ev.at);
+                    engines_[pick]->submit(spec, id, /*migrated_in=*/true);
+                    note_submit(pick, id);
+                    publish(engines_[pick]->trace_id(), id,
+                            obs::RequestPhase::kDrained, ev.at);
+                    publish(engines_[pick]->trace_id(), id,
+                            obs::RequestPhase::kRouted, ev.at,
+                            spec.prompt_tokens);
+                }
+                if (std::isfinite(ev.recover_at)) {
+                    const auto resume_at = ev.recover_at;
+                    active_cluster_->post(resume_at, [this, idx,
+                                                      resume_at] {
+                        // A fail-stop may have ended the drain first.
+                        if (!engines_[idx]->draining())
+                            return;
+                        ++overload_stats_.drain_resumes;
+                        engines_[idx]->resume_admission(resume_at);
+                    });
+                }
+            });
+            break;
           case fault::FaultKind::kDegrade:
             cluster->post(ev.at, [this, ev] {
                 ++fault_stats_.degrades;
@@ -344,6 +457,36 @@ Router::run_workload(const std::vector<RequestSpec>& workload)
     fault_stats_ = {};
     attempts_.clear();
     pending_restores_.assign(engines_.size(), {});
+
+    // Lifecycle tracking turns on only when a feature needs it (any
+    // deadline in the workload, a cancel stream, hedging, or breakers);
+    // otherwise the replay takes the exact seed code path — no hooks, no
+    // flight table, bit-identical results.
+    bool any_deadline = false;
+    for (const RequestSpec& s : sorted) {
+        if (s.deadline > 0.0) {
+            any_deadline = true;
+            break;
+        }
+    }
+    lifecycle_active_ = overload_.any() || !cancels_.empty() || any_deadline;
+    overload_stats_ = {};
+    flights_.clear();
+    breakers_.clear();
+    if (lifecycle_active_) {
+        flights_.assign(sorted.size(), {});
+        if (overload_.breaker.enabled)
+            breakers_.assign(engines_.size(), {});
+        for (std::size_t i = 0; i < engines_.size(); ++i) {
+            engines_[i]->set_on_finish([this, i](const Request& r) {
+                return on_lifecycle_finish(i, r);
+            });
+            engines_[i]->set_on_expire([this, i](RequestId id, double t) {
+                settle_expired(i, id, t);
+            });
+        }
+    }
+
     for (auto& e : engines_)
         cluster.add(e.get());
     if (!faults_.empty())
@@ -356,6 +499,17 @@ Router::run_workload(const std::vector<RequestSpec>& workload)
             admit(spec, static_cast<RequestId>(i), spec.arrival);
         });
     }
+    // Cancels are posted after arrivals so an abort at exactly the
+    // arrival instant fires after the request was admitted (equal-time
+    // events run in posting order).
+    for (const CancelEvent& c : cancels_) {
+        SP_ASSERT(c.index >= 0 &&
+                      c.index < static_cast<std::int64_t>(sorted.size()),
+                  "cancel stream addresses a request outside the workload");
+        cluster.post(c.at, [this, c] {
+            do_cancel(static_cast<RequestId>(c.index), c.at);
+        });
+    }
     if (migration_.enabled)
         cluster.set_progress_hook([this](double t) { rebalance(t); });
     cluster.run();
@@ -366,7 +520,354 @@ Router::run_workload(const std::vector<RequestSpec>& workload)
                   "unfinished requests its KV cache cannot admit");
         }
     }
+    if (lifecycle_active_) {
+        for (auto& e : engines_) {
+            e->set_on_finish(nullptr);
+            e->set_on_expire(nullptr);
+        }
+        assert_conservation(sorted.size());
+    }
     return merged_metrics();
+}
+
+void
+Router::note_submit(std::size_t pick, RequestId id)
+{
+    if (!lifecycle_active_)
+        return;
+    Flight& f =
+        flights_[static_cast<std::size_t>(logical_request_id(id))];
+    if (is_hedge_clone(id))
+        f.clone_live = true;
+    else
+        f.primary_live = true;
+    if (!breakers_.empty()) {
+        Breaker& b = breakers_[pick];
+        if (b.state == Breaker::State::kHalfOpen && b.probe < 0) {
+            b.probe = id;
+            ++overload_stats_.breaker_probes;
+        }
+    }
+}
+
+void
+Router::count_outcome(const char* outcome, std::int64_t n) const
+{
+    obs::MetricsRegistry::current().counter_add(
+        "shiftpar_request_outcome_total", n, {{"outcome", outcome}});
+}
+
+bool
+Router::on_lifecycle_finish(std::size_t idx, const Request& r)
+{
+    const RequestId logical = logical_request_id(r.id);
+    const bool clone = is_hedge_clone(r.id);
+    Flight& f = flights_[static_cast<std::size_t>(logical)];
+    if (!breakers_.empty())
+        record_breaker_sample(idx, r);
+    if (clone)
+        f.clone_live = false;
+    else
+        f.primary_live = false;
+    clear_breaker_probe(r.id);
+    if (f.outcome != FlightOutcome::kInFlight) {
+        // The sibling hedge copy already completed and this finish raced
+        // the loser-cancel event: resolve the loss here instead, and
+        // suppress the metrics record — the logical request already
+        // reported through the winner.
+        if (f.outcome == FlightOutcome::kCompleted && f.hedged) {
+            ++overload_stats_.hedge_losses;
+            count_outcome("hedge_lost");
+            publish(engines_[idx]->trace_id(), r.id,
+                    obs::RequestPhase::kHedgeLost, r.finished);
+        }
+        return false;
+    }
+    f.outcome = FlightOutcome::kCompleted;
+    ++overload_stats_.completed;
+    count_outcome("completed");
+    if (f.hedged) {
+        ++overload_stats_.hedge_wins;
+        count_outcome("hedge_won");
+        publish(engines_[idx]->trace_id(), logical,
+                obs::RequestPhase::kHedgeWon, r.finished);
+        const RequestId loser =
+            clone ? logical : logical + kHedgeIdOffset;
+        const bool loser_live = clone ? f.primary_live : f.clone_live;
+        if (loser_live) {
+            // The loser is cancelled by an event, not inline: this hook
+            // runs inside the winner engine's step, and yanking a
+            // request out of another engine mid-interleave would race
+            // its in-progress iteration.
+            const double when = r.finished;
+            active_cluster_->post(when, [this, logical, loser, when] {
+                resolve_hedge_loser(logical, loser, when);
+            });
+        }
+    }
+    return true;
+}
+
+void
+Router::settle_expired(std::size_t idx, RequestId id, double t)
+{
+    (void)idx;
+    const RequestId logical = logical_request_id(id);
+    Flight& f = flights_[static_cast<std::size_t>(logical)];
+    if (is_hedge_clone(id))
+        f.clone_live = false;
+    else
+        f.primary_live = false;
+    clear_breaker_probe(id);
+    if (f.outcome != FlightOutcome::kInFlight)
+        return;
+    if (f.primary_live || f.clone_live)
+        return;  // the other hedge copy is still in flight
+    f.outcome = FlightOutcome::kExpired;
+    ++overload_stats_.expired;
+    count_outcome("expired");
+    (void)t;
+}
+
+void
+Router::do_cancel(RequestId id, double t)
+{
+    Flight& f = flights_[static_cast<std::size_t>(id)];
+    if (f.outcome != FlightOutcome::kInFlight)
+        return;  // finished/expired/lost/shed before the abort arrived
+    for (auto& e : engines_)
+        e->advance_clock_to(t);
+    bool closed = false;
+    for (auto& e : engines_) {
+        if (e->cancel(id)) {
+            closed = true;
+            break;
+        }
+    }
+    if (f.clone_live) {
+        for (auto& e : engines_) {
+            if (e->cancel(id + kHedgeIdOffset))
+                break;
+        }
+        f.clone_live = false;
+    }
+    if (!closed) {
+        // Retry limbo: the request is on no engine right now (dropped by
+        // a failure, waiting out its backoff). The pending retry closure
+        // checks the flight outcome and stands down; close the trace
+        // span from the router.
+        publish(engines_[0]->trace_id(), id, obs::RequestPhase::kCancel,
+                t);
+    }
+    f.primary_live = false;
+    f.outcome = FlightOutcome::kCancelled;
+    ++overload_stats_.cancelled;
+    count_outcome("cancelled");
+    clear_breaker_probe(id);
+    clear_breaker_probe(id + kHedgeIdOffset);
+}
+
+void
+Router::maybe_hedge(const RequestSpec& spec, RequestId id, double when)
+{
+    Flight& f = flights_[static_cast<std::size_t>(id)];
+    if (f.outcome != FlightOutcome::kInFlight || f.hedged ||
+        !f.primary_live)
+        return;
+    // Hedge only while the primary has zero sunk work: once a chunk was
+    // scheduled, duplicating it would burn two replicas' compute on one
+    // answer.
+    std::size_t holder = engines_.size();
+    for (std::size_t i = 0; i < engines_.size(); ++i) {
+        if (engines_[i]->queued_unscheduled(id)) {
+            holder = i;
+            break;
+        }
+    }
+    if (holder == engines_.size())
+        return;  // already scheduled (or in retry limbo): too late
+    if (overload_.breaker.enabled)
+        update_breakers(when);
+    // Least-loaded other replica that can take the clone.
+    std::size_t target = engines_.size();
+    std::int64_t best_load = 0;
+    for (std::size_t i = 0; i < engines_.size(); ++i) {
+        if (i == holder || engines_[i]->failed() ||
+            engines_[i]->draining() || breaker_excludes(i))
+            continue;
+        const std::int64_t load = engines_[i]->outstanding_tokens();
+        if (target == engines_.size() || load < best_load) {
+            target = i;
+            best_load = load;
+        }
+    }
+    if (target == engines_.size())
+        return;
+    for (auto& e : engines_)
+        e->advance_clock_to(when);
+    f.hedged = true;
+    ++overload_stats_.hedges;
+    count_outcome("hedged");
+    publish(engines_[holder]->trace_id(), id, obs::RequestPhase::kHedged,
+            when);
+    const RequestId clone_id = id + kHedgeIdOffset;
+    // The clone keeps the original spec (arrival included), so whichever
+    // copy wins reports an honest TTFT.
+    engines_[target]->submit(spec, clone_id);
+    note_submit(target, clone_id);
+    publish(engines_[target]->trace_id(), clone_id,
+            obs::RequestPhase::kRouted, when, spec.prompt_tokens);
+}
+
+void
+Router::resolve_hedge_loser(RequestId logical, RequestId loser,
+                            double when)
+{
+    Flight& f = flights_[static_cast<std::size_t>(logical)];
+    const bool clone = is_hedge_clone(loser);
+    if (!(clone ? f.clone_live : f.primary_live))
+        return;  // resolved in the meantime (raced finish or a drop)
+    for (auto& e : engines_)
+        e->advance_clock_to(when);
+    // Marker first so it lands inside the loser's still-open span; the
+    // engine-side cancel then closes the span.
+    publish(engines_[0]->trace_id(), loser, obs::RequestPhase::kHedgeLost,
+            when);
+    for (auto& e : engines_) {
+        if (e->cancel(loser))
+            break;
+    }
+    if (clone)
+        f.clone_live = false;
+    else
+        f.primary_live = false;
+    ++overload_stats_.hedge_losses;
+    count_outcome("hedge_lost");
+    clear_breaker_probe(loser);
+}
+
+double
+Router::best_other_ewma(std::size_t idx) const
+{
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < breakers_.size(); ++j) {
+        if (j == idx || engines_[j]->failed())
+            continue;
+        if (breakers_[j].samples < overload_.breaker.min_samples)
+            continue;
+        best = std::min(best, breakers_[j].ewma);
+    }
+    return best;
+}
+
+void
+Router::record_breaker_sample(std::size_t idx, const Request& r)
+{
+    Breaker& b = breakers_[idx];
+    const auto tokens = static_cast<double>(
+        std::max<std::int64_t>(1, r.spec.prompt_tokens +
+                                      r.spec.output_tokens));
+    // Per-token service latency (first schedule -> finish): queueing
+    // time is excluded so a deep queue alone does not read as sickness,
+    // but a straggling replica's slowdown shows up directly.
+    const double sample = (r.finished - r.first_scheduled) / tokens;
+    const double alpha = overload_.breaker.ewma_alpha;
+    b.ewma = b.samples == 0 ? sample
+                            : alpha * sample + (1.0 - alpha) * b.ewma;
+    ++b.samples;
+    const double t = r.finished;
+    if (b.state == Breaker::State::kClosed) {
+        if (b.samples < overload_.breaker.min_samples)
+            return;
+        const double best = best_other_ewma(idx);
+        if (std::isfinite(best) &&
+            b.ewma > overload_.breaker.trip_ratio * best) {
+            b.state = Breaker::State::kOpen;
+            b.reopen_at = t + overload_.breaker.open_duration;
+            ++overload_stats_.breaker_opens;
+            publish_breaker(idx, obs::FaultKind::kBreakerOpen, t,
+                            b.ewma / best);
+        }
+    } else if (b.state == Breaker::State::kHalfOpen && r.id == b.probe) {
+        b.probe = -1;
+        const double best = best_other_ewma(idx);
+        if (std::isfinite(best) &&
+            b.ewma > overload_.breaker.trip_ratio * best) {
+            b.state = Breaker::State::kOpen;
+            b.reopen_at = t + overload_.breaker.open_duration;
+            ++overload_stats_.breaker_opens;
+            publish_breaker(idx, obs::FaultKind::kBreakerOpen, t,
+                            b.ewma / best);
+        } else {
+            b.state = Breaker::State::kClosed;
+            ++overload_stats_.breaker_closes;
+            publish_breaker(idx, obs::FaultKind::kBreakerClose, t);
+        }
+    }
+}
+
+void
+Router::update_breakers(double t)
+{
+    for (std::size_t i = 0; i < breakers_.size(); ++i) {
+        Breaker& b = breakers_[i];
+        if (b.state == Breaker::State::kOpen && t >= b.reopen_at) {
+            b.state = Breaker::State::kHalfOpen;
+            b.probe = -1;
+            publish_breaker(i, obs::FaultKind::kBreakerHalfOpen, t);
+        }
+    }
+}
+
+bool
+Router::breaker_excludes(std::size_t i) const
+{
+    if (breakers_.empty())
+        return false;
+    const Breaker& b = breakers_[i];
+    if (b.state == Breaker::State::kOpen)
+        return true;
+    // Half-open admits exactly one probe at a time.
+    return b.state == Breaker::State::kHalfOpen && b.probe >= 0;
+}
+
+void
+Router::publish_breaker(std::size_t idx, obs::FaultKind kind, double t,
+                        double magnitude) const
+{
+    if (!trace_)
+        return;
+    obs::FaultEvent ev;
+    ev.engine = engines_[idx]->trace_id();
+    ev.kind = kind;
+    ev.t = t;
+    ev.magnitude = magnitude;
+    trace_->on_fault(ev);
+}
+
+void
+Router::clear_breaker_probe(RequestId id)
+{
+    for (Breaker& b : breakers_) {
+        if (b.probe == id)
+            b.probe = -1;
+    }
+}
+
+void
+Router::assert_conservation(std::size_t submitted) const
+{
+    std::int64_t settled = 0;
+    for (const Flight& f : flights_)
+        settled += f.outcome != FlightOutcome::kInFlight ? 1 : 0;
+    SP_ASSERT(settled == static_cast<std::int64_t>(submitted),
+              "unsettled request flights after replay");
+    const std::int64_t accounted =
+        overload_stats_.completed + overload_stats_.expired +
+        overload_stats_.cancelled + fault_stats_.lost + fault_stats_.shed;
+    SP_ASSERT(accounted == static_cast<std::int64_t>(submitted),
+              "request conservation violated: submitted != completed + "
+              "lost + shed + expired + cancelled");
 }
 
 Metrics

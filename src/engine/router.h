@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "engine/overload.h"
 #include "fault/fault_schedule.h"
 #include "sim/cluster.h"
 
@@ -148,6 +149,39 @@ class Router
     /** @return fault/recovery counters from the last `run_workload`. */
     const fault::FaultStats& fault_stats() const { return fault_stats_; }
 
+    /**
+     * Configure hedged retries and per-replica circuit breakers for the
+     * next `run_workload`. Hedging (hedge_delay > 0) duplicates a request
+     * that is still queued-unscheduled after the delay onto the
+     * least-loaded other replica; the first copy to finish wins and the
+     * loser is cancelled. Breakers score each replica's per-token service
+     * latency with an EWMA and stop routing to a replica whose score
+     * trips `trip_ratio` x the best peer (closed -> open -> half-open
+     * probe -> closed). Default-constructed options leave the replay
+     * bit-identical to an unconfigured router.
+     */
+    void set_overload(const OverloadOptions& opts) { overload_ = opts; }
+
+    /**
+     * Install a client-cancellation stream for the next `run_workload`:
+     * each entry aborts one request (addressed by its position in the
+     * arrival-sorted workload, which equals its assigned id) at time
+     * `at`, wherever that request is — queued, running, hedged onto two
+     * replicas, or waiting out a retry backoff. An empty stream is
+     * bit-identical to an unconfigured router.
+     */
+    void set_cancellations(std::vector<CancelEvent> cancels)
+    {
+        cancels_ = std::move(cancels);
+    }
+
+    /**
+     * @return lifecycle-outcome counters from the last `run_workload`.
+     * When any lifecycle feature was active, conservation holds:
+     * submitted = completed + lost + shed + expired + cancelled.
+     */
+    const OverloadStats& overload_stats() const { return overload_stats_; }
+
     /** @return merged metrics across replicas (after running). */
     Metrics merged_metrics() const;
 
@@ -219,6 +253,95 @@ class Router
     void publish(obs::EngineId engine, RequestId id, obs::RequestPhase phase,
                  double t, std::int64_t tokens = 0) const;
 
+    // ---- Request lifecycle (deadlines / cancels / hedges / breakers) ----
+
+    /** Terminal settlement of one logical request during a replay. */
+    enum class FlightOutcome
+    {
+        kInFlight,   ///< not settled yet
+        kCompleted,  ///< some copy finished
+        kExpired,    ///< evicted past its deadline (every live copy)
+        kCancelled,  ///< client abort landed first
+        kLost,       ///< retries exhausted
+        kShed,       ///< rejected at admission
+    };
+
+    /** Per-logical-request lifecycle bookkeeping (indexed by id). */
+    struct Flight
+    {
+        FlightOutcome outcome = FlightOutcome::kInFlight;
+        bool hedged = false;        ///< a clone copy was submitted
+        bool primary_live = false;  ///< primary copy sits on some replica
+        bool clone_live = false;    ///< hedge clone sits on some replica
+    };
+
+    /** Per-replica circuit-breaker state machine. */
+    struct Breaker
+    {
+        enum class State
+        {
+            kClosed,    ///< routing normally
+            kOpen,      ///< excluded from routing until `reopen_at`
+            kHalfOpen,  ///< admits one probe request
+        };
+
+        State state = State::kClosed;
+        double ewma = 0.0;          ///< per-token service-latency score
+        std::int64_t samples = 0;
+        double reopen_at = 0.0;     ///< open -> half-open transition time
+        RequestId probe = -1;       ///< outstanding half-open probe
+    };
+
+    /**
+     * Engine on_finish hook while lifecycle features are active.
+     * @return false when this finish is a duplicate copy of an
+     * already-settled request (a losing hedge copy that completed before
+     * its cancel event) and must not be recorded in metrics.
+     */
+    bool on_lifecycle_finish(std::size_t idx, const Request& r);
+
+    /** Engine on_expire hook: settle an evicted copy's flight. */
+    void settle_expired(std::size_t idx, RequestId id, double t);
+
+    /** Client abort of request `id` at time `t` (cancel-stream event). */
+    void do_cancel(RequestId id, double t);
+
+    /** Hedge timer: duplicate `id` if it is still queued-unscheduled. */
+    void maybe_hedge(const RequestSpec& spec, RequestId id, double when);
+
+    /** First-completion-wins: cancel the losing hedge copy. */
+    void resolve_hedge_loser(RequestId logical, RequestId loser,
+                             double when);
+
+    /** Record a copy landing on replica `pick` (liveness + probe mark). */
+    void note_submit(std::size_t pick, RequestId id);
+
+    /** Bump `shiftpar_request_outcome_total{outcome=...}` (lifecycle
+     *  paths only, so feature-off runs never touch the registry). */
+    void count_outcome(const char* outcome, std::int64_t n = 1) const;
+
+    /** Feed one completion into replica `idx`'s breaker; trip/close. */
+    void record_breaker_sample(std::size_t idx, const Request& r);
+
+    /** Lazy open -> half-open transitions due by time `t`. */
+    void update_breakers(double t);
+
+    /** @return the best qualified peer EWMA (excluding `idx`), or +inf. */
+    double best_other_ewma(std::size_t idx) const;
+
+    /** @return true when the breaker keeps new work off replica `i`. */
+    bool breaker_excludes(std::size_t i) const;
+
+    /** Publish a breaker transition on the fault track. */
+    void publish_breaker(std::size_t idx, obs::FaultKind kind, double t,
+                         double magnitude = 0.0) const;
+
+    /** Forget a settled request that was a half-open probe. */
+    void clear_breaker_probe(RequestId id);
+
+    /** Assert submitted = completed + lost + shed + expired + cancelled. */
+    void assert_conservation(std::size_t submitted) const;
+
     std::vector<std::unique_ptr<Engine>> engines_;
     RoutingPolicy policy_;
     MigrationOptions migration_;
@@ -234,6 +357,15 @@ class Router
     std::unordered_map<RequestId, int> attempts_;  ///< retry counts
     /** Pending straggle/degrade restore events, cancelled on fail-stop. */
     std::vector<std::vector<sim::EventId>> pending_restores_;
+
+    OverloadOptions overload_;
+    std::vector<CancelEvent> cancels_;
+    OverloadStats overload_stats_;
+    /** True while the current replay tracks flights (any deadline, a
+     *  cancel stream, hedging, or breakers). False = seed code path. */
+    bool lifecycle_active_ = false;
+    std::vector<Flight> flights_;    ///< indexed by logical request id
+    std::vector<Breaker> breakers_;  ///< one per replica when enabled
 };
 
 } // namespace shiftpar::engine

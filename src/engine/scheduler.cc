@@ -45,6 +45,8 @@ void
 Scheduler::enqueue(Request* r)
 {
     SP_ASSERT(r != nullptr && r->state == RequestState::kWaiting);
+    if (r->spec.deadline > 0.0)
+        has_deadlines_ = true;
     insert_waiting(r, /*front_of_class=*/false);
 }
 
@@ -259,9 +261,14 @@ bool
 Scheduler::cancel(Request* r)
 {
     SP_ASSERT(r != nullptr);
+    // Dead states sit in no queue: finished/cancelled are terminal,
+    // migrated/lost/expired copies were already pulled out (and the
+    // same id may live on elsewhere — a retry, the other hedge copy).
     if (r->state == RequestState::kFinished ||
         r->state == RequestState::kCancelled ||
-        r->state == RequestState::kMigrated)
+        r->state == RequestState::kMigrated ||
+        r->state == RequestState::kLost ||
+        r->state == RequestState::kExpired)
         return false;
     if (r->state == RequestState::kWaiting) {
         const auto it = std::find(waiting_.begin(), waiting_.end(), r);
@@ -276,6 +283,77 @@ Scheduler::cancel(Request* r)
     detach_prefix_if_attached(r);
     r->state = RequestState::kCancelled;
     return true;
+}
+
+std::vector<Request*>
+Scheduler::expire_due(double now)
+{
+    std::vector<Request*> expired;
+    if (!has_deadlines_)
+        return expired;
+    auto due = [&](const Request* r) {
+        return r->spec.deadline > 0.0 && r->spec.deadline <= now;
+    };
+    for (auto it = running_.begin(); it != running_.end();) {
+        Request* r = *it;
+        if (!due(r)) {
+            ++it;
+            continue;
+        }
+        cache_->release(r->id);
+        detach_prefix_if_attached(r);
+        it = running_.erase(it);
+        expired.push_back(r);
+    }
+    for (auto it = waiting_.begin(); it != waiting_.end();) {
+        Request* r = *it;
+        if (!due(r)) {
+            ++it;
+            continue;
+        }
+        cache_->release(r->id);
+        detach_prefix_if_attached(r);
+        it = waiting_.erase(it);
+        expired.push_back(r);
+    }
+    for (Request* r : expired) {
+        r->state = RequestState::kExpired;
+        publish(r, obs::RequestPhase::kExpired, now);
+    }
+    return expired;
+}
+
+double
+Scheduler::earliest_deadline() const
+{
+    double earliest = std::numeric_limits<double>::infinity();
+    if (!has_deadlines_)
+        return earliest;
+    for (const Request* r : running_)
+        if (r->spec.deadline > 0.0)
+            earliest = std::min(earliest, r->spec.deadline);
+    for (const Request* r : waiting_)
+        if (r->spec.deadline > 0.0)
+            earliest = std::min(earliest, r->spec.deadline);
+    return earliest;
+}
+
+std::vector<Request*>
+Scheduler::drain_waiting()
+{
+    std::vector<Request*> removed;
+    removed.reserve(waiting_.size());
+    // A waiting request can hold cache state (prefix attached at the
+    // admission gate); release it here so it re-enters another replica
+    // clean, same as fail_all().
+    for (Request* r : waiting_) {
+        cache_->release(r->id);
+        detach_prefix_if_attached(r);
+        r->state = RequestState::kMigrated;
+        removed.push_back(r);
+    }
+    waiting_.clear();
+    return removed;
 }
 
 std::vector<Request*>

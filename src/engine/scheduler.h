@@ -125,6 +125,36 @@ class Scheduler
     Request* steal_waiting(double now, std::int64_t max_tokens);
 
     /**
+     * Evict every live request whose completion deadline has passed
+     * (deadline > 0 and deadline <= now): running requests (admission
+     * order) then waiting ones (queue order) are removed from their
+     * queues, their KV and prefix pins released, and their state set to
+     * kExpired. No-op — and zero cost — unless a deadline-carrying
+     * request was ever enqueued, so deadline-free runs stay
+     * bit-identical.
+     *
+     * @return the evicted requests, running first then waiting.
+     */
+    std::vector<Request*> expire_due(double now);
+
+    /**
+     * @return the earliest completion deadline among live requests, or
+     * +inf when none carries one (used by the engine to wake up and
+     * expire work even when nothing is schedulable).
+     */
+    double earliest_deadline() const;
+
+    /**
+     * Graceful drain: remove every waiting request (queue order),
+     * releasing any cache/prefix state acquired at the admission gate,
+     * and mark them kMigrated so the router can re-admit them elsewhere.
+     * Running requests are untouched — they finish here.
+     *
+     * @return the removed requests in queue order.
+     */
+    std::vector<Request*> drain_waiting();
+
+    /**
      * Fail-stop: drop every live request (fault injection). Running
      * requests (admission order) then waiting requests (queue order) are
      * removed from their queues, their KV and prefix pins released, and
@@ -210,6 +240,8 @@ class Scheduler
     std::deque<Request*> waiting_;
     std::vector<Request*> running_;  // admission order
     std::int64_t preemptions_ = 0;
+    /** A deadline-carrying request was enqueued (gates expiry sweeps). */
+    bool has_deadlines_ = false;
     obs::TraceSink* trace_ = nullptr;
     obs::EngineId trace_id_ = 0;
     double sched_now_ = 0.0;  ///< time of the in-progress schedule() call

@@ -35,21 +35,32 @@ split(const std::string& s, char sep)
     return out;
 }
 
+/** Strip leading/trailing whitespace. */
+std::string
+trim(const std::string& s)
+{
+    const std::size_t first = s.find_first_not_of(" \t\n\r");
+    if (first == std::string::npos)
+        return "";
+    const std::size_t last = s.find_last_not_of(" \t\n\r");
+    return s.substr(first, last - first + 1);
+}
+
 /** Key=value pairs of one clause body; fatal() on a pair without '='. */
 std::map<std::string, std::string>
-parse_pairs(const std::string& clause, const std::string& body)
+parse_pairs(const std::string& label, const std::string& body)
 {
     std::map<std::string, std::string> pairs;
     for (const std::string& item : split(body, ',')) {
         const std::size_t eq = item.find('=');
         if (eq == std::string::npos || eq == 0 || eq + 1 >= item.size()) {
             fatal("--faults: malformed key=value token '" + item +
-                  "' in clause '" + clause + "'");
+                  "' in clause " + label);
         }
         const std::string key = item.substr(0, eq);
         if (!pairs.emplace(key, item.substr(eq + 1)).second) {
-            fatal("--faults: duplicate key '" + key + "' in clause '" +
-                  clause + "'");
+            fatal("--faults: duplicate key '" + key + "' in clause " +
+                  label);
         }
     }
     return pairs;
@@ -75,7 +86,7 @@ class Keys
         const double v = std::strtod(value.c_str(), &end);
         if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
             fatal("--faults: key '" + key + "' expects a number, got '" +
-                  value + "' in clause '" + clause_ + "'");
+                  value + "' in clause " + clause_);
         }
         return v;
     }
@@ -87,7 +98,7 @@ class Keys
         if (!(v >= min)) {
             fatal("--faults: key '" + key + "' must be >= " +
                   std::to_string(min) + ", got '" + raw(key) +
-                  "' in clause '" + clause_ + "'");
+                  "' in clause " + clause_);
         }
         return v;
     }
@@ -100,7 +111,7 @@ class Keys
         if (v < 0 || static_cast<double>(i) != v) {
             fatal("--faults: key '" + key +
                   "' expects a non-negative integer, got '" + raw(key) +
-                  "' in clause '" + clause_ + "'");
+                  "' in clause " + clause_);
         }
         return i;
     }
@@ -115,7 +126,7 @@ class Keys
             std::strtoull(value.c_str(), &end, 10);
         if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
             fatal("--faults: key '" + key + "' expects an integer, got '" +
-                  value + "' in clause '" + clause_ + "'");
+                  value + "' in clause " + clause_);
         }
         return v;
     }
@@ -126,8 +137,8 @@ class Keys
     {
         for (const auto& [key, value] : pairs_) {
             if (!used_.count(key)) {
-                fatal("--faults: unknown key '" + key + "' in clause '" +
-                      clause_ + "'");
+                fatal("--faults: unknown key '" + key + "' in clause " +
+                      clause_);
             }
         }
     }
@@ -138,7 +149,7 @@ class Keys
     {
         const auto it = pairs_.find(key);
         if (it == pairs_.end()) {
-            fatal("--faults: clause '" + clause_ + "' needs key '" + key +
+            fatal("--faults: clause " + clause_ + " needs key '" + key +
                   "'");
         }
         used_.insert(key);
@@ -152,22 +163,22 @@ class Keys
 
 /** Read the engine=/rank= address into `ev`; fatal() when both given. */
 void
-parse_target(Keys& keys, const std::string& clause, FaultEvent* ev,
+parse_target(Keys& keys, const std::string& label, FaultEvent* ev,
              bool required)
 {
     const bool has_engine = keys.has("engine");
     const bool has_rank = keys.has("rank");
     if (has_engine && has_rank) {
-        fatal("--faults: clause '" + clause +
-              "' must address engine= or rank=, not both");
+        fatal("--faults: clause " + label +
+              " must address engine= or rank=, not both");
     }
     if (has_engine)
         ev->engine = keys.index("engine");
     else if (has_rank)
         ev->rank = keys.index("rank");
     else if (required) {
-        fatal("--faults: clause '" + clause +
-              "' needs an engine= or rank= target");
+        fatal("--faults: clause " + label +
+              " needs an engine= or rank= target");
     }
 }
 
@@ -177,26 +188,48 @@ FaultSchedule
 parse_fault_spec(const std::string& spec)
 {
     FaultSchedule schedule;
-    for (const std::string& clause : split(spec, ';')) {
+    // Clauses are numbered by their 1-based position in the raw spec —
+    // including blank ones — so an error in "a;;b" points at clause 3.
+    std::size_t position = 0;
+    std::size_t start = 0;
+    std::vector<std::pair<std::size_t, std::string>> clauses;
+    while (start <= spec.size()) {
+        const std::size_t end = spec.find(';', start);
+        const std::string piece = trim(spec.substr(
+            start, end == std::string::npos ? end : end - start));
+        ++position;
+        // Blank clauses (trailing ';', doubled separators, whitespace)
+        // are tolerated and skipped.
+        if (!piece.empty())
+            clauses.emplace_back(position, piece);
+        if (end == std::string::npos)
+            break;
+        start = end + 1;
+    }
+    for (const auto& [index, clause] : clauses) {
+        // Errors name the clause by index and text, so a typo in a long
+        // multi-clause spec is findable: "in clause 3 ('fail:at=5')".
+        const std::string label =
+            std::to_string(index) + " ('" + clause + "')";
         const std::size_t colon = clause.find(':');
         if (colon == std::string::npos) {
-            fatal("--faults: clause '" + clause +
-                  "' is missing its 'kind:' prefix");
+            fatal("--faults: clause " + label +
+                  " is missing its 'kind:' prefix");
         }
         const std::string kind = clause.substr(0, colon);
-        Keys keys(clause, parse_pairs(clause, clause.substr(colon + 1)));
+        Keys keys(label, parse_pairs(label, clause.substr(colon + 1)));
 
         if (kind == "fail") {
             FaultEvent ev;
             ev.kind = FaultKind::kFail;
-            parse_target(keys, clause, &ev, /*required=*/true);
+            parse_target(keys, label, &ev, /*required=*/true);
             ev.at = keys.number_at_least("at", 0.0);
             ev.recover_at = keys.has("recover")
                                 ? keys.number_at_least("recover", 0.0)
                                 : kInf;
             if (ev.recover_at <= ev.at) {
-                fatal("--faults: recover= must be after at= in clause '" +
-                      clause + "'");
+                fatal("--faults: recover= must be after at= in clause " +
+                      label);
             }
             keys.finish();
             schedule.events.push_back(ev);
@@ -204,19 +237,33 @@ parse_fault_spec(const std::string& spec)
             FaultEvent ev;
             ev.kind = kind == "straggle" ? FaultKind::kStraggle
                                          : FaultKind::kDegrade;
-            parse_target(keys, clause, &ev,
+            parse_target(keys, label, &ev,
                          /*required=*/ev.kind == FaultKind::kStraggle);
             ev.at = keys.number_at_least("at", 0.0);
             ev.recover_at = keys.number_at_least("until", 0.0);
             if (ev.recover_at <= ev.at) {
-                fatal("--faults: until= must be after at= in clause '" +
-                      clause + "'");
+                fatal("--faults: until= must be after at= in clause " +
+                      label);
             }
             ev.factor = keys.number(
                 ev.kind == FaultKind::kStraggle ? "slow" : "factor");
             if (!(ev.factor > 1.0)) {
-                fatal("--faults: slowdown factor must be > 1 in clause '" +
-                      clause + "'");
+                fatal("--faults: slowdown factor must be > 1 in clause " +
+                      label);
+            }
+            keys.finish();
+            schedule.events.push_back(ev);
+        } else if (kind == "drain") {
+            FaultEvent ev;
+            ev.kind = FaultKind::kDrain;
+            parse_target(keys, label, &ev, /*required=*/true);
+            ev.at = keys.number_at_least("at", 0.0);
+            ev.recover_at = keys.has("resume")
+                                ? keys.number_at_least("resume", 0.0)
+                                : kInf;
+            if (ev.recover_at <= ev.at) {
+                fatal("--faults: resume= must be after at= in clause " +
+                      label);
             }
             keys.finish();
             schedule.events.push_back(ev);
@@ -229,13 +276,14 @@ parse_fault_spec(const std::string& spec)
                 m.seed = keys.seed("seed");
             if (!(m.mean > 0.0) || !(m.mttr > 0.0) || !(m.duration > 0.0)) {
                 fatal("--faults: mtbf clause needs positive mean=, mttr=, "
-                      "and duration= in clause '" + clause + "'");
+                      "and duration= in clause " + label);
             }
             keys.finish();
             schedule.mtbf.push_back(m);
         } else {
-            fatal("--faults: unknown clause kind '" + kind + "' in '" +
-                  clause + "' (expected fail/straggle/degrade/mtbf)");
+            fatal("--faults: unknown clause kind '" + kind +
+                  "' in clause " + label +
+                  " (expected fail/straggle/degrade/drain/mtbf)");
         }
     }
     return schedule;

@@ -35,9 +35,17 @@
  *                                         exponential inter-failure times
  *                                         (mean 60s) and recovers 5s
  *                                         later, over [0,300)
+ *   drain:engine=1,at=10[,resume=30]      gracefully drain engine 1 at
+ *                                         t=10s: admission stops, queued
+ *                                         requests are handed back to the
+ *                                         router, running ones finish in
+ *                                         place; admission resumes at
+ *                                         t=30s (never, when omitted)
  *
- * Malformed specs `fatal()` naming the offending token — a typo'd fault
- * experiment must never run silently as a healthy-cluster replay.
+ * Malformed specs `fatal()` naming the offending token and the failing
+ * clause by 1-based index and text — a typo'd fault experiment must never
+ * run silently as a healthy-cluster replay. Blank clauses (trailing or
+ * doubled ';', stray whitespace) are tolerated and skipped.
  */
 
 #pragma once
@@ -54,6 +62,7 @@ enum class FaultKind
     kFail,      ///< fail-stop at `at`; optional recovery at `recover_at`
     kStraggle,  ///< per-step slowdown by `factor` during [at, recover_at)
     kDegrade,   ///< interconnect slowdown by `factor` during [at, recover_at)
+    kDrain,     ///< graceful drain at `at`; admission resumes at `recover_at`
 };
 
 /** One scheduled fault against one engine (or all, for kDegrade). */

@@ -171,6 +171,15 @@ ChromeTraceWriter::on_request(const RequestEvent& ev)
         open_requests_.erase(e.id);
         break;
       }
+      case RequestPhase::kExpired: {
+        e.ph = 'e';
+        e.name = "req " + std::to_string(ev.request);
+        ArgsBuilder args;
+        args.add("expired", true);
+        e.args_json = with_span(args).str();
+        open_requests_.erase(e.id);
+        break;
+      }
       case RequestPhase::kLost:
         if (open_requests_.erase(e.id) > 0) {
             // Retries exhausted on a request that had reached an engine:

@@ -14,7 +14,8 @@ void
 ReportJson::add_run(const std::string& name, const engine::Metrics& metrics,
                     const std::optional<RunDeploymentInfo>& deployment,
                     const std::optional<engine::SloSpec>& slo,
-                    const std::optional<fault::FaultStats>& faults)
+                    const std::optional<fault::FaultStats>& faults,
+                    const std::optional<engine::OverloadStats>& overload)
 {
     Run run;
     run.name = name;
@@ -51,6 +52,7 @@ ReportJson::add_run(const std::string& name, const engine::Metrics& metrics,
         run.goodput = metrics.goodput(*slo);
     }
     run.faults = faults;
+    run.overload = overload;
     std::lock_guard<std::mutex> lock(mutex_);
     runs_.push_back(std::move(run));
 }
@@ -144,6 +146,22 @@ ReportJson::write(std::ostream& os) const
             w.kv("retries", run.faults->retries);
             w.kv("lost_requests", run.faults->lost);
             w.kv("shed_requests", run.faults->shed);
+            w.end_object();
+        }
+        if (run.overload) {
+            w.key("overload").begin_object();
+            w.kv("completed", run.overload->completed);
+            w.kv("expired", run.overload->expired);
+            w.kv("cancelled", run.overload->cancelled);
+            w.kv("hedges", run.overload->hedges);
+            w.kv("hedge_wins", run.overload->hedge_wins);
+            w.kv("hedge_losses", run.overload->hedge_losses);
+            w.kv("breaker_opens", run.overload->breaker_opens);
+            w.kv("breaker_probes", run.overload->breaker_probes);
+            w.kv("breaker_closes", run.overload->breaker_closes);
+            w.kv("drains", run.overload->drains);
+            w.kv("drained_requests", run.overload->drained);
+            w.kv("drain_resumes", run.overload->drain_resumes);
             w.end_object();
         }
         w.end_object();  // run

@@ -38,7 +38,15 @@
  *
  * The "faults" key is emitted only for runs recorded with fault stats
  * (still version 1: purely additive, absent for every pre-existing
- * producer, so committed reports stay byte-identical).
+ * producer, so committed reports stay byte-identical). The "overload" key
+ * follows the same rule for request-lifecycle runs (deadlines, client
+ * cancellation, hedged retries, circuit breakers, graceful drain):
+ *
+ *       "overload": {"completed": N, "expired": N, "cancelled": N,
+ *                    "hedges": N, "hedge_wins": N, "hedge_losses": N,
+ *                    "breaker_opens": N, "breaker_probes": N,
+ *                    "breaker_closes": N, "drains": N,
+ *                    "drained_requests": N, "drain_resumes": N}
  *
  * A top-level "metrics" key (the process self-observability snapshot from
  * `obs::MetricsRegistry`, own "version" inside) follows the same additive
@@ -64,6 +72,7 @@
 #include <vector>
 
 #include "engine/metrics.h"
+#include "engine/overload.h"
 #include "fault/fault_schedule.h"
 #include "obs/metrics_registry.h"
 
@@ -116,11 +125,14 @@ class ReportJson
      * @param deployment Optional resolved-deployment facts.
      * @param slo Optional SLO to evaluate attainment/goodput against.
      * @param faults Optional fault-replay counters (fault-injected runs).
+     * @param overload Optional request-lifecycle counters (runs with
+     *        deadlines, cancellation, hedging, breakers, or drains).
      */
     void add_run(const std::string& name, const engine::Metrics& metrics,
                  const std::optional<RunDeploymentInfo>& deployment = {},
                  const std::optional<engine::SloSpec>& slo = {},
-                 const std::optional<fault::FaultStats>& faults = {});
+                 const std::optional<fault::FaultStats>& faults = {},
+                 const std::optional<engine::OverloadStats>& overload = {});
 
     /**
      * Move every run of `other` to the end of this report, preserving
@@ -176,6 +188,7 @@ class ReportJson
         double slo_attainment = 0.0;
         double goodput = 0.0;
         std::optional<fault::FaultStats> faults;
+        std::optional<engine::OverloadStats> overload;
     };
 
     mutable std::mutex mutex_;

@@ -19,6 +19,11 @@ phase_name(RequestPhase phase)
       case RequestPhase::kRetried:       return "retried";
       case RequestPhase::kLost:          return "lost";
       case RequestPhase::kShed:          return "shed";
+      case RequestPhase::kExpired:       return "expired";
+      case RequestPhase::kHedged:        return "hedged";
+      case RequestPhase::kHedgeWon:      return "hedge_won";
+      case RequestPhase::kHedgeLost:     return "hedge_lost";
+      case RequestPhase::kDrained:       return "drained";
     }
     return "?";
 }
@@ -33,6 +38,11 @@ fault_kind_name(FaultKind kind)
       case FaultKind::kLinkRestore:   return "link_restore";
       case FaultKind::kStraggleStart: return "straggle_start";
       case FaultKind::kStraggleEnd:   return "straggle_end";
+      case FaultKind::kDrainStart:    return "drain_start";
+      case FaultKind::kDrainEnd:      return "drain_end";
+      case FaultKind::kBreakerOpen:   return "breaker_open";
+      case FaultKind::kBreakerHalfOpen: return "breaker_half_open";
+      case FaultKind::kBreakerClose:  return "breaker_close";
     }
     return "?";
 }

@@ -50,6 +50,11 @@ enum class RequestPhase
     kRetried,        ///< re-routed to a survivor after a replica failure
     kLost,           ///< dropped permanently (retries exhausted)
     kShed,           ///< rejected by the degraded-mode admission guard
+    kExpired,        ///< evicted past its completion deadline
+    kHedged,         ///< duplicated onto another replica (hedged retry)
+    kHedgeWon,       ///< a hedged request's first copy completed
+    kHedgeLost,      ///< the losing hedge copy was resolved
+    kDrained,        ///< handed back by a gracefully draining replica
 };
 
 /** @return a stable lowercase name for a phase ("submit", "preempt", ...). */
@@ -114,6 +119,11 @@ enum class FaultKind
     kLinkRestore,    ///< interconnect back to full speed
     kStraggleStart,  ///< per-step slowdown applied (magnitude = factor)
     kStraggleEnd,    ///< straggler back to full speed
+    kDrainStart,     ///< graceful drain: admission stopped, queue handed back
+    kDrainEnd,       ///< drained engine re-admitting new work
+    kBreakerOpen,    ///< circuit breaker tripped: replica receives no traffic
+    kBreakerHalfOpen,///< breaker probing: one request admitted
+    kBreakerClose,   ///< breaker closed: replica healthy again
 };
 
 /** @return a stable lowercase name for a fault kind ("fail", ...). */

@@ -1,0 +1,69 @@
+#include "workload/lifecycle.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace shiftpar::workload {
+
+std::vector<engine::CancelEvent>
+cancel_stream(const std::vector<engine::RequestSpec>& workload,
+              const LifecycleOptions& opts)
+{
+    std::vector<engine::CancelEvent> out;
+    if (opts.cancel_rate <= 0.0)
+        return out;
+    SP_ASSERT(opts.cancel_rate <= 1.0 && opts.cancel_delay_mean > 0.0,
+              "cancel_rate must be a probability and the delay mean "
+              "positive");
+
+    // Cancel indices address positions in the arrival-sorted workload,
+    // because that order is how the router assigns request ids.
+    std::vector<std::size_t> order(workload.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return workload[a].arrival < workload[b].arrival;
+                     });
+
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+        // One decorrelated stream per request position: the decision for
+        // request i never shifts when other requests are added or
+        // removed behind it, and is independent of iteration order.
+        Rng rng(opts.seed ^
+                (0x9E3779B97F4A7C15ULL *
+                 static_cast<std::uint64_t>(pos + 1)));
+        if (!rng.bernoulli(opts.cancel_rate))
+            continue;
+        engine::CancelEvent ev;
+        ev.index = static_cast<std::int64_t>(pos);
+        ev.at = workload[order[pos]].arrival +
+                rng.exponential(1.0 / opts.cancel_delay_mean);
+        out.push_back(ev);
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const engine::CancelEvent& a,
+                        const engine::CancelEvent& b) {
+                         return a.at < b.at;
+                     });
+    return out;
+}
+
+void
+apply_deadlines(std::vector<engine::RequestSpec>* workload,
+                const LifecycleOptions& opts)
+{
+    SP_ASSERT(workload != nullptr);
+    if (opts.deadline <= 0.0)
+        return;
+    for (engine::RequestSpec& spec : *workload) {
+        spec.deadline =
+            spec.arrival + opts.deadline +
+            opts.deadline_per_token *
+                static_cast<double>(spec.output_tokens);
+    }
+}
+
+} // namespace shiftpar::workload

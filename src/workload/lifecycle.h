@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Client-side request lifecycle synthesis: cancellation streams and
+ * per-request deadlines.
+ *
+ * Real serving traffic is not fire-and-forget: clients abort requests
+ * (closed tabs, upstream timeouts) and stop waiting past a latency budget.
+ * This module derives both behaviors deterministically from a workload —
+ * each request's cancel decision and delay come from a seed-derived
+ * per-request stream, so the same workload + options always produce the
+ * same cancel stream regardless of thread count or platform — and stamps
+ * absolute completion deadlines onto specs for the scheduler's expiry
+ * sweep.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/overload.h"
+#include "engine/request.h"
+
+namespace shiftpar::workload {
+
+/** Knobs for synthesizing client lifecycle behavior over a workload. */
+struct LifecycleOptions
+{
+    /**
+     * Probability that a request's client aborts it (0 disables the
+     * cancel stream entirely).
+     */
+    double cancel_rate = 0.0;
+
+    /**
+     * Mean patience before an abort, seconds: a cancelled request's abort
+     * fires an exponential delay after its arrival.
+     */
+    double cancel_delay_mean = 1.0;
+
+    /** Seed for the per-request decision/delay streams. */
+    std::uint64_t seed = 1;
+
+    /**
+     * Completion-latency budget, seconds (0 leaves deadlines unset): each
+     * request's absolute deadline becomes arrival + deadline
+     * (+ deadline_per_token x output_tokens).
+     */
+    double deadline = 0.0;
+
+    /** Extra per-output-token deadline allowance, seconds. */
+    double deadline_per_token = 0.0;
+};
+
+/**
+ * Derive the deterministic cancellation stream for `workload` under
+ * `opts`: request i (by position in the arrival-sorted workload — the id
+ * `Router::run_workload` assigns) aborts with probability `cancel_rate`
+ * at arrival + Exp(mean = cancel_delay_mean). Entries come out sorted by
+ * abort time. Empty when `cancel_rate` is 0.
+ */
+std::vector<engine::CancelEvent> cancel_stream(
+    const std::vector<engine::RequestSpec>& workload,
+    const LifecycleOptions& opts);
+
+/**
+ * Stamp absolute completion deadlines onto every spec in `workload`:
+ * deadline = arrival + opts.deadline + opts.deadline_per_token x
+ * output_tokens. No-op when `opts.deadline` is 0.
+ */
+void apply_deadlines(std::vector<engine::RequestSpec>* workload,
+                     const LifecycleOptions& opts);
+
+} // namespace shiftpar::workload

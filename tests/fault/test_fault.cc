@@ -68,6 +68,52 @@ TEST(FaultSpec, ParsesMtbfClause)
     EXPECT_EQ(s.mtbf[0].seed, 9u);
 }
 
+TEST(FaultSpec, ParsesDrainClause)
+{
+    const auto s = parse_fault_spec("drain:engine=1,at=10,resume=30");
+    ASSERT_EQ(s.events.size(), 1u);
+    EXPECT_EQ(s.events[0].kind, FaultKind::kDrain);
+    EXPECT_EQ(s.events[0].engine, 1);
+    EXPECT_DOUBLE_EQ(s.events[0].at, 10.0);
+    EXPECT_DOUBLE_EQ(s.events[0].recover_at, 30.0);
+
+    // Without resume= the drain is permanent.
+    const auto p = parse_fault_spec("drain:engine=0,at=5");
+    ASSERT_EQ(p.events.size(), 1u);
+    EXPECT_TRUE(std::isinf(p.events[0].recover_at));
+}
+
+TEST(FaultSpec, BlankClausesAreTolerated)
+{
+    // Trailing/doubled separators and whitespace-only clauses are
+    // skipped, not errors — specs built by string concatenation stay
+    // valid.
+    const auto s = parse_fault_spec(
+        ";fail:engine=0,at=1;;straggle:engine=1,at=2,until=3,slow=2; ;");
+    ASSERT_EQ(s.events.size(), 2u);
+    EXPECT_EQ(s.events[0].kind, FaultKind::kFail);
+    EXPECT_EQ(s.events[1].kind, FaultKind::kStraggle);
+}
+
+TEST(FaultSpecDeath, ErrorsNameTheClauseByIndexAndText)
+{
+    // Blank clauses still count toward the position, so the error in
+    // "a;;b" points at clause 3 — the label a user can find in a long
+    // spec — and quotes the offending text verbatim.
+    EXPECT_DEATH(parse_fault_spec("fail:engine=0,at=1;;flood:at=2"),
+                 "clause 3 \\('flood:at=2'\\)");
+    EXPECT_DEATH(parse_fault_spec("fail:engine=0,at=1;fail:rank=9"),
+                 "clause 2 \\('fail:rank=9'\\)");
+}
+
+TEST(FaultSpecDeath, DrainErrorsAreFatal)
+{
+    EXPECT_DEATH(parse_fault_spec("drain:at=5"),
+                 "needs an engine= or rank= target");
+    EXPECT_DEATH(parse_fault_spec("drain:engine=0,at=10,resume=10"),
+                 "resume= must be after at=");
+}
+
 TEST(FaultSpecDeath, MalformedSpecsNameTheOffendingToken)
 {
     EXPECT_DEATH(parse_fault_spec("flood:at=1"), "unknown clause kind");
@@ -409,6 +455,100 @@ TEST(FaultReplay, MigratedRequestSurvivesItsTargetFailing)
     for (const auto& rec : met.requests())
         ids.insert(rec.id);
     EXPECT_EQ(ids.size(), met.requests().size());  // no double completion
+}
+
+// ------------------------------------------------- retry-backoff boundaries
+
+/**
+ * One mid-sized request on one replica, plus the plain makespan so the
+ * fail can be planted mid-flight. With backoff_base=0.25 and cap=0.5 a
+ * request dropped at F re-attempts at F+0.25, F+0.75, F+1.25, F+1.75,
+ * F+2.25, ... — the cap truncates the exponential after attempt 2.
+ */
+struct RetryFixture
+{
+    std::vector<engine::RequestSpec> reqs{{0.0, 2048, 128}};
+    double makespan;
+
+    RetryFixture()
+    {
+        engine::Router probe(replicas(1));
+        makespan = probe.run_workload(reqs).end_time();
+    }
+
+    engine::ResilienceOptions
+    res(int max_retries) const
+    {
+        engine::ResilienceOptions r;
+        r.max_retries = max_retries;
+        r.backoff_base = 0.25;
+        r.backoff_cap = 0.5;
+        return r;
+    }
+
+    std::string
+    fail_spec(double recover_after) const
+    {
+        return "fail:engine=0,at=" + std::to_string(makespan / 2) +
+               ",recover=" + std::to_string(makespan / 2 + recover_after);
+    }
+};
+
+TEST(FaultRetryBoundary, SucceedsOnTheLastPermittedAttempt)
+{
+    // Recovery at F+2.0 sits between attempt 4 (F+1.75) and attempt 5
+    // (F+2.25): the request must come back on attempt 5 — exactly
+    // max_retries — with the backoff pinned at the cap since attempt 2.
+    const RetryFixture fx;
+    engine::Router router(replicas(1));
+    router.set_faults(parse_fault_spec(fx.fail_spec(2.0)), fx.res(5));
+    const auto met = router.run_workload(fx.reqs);
+    const FaultStats& fs = router.fault_stats();
+    EXPECT_EQ(fs.failures, 1);
+    EXPECT_EQ(fs.dropped, 1);
+    EXPECT_EQ(fs.retries, 5);
+    EXPECT_EQ(fs.lost, 0);
+    ASSERT_EQ(met.requests().size(), 1u);
+    // TTFT includes the outage the request sat through.
+    EXPECT_GT(met.requests()[0].completion, fx.makespan / 2 + 2.0);
+}
+
+TEST(FaultRetryBoundary, ExhaustedAttemptsAreLostBeforeRecovery)
+{
+    // Identical outage, one fewer permitted attempt: attempt 5 would
+    // have succeeded, so with max_retries=4 the request is declared
+    // lost at F+1.75 — strictly before the engine comes back.
+    const RetryFixture fx;
+    engine::Router router(replicas(1));
+    router.set_faults(parse_fault_spec(fx.fail_spec(2.0)), fx.res(4));
+    const auto met = router.run_workload(fx.reqs);
+    const FaultStats& fs = router.fault_stats();
+    EXPECT_EQ(fs.retries, 4);
+    EXPECT_EQ(fs.lost, 1);
+    EXPECT_EQ(fs.recoveries, 1);
+    EXPECT_EQ(met.requests().size(), 0u);
+}
+
+TEST(FaultRetryBoundary, RetryRacingRecoveryCompletesOnce)
+{
+    // Recovery and the first retry land on the same instant (F+0.25).
+    // Equal-time events run in posting order: the fail handler posts the
+    // dropped request's retry before it posts its own recovery, so the
+    // retry fires first, finds the engine still down, and backs off once
+    // more — attempt 2 then lands on the recovered engine. The request
+    // completes exactly once either way; only the attempt count tells
+    // the two orderings apart, and it must do so deterministically.
+    const RetryFixture fx;
+    engine::Router router(replicas(1));
+    router.set_faults(parse_fault_spec(fx.fail_spec(0.25)), fx.res(3));
+    const auto met = router.run_workload(fx.reqs);
+    const FaultStats& fs = router.fault_stats();
+    EXPECT_EQ(fs.failures, 1);
+    EXPECT_EQ(fs.recoveries, 1);
+    EXPECT_EQ(fs.retries, 2);
+    EXPECT_EQ(fs.lost, 0);
+    ASSERT_EQ(met.requests().size(), 1u);
+    EXPECT_EQ(met.requests()[0].id, 0);
 }
 
 } // namespace

@@ -195,6 +195,16 @@ TEST(ShiftlintSpanBalance, BalancedTuAndHeadersAreClean)
     EXPECT_TRUE(run_one(corpus, "trace-span-balance").empty());
 }
 
+TEST(ShiftlintSpanBalance, DrainStartWithoutEndFlagged)
+{
+    auto corpus = make_corpus({{"src/e.cc", R"(
+void drain(Sink* s) { s->emit(FaultKind::kDrainStart); }
+)"}});
+    const auto findings = run_one(corpus, "trace-span-balance");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("kDrainEnd"), std::string::npos);
+}
+
 TEST(ShiftlintSpanBalance, GenericBeginEndConvention)
 {
     auto corpus = make_corpus(
@@ -222,6 +232,26 @@ void ReportJson::write()
     const auto findings = run_one(corpus, "struct-serializer-drift");
     ASSERT_EQ(findings.size(), 1u);
     EXPECT_NE(findings[0].message.find("brand_new"), std::string::npos);
+}
+
+TEST(ShiftlintStructDrift, OverloadStatsFieldMissingFromWriter)
+{
+    // The lifecycle counters are watched against the report writer the
+    // same way FaultStats is: a counter added to OverloadStats but not
+    // serialized would silently vanish from every run report.
+    auto corpus = make_corpus(
+        {{"src/engine/overload.h",
+          "struct OverloadStats { long expired = 0; long unreported = 0; "
+          "};\n"},
+         {"src/obs/report_json.cc", R"(
+void ReportJson::write()
+{
+    w.kv("expired", run.overload->expired);
+}
+)"}});
+    const auto findings = run_one(corpus, "struct-serializer-drift");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("unreported"), std::string::npos);
 }
 
 TEST(ShiftlintStructDrift, DelegatedMergeCoversFields)

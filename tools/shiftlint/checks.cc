@@ -198,7 +198,7 @@ class UnorderedEmitCheck final : public Check
             "add_run",         "add_row",        "CsvWriter",
             "JsonWriter",      "counter_add",    "gauge_set",
             "gauge_max",       "observe",        "write_prometheus",
-            "publish_request", "set_metrics",
+            "publish_request", "set_metrics",    "count_outcome",
         };
 
         for (const auto& fn : corpus.functions) {
@@ -287,6 +287,7 @@ class TraceSpanBalanceCheck final : public Check
         static const std::pair<const char*, const char*> kPairs[] = {
             {"kStraggleStart", "kStraggleEnd"},
             {"kLinkDegrade", "kLinkRestore"},
+            {"kDrainStart", "kDrainEnd"},
         };
 
         for (const auto& f : corpus.files) {
@@ -373,6 +374,8 @@ class StructSerializerDriftCheck final : public Check
         };
         static const Watch kWatched[] = {
             {"FaultStats", "fault/fault_schedule.h",
+             {"ReportJson::write"}, false},
+            {"OverloadStats", "engine/overload.h",
              {"ReportJson::write"}, false},
             {"Run", "obs/report_json.h", {"ReportJson::write"}, false},
             {"LatencySummary", "obs/report_json.h",

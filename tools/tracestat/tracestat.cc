@@ -159,6 +159,8 @@ RequestTimeline::outcome() const
 {
     if (finished)
         return "finished";
+    if (expired)
+        return "expired";
     if (cancelled)
         return "cancelled";
     if (lost)
@@ -207,6 +209,8 @@ analyze_trace(const util::JsonValue& root)
             r.finish = t;
             if (has_arg(ev, "cancelled"))
                 r.cancelled = true;
+            else if (has_arg(ev, "expired"))
+                r.expired = true;
             else if (has_arg(ev, "lost"))
                 r.lost = true;
             else
@@ -232,6 +236,14 @@ analyze_trace(const util::JsonValue& root)
                 ++r.retries;
             } else if (name == "resubmit") {
                 ++r.resubmits;
+            } else if (name == "hedged") {
+                ++r.hedges;
+            } else if (name == "hedge_won") {
+                ++r.hedge_wins;
+            } else if (name == "hedge_lost") {
+                ++r.hedge_losses;
+            } else if (name == "drained") {
+                ++r.drains;
             } else if (name == "shed") {
                 r.shed = true;
                 if (r.submit < 0.0)
@@ -274,6 +286,8 @@ analyze_trace(const util::JsonValue& root)
             total_sum += r.total_s();
             decode_sum += r.decode_s();
             shift_sum += r.decode_shift_s;
+        } else if (r.expired) {
+            ++stats.expired;
         } else if (r.cancelled) {
             ++stats.cancelled;
         } else if (r.lost) {
@@ -287,6 +301,10 @@ analyze_trace(const util::JsonValue& root)
         stats.migrations += r.migrations;
         stats.retries += r.retries;
         stats.resubmits += r.resubmits;
+        stats.hedges += r.hedges;
+        stats.hedge_wins += r.hedge_wins;
+        stats.hedge_losses += r.hedge_losses;
+        stats.drains += r.drains;
         stats.requests.push_back(r);
     }
 
@@ -334,10 +352,10 @@ analyze_trace_file(const std::string& path)
 void
 print_report(const TraceStats& stats, std::ostream& os)
 {
-    emit(os, "tracestat: %zu requests — %zu finished, %zu cancelled, "
-             "%zu lost, %zu shed, %zu open\n",
-         stats.requests.size(), stats.completed, stats.cancelled,
-         stats.lost, stats.shed, stats.open);
+    emit(os, "tracestat: %zu requests — %zu finished, %zu expired, "
+             "%zu cancelled, %zu lost, %zu shed, %zu open\n",
+         stats.requests.size(), stats.completed, stats.expired,
+         stats.cancelled, stats.lost, stats.shed, stats.open);
     os << "\nstage latency over finished requests (seconds):\n";
     emit(os, "  %-8s %7s %10s %10s %10s %10s %10s\n", "stage", "count",
          "mean", "p50", "p90", "p99", "max");
@@ -358,6 +376,12 @@ print_report(const TraceStats& stats, std::ostream& os)
          static_cast<long long>(stats.migrations),
          static_cast<long long>(stats.retries),
          static_cast<long long>(stats.resubmits));
+    emit(os, "lifecycle:   %lld hedges (%lld won, %lld lost), "
+             "%lld drain hand-backs\n",
+         static_cast<long long>(stats.hedges),
+         static_cast<long long>(stats.hedge_wins),
+         static_cast<long long>(stats.hedge_losses),
+         static_cast<long long>(stats.drains));
     emit(os, "p99 critical path (%zu requests >= p99 total %.6fs): "
              "queue %.1f%% | prefill %.1f%% | decode %.1f%%\n",
          stats.p99_requests, stats.p99_total_s,
@@ -370,17 +394,19 @@ write_csv(const TraceStats& stats, std::ostream& os)
 {
     os << "process,request,engine,outcome,submit_s,queue_s,prefill_s,"
           "decode_s,total_s,decode_shift_s,prompt_tokens,output_tokens,"
-          "prefill_chunks,preempts,migrations,retries,resubmits\n";
+          "prefill_chunks,preempts,migrations,retries,resubmits,hedges,"
+          "hedge_wins,hedge_losses,drains\n";
     for (const RequestTimeline& r : stats.requests) {
         emit(os,
              "%d,%lld,%d,%s,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%lld,%lld,%d,"
-             "%d,%d,%d,%d\n",
+             "%d,%d,%d,%d,%d,%d,%d,%d\n",
              r.process, static_cast<long long>(r.request), r.engine,
              r.outcome(), r.submit, r.queue_s(), r.prefill_s(),
              r.decode_s(), r.total_s(), r.decode_shift_s,
              static_cast<long long>(r.prompt_tokens),
              static_cast<long long>(r.output_tokens), r.prefill_chunks,
-             r.preempts, r.migrations, r.retries, r.resubmits);
+             r.preempts, r.migrations, r.retries, r.resubmits, r.hedges,
+             r.hedge_wins, r.hedge_losses, r.drains);
     }
 }
 

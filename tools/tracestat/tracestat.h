@@ -13,6 +13,8 @@
  *  - the queueing-vs-service split,
  *  - decode seconds spent in shift mode (mode-instant interval overlap),
  *  - disruption counts (preemptions, migrations, retries, sheds, losses),
+ *  - lifecycle outcomes (deadline expiries, client cancellations) and
+ *    hedge/drain marker totals,
  *  - p99 critical-path attribution: the stage shares of the requests at
  *    or above the p99 completion time.
  *
@@ -52,11 +54,16 @@ struct RequestTimeline
     int prefill_chunks = 0;
     int preempts = 0;
     int migrations = 0;
-    int retries = 0;    ///< router re-routes after a replica failure
-    int resubmits = 0;  ///< re-entries into an engine queue after a retry
+    int retries = 0;      ///< router re-routes after a replica failure
+    int resubmits = 0;    ///< re-entries into an engine queue after a retry
+    int hedges = 0;       ///< hedge clones launched for this request
+    int hedge_wins = 0;   ///< completions that beat a live hedge copy
+    int hedge_losses = 0; ///< hedge copies cancelled after losing the race
+    int drains = 0;       ///< hand-backs from a gracefully draining engine
 
     bool finished = false;
     bool cancelled = false;
+    bool expired = false;  ///< evicted past its completion deadline
     bool lost = false;
     bool shed = false;
 
@@ -75,7 +82,7 @@ struct RequestTimeline
     /** Submit → completion; < 0 when the request never completed. */
     double total_s() const;
 
-    /** "finished" / "cancelled" / "lost" / "shed" / "open". */
+    /** "finished" / "expired" / "cancelled" / "lost" / "shed" / "open". */
     const char* outcome() const;
 };
 
@@ -98,6 +105,7 @@ struct TraceStats
     std::vector<RequestTimeline> requests;
 
     std::size_t completed = 0;
+    std::size_t expired = 0;
     std::size_t cancelled = 0;
     std::size_t lost = 0;
     std::size_t shed = 0;
@@ -107,6 +115,10 @@ struct TraceStats
     std::int64_t migrations = 0;
     std::int64_t retries = 0;
     std::int64_t resubmits = 0;
+    std::int64_t hedges = 0;
+    std::int64_t hedge_wins = 0;
+    std::int64_t hedge_losses = 0;
+    std::int64_t drains = 0;
 
     /** queue / prefill / decode / total over completed requests. */
     std::vector<StageStats> stages;
