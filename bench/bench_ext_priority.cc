@@ -42,7 +42,10 @@ main(int argc, char** argv)
         workload::lognormal_size(6000.0, 0.5, 100.0, 0.3);
 
     const auto build_workload = [&](int interactive_priority) {
-        Rng local = rng;  // same stream for both variants
+        // Both priority variants must draw identical workloads, so the
+        // same-stream fork is the point, not an accident.
+        // shiftlint-allow(rng-discipline): deliberate same-stream fork
+        Rng local = rng;
         auto reqs = workload::make_requests(std::vector<double>(400, 0.0),
                                             local, batch_sizes);
         auto chat = workload::make_requests(

@@ -277,7 +277,11 @@ Engine::expire_now()
         if (on_expire_)
             on_expire_(r->id, now_);
     }
-    notify_ready_changed();  // may have been the engine's last work
+    // No notify_ready_changed() here: expire_now runs inside advance_to,
+    // i.e. mid-grant, where re-posting the ready time stales the cluster
+    // entry the loop is currently granting. Every expiry path returns
+    // true, and the cluster loop republishes via refresh_ready after any
+    // true grant — so the ready time is re-announced either way.
     return true;
 }
 

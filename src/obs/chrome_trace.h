@@ -120,7 +120,7 @@ class ChromeTraceWriter : public TraceSink
 
     mutable std::mutex mutex_;
     std::string run_label_;
-    std::vector<Event> events_;
+    std::vector<Event> events_;  // shiftlint-guarded(mutex_)
 
     struct Process
     {
@@ -128,7 +128,7 @@ class ChromeTraceWriter : public TraceSink
         std::string name;
         std::vector<std::string> threads;  ///< tid -> name
     };
-    std::vector<Process> processes_;
+    std::vector<Process> processes_;  // shiftlint-guarded(mutex_)
     bool requests_process_made_ = false;
     int requests_pid_ = 0;
 

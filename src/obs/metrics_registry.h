@@ -165,9 +165,9 @@ class MetricsRegistry
     static Key make_key(const std::string& name, const MetricLabels& labels);
 
     mutable std::mutex mutex_;
-    std::map<Key, std::int64_t> counters_;
-    std::map<Key, double> gauges_;
-    std::map<Key, util::Histogram> histograms_;
+    std::map<Key, std::int64_t> counters_;      // shiftlint-guarded(mutex_)
+    std::map<Key, double> gauges_;              // shiftlint-guarded(mutex_)
+    std::map<Key, util::Histogram> histograms_; // shiftlint-guarded(mutex_)
 };
 
 /** Render the snapshot's Prometheus exposition (shared with tests). */

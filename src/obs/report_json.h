@@ -115,7 +115,12 @@ class ReportJson
     /** @param title Human title (the figure/experiment name). */
     explicit ReportJson(std::string title = "");
 
-    void set_title(const std::string& title) { title_ = title; }
+    void
+    set_title(const std::string& title)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        title_ = title;
+    }
 
     /**
      * Append one run.
@@ -192,9 +197,9 @@ class ReportJson
     };
 
     mutable std::mutex mutex_;
-    std::string title_;
-    std::vector<Run> runs_;
-    std::optional<MetricsSnapshot> metrics_;
+    std::string title_;                        // shiftlint-guarded(mutex_)
+    std::vector<Run> runs_;                    // shiftlint-guarded(mutex_)
+    std::optional<MetricsSnapshot> metrics_;   // shiftlint-guarded(mutex_)
 };
 
 } // namespace shiftpar::obs

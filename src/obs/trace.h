@@ -220,9 +220,10 @@ class TraceSink
 
   private:
     std::mutex register_mutex_;
-    EngineId next_engine_ = 0;
+    EngineId next_engine_ = 0;  // shiftlint-guarded(register_mutex_)
 
     std::mutex span_mutex_;
+    // shiftlint-guarded(span_mutex_)
     std::unordered_map<RequestId, std::int64_t> next_span_;
 };
 

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -531,6 +532,616 @@ TEST(ShiftlintSarif, DocumentShapeAndResultFields)
         results[0].at("locations").arr()[0].at("physicalLocation");
     EXPECT_EQ(loc.at("artifactLocation").at("uri").str(), "src/x.cc");
     EXPECT_EQ(loc.at("region").at("startLine").num(), 1.0);
+}
+
+// ----------------------------------------------------- analysis layer
+
+TEST(ShiftlintAnalysis, CallInsideConditionIsNotADefinition)
+{
+    // `std::isfinite(d)) {` — a call nested in an if-condition followed
+    // by the statement body — must not parse as a definition of
+    // `std::isfinite` (which would graft the if-body onto a phantom
+    // call-graph node).
+    auto corpus = make_corpus({{"src/e.cc", R"(
+bool Engine::advance_to(double t)
+{
+    if (t > 0.0 && std::isfinite(t)) {
+        now_ = t;
+        return true;
+    }
+    return false;
+}
+)"}});
+    for (const auto& fn : corpus.functions)
+        EXPECT_NE(fn.name, "isfinite");
+    ASSERT_EQ(corpus.functions.size(), 1u);
+    EXPECT_EQ(corpus.functions[0].qualified, "Engine::advance_to");
+}
+
+TEST(ShiftlintAnalysis, InClassDefinitionGetsOwnerAttributed)
+{
+    auto corpus = make_corpus({{"src/b.h", R"(
+class Box
+{
+  public:
+    void set(int v) { val_ = v; }
+
+  private:
+    int val_ = 0;
+};
+)"}});
+    ASSERT_EQ(corpus.functions.size(), 1u);
+    EXPECT_EQ(corpus.functions[0].owner, "Box");
+    EXPECT_EQ(corpus.functions[0].qualified, "Box::set");
+}
+
+// ------------------------------------------- sim-contract-interproc
+
+TEST(ShiftlintInterproc, AdvanceToNotifyingThroughHelperFlagged)
+{
+    // Regression fixture for the in-tree bug this check caught: the
+    // engine's advance_to jumped the clock and called expire_now, which
+    // re-announced the ready time mid-grant.
+    auto corpus = make_corpus({{"src/engine/e.cc", R"(
+bool Engine::advance_to(double t)
+{
+    now_ = t;
+    return expire_now();
+}
+bool Engine::expire_now()
+{
+    expired_ += 1;
+    notify_ready_changed();
+    return true;
+}
+)"}});
+    const auto findings = run_one(corpus, "sim-contract-interproc");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("Engine::expire_now"),
+              std::string::npos);
+    EXPECT_NE(findings[0].message.find("notify_ready_changed"),
+              std::string::npos);
+}
+
+TEST(ShiftlintInterproc, MutationReachedAcrossTusFlagged)
+{
+    // The helper lives in another TU; the symbol index resolves the
+    // unqualified call through the caller's owning class.
+    auto corpus = make_corpus(
+        {{"src/engine/a.cc", R"(
+bool Engine::advance_to(double t)
+{
+    drain_queue(t);
+    return true;
+}
+)"},
+         {"src/engine/b.cc", R"(
+void Engine::drain_queue(double t)
+{
+    cluster_->post(t, [] {});
+}
+)"}});
+    const auto findings = run_one(corpus, "sim-contract-interproc");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("Engine::drain_queue"),
+              std::string::npos);
+}
+
+TEST(ShiftlintInterproc, UnresolvableCalleeFailsOpen)
+{
+    // `mystery_helper` has no definition in the corpus: no edge, no
+    // finding — the check never guesses about out-of-corpus code.
+    auto corpus = make_corpus({{"src/engine/e.cc", R"(
+bool Engine::advance_to(double t)
+{
+    mystery_helper(t);
+    return true;
+}
+)"}});
+    EXPECT_TRUE(run_one(corpus, "sim-contract-interproc").empty());
+}
+
+TEST(ShiftlintInterproc, QualifiedCallNeverFallsBackToLocalName)
+{
+    // `std::min` must not resolve to an in-corpus free function named
+    // `min` that happens to mutate the cluster.
+    auto corpus = make_corpus(
+        {{"src/engine/a.cc", R"(
+bool Engine::advance_to(double t)
+{
+    const double w = std::min(t, 1.0);
+    return w > 0.0;
+}
+)"},
+         {"src/other/m.cc", R"(
+double min(double a, double b)
+{
+    cluster_->post(a, [] {});
+    return a < b ? a : b;
+}
+)"}});
+    EXPECT_TRUE(run_one(corpus, "sim-contract-interproc").empty());
+}
+
+TEST(ShiftlintInterproc, BenignHelperChainIsClean)
+{
+    auto corpus = make_corpus({{"src/engine/e.cc", R"(
+bool Engine::advance_to(double t)
+{
+    return tick(t);
+}
+bool Engine::tick(double t)
+{
+    now_ = t;
+    return true;
+}
+)"}});
+    EXPECT_TRUE(run_one(corpus, "sim-contract-interproc").empty());
+}
+
+TEST(ShiftlintInterproc, SuppressedAtCallSiteWithReason)
+{
+    auto corpus = make_corpus({{"src/engine/e.cc", R"(
+bool Engine::advance_to(double t)
+{
+    // shiftlint-allow(sim-contract-interproc): lockstep surrogate only
+    return expire_now();
+}
+bool Engine::expire_now()
+{
+    notify_ready_changed();
+    return true;
+}
+)"}});
+    Options opts;
+    opts.checks = {"sim-contract-interproc"};
+    const auto result = run_checks(corpus, opts);
+    EXPECT_TRUE(result.findings.empty());
+    EXPECT_EQ(result.suppressed.size(), 1u);
+}
+
+// --------------------------------------------------------- guarded-by
+
+TEST(ShiftlintGuardedBy, UnlockedTouchFlagged)
+{
+    // Regression fixture for the in-tree bug this check caught:
+    // ReportJson::set_title wrote the title without taking the mutex
+    // every other method locks.
+    auto corpus = make_corpus({{"src/obs/r.h", R"(
+class ReportJson
+{
+  public:
+    void set_title(const std::string& t) { title_ = t; }
+    std::size_t num_runs() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return runs_.size();
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::string title_;      // shiftlint-guarded(mutex_)
+    std::vector<Run> runs_;  // shiftlint-guarded(mutex_)
+};
+)"}});
+    const auto findings = run_one(corpus, "guarded-by");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("title_"), std::string::npos);
+    EXPECT_NE(findings[0].message.find("set_title"), std::string::npos);
+}
+
+TEST(ShiftlintGuardedBy, LockingCallersOnEveryPathCoverHelper)
+{
+    // The private helper never locks, but its only callers do — the
+    // chrome-trace "caller holds mutex_" idiom. Out-of-line definitions
+    // in a separate TU exercise the cross-TU caller walk.
+    auto corpus = make_corpus(
+        {{"src/obs/t.h", R"(
+class Sink
+{
+  public:
+    void add(int v);
+    void merge(const Sink& o);
+
+  private:
+    void append_unlocked(int v);
+    std::mutex mu_;
+    std::vector<int> events_;  // shiftlint-guarded(mu_)
+};
+)"},
+         {"src/obs/t.cc", R"(
+void Sink::add(int v)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    append_unlocked(v);
+}
+void Sink::merge(const Sink& o)
+{
+    std::scoped_lock lock(mu_, o.mu_);
+    append_unlocked(0);
+}
+void Sink::append_unlocked(int v)
+{
+    events_.push_back(v);
+}
+)"}});
+    EXPECT_TRUE(run_one(corpus, "guarded-by").empty());
+}
+
+TEST(ShiftlintGuardedBy, OneUnlockedCallerPathFlagged)
+{
+    auto corpus = make_corpus({{"src/obs/t.h", R"(
+class Sink
+{
+  public:
+    void add(int v)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        append_unlocked(v);
+    }
+    void add_fast(int v) { append_unlocked(v); }
+
+  private:
+    void append_unlocked(int v) { events_.push_back(v); }
+    std::mutex mu_;
+    std::vector<int> events_;  // shiftlint-guarded(mu_)
+};
+)"}});
+    const auto findings = run_one(corpus, "guarded-by");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("append_unlocked"),
+              std::string::npos);
+}
+
+TEST(ShiftlintGuardedBy, ConstructorIsExempt)
+{
+    auto corpus = make_corpus({{"src/obs/t.h", R"(
+class Sink
+{
+  public:
+    Sink() { events_.reserve(64); }
+
+  private:
+    std::mutex mu_;
+    std::vector<int> events_;  // shiftlint-guarded(mu_)
+};
+)"}});
+    EXPECT_TRUE(run_one(corpus, "guarded-by").empty());
+}
+
+TEST(ShiftlintGuardedBy, UnboundAnnotationFlagged)
+{
+    auto corpus = make_corpus({{"src/obs/t.h", R"(
+class Sink
+{
+  private:
+    std::mutex mu_;
+    // shiftlint-guarded(mu_)
+
+    std::vector<int> events_;
+};
+)"}});
+    const auto findings = run_one(corpus, "guarded-by");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("binds to no data member"),
+              std::string::npos);
+}
+
+TEST(ShiftlintGuardedBy, SuppressedTouchWithReason)
+{
+    auto corpus = make_corpus({{"src/obs/t.h", R"(
+class Sink
+{
+  public:
+    int peek() const
+    {
+        // shiftlint-allow(guarded-by): racy read is advisory only
+        return events_.empty() ? 0 : 1;
+    }
+
+  private:
+    std::mutex mu_;
+    std::vector<int> events_;  // shiftlint-guarded(mu_)
+};
+)"}});
+    Options opts;
+    opts.checks = {"guarded-by"};
+    const auto result = run_checks(corpus, opts);
+    EXPECT_TRUE(result.findings.empty());
+    EXPECT_EQ(result.suppressed.size(), 1u);
+}
+
+// ------------------------------------------------ outcome-conservation
+
+TEST(ShiftlintOutcome, AssignmentCounterAndStatsTogetherIsClean)
+{
+    auto corpus = make_corpus({{"src/engine/r.cc", R"(
+void Router::expire(Flight& f)
+{
+    f.outcome = FlightOutcome::kExpired;
+    count_outcome("expired");
+    ++overload_stats_.expired;
+}
+)"}});
+    EXPECT_TRUE(run_one(corpus, "outcome-conservation").empty());
+}
+
+TEST(ShiftlintOutcome, CounterReachedThroughCalleeIsClean)
+{
+    auto corpus = make_corpus({{"src/engine/r.cc", R"(
+void Router::expire(Flight& f)
+{
+    f.outcome = FlightOutcome::kExpired;
+    record_expiry();
+}
+void Router::record_expiry()
+{
+    count_outcome("expired");
+    ++overload_stats_.expired;
+}
+)"}});
+    EXPECT_TRUE(run_one(corpus, "outcome-conservation").empty());
+}
+
+TEST(ShiftlintOutcome, AssignmentWithoutCounterFlagged)
+{
+    auto corpus = make_corpus({{"src/engine/r.cc", R"(
+void Router::expire(Flight& f)
+{
+    f.outcome = FlightOutcome::kExpired;
+    ++overload_stats_.expired;
+}
+)"}});
+    const auto findings = run_one(corpus, "outcome-conservation");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("count_outcome"),
+              std::string::npos);
+}
+
+TEST(ShiftlintOutcome, AssignmentWithoutStatsUpdateFlagged)
+{
+    auto corpus = make_corpus({{"src/engine/r.cc", R"(
+void Router::shed(Flight& f)
+{
+    f.outcome = FlightOutcome::kShed;
+    count_outcome("shed");
+}
+)"}});
+    const auto findings = run_one(corpus, "outcome-conservation");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("'shed' stats"),
+              std::string::npos);
+}
+
+TEST(ShiftlintOutcome, CounterWithoutTransitionFlagged)
+{
+    // Reverse direction: the counter books a terminal outcome no
+    // flight-table transition backs up.
+    auto corpus = make_corpus({{"src/engine/r.cc", R"(
+void Router::on_loss(Flight& f)
+{
+    count_outcome("lost");
+    ++fault_stats_.lost;
+}
+)"}});
+    const auto findings = run_one(corpus, "outcome-conservation");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("kLost"), std::string::npos);
+}
+
+TEST(ShiftlintOutcome, NonTerminalCounterStringsIgnored)
+{
+    auto corpus = make_corpus({{"src/engine/r.cc", R"(
+void Router::on_hedge(Flight& f)
+{
+    count_outcome("hedge_lost");
+}
+)"}});
+    EXPECT_TRUE(run_one(corpus, "outcome-conservation").empty());
+}
+
+TEST(ShiftlintOutcome, SuppressedWithReason)
+{
+    auto corpus = make_corpus({{"src/engine/r.cc", R"(
+void Router::expire(Flight& f)
+{
+    // shiftlint-allow(outcome-conservation): counted by the caller
+    f.outcome = FlightOutcome::kExpired;
+}
+)"}});
+    Options opts;
+    opts.checks = {"outcome-conservation"};
+    const auto result = run_checks(corpus, opts);
+    EXPECT_TRUE(result.findings.empty());
+    EXPECT_EQ(result.suppressed.size(), 2u);  // counter + stats findings
+}
+
+// ------------------------------------------------------ rng-discipline
+
+TEST(ShiftlintRng, ByValueParameterFlagged)
+{
+    auto corpus = make_corpus({{"src/w.cc", R"(
+std::vector<double> arrivals(Rng rng, double rate)
+{
+    return {rng.uniform() / rate};
+}
+)"}});
+    const auto findings = run_one(corpus, "rng-discipline");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("by value"), std::string::npos);
+}
+
+TEST(ShiftlintRng, ReferenceAndPointerParametersClean)
+{
+    auto corpus = make_corpus({{"src/w.cc", R"(
+double draw(Rng& rng) { return rng.uniform(); }
+double draw2(std::mt19937* gen) { return 0.0; }
+double draw3(const Rng& rng, Rng&& scratch) { return 0.0; }
+)"}});
+    EXPECT_TRUE(run_one(corpus, "rng-discipline").empty());
+}
+
+TEST(ShiftlintRng, CopyInitializationFlagged)
+{
+    auto corpus = make_corpus({{"src/w.cc", R"(
+void twice(Rng& rng)
+{
+    Rng local = rng;
+    local.uniform();
+}
+)"}});
+    const auto findings = run_one(corpus, "rng-discipline");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("fork"), std::string::npos);
+}
+
+TEST(ShiftlintRng, TestMacroSuiteNamedRngIsClean)
+{
+    // Regression: TEST(Rng, Foo) { ... } parses as a braced definition
+    // whose "parameter" is the suite label, not a by-value RNG.
+    auto corpus = make_corpus({{"tests/t.cc", R"(
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123);
+    Rng b(123);
+}
+)"}});
+    EXPECT_TRUE(run_one(corpus, "rng-discipline").empty());
+}
+
+TEST(ShiftlintRng, SeedConstructionIsClean)
+{
+    auto corpus = make_corpus({{"src/w.cc", R"(
+void fresh()
+{
+    Rng rng(2026);
+    std::mt19937 gen{42};
+}
+)"}});
+    EXPECT_TRUE(run_one(corpus, "rng-discipline").empty());
+}
+
+TEST(ShiftlintRng, SuppressedDeliberateForkWithReason)
+{
+    auto corpus = make_corpus({{"bench/b.cc", R"(
+void both(Rng& rng)
+{
+    // shiftlint-allow(rng-discipline): deliberate same-stream replay
+    Rng local = rng;
+    local.uniform();
+}
+)"}});
+    Options opts;
+    opts.checks = {"rng-discipline"};
+    const auto result = run_checks(corpus, opts);
+    EXPECT_TRUE(result.findings.empty());
+    EXPECT_EQ(result.suppressed.size(), 1u);
+}
+
+// ---------------------------------------- span balance across TUs
+
+TEST(ShiftlintSpanBalance, PairSplitAcrossTusIsClean)
+{
+    // v2 lifts the pairing corpus-wide: the end emitted from a different
+    // TU satisfies the begin.
+    auto corpus = make_corpus(
+        {{"src/a.cc",
+          "void f(Sink* s) { s->emit(FaultKind::kStraggleStart); }\n"},
+         {"src/b.cc",
+          "void g(Sink* s) { s->emit(FaultKind::kStraggleEnd); }\n"}});
+    EXPECT_TRUE(run_one(corpus, "trace-span-balance").empty());
+}
+
+// ---------------------------------------------- driver: jobs & stats
+
+TEST(ShiftlintDriver, MalformedGuardAnnotationIsAFinding)
+{
+    auto corpus = make_corpus({{"src/t.h", R"(
+class Sink
+{
+  private:
+    std::mutex mu_;
+    std::vector<int> events_;  // shiftlint-guarded()
+};
+)"}});
+    Options opts;
+    const auto result = run_checks(corpus, opts);
+    bool saw_bad = false;
+    for (const auto& f : result.findings)
+        saw_bad |= f.check == "bad-annotation";
+    EXPECT_TRUE(saw_bad);
+}
+
+TEST(ShiftlintDriver, JobsOutputByteIdenticalToSequential)
+{
+    // A mixed-findings fixture tree, linted at --jobs 1 and --jobs 8:
+    // human and SARIF renderings must match byte-for-byte (parallel
+    // lexing fills pre-assigned slots; checks merge in registry order).
+    const std::string dir = ::testing::TempDir() + "/shiftlint_jobs";
+    std::filesystem::create_directories(dir);
+    const std::pair<const char*, const char*> files[] = {
+        {"a.cc", "int a() { return rand(); }\n"},
+        {"b.cc", "auto t = std::chrono::system_clock::now();\n"},
+        {"c.cc", "void f(Sink* s) { s->emit(FaultKind::kDrainStart); "
+                 "}\n"},
+        {"d.cc", "bool Engine::advance_to(double t) { return "
+                 "expire_now(); }\n"
+                 "bool Engine::expire_now() { notify_ready_changed(); "
+                 "return true; }\n"},
+        {"e.cc", "void twice(Rng& rng) { Rng local = rng; }\n"},
+        {"f.cc", "int clean_file() { return 7; }\n"},
+    };
+    std::vector<std::string> paths;
+    for (const auto& [name, text] : files) {
+        paths.push_back(dir + "/" + name);
+        std::ofstream out(paths.back(), std::ios::trunc);
+        out << text;
+    }
+
+    const auto render = [&](int jobs) {
+        Corpus corpus = load_corpus(paths, jobs);
+        Options opts;
+        opts.jobs = jobs;
+        const RunResult result = run_checks(corpus, opts);
+        std::ostringstream human, sarif;
+        write_human(human, result);
+        write_sarif(sarif, result);
+        return human.str() + "\x01" + sarif.str();
+    };
+
+    const std::string seq = render(1);
+    ASSERT_NE(seq.find("[nondet-source]"), std::string::npos);
+    ASSERT_NE(seq.find("[sim-contract-interproc]"), std::string::npos);
+    for (int round = 0; round < 3; ++round)
+        EXPECT_EQ(render(8), seq) << "round " << round;
+
+    for (const auto& p : paths)
+        std::remove(p.c_str());
+}
+
+TEST(ShiftlintDriver, StatsReportCoversEveryCheck)
+{
+    auto corpus = make_corpus(
+        {{"a.cc", "int a() { return rand(); }\n"},
+         {"b.cc", "int b() { return 2; }\n"}});
+    Options opts;
+    RunResult result = run_checks(corpus, opts);
+    result.stats.lex_s = 0.001;
+
+    EXPECT_EQ(result.stats.files, 2u);
+    ASSERT_EQ(result.stats.checks.size(), check_registry().size());
+    std::size_t raw_total = 0;
+    for (const auto& c : result.stats.checks)
+        raw_total += c.findings;
+    EXPECT_GE(raw_total, 1u);
+
+    std::ostringstream os;
+    write_stats(os, result);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("shiftlint stats:"), std::string::npos);
+    EXPECT_NE(text.find("files/s"), std::string::npos);
+    for (const auto& check : check_registry())
+        EXPECT_NE(text.find(check->name()), std::string::npos);
 }
 
 } // namespace

@@ -98,7 +98,10 @@ scan_functions(SourceFile& f, std::vector<FunctionDef>& out)
                 is_def = true;
                 break;
             }
-            if (t == ";" || t == "=" || t == "}")
+            // A bare ')' here means the "call" was nested inside an
+            // enclosing paren expression — `if (x && f(y)) {` — and the
+            // '{' ahead is the statement body, not a function body.
+            if (t == ";" || t == "=" || t == "}" || t == ")")
                 break;
             if (t == "(") {
                 j = skip_parens(toks, j);
@@ -118,8 +121,18 @@ scan_functions(SourceFile& f, std::vector<FunctionDef>& out)
         fn.name = name;
         fn.qualified = name;
         if (i >= 2 && toks[i - 1].text == "::" &&
-            toks[i - 2].kind == TokKind::kIdent)
+            toks[i - 2].kind == TokKind::kIdent) {
             fn.qualified = toks[i - 2].text + "::" + name;
+            fn.owner = toks[i - 2].text;
+        } else if (i >= 3 && toks[i - 1].text == "~" &&
+                   toks[i - 2].text == "::" &&
+                   toks[i - 3].kind == TokKind::kIdent) {
+            // Out-of-line destructor: `S::~S(...)`.
+            fn.qualified = toks[i - 3].text + "::~" + name;
+            fn.owner = toks[i - 3].text;
+        }
+        fn.params_begin = i + 1;
+        fn.params_end = after_params - 1;
         fn.body_begin = j;
         fn.body_end = close;
         fn.line = toks[i].line;
@@ -170,6 +183,8 @@ scan_structs(SourceFile& f, std::vector<StructDef>& out)
         StructDef sd;
         sd.file = &f;
         sd.name = name;
+        sd.body_begin = j;
+        sd.body_end = close;
         sd.line = toks[i].line;
 
         // Collect data members: walk depth-1 declaration chunks
@@ -212,8 +227,10 @@ scan_structs(SourceFile& f, std::vector<StructDef>& out)
                             continue;
                         const std::string& next = toks[chunk[c] + 1].text;
                         if (next == ";" || next == "=" || next == "," ||
-                            next == "[")
+                            next == "[") {
                             sd.fields.push_back(id.text);
+                            sd.field_lines.push_back(id.line);
+                        }
                     }
                 }
                 chunk.clear();
@@ -284,6 +301,25 @@ Corpus::build_index()
         scan_functions(f, functions);
         scan_structs(f, structs);
         scan_unordered_decls(f, unordered_names);
+    }
+    // Attribute in-class definitions to their enclosing struct: the
+    // innermost struct body (same file) containing the function body.
+    for (auto& fn : functions) {
+        if (!fn.owner.empty())
+            continue;
+        const StructDef* best = nullptr;
+        for (const auto& sd : structs) {
+            if (sd.file != fn.file || fn.body_begin <= sd.body_begin ||
+                fn.body_end >= sd.body_end)
+                continue;
+            if (best == nullptr ||
+                sd.body_begin > best->body_begin)  // innermost wins
+                best = &sd;
+        }
+        if (best != nullptr) {
+            fn.owner = best->name;
+            fn.qualified = best->name + "::" + fn.name;
+        }
     }
 }
 

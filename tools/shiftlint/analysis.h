@@ -35,6 +35,9 @@ struct FunctionDef
     const SourceFile* file = nullptr;
     std::string name;       ///< unqualified ("merge")
     std::string qualified;  ///< "Metrics::merge" when defined out-of-line
+    std::string owner;      ///< enclosing/qualifying class name, or ""
+    std::size_t params_begin = 0;  ///< token index of the opening '('
+    std::size_t params_end = 0;    ///< token index of the matching ')'
     std::size_t body_begin = 0;  ///< token index of the opening '{'
     std::size_t body_end = 0;    ///< token index of the matching '}'
     int line = 0;
@@ -46,6 +49,9 @@ struct StructDef
     const SourceFile* file = nullptr;
     std::string name;
     std::vector<std::string> fields;  ///< declaration order
+    std::vector<int> field_lines;     ///< parallel to `fields`
+    std::size_t body_begin = 0;  ///< token index of the opening '{'
+    std::size_t body_end = 0;    ///< token index of the matching '}'
     int line = 0;
 };
 

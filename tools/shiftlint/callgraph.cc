@@ -1,0 +1,127 @@
+#include "callgraph.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <unordered_set>
+
+namespace shiftpar::lint {
+
+namespace {
+
+/** Keywords whose `kw (` shape is control flow, never a call. */
+const std::unordered_set<std::string> kNotCalls = {
+    "if",       "for",      "while",    "switch",   "catch",
+    "return",   "sizeof",   "alignof",  "decltype", "noexcept",
+    "static_assert", "alignas", "assert", "defined",
+};
+
+} // namespace
+
+CallGraph
+CallGraph::build(const Corpus& corpus, const SymbolIndex& index)
+{
+    CallGraph g;
+    const std::size_t n = corpus.functions.size();
+    g.callees_.resize(n);
+    g.callers_.resize(n);
+    g.unresolved_.resize(n);
+
+    for (std::size_t fi = 0; fi < n; ++fi) {
+        const FunctionDef& fn = corpus.functions[fi];
+        const auto& toks = fn.file->tokens;
+        std::set<std::size_t> seen_callees;
+        std::set<std::string> seen_unresolved;
+        for (std::size_t k = fn.body_begin + 1;
+             k + 1 < fn.body_end; ++k) {
+            if (toks[k].kind != TokKind::kIdent || toks[k + 1].text != "(")
+                continue;
+            const std::string& name = toks[k].text;
+            if (kNotCalls.count(name))
+                continue;
+
+            std::string qualifier;
+            bool member = false;
+            if (k > 0) {
+                const std::string& prev = toks[k - 1].text;
+                member = prev == "." || prev == "->";
+                if (prev == "::" && k >= 2 &&
+                    toks[k - 2].kind == TokKind::kIdent)
+                    qualifier = toks[k - 2].text;
+            }
+            // A member call's receiver is not `this`: skip the own-class
+            // preference and over-approximate across all definitions.
+            const std::vector<std::size_t> targets = index.resolve(
+                name, qualifier, member ? std::string() : fn.owner);
+            if (targets.empty()) {
+                if (seen_unresolved.insert(name).second) {
+                    g.unresolved_[fi].push_back(name);
+                    ++g.num_unresolved_;
+                }
+                continue;
+            }
+            for (const std::size_t t : targets) {
+                if (t == fi || !seen_callees.insert(t).second)
+                    continue;
+                g.callees_[fi].push_back({t, k});
+                ++g.num_edges_;
+            }
+        }
+    }
+
+    for (std::size_t fi = 0; fi < n; ++fi)
+        for (const Edge& e : g.callees_[fi])
+            g.callers_[e.callee].push_back(fi);
+    for (auto& c : g.callers_)
+        c.erase(std::unique(c.begin(), c.end()), c.end());
+    return g;
+}
+
+std::vector<std::size_t>
+CallGraph::find_path(std::size_t root,
+                     const std::function<bool(std::size_t)>& pred,
+                     int max_depth) const
+{
+    if (root >= callees_.size())
+        return {};
+    std::vector<std::size_t> parent(callees_.size(),
+                                    callees_.size());  // "unvisited"
+    std::deque<std::pair<std::size_t, int>> queue;
+    queue.emplace_back(root, 0);
+    parent[root] = root;
+    while (!queue.empty()) {
+        const auto [cur, depth] = queue.front();
+        queue.pop_front();
+        if (cur != root && pred(cur)) {
+            std::vector<std::size_t> path;
+            for (std::size_t at = cur; at != root; at = parent[at])
+                path.push_back(at);
+            path.push_back(root);
+            std::reverse(path.begin(), path.end());
+            return path;
+        }
+        if (depth >= max_depth)
+            continue;
+        for (const Edge& e : callees_[cur]) {
+            if (parent[e.callee] != callees_.size())
+                continue;
+            parent[e.callee] = cur;
+            queue.emplace_back(e.callee, depth + 1);
+        }
+    }
+    return {};
+}
+
+bool
+CallGraph::reaches(std::size_t root,
+                   const std::function<bool(std::size_t)>& pred,
+                   int max_depth) const
+{
+    if (root >= callees_.size())
+        return false;
+    if (pred(root))
+        return true;
+    return !find_path(root, pred, max_depth).empty();
+}
+
+} // namespace shiftpar::lint

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Conservative whole-corpus call graph for shiftlint.
+ *
+ * Nodes are the `FunctionDef`s recognized by the AST-lite layer; edges are
+ * `name(`-shaped call sites inside a body, resolved through the
+ * `SymbolIndex`. Resolution is deliberately conservative in both
+ * directions:
+ *
+ *  - a bare call inside a member function resolves within its own class
+ *    first (`step()` in `Engine::advance_to` means `Engine::step`, not a
+ *    test fixture's `step`), then to every definition of the name;
+ *  - member-access calls (`x.f(`, `x->f(`) resolve to every definition of
+ *    `f` — without types we over-approximate rather than guess;
+ *  - calls through an unknown qualifier (`std::min`), function-valued
+ *    members (`on_finish_(...)`), and anything else that resolves to no
+ *    in-corpus definition become *unresolved* edges: they are counted but
+ *    produce no graph edge, so every check built on the graph fails open
+ *    across them — an invisible callee never creates a finding.
+ *
+ * Determinism: nodes are corpus indexes, edges are collected in token
+ * order and deduplicated keeping the earliest call site, and the reverse
+ * (caller) lists are built by one in-order sweep — the same corpus always
+ * produces the identical graph.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "index.h"
+
+namespace shiftpar::lint {
+
+/** Call graph over `Corpus::functions`. */
+class CallGraph
+{
+  public:
+    /** One resolved call: target function + call-site token in the
+     *  caller's file (for finding locations). */
+    struct Edge
+    {
+        std::size_t callee = 0;  ///< into Corpus::functions
+        std::size_t site = 0;    ///< token index in the caller's file
+    };
+
+    /** Build the graph (corpus and index must outlive the result). */
+    static CallGraph build(const Corpus& corpus, const SymbolIndex& index);
+
+    /** Out-edges of `fn`, earliest call site first, one per callee. */
+    const std::vector<Edge>& callees(std::size_t fn) const
+    {
+        return callees_[fn];
+    }
+
+    /** Functions with an edge into `fn`, ascending corpus index. */
+    const std::vector<std::size_t>& callers(std::size_t fn) const
+    {
+        return callers_[fn];
+    }
+
+    /** Call names in `fn` that resolved to no definition (fail-open). */
+    const std::vector<std::string>& unresolved(std::size_t fn) const
+    {
+        return unresolved_[fn];
+    }
+
+    std::size_t num_nodes() const { return callees_.size(); }
+    std::size_t num_edges() const { return num_edges_; }
+    std::size_t num_unresolved() const { return num_unresolved_; }
+
+    /**
+     * Breadth-first search from `root` over callee edges, bounded by
+     * `max_depth` hops. @return the first path `root, ..., target` (by
+     * BFS order, which is deterministic) whose `target` satisfies `pred`,
+     * excluding `root` itself from the predicate; empty when none.
+     */
+    std::vector<std::size_t> find_path(
+        std::size_t root,
+        const std::function<bool(std::size_t)>& pred,
+        int max_depth) const;
+
+    /** @return true when `pred` holds for `root` or any function
+     *  reachable from it within `max_depth` hops. */
+    bool reaches(std::size_t root,
+                 const std::function<bool(std::size_t)>& pred,
+                 int max_depth) const;
+
+  private:
+    std::vector<std::vector<Edge>> callees_;
+    std::vector<std::vector<std::size_t>> callers_;
+    std::vector<std::vector<std::string>> unresolved_;
+    std::size_t num_edges_ = 0;
+    std::size_t num_unresolved_ = 0;
+};
+
+} // namespace shiftpar::lint

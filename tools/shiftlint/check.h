@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "analysis.h"
+#include "callgraph.h"
+#include "index.h"
 
 namespace shiftpar::lint {
 
@@ -40,6 +42,19 @@ struct Finding
     std::optional<FixEdit> fix;
 };
 
+/**
+ * Everything a check may consult: the lexed corpus plus the cross-TU
+ * symbol index and call graph derived from it (built once per run and
+ * shared read-only across checks, so `--jobs` can run checks in
+ * parallel).
+ */
+struct LintContext
+{
+    const Corpus& corpus;
+    const SymbolIndex& symbols;
+    const CallGraph& callgraph;
+};
+
 /** One registered rule. */
 class Check
 {
@@ -52,7 +67,7 @@ class Check
     /** One-line description (shown by --list-checks and in SARIF). */
     virtual const char* description() const = 0;
 
-    virtual void run(const Corpus& corpus,
+    virtual void run(const LintContext& ctx,
                      std::vector<Finding>& out) const = 0;
 };
 

@@ -9,6 +9,8 @@
 #include "check.h"
 
 #include <algorithm>
+#include <deque>
+#include <functional>
 #include <map>
 #include <set>
 #include <unordered_set>
@@ -69,8 +71,9 @@ class NondetSourceCheck final : public Check
     }
 
     void
-    run(const Corpus& corpus, std::vector<Finding>& out) const override
+    run(const LintContext& ctx, std::vector<Finding>& out) const override
     {
+        const Corpus& corpus = ctx.corpus;
         for (const auto& f : corpus.files) {
             const auto& toks = f.tokens;
             for (std::size_t i = 0; i < toks.size(); ++i) {
@@ -170,8 +173,8 @@ class NondetSourceCheck final : public Check
  * reductions, but inside a function that also writes to a TraceSink,
  * ReportJson, CSV, or histogram the iteration order can reach a committed
  * artifact. This is the bug class the determinism guard exists to catch —
- * shiftlint catches it before a sweep runs. Order-independent uses are
- * annotated with `// shiftlint-allow(unordered-emit): <why>`.
+ * shiftlint catches it before a sweep runs. Order-independent uses carry
+ * an `unordered-emit` allow-comment stating why the order cannot leak.
  */
 class UnorderedEmitCheck final : public Check
 {
@@ -190,8 +193,9 @@ class UnorderedEmitCheck final : public Check
     }
 
     void
-    run(const Corpus& corpus, std::vector<Finding>& out) const override
+    run(const LintContext& ctx, std::vector<Finding>& out) const override
     {
+        const Corpus& corpus = ctx.corpus;
         static const std::unordered_set<std::string> kEmitIdents = {
             "on_request",      "on_step",        "on_mode_switch",
             "on_gauge",        "on_fault",       "on_instant",
@@ -257,13 +261,16 @@ class UnorderedEmitCheck final : public Check
 };
 
 /**
- * Check 3: trace-span balance.
+ * Check 3: trace-span balance (whole-corpus).
  *
  * Paired trace emissions (straggle start/end, link degrade/restore, and
- * any kBeginX/kEndX convention) must both be reachable in a TU that emits
- * either one — a begin without its end renders as an unterminated span
- * and breaks span-based analysis. (kFail/kRecover is deliberately not a
- * pair: permanent fail-stop is a legal final state.)
+ * any kBeginX/kEndX convention) must both be emitted *somewhere in the
+ * linted corpus* — a begin whose end exists nowhere renders as an
+ * unterminated span and breaks span-based analysis. Pairing is resolved
+ * corpus-wide, not per TU: a span legitimately opened in `router.cc` and
+ * closed in `scheduler.cc` (the drain pair's shape) is checked, not
+ * flagged. (kFail/kRecover is deliberately not a pair: permanent
+ * fail-stop is a legal final state.)
  */
 class TraceSpanBalanceCheck final : public Check
 {
@@ -278,29 +285,48 @@ class TraceSpanBalanceCheck final : public Check
     description() const override
     {
         return "paired trace emissions (k*Start/k*End, kBegin*/kEnd*) "
-               "must both appear in any TU emitting one of them";
+               "must both appear somewhere in the corpus (cross-TU "
+               "pairs resolve)";
     }
 
     void
-    run(const Corpus& corpus, std::vector<Finding>& out) const override
+    run(const LintContext& ctx, std::vector<Finding>& out) const override
     {
+        const Corpus& corpus = ctx.corpus;
         static const std::pair<const char*, const char*> kPairs[] = {
             {"kStraggleStart", "kStraggleEnd"},
             {"kLinkDegrade", "kLinkRestore"},
             {"kDrainStart", "kDrainEnd"},
         };
 
-        for (const auto& f : corpus.files) {
-            // Only implementation files: headers declare the enumerators
-            // (both halves, next to each other) without emitting.
-            const auto ends_with = [&](const char* suffix) {
+        const auto is_impl = [](const std::string& path) {
+            // Headers declare the enumerators (both halves, next to each
+            // other) without emitting.
+            for (const char* suffix : {".cc", ".cpp", ".cxx"}) {
                 const std::string s = suffix;
-                return f.path.size() >= s.size() &&
-                       f.path.compare(f.path.size() - s.size(), s.size(),
-                                      s) == 0;
-            };
-            if (!ends_with(".cc") && !ends_with(".cpp") &&
-                !ends_with(".cxx"))
+                if (path.size() >= s.size() &&
+                    path.compare(path.size() - s.size(), s.size(), s) ==
+                        0)
+                    return true;
+            }
+            return false;
+        };
+
+        // Pass 1: every identifier emitted by any implementation file —
+        // the corpus-wide resolution set for span ends.
+        std::set<std::string> corpus_present;
+        for (const auto& f : corpus.files) {
+            if (!is_impl(f.path))
+                continue;
+            for (const auto& tok : f.tokens)
+                if (tok.kind == TokKind::kIdent)
+                    corpus_present.insert(tok.text);
+        }
+
+        // Pass 2: report each TU's first use of a begin whose end exists
+        // nowhere in the corpus.
+        for (const auto& f : corpus.files) {
+            if (!is_impl(f.path))
                 continue;
 
             std::map<std::string, const Token*> first_use;
@@ -314,13 +340,14 @@ class TraceSpanBalanceCheck final : public Check
 
             const auto require = [&](const std::string& begin,
                                      const std::string& end) {
-                if (present.count(begin) && !present.count(end)) {
+                if (present.count(begin) && !corpus_present.count(end)) {
                     out.push_back(make_finding(
                         name(), f, *first_use[begin],
-                        "emits '" + begin + "' but never '" + end +
-                            "' in this TU; a begin without its end "
-                            "leaves an unterminated trace span on some "
-                            "control path"));
+                        "emits '" + begin + "' but '" + end +
+                            "' is never emitted anywhere in the linted "
+                            "corpus; a begin without its end leaves an "
+                            "unterminated trace span on some control "
+                            "path"));
                 }
             };
 
@@ -363,8 +390,9 @@ class StructSerializerDriftCheck final : public Check
     }
 
     void
-    run(const Corpus& corpus, std::vector<Finding>& out) const override
+    run(const LintContext& ctx, std::vector<Finding>& out) const override
     {
+        const Corpus& corpus = ctx.corpus;
         struct Watch
         {
             const char* struct_name;
@@ -489,8 +517,9 @@ class SimContractCheck final : public Check
     }
 
     void
-    run(const Corpus& corpus, std::vector<Finding>& out) const override
+    run(const LintContext& ctx, std::vector<Finding>& out) const override
     {
+        const Corpus& corpus = ctx.corpus;
         static const std::unordered_set<std::string> kClusterMutators = {
             "post", "cancel_event",   "add",
             "run",  "set_progress_hook", "notify_ready",
@@ -645,6 +674,591 @@ class SimContractCheck final : public Check
     }
 };
 
+/**
+ * Check 6: sim-core contract, interprocedural.
+ *
+ * The direct sim-contract check only sees mutation written inside
+ * `advance_to` itself; this one walks the call graph so an `advance_to`
+ * that calls `step()` which calls `expire_now()` which pokes the ready
+ * index is flagged too. Resolution fails open: a call through a
+ * `std::function` member or any name with no in-corpus definition
+ * produces no edge and therefore no finding.
+ */
+class SimContractInterprocCheck final : public Check
+{
+  public:
+    const char*
+    name() const override
+    {
+        return "sim-contract-interproc";
+    }
+
+    const char*
+    description() const override
+    {
+        return "advance_to must not reach cluster mutation or ready "
+               "notification through its callees (call-graph "
+               "transitive)";
+    }
+
+    void
+    run(const LintContext& ctx, std::vector<Finding>& out) const override
+    {
+        const Corpus& corpus = ctx.corpus;
+        constexpr int kMaxDepth = 8;
+
+        // Memoized "does this function mutate the cluster" predicate.
+        std::vector<int> memo(corpus.functions.size(), -1);
+        const auto mutates = [&](std::size_t fi) {
+            if (memo[fi] < 0)
+                memo[fi] = mutator_site(corpus.functions[fi]).first
+                               ? 1
+                               : 0;
+            return memo[fi] == 1;
+        };
+
+        for (std::size_t fi = 0; fi < corpus.functions.size(); ++fi) {
+            const FunctionDef& fn = corpus.functions[fi];
+            if (fn.name != "advance_to")
+                continue;
+            const std::vector<std::size_t> path =
+                ctx.callgraph.find_path(fi, mutates, kMaxDepth);
+            if (path.empty())
+                continue;
+
+            // Locate the first hop's call site for the finding location.
+            const Token* site = nullptr;
+            for (const auto& e : ctx.callgraph.callees(fi)) {
+                if (e.callee == path[1]) {
+                    site = &fn.file->tokens[e.site];
+                    break;
+                }
+            }
+            if (site == nullptr)
+                continue;  // should not happen; fail open
+
+            std::string chain;
+            for (std::size_t k = 1; k < path.size(); ++k) {
+                if (k > 1)
+                    chain += " -> ";
+                chain += "'" + corpus.functions[path[k]].qualified + "'";
+            }
+            const auto what =
+                mutator_site(corpus.functions[path.back()]).second;
+            out.push_back(make_finding(
+                name(), *fn.file, *site,
+                "'" + fn.qualified + "' reaches " + what + " via " +
+                    chain +
+                    ": components must not mutate the cluster "
+                    "mid-grant, even transitively (post from an event "
+                    "or the progress hook; the loop republishes the "
+                    "ready time itself)"));
+        }
+    }
+
+  private:
+    /** @return {true, what} when `fn`'s body directly notifies the ready
+     *  index or calls a mutating member on a cluster-ish receiver. */
+    static std::pair<bool, std::string>
+    mutator_site(const FunctionDef& fn)
+    {
+        static const std::unordered_set<std::string> kClusterMutators = {
+            "post", "cancel_event",      "add",
+            "run",  "set_progress_hook", "notify_ready",
+        };
+        const auto& toks = fn.file->tokens;
+        for (std::size_t i = fn.body_begin; i + 2 < fn.body_end; ++i) {
+            if (toks[i].kind != TokKind::kIdent)
+                continue;
+            const std::string& t = toks[i].text;
+            if (t == "notify_ready_changed" && toks[i + 1].text == "(" &&
+                (i == fn.body_begin || (toks[i - 1].text != "." &&
+                                        toks[i - 1].text != "->" &&
+                                        toks[i - 1].text != "::")))
+                return {true, "notify_ready_changed()"};
+            const bool cluster_ref =
+                t == "cluster" ||
+                (t.size() >= 8 &&
+                 t.compare(t.size() - 8, 8, "cluster_") == 0);
+            if (!cluster_ref)
+                continue;
+            if (toks[i + 1].text != "." && toks[i + 1].text != "->")
+                continue;
+            if (kClusterMutators.count(toks[i + 2].text))
+                return {true,
+                        t + toks[i + 1].text + toks[i + 2].text + "()"};
+        }
+        return {false, ""};
+    }
+};
+
+/**
+ * Check 7: guarded-by discipline.
+ *
+ * Fields carrying a guarded-field comment (`shiftlint-guarded` naming a
+ * mutex member) must only be touched inside member functions of the
+ * owning class that lock that mutex — directly (lock_guard / unique_lock
+ * / scoped_lock / shared_lock naming it, or an explicit `.lock()`), or
+ * via *every* call-graph path from a locking caller. Constructors and
+ * destructors are exempt (no sharing before/after lifetime). A function
+ * with no in-corpus callers and no lock of its own is part of the public
+ * surface and is flagged — that is exactly the `set_title` bug class.
+ */
+class GuardedByCheck final : public Check
+{
+  public:
+    const char*
+    name() const override
+    {
+        return "guarded-by";
+    }
+
+    const char*
+    description() const override
+    {
+        return "annotated fields must only be touched while their "
+               "declared mutex is held (directly or on every caller "
+               "path)";
+    }
+
+    void
+    run(const LintContext& ctx, std::vector<Finding>& out) const override
+    {
+        const Corpus& corpus = ctx.corpus;
+        constexpr int kCallerDepth = 4;
+
+        for (const auto& ug : ctx.symbols.unresolved_guards) {
+            Finding fd;
+            fd.check = name();
+            fd.path = ug.file->path;
+            fd.line = ug.line;
+            fd.col = 1;
+            fd.message =
+                "guarded-field annotation names mutex '" + ug.mutex +
+                "' but binds to no data member declared on this line or "
+                "the next; move it onto the field declaration";
+            out.push_back(std::move(fd));
+        }
+
+        for (const auto& gf : ctx.symbols.guarded_fields) {
+            for (std::size_t fi = 0; fi < corpus.functions.size();
+                 ++fi) {
+                const FunctionDef& fn = corpus.functions[fi];
+                if (fn.owner != gf.struct_name)
+                    continue;
+                if (fn.name == gf.struct_name)
+                    continue;  // constructor/destructor: not shared yet
+                const auto& toks = fn.file->tokens;
+                const Token* touch = nullptr;
+                for (std::size_t i = fn.body_begin + 1; i < fn.body_end;
+                     ++i) {
+                    if (toks[i].kind == TokKind::kIdent &&
+                        toks[i].text == gf.field) {
+                        touch = &toks[i];
+                        break;
+                    }
+                }
+                if (touch == nullptr)
+                    continue;
+                if (locks(corpus.functions[fi], gf.mutex))
+                    continue;
+                std::set<std::size_t> visiting;
+                if (callers_all_lock(ctx, fi, gf.mutex, kCallerDepth,
+                                     visiting))
+                    continue;
+                out.push_back(make_finding(
+                    name(), *fn.file, *touch,
+                    "field '" + gf.field + "' of " + gf.struct_name +
+                        " is guarded by '" + gf.mutex + "' but '" +
+                        fn.qualified +
+                        "' touches it without locking it, and no "
+                        "locking caller covers every path here"));
+            }
+        }
+    }
+
+  private:
+    /** @return true when `fn`'s body locks `mutex` (RAII guard naming
+     *  it, or an explicit `.lock()` on it). */
+    static bool
+    locks(const FunctionDef& fn, const std::string& mutex)
+    {
+        static const std::unordered_set<std::string> kGuards = {
+            "lock_guard", "unique_lock", "scoped_lock", "shared_lock",
+        };
+        const auto& toks = fn.file->tokens;
+        for (std::size_t i = fn.body_begin + 1; i + 1 < fn.body_end;
+             ++i) {
+            if (toks[i].kind != TokKind::kIdent)
+                continue;
+            if (toks[i].text == mutex && toks[i + 1].text == "." &&
+                i + 2 < fn.body_end && toks[i + 2].text == "lock")
+                return true;
+            if (!kGuards.count(toks[i].text))
+                continue;
+            // Find the constructor's argument list: the first '(' within
+            // a few tokens (skipping the template argument list and the
+            // variable name), then scan it for the mutex name.
+            std::size_t j = i + 1;
+            for (int hops = 0;
+                 j < fn.body_end && toks[j].text != "(" &&
+                 toks[j].text != ";" && hops < 12;
+                 ++j, ++hops) {
+            }
+            if (j >= fn.body_end || toks[j].text != "(")
+                continue;
+            int depth = 0;
+            for (; j < fn.body_end; ++j) {
+                if (toks[j].text == "(")
+                    ++depth;
+                else if (toks[j].text == ")" && --depth == 0)
+                    break;
+                else if (toks[j].kind == TokKind::kIdent &&
+                         toks[j].text == mutex)
+                    return true;
+            }
+        }
+        return false;
+    }
+
+    /** @return true when every call-graph path into `fi` goes through a
+     *  function that locks `mutex` within `depth` hops. No callers means
+     *  unprotected public surface: false. Cycles resolve to false
+     *  (cannot prove the lock). */
+    static bool
+    callers_all_lock(const LintContext& ctx, std::size_t fi,
+                     const std::string& mutex, int depth,
+                     std::set<std::size_t>& visiting)
+    {
+        const auto& callers = ctx.callgraph.callers(fi);
+        if (callers.empty())
+            return false;
+        if (!visiting.insert(fi).second)
+            return false;
+        bool ok = true;
+        for (const std::size_t c : callers) {
+            if (locks(ctx.corpus.functions[c], mutex))
+                continue;
+            if (depth <= 0 ||
+                !callers_all_lock(ctx, c, mutex, depth - 1, visiting)) {
+                ok = false;
+                break;
+            }
+        }
+        visiting.erase(fi);
+        return ok;
+    }
+};
+
+/**
+ * Check 8: outcome conservation.
+ *
+ * The router's accounting identity (submitted = completed + expired +
+ * cancelled + lost + shed) only holds if every terminal flight-outcome
+ * transition also increments the `shiftpar_request_outcome_total`
+ * counter (via `count_outcome`) and the matching stats field. The chaos
+ * soak finds violations dynamically; this check finds them at lint time,
+ * in both directions: a terminal `FlightOutcome` assignment must reach
+ * the counter and the stats update through the call graph, and a
+ * terminal `count_outcome` call must have a matching flight-table
+ * transition in reach.
+ */
+class OutcomeConservationCheck final : public Check
+{
+  public:
+    const char*
+    name() const override
+    {
+        return "outcome-conservation";
+    }
+
+    const char*
+    description() const override
+    {
+        return "terminal flight-outcome transitions, the outcome "
+               "counter, and the stats update must travel together";
+    }
+
+    void
+    run(const LintContext& ctx, std::vector<Finding>& out) const override
+    {
+        const Corpus& corpus = ctx.corpus;
+        constexpr int kDepth = 3;
+
+        struct Terminal
+        {
+            const char* enumerator;
+            const char* label;  ///< count_outcome string & stats field
+        };
+        static const Terminal kTerminals[] = {
+            {"kCompleted", "completed"}, {"kExpired", "expired"},
+            {"kCancelled", "cancelled"}, {"kLost", "lost"},
+            {"kShed", "shed"},
+        };
+
+        const auto counts_outcome = [&](std::size_t fi) {
+            const FunctionDef& fn = corpus.functions[fi];
+            const auto& toks = fn.file->tokens;
+            for (std::size_t i = fn.body_begin + 1; i + 1 < fn.body_end;
+                 ++i)
+                if (toks[i].kind == TokKind::kIdent &&
+                    toks[i].text == "count_outcome" &&
+                    toks[i + 1].text == "(")
+                    return true;
+            return false;
+        };
+        const auto updates_stats = [&](std::size_t fi,
+                                       const std::string& field) {
+            const FunctionDef& fn = corpus.functions[fi];
+            const auto& toks = fn.file->tokens;
+            for (std::size_t i = fn.body_begin + 1; i + 2 < fn.body_end;
+                 ++i)
+                if (toks[i].kind == TokKind::kIdent &&
+                    (toks[i].text == "overload_stats_" ||
+                     toks[i].text == "fault_stats_") &&
+                    toks[i + 1].text == "." &&
+                    toks[i + 2].text == field)
+                    return true;
+            return false;
+        };
+        const auto assigns = [&](std::size_t fi,
+                                 const std::string& enumerator) {
+            const FunctionDef& fn = corpus.functions[fi];
+            const auto& toks = fn.file->tokens;
+            for (std::size_t i = fn.body_begin + 1; i + 2 < fn.body_end;
+                 ++i)
+                if (toks[i].text == "FlightOutcome" && i > 0 &&
+                    toks[i - 1].text == "=" &&
+                    toks[i + 1].text == "::" &&
+                    toks[i + 2].text == enumerator)
+                    return true;
+            return false;
+        };
+
+        for (std::size_t fi = 0; fi < corpus.functions.size(); ++fi) {
+            const FunctionDef& fn = corpus.functions[fi];
+            const auto& toks = fn.file->tokens;
+            for (std::size_t i = fn.body_begin + 1; i + 2 < fn.body_end;
+                 ++i) {
+                // Forward direction: `... = FlightOutcome::kTerminal`.
+                if (toks[i].text == "FlightOutcome" &&
+                    toks[i - 1].text == "=" &&
+                    toks[i + 1].text == "::") {
+                    for (const Terminal& term : kTerminals) {
+                        if (toks[i + 2].text != term.enumerator)
+                            continue;
+                        if (!ctx.callgraph.reaches(fi, counts_outcome,
+                                                   kDepth)) {
+                            out.push_back(make_finding(
+                                name(), *fn.file, toks[i],
+                                "'" + fn.qualified +
+                                    "' assigns FlightOutcome::" +
+                                    term.enumerator +
+                                    " but never reaches count_outcome("
+                                    ") — the conservation identity "
+                                    "loses this request"));
+                        }
+                        const std::string field = term.label;
+                        if (!ctx.callgraph.reaches(
+                                fi,
+                                [&](std::size_t g) {
+                                    return updates_stats(g, field);
+                                },
+                                kDepth)) {
+                            out.push_back(make_finding(
+                                name(), *fn.file, toks[i],
+                                "'" + fn.qualified +
+                                    "' assigns FlightOutcome::" +
+                                    term.enumerator +
+                                    " but never reaches the '" + field +
+                                    "' stats update — reports drift "
+                                    "from the flight table"));
+                        }
+                    }
+                }
+                // Reverse direction: count_outcome("<terminal>") with no
+                // matching flight-table transition in reach.
+                if (toks[i].kind == TokKind::kIdent &&
+                    toks[i].text == "count_outcome" &&
+                    toks[i + 1].text == "(" &&
+                    toks[i + 2].kind == TokKind::kString) {
+                    for (const Terminal& term : kTerminals) {
+                        const std::string quoted =
+                            std::string("\"") + term.label + "\"";
+                        if (toks[i + 2].text != quoted)
+                            continue;
+                        const std::string enumerator = term.enumerator;
+                        const auto assigns_term = [&](std::size_t g) {
+                            return assigns(g, enumerator);
+                        };
+                        // The transition may sit below (a callee does
+                        // the bookkeeping) or above (this IS the
+                        // bookkeeping helper, called from the
+                        // transition site) — accept either.
+                        if (!ctx.callgraph.reaches(fi, assigns_term,
+                                                   kDepth) &&
+                            !reached_from_assigner(ctx, fi,
+                                                   assigns_term,
+                                                   kDepth)) {
+                            out.push_back(make_finding(
+                                name(), *fn.file, toks[i],
+                                "'" + fn.qualified + "' counts outcome "
+                                "'" + term.label +
+                                    "' without a matching FlightOutcome"
+                                    "::" + enumerator +
+                                    " flight-table transition in reach "
+                                    "— the counter can double-book"));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+  private:
+    /** BFS up the caller edges: does any transitive caller within
+     *  `depth` hops satisfy `pred`? */
+    static bool
+    reached_from_assigner(const LintContext& ctx, std::size_t fi,
+                          const std::function<bool(std::size_t)>& pred,
+                          int depth)
+    {
+        std::set<std::size_t> seen{fi};
+        std::deque<std::pair<std::size_t, int>> queue;
+        queue.emplace_back(fi, 0);
+        while (!queue.empty()) {
+            const auto [cur, d] = queue.front();
+            queue.pop_front();
+            if (cur != fi && pred(cur))
+                return true;
+            if (d >= depth)
+                continue;
+            for (const std::size_t c : ctx.callgraph.callers(cur))
+                if (seen.insert(c).second)
+                    queue.emplace_back(c, d + 1);
+        }
+        return false;
+    }
+};
+
+/**
+ * Check 9: RNG discipline.
+ *
+ * Replay determinism requires one owner per RNG stream. A by-value RNG
+ * parameter or a copy-initialized RNG local silently forks the stream:
+ * the copy replays the original's future draws while the original never
+ * advances — two call sites then see correlated "randomness" and a
+ * replay with a reordered call sequence diverges. Streams must flow by
+ * reference/pointer; deliberate decorrelated children come from
+ * `split()`.
+ */
+class RngDisciplineCheck final : public Check
+{
+  public:
+    const char*
+    name() const override
+    {
+        return "rng-discipline";
+    }
+
+    const char*
+    description() const override
+    {
+        return "seeded RNG state must flow by reference: by-value "
+               "parameters and copy-init fork the stream";
+    }
+
+    void
+    run(const LintContext& ctx, std::vector<Finding>& out) const override
+    {
+        const Corpus& corpus = ctx.corpus;
+        static const std::unordered_set<std::string> kRngTypes = {
+            "Rng",          "mt19937",       "mt19937_64",
+            "minstd_rand",  "minstd_rand0",  "default_random_engine",
+            "knuth_b",      "ranlux24",      "ranlux48",
+            "ranlux24_base", "ranlux48_base",
+        };
+
+        // Macro invocations with braced bodies — TEST(Rng, Seed) { .. }
+        // — parse as definitions, but their "parameters" are macro
+        // arguments: an RNG type name there is a test-suite label, not
+        // a by-value parameter. ALL_CAPS names are macros by project
+        // convention.
+        const auto macro_like = [](const std::string& n) {
+            for (const char c : n)
+                if (c != '_' && !(c >= 'A' && c <= 'Z') &&
+                    !(c >= '0' && c <= '9'))
+                    return false;
+            return !n.empty();
+        };
+
+        // (a) By-value RNG parameters in function definitions.
+        for (const auto& fn : corpus.functions) {
+            if (macro_like(fn.name))
+                continue;
+            const auto& toks = fn.file->tokens;
+            for (std::size_t i = fn.params_begin + 1; i < fn.params_end;
+                 ++i) {
+                if (toks[i].kind != TokKind::kIdent ||
+                    !kRngTypes.count(toks[i].text))
+                    continue;
+                // Scan this parameter (to the next ',' or the closing
+                // ')' at top level) for a '&' or '*' declarator.
+                bool by_ref = false;
+                int depth = 0;
+                std::size_t j = i + 1;
+                for (; j < fn.params_end; ++j) {
+                    const std::string& t = toks[j].text;
+                    if (t == "(" || t == "<")
+                        ++depth;
+                    else if (t == ")" || t == ">")
+                        --depth;
+                    else if (t == "," && depth == 0)
+                        break;
+                    else if ((t == "&" || t == "*" || t == "&&") &&
+                             depth == 0)
+                        by_ref = true;
+                }
+                if (by_ref)
+                    continue;
+                out.push_back(make_finding(
+                    name(), *fn.file, toks[i],
+                    "'" + fn.qualified + "' takes RNG type '" +
+                        toks[i].text +
+                        "' by value: the callee advances a private "
+                        "copy and the caller's stream never moves — "
+                        "pass by reference, or hand the callee its own "
+                        "split() child"));
+                i = j;
+            }
+        }
+
+        // (b) Copy-initialization from another RNG object:
+        //     `<RngType> <name> = <ident> ;`
+        for (const auto& f : corpus.files) {
+            const auto& toks = f.tokens;
+            for (std::size_t i = 0; i + 4 < toks.size(); ++i) {
+                if (toks[i].kind != TokKind::kIdent ||
+                    !kRngTypes.count(toks[i].text))
+                    continue;
+                if (toks[i + 1].kind != TokKind::kIdent ||
+                    toks[i + 2].text != "=" ||
+                    toks[i + 3].kind != TokKind::kIdent ||
+                    toks[i + 4].text != ";")
+                    continue;
+                out.push_back(make_finding(
+                    name(), f, toks[i],
+                    "'" + toks[i].text + " " + toks[i + 1].text + " = " +
+                        toks[i + 3].text +
+                        ";' copy-initializes RNG state: both objects "
+                        "replay the same stream from here (a silent "
+                        "fork) — bind a reference, or derive a "
+                        "decorrelated child with split()"));
+            }
+        }
+    }
+};
+
 } // namespace
 
 const std::vector<std::unique_ptr<Check>>&
@@ -657,6 +1271,10 @@ check_registry()
         v->push_back(std::make_unique<TraceSpanBalanceCheck>());
         v->push_back(std::make_unique<StructSerializerDriftCheck>());
         v->push_back(std::make_unique<SimContractCheck>());
+        v->push_back(std::make_unique<SimContractInterprocCheck>());
+        v->push_back(std::make_unique<GuardedByCheck>());
+        v->push_back(std::make_unique<OutcomeConservationCheck>());
+        v->push_back(std::make_unique<RngDisciplineCheck>());
         return v;
     }();
     return *checks;

@@ -12,6 +12,8 @@
 
 #include "util/json.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace shiftpar::lint {
 
@@ -153,37 +155,99 @@ collect_sources(const std::vector<std::string>& paths)
 }
 
 Corpus
-load_corpus(const std::vector<std::string>& paths)
+load_corpus(const std::vector<std::string>& paths, int jobs,
+            double* lex_seconds)
 {
+    const util::Stopwatch watch;
     Corpus corpus;
-    for (const auto& path : paths) {
+    const auto read_and_lex = [](const std::string& path) {
         std::ifstream in(path, std::ios::binary);
         if (!in)
             fatal("cannot read '" + path + "'");
         std::ostringstream ss;
         ss << in.rdbuf();
-        corpus.files.push_back(lex_source(path, ss.str()));
+        return lex_source(path, ss.str());
+    };
+    if (jobs == 1 || paths.size() < 2) {
+        for (const auto& path : paths)
+            corpus.files.push_back(read_and_lex(path));
+    } else {
+        // Same idiom as bench::run_sweep: workers fill pre-assigned
+        // slots, so the corpus lands in path order at any job count.
+        corpus.files.resize(paths.size());
+        util::ThreadPool pool(jobs);
+        for (std::size_t i = 0; i < paths.size(); ++i)
+            pool.submit([&, i] { corpus.files[i] = read_and_lex(paths[i]); });
+        pool.wait_idle();
     }
     corpus.build_index();
+    if (lex_seconds != nullptr)
+        *lex_seconds = watch.elapsed_s();
     return corpus;
 }
 
 RunResult
 run_checks(Corpus& corpus, const Options& opts)
 {
+    const util::Stopwatch total_watch;
     RunResult result;
+    result.stats.files = corpus.files.size();
 
-    std::vector<Finding> raw;
+    // Build the cross-TU layers once; checks share them read-only.
+    const util::Stopwatch index_watch;
+    const SymbolIndex symbols = SymbolIndex::build(corpus);
+    const CallGraph callgraph = CallGraph::build(corpus, symbols);
+    result.stats.index_s = index_watch.elapsed_s();
+    result.stats.functions = corpus.functions.size();
+    result.stats.structs = corpus.structs.size();
+    result.stats.callgraph_edges = callgraph.num_edges();
+    result.stats.unresolved_calls = callgraph.num_unresolved();
+    const LintContext ctx{corpus, symbols, callgraph};
+
+    std::vector<const Check*> selected;
     for (const auto& check : check_registry()) {
         if (!opts.checks.empty() &&
             std::find(opts.checks.begin(), opts.checks.end(),
                       check->name()) == opts.checks.end())
             continue;
-        check->run(corpus, raw);
+        selected.push_back(check.get());
+    }
+
+    // Run checks (in parallel with --jobs: each writes a private
+    // vector), then concatenate in registration order — the exact
+    // append order of a sequential run, so output never depends on
+    // worker count.
+    std::vector<std::vector<Finding>> per_check(selected.size());
+    std::vector<double> per_check_s(selected.size(), 0.0);
+    const auto run_one = [&](std::size_t i) {
+        const util::Stopwatch watch;
+        selected[i]->run(ctx, per_check[i]);
+        per_check_s[i] = watch.elapsed_s();
+    };
+    if (opts.jobs != 1 && selected.size() > 1) {
+        util::ThreadPool pool(opts.jobs);
+        for (std::size_t i = 0; i < selected.size(); ++i)
+            pool.submit([&, i] { run_one(i); });
+        pool.wait_idle();
+    } else {
+        for (std::size_t i = 0; i < selected.size(); ++i)
+            run_one(i);
+    }
+
+    std::vector<Finding> raw;
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+        result.stats.checks.push_back({selected[i]->name(),
+                                       per_check_s[i],
+                                       per_check[i].size()});
+        raw.insert(raw.end(),
+                   std::make_move_iterator(per_check[i].begin()),
+                   std::make_move_iterator(per_check[i].end()));
     }
 
     // Malformed allow-comments are findings themselves: a suppression
-    // without a reason hides a violation with no audit trail.
+    // without a reason hides a violation with no audit trail. Malformed
+    // guarded-field comments likewise: an annotation that fails to
+    // parse silently unguards the field.
     for (const auto& file : corpus.files) {
         for (const int line : file.malformed_suppressions) {
             Finding f;
@@ -194,6 +258,17 @@ run_checks(Corpus& corpus, const Options& opts)
             f.message =
                 "malformed shiftlint-allow comment: expected "
                 "`// shiftlint-allow(<check>): <reason>`";
+            raw.push_back(std::move(f));
+        }
+        for (const int line : file.malformed_guards) {
+            Finding f;
+            f.check = "bad-annotation";
+            f.path = file.path;
+            f.line = line;
+            f.col = 1;
+            f.message =
+                "malformed shiftlint-guarded comment: expected "
+                "`// shiftlint-guarded(<mutex-member>)`";
             raw.push_back(std::move(f));
         }
     }
@@ -242,6 +317,7 @@ run_checks(Corpus& corpus, const Options& opts)
     if (opts.apply_fixes)
         apply_fixes(corpus, result.findings, result);
 
+    result.stats.total_s = total_watch.elapsed_s();
     return result;
 }
 
@@ -263,6 +339,38 @@ write_human(std::ostream& os, const RunResult& result)
     if (result.fixes_applied > 0)
         os << ", " << result.fixes_applied << " fix(es) applied";
     os << "\n";
+}
+
+void
+write_stats(std::ostream& os, const RunResult& result)
+{
+    const LintStats& s = result.stats;
+    const auto fmt_s = [](double v) {
+        std::ostringstream ss;
+        ss.setf(std::ios::fixed);
+        ss.precision(3);
+        ss << v << "s";
+        return ss.str();
+    };
+    os << "shiftlint stats:\n"
+       << "  corpus:    " << s.files << " files, " << s.functions
+       << " functions, " << s.structs << " structs\n"
+       << "  callgraph: " << s.callgraph_edges << " edges, "
+       << s.unresolved_calls << " unresolved call sites (fail-open)\n"
+       << "  lex+parse: " << fmt_s(s.lex_s);
+    if (s.lex_s > 0.0) {
+        os << " (";
+        os.setf(std::ios::fixed);
+        os.precision(0);
+        os << static_cast<double>(s.files) / s.lex_s << " files/s)";
+        os.unsetf(std::ios::fixed);
+    }
+    os << "\n"
+       << "  index:     " << fmt_s(s.index_s) << "\n"
+       << "  checks:    " << fmt_s(s.total_s) << " total\n";
+    for (const auto& c : s.checks)
+        os << "    " << c.check << ": " << fmt_s(c.seconds) << ", "
+           << c.findings << " raw finding(s)\n";
 }
 
 void

@@ -29,6 +29,35 @@ struct Options
 
     /** Apply mechanical fixes in place. */
     bool apply_fixes = false;
+
+    /**
+     * Worker threads for lexing and check execution (0 = hardware
+     * concurrency). Results are committed in path / registration order,
+     * so output is byte-identical at any job count.
+     */
+    int jobs = 1;
+};
+
+/** Cost breakdown of one lint run (printed by --stats, to stderr). */
+struct LintStats
+{
+    std::size_t files = 0;
+    std::size_t functions = 0;   ///< symbol-index size
+    std::size_t structs = 0;
+    std::size_t callgraph_edges = 0;
+    std::size_t unresolved_calls = 0;  ///< fail-open call sites
+    double lex_s = 0.0;    ///< read + lex + per-file index
+    double index_s = 0.0;  ///< symbol index + call graph build
+    double total_s = 0.0;  ///< run_checks wall time
+
+    /** Per-check (name, seconds, raw finding count), registry order. */
+    struct CheckCost
+    {
+        std::string check;
+        double seconds = 0.0;
+        std::size_t findings = 0;
+    };
+    std::vector<CheckCost> checks;
 };
 
 /** Classified results of one lint run. */
@@ -44,6 +73,9 @@ struct RunResult
     /** Number of fix edits applied (when Options::apply_fixes). */
     int fixes_applied = 0;
 
+    /** Cost breakdown (check timings; index sizes). */
+    LintStats stats;
+
     bool clean() const { return findings.empty(); }
 };
 
@@ -54,8 +86,10 @@ struct RunResult
 std::vector<std::string> collect_sources(
     const std::vector<std::string>& paths);
 
-/** Lex `paths` from disk into a corpus. fatal() on unreadable files. */
-Corpus load_corpus(const std::vector<std::string>& paths);
+/** Lex `paths` from disk into a corpus. fatal() on unreadable files.
+ *  `jobs` > 1 lexes in parallel; files land in path order regardless. */
+Corpus load_corpus(const std::vector<std::string>& paths, int jobs = 1,
+                   double* lex_seconds = nullptr);
 
 /** Run the selected checks and classify findings. Fix application edits
  *  the *in-memory* corpus text and rewrites the on-disk files. */
@@ -63,6 +97,11 @@ RunResult run_checks(Corpus& corpus, const Options& opts);
 
 /** Render human-readable findings (one line each) plus a summary. */
 void write_human(std::ostream& os, const RunResult& result);
+
+/** Render the --stats cost breakdown (per-check timing, files/sec,
+ *  index size). Timings are host-wall-clock and go to stderr in the
+ *  CLI, keeping stdout byte-identical across runs and job counts. */
+void write_stats(std::ostream& os, const RunResult& result);
 
 /** Render SARIF 2.1.0 for CI code-scanning upload. */
 void write_sarif(std::ostream& os, const RunResult& result);

@@ -1,0 +1,87 @@
+#include "index.h"
+
+namespace shiftpar::lint {
+
+SymbolIndex
+SymbolIndex::build(const Corpus& corpus)
+{
+    SymbolIndex idx;
+    for (std::size_t i = 0; i < corpus.functions.size(); ++i) {
+        const FunctionDef& fn = corpus.functions[i];
+        idx.by_name[fn.name].push_back(i);
+        if (fn.qualified != fn.name)
+            idx.by_qualified[fn.qualified].push_back(i);
+    }
+    for (std::size_t i = 0; i < corpus.structs.size(); ++i)
+        idx.struct_by_name[corpus.structs[i].name].push_back(i);
+
+    // Bind guarded annotations to the field declared on the annotation's
+    // line or the next line (annotation above the declaration), inside
+    // the innermost struct spanning that line.
+    for (const auto& f : corpus.files) {
+        for (const auto& g : f.guards) {
+            bool bound = false;
+            const StructDef* best = nullptr;
+            std::size_t best_index = 0;
+            for (std::size_t si = 0; si < corpus.structs.size(); ++si) {
+                const StructDef& sd = corpus.structs[si];
+                if (sd.file != &f)
+                    continue;
+                const int body_end_line =
+                    sd.body_end < f.tokens.size()
+                        ? f.tokens[sd.body_end].line
+                        : g.line;
+                if (g.line < sd.line || g.line > body_end_line)
+                    continue;
+                if (best == nullptr || sd.line > best->line) {
+                    best = &sd;
+                    best_index = si;
+                }
+            }
+            if (best != nullptr) {
+                for (std::size_t fi = 0; fi < best->fields.size(); ++fi) {
+                    const int fl = best->field_lines[fi];
+                    if (fl == g.line || fl == g.line + 1) {
+                        GuardedField gf;
+                        gf.struct_index = best_index;
+                        gf.struct_name = best->name;
+                        gf.field = best->fields[fi];
+                        gf.mutex = g.mutex;
+                        gf.file = &f;
+                        gf.line = g.line;
+                        idx.guarded_fields.push_back(std::move(gf));
+                        bound = true;
+                        break;
+                    }
+                }
+            }
+            if (!bound)
+                idx.unresolved_guards.push_back({&f, g.line, g.mutex});
+        }
+    }
+    return idx;
+}
+
+std::vector<std::size_t>
+SymbolIndex::resolve(const std::string& name, const std::string& qualifier,
+                     const std::string& caller_owner) const
+{
+    if (!qualifier.empty()) {
+        const auto it = by_qualified.find(qualifier + "::" + name);
+        if (it != by_qualified.end())
+            return it->second;
+        // A qualifier we know nothing about (std::, util::...) stays
+        // unresolved rather than falling back to every same-named
+        // definition: `std::min` must not resolve to a local `min`.
+        return {};
+    }
+    if (!caller_owner.empty()) {
+        const auto it = by_qualified.find(caller_owner + "::" + name);
+        if (it != by_qualified.end())
+            return it->second;
+    }
+    const auto it = by_name.find(name);
+    return it != by_name.end() ? it->second : std::vector<std::size_t>{};
+}
+
+} // namespace shiftpar::lint

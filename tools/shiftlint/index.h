@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Cross-TU symbol index for shiftlint.
+ *
+ * The per-file AST-lite layer (`analysis.{h,cc}`) recognizes function and
+ * struct definitions one file at a time; the symbol index folds them into
+ * whole-corpus lookup tables so checks can resolve a call in `router.cc`
+ * to a definition in `scheduler.cc`. Everything here is deterministic by
+ * construction: symbols are keyed through `std::map` (sorted names) and
+ * values are corpus indexes, which follow the sorted file order produced
+ * by `collect_sources` — the same corpus always yields the same index,
+ * bit for bit, regardless of thread count or hash seeds.
+ *
+ * The index also resolves `shiftlint-guarded` annotations to the struct
+ * field they sit on (same line or the line above the declaration), giving
+ * the guarded-by check its work list. An annotation that matches no data
+ * member is surfaced via `unresolved_guards` — an annotation the author
+ * wrote but the tool cannot bind is an error, not a silent no-op.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis.h"
+
+namespace shiftpar::lint {
+
+/** A guarded-field annotation resolved to its struct and member. */
+struct GuardedField
+{
+    std::size_t struct_index = 0;  ///< into Corpus::structs
+    std::string struct_name;
+    std::string field;
+    std::string mutex;
+    const SourceFile* file = nullptr;
+    int line = 0;  ///< line of the annotation comment
+};
+
+/** A guarded annotation that matched no data member (author error). */
+struct UnresolvedGuard
+{
+    const SourceFile* file = nullptr;
+    int line = 0;
+    std::string mutex;
+};
+
+/** Whole-corpus symbol tables (sorted, position-independent). */
+struct SymbolIndex
+{
+    /** Function indexes (into Corpus::functions) by unqualified name. */
+    std::map<std::string, std::vector<std::size_t>> by_name;
+
+    /** Function indexes by qualified name ("Engine::step"). */
+    std::map<std::string, std::vector<std::size_t>> by_qualified;
+
+    /** Struct indexes (into Corpus::structs) by name. */
+    std::map<std::string, std::vector<std::size_t>> struct_by_name;
+
+    /** Every resolved guarded-field annotation, in corpus order. */
+    std::vector<GuardedField> guarded_fields;
+
+    /** Guarded annotations that bound to no field, in corpus order. */
+    std::vector<UnresolvedGuard> unresolved_guards;
+
+    /** Build the index over `corpus` (after `Corpus::build_index`). */
+    static SymbolIndex build(const Corpus& corpus);
+
+    /**
+     * Resolve a callee name to function indexes. Order of preference:
+     * an explicit `Class::name` qualification, then `caller_owner::name`
+     * (a bare call inside a member resolves within its own class first),
+     * then every definition of the unqualified name. Empty result means
+     * the call is unresolvable in this corpus (fail open).
+     */
+    std::vector<std::size_t> resolve(const std::string& name,
+                                     const std::string& qualifier,
+                                     const std::string& caller_owner) const;
+};
+
+} // namespace shiftpar::lint

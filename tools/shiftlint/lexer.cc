@@ -25,7 +25,7 @@ const char* const kPuncts[] = {
     "|=", "^=", "##",
 };
 
-/** Parse a `shiftlint-allow(...)` annotation out of a comment body. */
+/** Parse a suppression annotation out of a comment body. */
 void
 parse_suppression(const std::string& comment, int line, SourceFile& out)
 {
@@ -63,6 +63,36 @@ parse_suppression(const std::string& comment, int line, SourceFile& out)
     }
     s.reason = reason;
     out.suppressions.push_back(std::move(s));
+}
+
+/** Parse a guarded-field annotation out of a comment body. */
+void
+parse_guard(const std::string& comment, int line, SourceFile& out)
+{
+    const std::string tag = "shiftlint-guarded(";
+    const auto pos = comment.find(tag);
+    if (pos == std::string::npos)
+        return;
+    const auto open = pos + tag.size();
+    const auto close = comment.find(')', open);
+    if (close == std::string::npos) {
+        out.malformed_guards.push_back(line);
+        return;
+    }
+    GuardAnnotation g;
+    g.line = line;
+    g.mutex = comment.substr(open, close - open);
+    while (!g.mutex.empty() && std::isspace(
+               static_cast<unsigned char>(g.mutex.front())))
+        g.mutex.erase(g.mutex.begin());
+    while (!g.mutex.empty() && std::isspace(
+               static_cast<unsigned char>(g.mutex.back())))
+        g.mutex.pop_back();
+    if (g.mutex.empty()) {
+        out.malformed_guards.push_back(line);
+        return;
+    }
+    out.guards.push_back(std::move(g));
 }
 
 } // namespace
@@ -130,6 +160,7 @@ lex_source(std::string path, std::string text)
             if (end == std::string::npos)
                 end = s.size();
             parse_suppression(s.substr(i, end - i), line, out);
+            parse_guard(s.substr(i, end - i), line, out);
             advance(end - i);
             continue;
         }
@@ -143,6 +174,7 @@ lex_source(std::string path, std::string text)
             else
                 end += 2;
             parse_suppression(s.substr(i, end - i), start_line, out);
+            parse_guard(s.substr(i, end - i), start_line, out);
             advance(end - i);
             continue;
         }

@@ -42,8 +42,9 @@ struct Token
 };
 
 /**
- * A `// shiftlint-allow(<check>): reason` annotation. Suppresses findings
- * of `check` on the same line or the next line. `check` may be `*`.
+ * A suppression comment: `shiftlint-allow` followed by `(<check>): reason`.
+ * Suppresses findings of `check` on the same line or the next line.
+ * `check` may be `*`.
  */
 struct Suppression
 {
@@ -53,6 +54,18 @@ struct Suppression
     mutable bool used = false;  ///< set when a finding matched it
 };
 
+/**
+ * A guarded-field comment: `shiftlint-guarded` followed by `(<mutex>)`.
+ * Declares that the data member declared on the same line (or the next
+ * line) must only be touched while `mutex` is held; the guarded-by check
+ * enforces it corpus-wide through the call graph.
+ */
+struct GuardAnnotation
+{
+    int line = 0;
+    std::string mutex;
+};
+
 /** A lexed source file (from disk or an in-memory fixture). */
 struct SourceFile
 {
@@ -60,9 +73,13 @@ struct SourceFile
     std::string text;
     std::vector<Token> tokens;
     std::vector<Suppression> suppressions;
+    std::vector<GuardAnnotation> guards;
 
     /** Lines of `shiftlint-allow` comments missing the `: reason` part. */
     std::vector<int> malformed_suppressions;
+
+    /** Lines of `shiftlint-guarded` comments with an empty/unclosed name. */
+    std::vector<int> malformed_guards;
 
     /** @return the trimmed source text of 1-based line `line`. */
     std::string line_text(int line) const;

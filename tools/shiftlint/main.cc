@@ -12,6 +12,11 @@
  *   --write-baseline FILE  write the current findings as a new baseline
  *   --check NAME           run only NAME (repeatable)
  *   --list-checks          print the registry and exit
+ *   --jobs N               lex files and run checks on N threads
+ *                          (0 = hardware concurrency; default 1).
+ *                          Output is byte-identical at any job count.
+ *   --stats                print a cost breakdown (per-check timing,
+ *                          files/sec, index size) to stderr
  *
  * Exit status: 0 clean (or everything suppressed/baselined), 1 findings,
  * 2 usage error. Run from the repository root so baseline paths match.
@@ -33,7 +38,8 @@ usage(const char* argv0)
     std::cerr << "usage: " << argv0
               << " [--fix] [--format human|sarif] [--baseline FILE]\n"
                  "       [--write-baseline FILE] [--check NAME]... "
-                 "[--list-checks] [paths...]\n";
+                 "[--list-checks]\n"
+                 "       [--jobs N] [--stats] [paths...]\n";
     return 2;
 }
 
@@ -47,6 +53,7 @@ main(int argc, char** argv)
     Options opts;
     std::string format = "human";
     std::string write_baseline_path;
+    bool print_stats = false;
     std::vector<std::string> paths;
 
     for (int i = 1; i < argc; ++i) {
@@ -68,6 +75,16 @@ main(int argc, char** argv)
             write_baseline_path = next();
         } else if (arg == "--check") {
             opts.checks.push_back(next());
+        } else if (arg == "--jobs") {
+            try {
+                opts.jobs = std::stoi(next());
+            } catch (const std::exception&) {
+                return usage(argv[0]);
+            }
+            if (opts.jobs < 0)
+                return usage(argv[0]);
+        } else if (arg == "--stats") {
+            print_stats = true;
         } else if (arg == "--list-checks") {
             for (const auto& c : check_registry())
                 std::cout << c->name() << ": " << c->description()
@@ -82,8 +99,15 @@ main(int argc, char** argv)
     if (paths.empty())
         paths = {"src", "bench", "tests"};
 
-    Corpus corpus = load_corpus(collect_sources(paths));
-    const RunResult result = run_checks(corpus, opts);
+    double lex_s = 0.0;
+    Corpus corpus = load_corpus(collect_sources(paths), opts.jobs, &lex_s);
+    RunResult result = run_checks(corpus, opts);
+    result.stats.lex_s = lex_s;
+
+    // Stats go to stderr: stdout stays byte-identical across runs and
+    // job counts (timings are wall-clock and never reproducible).
+    if (print_stats)
+        write_stats(std::cerr, result);
 
     if (!write_baseline_path.empty()) {
         std::ofstream out(write_baseline_path, std::ios::trunc);
